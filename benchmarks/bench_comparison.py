@@ -1,0 +1,10 @@
+"""E8 — regenerate the strategy-comparison table."""
+
+from conftest import run_once
+
+from repro.experiments import e08_comparison
+
+
+def test_e8_strategy_comparison(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e08_comparison.run, quick=quick_mode)
+    emit("E8", table)

@@ -1,0 +1,84 @@
+"""Engine microbenchmarks: raw throughput of the simulators.
+
+These are conventional pytest-benchmark timings (many iterations) rather
+than table regenerations — they track the cost of the recruitment matcher,
+both fast simulators, the spread process, and one agent-engine round, so
+performance regressions in the substrate are visible independently of the
+experiment tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.colony import simple_factory
+from repro.fast.optimal_fast import simulate_optimal
+from repro.fast.simple_fast import simulate_simple
+from repro.fast.spread_fast import simulate_spread
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.model.recruitment import match_arrays
+from repro.sim.engine import Simulation
+from repro.sim.rng import RandomSource
+from repro.sim.run import build_colony
+
+
+def test_matcher_throughput_4096(benchmark):
+    """Algorithm 1 over 4096 participants, half active."""
+    rng = np.random.default_rng(7)
+    active = np.zeros(4096, dtype=bool)
+    active[::2] = True
+    targets = np.arange(4096, dtype=np.int64)
+
+    benchmark(lambda: match_arrays(active, targets, rng))
+
+
+def test_fast_simple_full_run_2048(benchmark):
+    """One full Algorithm 3 house-hunt, n=2048, k=8 (fast engine)."""
+    nests = NestConfig.all_good(8)
+    seeds = iter(range(10_000))
+
+    def one_run():
+        return simulate_simple(2048, nests, seed=next(seeds), max_rounds=50_000)
+
+    result = benchmark(one_run)
+    assert result.converged
+
+
+def test_fast_optimal_full_run_2048(benchmark):
+    """One full Algorithm 2 house-hunt, n=2048, k=8 (fast engine)."""
+    nests = NestConfig.all_good(8)
+    seeds = iter(range(10_000))
+
+    def one_run():
+        return simulate_optimal(2048, nests, seed=next(seeds), max_rounds=50_000)
+
+    result = benchmark(one_run)
+    assert result.converged
+
+
+def test_fast_spread_full_run_4096(benchmark):
+    """One full information-spread run, n=4096, k=8."""
+    seeds = iter(range(10_000))
+
+    def one_run():
+        return simulate_spread(4096, 8, seed=next(seeds))
+
+    result = benchmark(one_run)
+    assert result.all_informed
+
+
+def test_agent_engine_rounds_512(benchmark):
+    """Sixteen agent-engine rounds of Algorithm 3 at n=512, k=8."""
+    def sixteen_rounds():
+        source = RandomSource(3)
+        colony = build_colony(simple_factory(), 512, source.colony)
+        simulation = Simulation(
+            colony, Environment(512, NestConfig.all_good(8)), source
+        )
+        for _ in range(16):
+            simulation.step()
+        return simulation
+
+    simulation = benchmark(sixteen_rounds)
+    assert simulation.round == 16

@@ -1,0 +1,36 @@
+"""E9–E13 — regenerate the Section 6 extension tables."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    e09_adaptive,
+    e10_nonbinary,
+    e11_noise,
+    e12_faults,
+    e13_asynchrony,
+)
+
+
+def test_e9_adaptive_rates(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e09_adaptive.run, quick=quick_mode)
+    emit("E9", table)
+
+
+def test_e10_nonbinary_quality(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e10_nonbinary.run, quick=quick_mode)
+    emit("E10", table)
+
+
+def test_e11_noisy_counting(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e11_noise.run, quick=quick_mode)
+    emit("E11", table)
+
+
+def test_e12_fault_tolerance(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e12_faults.run, quick=quick_mode)
+    emit("E12", table)
+
+
+def test_e13_asynchrony(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e13_asynchrony.run, quick=quick_mode)
+    emit("E13", table)

@@ -1,0 +1,13 @@
+"""E1 — regenerate the lower-bound (Theorem 3.2) spread-time table."""
+
+from conftest import run_once
+
+from repro.experiments import e01_lower_bound
+
+
+def test_e1_lower_bound(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e01_lower_bound.run, quick=quick_mode)
+    emit("E1", table)
+    # Reproduction check: every measured completion time exceeded the
+    # theorem's threshold (last column of every row).
+    assert all(row[-1] == "yes" for row in table._rows)

@@ -1,0 +1,12 @@
+"""E3 — regenerate the Lemmas 4.1/4.2 competition-block table."""
+
+from conftest import run_once
+
+from repro.experiments import e03_optimal_dropout
+
+
+def test_e3_competition_blocks(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e03_optimal_dropout.run, quick=quick_mode)
+    emit("E3", table)
+    # Lemma 4.2's 1/66 drop-out bound must hold in every configuration.
+    assert all(row[-1] == "yes" for row in table._rows)

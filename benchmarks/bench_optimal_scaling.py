@@ -1,0 +1,20 @@
+"""E4/E4b — regenerate the Algorithm 2 scaling and ablation tables."""
+
+from conftest import run_once
+
+from repro.experiments import e04_optimal_scaling
+
+
+def test_e4_optimal_scaling(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e04_optimal_scaling.run, quick=quick_mode)
+    emit("E4", table)
+    # Success must be 1.0 in every swept configuration (w.h.p. claim).
+    success_column = table.columns.index("success")
+    assert all(row[success_column] == "1" for row in table._rows)
+
+
+def test_e4b_strict_ablation(benchmark, quick_mode, emit):
+    table = run_once(
+        benchmark, e04_optimal_scaling.run_strict_ablation, quick=quick_mode
+    )
+    emit("E4b", table)

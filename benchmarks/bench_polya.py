@@ -1,0 +1,10 @@
+"""E14 — regenerate the Pólya-urn dominance-curve table."""
+
+from conftest import run_once
+
+from repro.experiments import e14_polya
+
+
+def test_e14_polya_analogy(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e14_polya.run, quick=quick_mode)
+    emit("E14", table)

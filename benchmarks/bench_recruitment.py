@@ -1,0 +1,11 @@
+"""E2 — regenerate the Lemma 2.1 recruitment-success table."""
+
+from conftest import run_once
+
+from repro.experiments import e02_recruitment
+
+
+def test_e2_recruitment_success(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e02_recruitment.run, quick=quick_mode)
+    emit("E2", table)
+    assert all(row[-1] == "yes" for row in table._rows)

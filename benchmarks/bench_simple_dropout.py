@@ -1,0 +1,11 @@
+"""E6 — regenerate the Lemmas 5.8/5.9 small-nest extinction table."""
+
+from conftest import run_once
+
+from repro.experiments import e06_simple_dropout
+
+
+def test_e6_small_nest_extinction(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e06_simple_dropout.run, quick=quick_mode)
+    emit("E6", table)
+    assert all(row[-1] == "yes" for row in table._rows)

@@ -1,0 +1,11 @@
+"""E5 — regenerate the Lemma 5.4 initial-gap table."""
+
+from conftest import run_once
+
+from repro.experiments import e05_simple_gap
+
+
+def test_e5_initial_gap(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e05_simple_gap.run, quick=quick_mode)
+    emit("E5", table)
+    assert all(row[-1] == "yes" for row in table._rows)

@@ -1,0 +1,12 @@
+"""E7 — regenerate the Algorithm 3 scaling table."""
+
+from conftest import run_once
+
+from repro.experiments import e07_simple_scaling
+
+
+def test_e7_simple_scaling(benchmark, quick_mode, emit):
+    table = run_once(benchmark, e07_simple_scaling.run, quick=quick_mode)
+    emit("E7", table)
+    success_column = table.columns.index("success")
+    assert all(row[success_column] == "1" for row in table._rows)

@@ -1,0 +1,103 @@
+"""Emergency relocation: the scenario that motivates the paper.
+
+A Temnothorax colony's rock-crevice nest has been destroyed.  Among the
+candidate sites most are unsuitable (cracks, bright interiors, wide
+entrances) and only a couple are good homes.  The colony must find the good
+sites, reach consensus, and relocate everyone — fast, because the colony is
+exposed.
+
+This example races the paper's two algorithms on the same emergency:
+Algorithm 2 ("Optimal": count-based competition, provably O(log n)) and
+Algorithm 3 ("Simple": population-proportional recruitment, O(k log n)),
+plus the biologically observed quorum strategy for reference.  It prints
+per-strategy decision timelines and a small comparison table.
+
+Usage::
+
+    python examples/emergency_relocation.py [--n 256] [--k 12] [--good 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import NestConfig
+from repro.analysis.tables import Table
+from repro.baselines.quorum import quorum_factory
+from repro.core.colony import optimal_factory, simple_factory
+from repro.sim.convergence import CommittedToSingleGoodNest, UnanimousCommitment
+from repro.sim.run import run_trial
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=256, help="colony size")
+    parser.add_argument("--k", type=int, default=12, help="candidate sites")
+    parser.add_argument("--good", type=int, default=2, help="number of good sites")
+    parser.add_argument("--seed", type=int, default=2015, help="random seed")
+    parser.add_argument("--trials", type=int, default=5, help="runs per strategy")
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    good_sites = set(
+        int(i) for i in rng.choice(np.arange(1, args.k + 1), size=args.good, replace=False)
+    )
+    nests = NestConfig.binary(args.k, good_sites)
+    print(
+        f"EMERGENCY: home destroyed. {args.n} ants, {args.k} candidate sites, "
+        f"only {sorted(good_sites)} habitable.\n"
+    )
+
+    strategies = [
+        (
+            "Optimal (Alg. 2)",
+            optimal_factory(),
+            lambda: CommittedToSingleGoodNest(require_settled=True),
+        ),
+        ("Simple (Alg. 3)", simple_factory(), CommittedToSingleGoodNest),
+        ("Quorum (Pratt)", quorum_factory(quorum_fraction=0.35), UnanimousCommitment),
+    ]
+
+    table = Table(
+        "Relocation race (median over trials)",
+        ["strategy", "median rounds", "success", "chosen sites"],
+    )
+    for name, factory, criterion in strategies:
+        rounds: list[int] = []
+        chosen: list[int] = []
+        successes = 0
+        for trial in range(args.trials):
+            result = run_trial(
+                factory,
+                args.n,
+                nests,
+                seed=args.seed + 1000 * trial,
+                max_rounds=20_000,
+                criterion_factory=criterion,
+            )
+            if result.converged:
+                successes += 1
+                rounds.append(result.converged_round)
+                chosen.append(result.chosen_nest)
+        median = float(np.median(rounds)) if rounds else float("nan")
+        table.add_row(
+            name,
+            median,
+            successes / args.trials,
+            ",".join(str(c) for c in sorted(set(chosen))) or "-",
+        )
+        print(f"{name:18s} -> median {median:.0f} rounds, chose {sorted(set(chosen))}")
+
+    print()
+    print(table.render())
+    print(
+        "\nAll strategies relocate the colony to a habitable site; the paper's "
+        "algorithms do it with provable round bounds, while the quorum "
+        "strategy mirrors what real colonies are believed to do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Mean-field vs reality: predicting the house-hunt from Lemma 5.3.
+
+Lemma 5.3 gives the expected one-step change of a nest's population share
+under Algorithm 3.  Iterating that expectation as a deterministic map (see
+``repro.analysis.dynamics``) yields a parameter-free prediction of the
+whole competition — which nest wins and roughly when — from nothing but
+the initial search split.
+
+This example runs a real colony, fits the one free constant ξ (the
+effective recruitment efficiency) from the recorded history, replays the
+mean-field map from the same initial condition, and prints both
+trajectories side by side.
+
+Usage::
+
+    python examples/mean_field.py [--n 2048] [--k 5] [--seed 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.dynamics import dominance_steps, fit_xi, simple_mean_field
+from repro.analysis.viz import sparkline
+from repro.fast.simple_fast import simulate_simple
+from repro.model.nests import NestConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=2048, help="colony size")
+    parser.add_argument("--k", type=int, default=5, help="candidate nests")
+    parser.add_argument("--seed", type=int, default=3, help="random seed")
+    args = parser.parse_args()
+
+    nests = NestConfig.all_good(args.k)
+    result = simulate_simple(
+        args.n, nests, seed=args.seed, max_rounds=50_000, record_history=True
+    )
+    history = result.population_history
+    assessments = history[::2].astype(float)
+    shares = assessments[:, 1:] / args.n
+    initial = shares[0]
+
+    xi = fit_xi(history)
+    steps = max(len(shares) - 1, 1)
+    predicted = simple_mean_field(initial, steps=steps, xi=xi)
+
+    print(
+        f"colony: n={args.n}, k={args.k}; measured winner nest "
+        f"{result.chosen_nest} in {result.converged_round} rounds; "
+        f"fitted xi = {xi:.3f}\n"
+    )
+    print("nest   measured share trajectory          mean-field prediction")
+    for nest in range(args.k):
+        measured_line = sparkline(shares[:, nest], width=30)
+        predicted_line = sparkline(predicted[:, nest], width=30)
+        print(f"n{nest + 1:<4d} {measured_line}   {predicted_line}")
+
+    mf_winner = int(np.argmax(initial)) + 1
+    mf_rounds = 2 * dominance_steps(initial, xi=xi, threshold=0.95)
+    agreement = "agrees" if mf_winner == result.chosen_nest else "DISAGREES"
+    print(
+        f"\nmean-field winner: nest {mf_winner} ({agreement} with the run); "
+        f"predicted ~{mf_rounds} rounds to 95% dominance vs "
+        f"{result.converged_round} measured."
+    )
+    print(
+        "the stochastic colony can overturn small initial gaps (see E14's "
+        "dominance curves); the mean-field map is exact only as n -> inf."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Robustness demo: a colony with imperfect ants in an imperfect world.
+
+Section 6 of the paper conjectures Algorithm 3 survives noisy population
+estimates, crashed and even malicious ants, and partial asynchrony.  This
+example turns all of it on at once:
+
+- every ant estimates nest populations by *encounter rates* (Pratt 2005)
+  instead of exact counts,
+- a fraction of ants crash mid-hunt (their bodies keep soaking up tandem
+  runs at home),
+- a Byzantine ant perpetually recruits to a bad nest,
+- and every ant randomly stalls between rounds (partial asynchrony).
+
+The healthy majority still agrees on a good nest.  The defaults are near a
+real cliff, though: raise ``--byzantine`` to ~0.01 (two bad ants in 192!)
+and the combination of Byzantine propaganda with asynchrony reliably drags
+the whole colony to the bad nest — Algorithm 3 never re-assesses quality
+after the initial search, so persistent full-rate recruiters beat honest
+proportional feedback once delays weaken it.  Experiment E12 maps this
+cliff; EXPERIMENTS.md discusses it.
+
+Usage::
+
+    python examples/noisy_colony.py [--n 192] [--crash 0.1] [--byzantine 0.005]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import DelayModel, FaultPlan, NestConfig
+from repro.core.colony import simple_factory
+from repro.extensions.estimation import EncounterNoise, EncounterRateEstimator
+from repro.sim.convergence import CommittedToSingleGoodNest
+from repro.sim.faults import CrashMode
+from repro.sim.run import run_trial
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=192, help="colony size")
+    parser.add_argument("--k", type=int, default=6, help="candidate nests")
+    parser.add_argument("--crash", type=float, default=0.10, help="crash fraction")
+    parser.add_argument("--byzantine", type=float, default=0.005, help="byzantine fraction")
+    parser.add_argument("--delay", type=float, default=0.05, help="per-round stall probability")
+    parser.add_argument("--samples", type=int, default=64, help="encounter samples per assessment")
+    parser.add_argument("--seed", type=int, default=42, help="random seed")
+    args = parser.parse_args()
+
+    # Nests 1..k-1 good, nest k bad (the Byzantine ants' target of choice).
+    nests = NestConfig.binary(args.k, set(range(1, args.k)))
+    n_crash = int(round(args.crash * args.n))
+    n_byz = int(round(args.byzantine * args.n))
+    print(
+        f"colony of {args.n}: {n_crash} will crash, {n_byz} are Byzantine, "
+        f"everyone stalls w.p. {args.delay}/round and senses populations via "
+        f"{args.samples}-sample encounter rates\n"
+    )
+
+    result = run_trial(
+        simple_factory(),
+        args.n,
+        nests,
+        seed=args.seed,
+        max_rounds=50_000,
+        noise=EncounterNoise(
+            estimator=EncounterRateEstimator(trials=args.samples, capacity=2 * args.n)
+        ),
+        fault_plan=FaultPlan(
+            crash_fraction=args.crash,
+            byzantine_fraction=args.byzantine,
+            crash_mode=CrashMode.AT_HOME,
+            crash_round_range=(5, 40),
+        ),
+        delay_model=DelayModel(args.delay) if args.delay > 0 else None,
+        criterion_factory=lambda: CommittedToSingleGoodNest(exclude_faulty=True),
+    )
+
+    if result.converged:
+        print(
+            f"healthy ants agreed on nest {result.chosen_nest} "
+            f"(quality {nests.quality(result.chosen_nest or 1):.0f}) "
+            f"after {result.converged_round} rounds"
+        )
+    else:
+        print(
+            f"no agreement on a good nest within {result.rounds_executed} "
+            f"rounds (final status: {result.status.value}) — you likely "
+            "crossed the Byzantine/asynchrony cliff described above; try "
+            "fewer faults"
+        )
+    print(f"final nest populations (home first): {result.final_counts.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

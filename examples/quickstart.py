@@ -1,0 +1,82 @@
+"""Quickstart: one house-hunt, start to finish.
+
+Runs the paper's Simple algorithm (Algorithm 3) on a colony of 128 ants
+choosing among 4 candidate nests (two good, two bad), prints a round-by-
+round population timeline, and reports the decision.
+
+Usage::
+
+    python examples/quickstart.py [--n 128] [--k 4] [--seed 7]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import MetricsRecorder, NestConfig, RandomSource, Simulation
+from repro.analysis.viz import final_share_chart, population_chart
+from repro.core.colony import simple_factory
+from repro.model.environment import Environment
+from repro.sim.run import build_colony
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=128, help="colony size")
+    parser.add_argument("--k", type=int, default=4, help="candidate nests")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    args = parser.parse_args()
+
+    # Odd nests are good, even nests are bad.
+    good = {i for i in range(1, args.k + 1) if i % 2 == 1}
+    nests = NestConfig.binary(args.k, good)
+    print(f"colony: n={args.n} ants, k={args.k} nests, good nests: {sorted(good)}")
+
+    source = RandomSource(args.seed)
+    colony = build_colony(simple_factory(), args.n, source.colony)
+    metrics = MetricsRecorder(colony)
+    simulation = Simulation(
+        ants=colony,
+        environment=Environment(args.n, nests),
+        random_source=source,
+        max_rounds=10_000,
+        hooks=[metrics],
+    )
+    result = simulation.run()
+
+    print(f"\nround-by-round candidate-nest populations (c(i, r)):")
+    header = "round | " + " ".join(f"n{i:<4d}" for i in range(1, args.k + 1))
+    print(header)
+    populations = metrics.population_matrix()
+    for row_index in range(populations.shape[0]):
+        # Candidate nests are occupied on odd rounds (search/assessment).
+        if row_index % 2 == 0:
+            row = populations[row_index]
+            cells = " ".join(f"{int(c):<5d}" for c in row[1:])
+            print(f"{row_index + 1:5d} | {cells}")
+
+    print()
+    print("population sparklines (assessment rounds):")
+    print(population_chart(populations))
+    print()
+    # Convergence lands on a recruitment round (everyone at the home nest),
+    # so show the last assessment round's distribution instead.
+    assessment_rows = populations[populations[:, 0] == 0]
+    final_distribution = (
+        assessment_rows[-1] if len(assessment_rows) else result.final_counts
+    )
+    print("distribution at the last assessment round:")
+    print(final_share_chart(final_distribution))
+    print()
+    if result.converged:
+        print(
+            f"converged in {result.converged_round} rounds: all {args.n} ants "
+            f"committed to nest {result.chosen_nest} "
+            f"(quality {nests.quality(result.chosen_nest):.0f})"
+        )
+    else:
+        print(f"did not converge within {result.rounds_executed} rounds")
+
+
+if __name__ == "__main__":
+    main()

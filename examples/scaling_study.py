@@ -1,0 +1,80 @@
+"""Scaling study: watch the paper's asymptotics appear in the data.
+
+Runs both algorithms over a geometric range of colony sizes on the fast
+engine, fits the growth models from :mod:`repro.analysis.scaling`, and
+prints which model wins — a miniature of experiments E4/E7 (see
+EXPERIMENTS.md for the full grids).
+
+Usage::
+
+    python examples/scaling_study.py [--k 4] [--trials 15]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.scaling import fit_models, linear_model, log_model, sqrt_model
+from repro.analysis.tables import Table
+from repro.fast.optimal_fast import simulate_optimal
+from repro.fast.simple_fast import simulate_simple
+from repro.model.nests import NestConfig
+from repro.sim.rng import RandomSource
+
+
+def median_rounds(simulate, n: int, nests, trials: int, seed: int) -> float:
+    root = RandomSource(seed)
+    rounds = []
+    for trial in range(trials):
+        result = simulate(n, nests, seed=root.trial(trial), max_rounds=100_000)
+        if result.converged:
+            rounds.append(result.converged_round)
+    return float(np.median(rounds)) if rounds else float("nan")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--k", type=int, default=4, help="candidate nests")
+    parser.add_argument("--trials", type=int, default=15, help="trials per size")
+    parser.add_argument("--seed", type=int, default=5, help="base seed")
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[128, 256, 512, 1024, 2048, 4096, 8192],
+        help="colony sizes",
+    )
+    args = parser.parse_args()
+
+    nests = NestConfig.all_good(args.k)
+    table = Table(
+        f"Convergence rounds vs n (k={args.k}, median of {args.trials} trials)",
+        ["n", "Optimal (Alg. 2)", "Simple (Alg. 3)"],
+    )
+    optimal_medians: list[float] = []
+    simple_medians: list[float] = []
+    for n in args.sizes:
+        opt = median_rounds(simulate_optimal, n, nests, args.trials, args.seed + 2 * n)
+        sim = median_rounds(simulate_simple, n, nests, args.trials, args.seed + 2 * n + 1)
+        optimal_medians.append(opt)
+        simple_medians.append(sim)
+        table.add_row(n, opt, sim)
+    print(table.render())
+
+    models = [log_model(), linear_model(), sqrt_model()]
+    print("\ngrowth-model fits (best first, by AIC):")
+    for name, series in [("Optimal", optimal_medians), ("Simple", simple_medians)]:
+        fits = fit_models(models, args.sizes, series)
+        print(f"  {name}:")
+        for fit in fits:
+            print(f"    {fit}")
+    print(
+        "\nthe paper predicts a + b*log(x) for both at fixed k "
+        "(Theorems 4.3 and 5.11) — it should top both lists."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Speed vs accuracy: choosing the *best* home, not just a good one.
+
+Real nest sites are not simply good or bad — they differ in darkness,
+entrance width, cavity size.  Section 6 of the paper sketches how Algorithm
+3 extends to real-valued qualities by weighting recruitment with quality;
+Pratt & Sumpter (2006) showed real colonies tune exactly this trade-off:
+recruit more carefully → better choices, slower moves.
+
+This example sweeps the quality weight on a three-site scenario (one clearly
+best site, one mediocre, one poor) and prints the accuracy/speed frontier.
+
+Usage::
+
+    python examples/speed_accuracy.py [--n 192] [--trials 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import NestConfig
+from repro.analysis.tables import Table
+from repro.extensions.nonbinary import quality_weighted_factory
+from repro.sim.convergence import UnanimousCommitment
+from repro.sim.run import run_trial
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=192, help="colony size")
+    parser.add_argument("--trials", type=int, default=20, help="runs per weight")
+    parser.add_argument("--seed", type=int, default=11, help="base seed")
+    parser.add_argument(
+        "--weights",
+        type=float,
+        nargs="+",
+        default=[0.0, 1.0, 2.0, 4.0],
+        help="quality weights to sweep",
+    )
+    args = parser.parse_args()
+
+    qualities = [0.9, 0.6, 0.3]  # site 1 is the right answer
+    nests = NestConfig.graded(qualities)
+    print(
+        f"sites: {[f'n{i+1}: q={q}' for i, q in enumerate(qualities)]}; "
+        f"colony n={args.n}\n"
+    )
+
+    table = Table(
+        "Speed/accuracy frontier (quality-weighted Algorithm 3)",
+        ["quality weight", "P(best site)", "P(agreed)", "median rounds"],
+    )
+    for weight in args.weights:
+        best = 0
+        agreed = 0
+        rounds: list[int] = []
+        for trial in range(args.trials):
+            result = run_trial(
+                quality_weighted_factory(quality_weight=weight),
+                args.n,
+                nests,
+                seed=args.seed + 997 * trial,
+                max_rounds=30_000,
+                criterion_factory=UnanimousCommitment,
+            )
+            if result.converged:
+                agreed += 1
+                rounds.append(result.converged_round)
+                best += int(result.chosen_nest == 1)
+        table.add_row(
+            weight,
+            best / max(agreed, 1),
+            agreed / args.trials,
+            float(np.median(rounds)) if rounds else float("nan"),
+        )
+    print(table.render())
+    print(
+        "\nweight 0 ignores quality (any acceptable site wins, set by the "
+        "initial search split); larger weights buy accuracy with rounds — "
+        "the colony-level dial Pratt & Sumpter measured in real ants."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs cannot build; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work from the declarative configuration in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

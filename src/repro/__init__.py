@@ -1,0 +1,95 @@
+"""repro — a reproduction of *Distributed House-Hunting in Ant Colonies*
+(Ghaffari, Musco, Radeva, Lynch; PODC 2015, arXiv:1505.03799).
+
+The package implements the paper's synchronous ant-colony model, its two
+house-hunting algorithms (the optimal O(log n) Algorithm 2 and the natural
+O(k log n) Algorithm 3), the information-spreading process behind its
+Ω(log n) lower bound, baselines (rumor spreading, quorum sensing, Pólya
+urn), every Section 6 extension (adaptive rates, non-binary qualities,
+noise, faults, asynchrony, low-level estimation subroutines), a vectorized
+fast engine for large sweeps, and an analysis toolkit that regenerates the
+per-theorem experiment tables recorded in EXPERIMENTS.md.
+
+Quickstart::
+
+    from repro import NestConfig, run_trial, simple_factory
+
+    nests = NestConfig.binary(k=4, good={1, 3})
+    result = run_trial(simple_factory(), n=128, nests=nests, seed=7)
+    print(result.converged_round, result.chosen_nest)
+"""
+
+from repro.core import (
+    IgnorantPolicy,
+    InformedSpreadAnt,
+    OptimalAnt,
+    SimpleAnt,
+    informed_spread_factory,
+    optimal_factory,
+    simple_factory,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    NotConvergedError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.model import (
+    Ant,
+    Environment,
+    HouseHuntingProblem,
+    NestConfig,
+    SolutionStatus,
+)
+from repro.sim import (
+    CountNoise,
+    DelayModel,
+    EventTrace,
+    FaultPlan,
+    MetricsRecorder,
+    RandomSource,
+    Simulation,
+    SimulationResult,
+    TrialStats,
+    run_trial,
+    run_trials,
+)
+from repro.types import BAD_QUALITY, GOOD_QUALITY, HOME_NEST
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ant",
+    "BAD_QUALITY",
+    "ConfigurationError",
+    "CountNoise",
+    "DelayModel",
+    "Environment",
+    "EventTrace",
+    "FaultPlan",
+    "GOOD_QUALITY",
+    "HOME_NEST",
+    "HouseHuntingProblem",
+    "IgnorantPolicy",
+    "InformedSpreadAnt",
+    "MetricsRecorder",
+    "NestConfig",
+    "NotConvergedError",
+    "OptimalAnt",
+    "ProtocolError",
+    "RandomSource",
+    "ReproError",
+    "SimpleAnt",
+    "Simulation",
+    "SimulationError",
+    "SimulationResult",
+    "SolutionStatus",
+    "TrialStats",
+    "__version__",
+    "informed_spread_factory",
+    "optimal_factory",
+    "run_trial",
+    "run_trials",
+    "simple_factory",
+]

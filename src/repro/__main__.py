@@ -1,0 +1,61 @@
+"""Package entry point: a one-command demonstration.
+
+``python -m repro`` runs a small house-hunt with both algorithms and prints
+population sparklines — the fastest way to see the library work.  For the
+experiment tables use ``python -m repro.experiments`` (see its ``--help``).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import NestConfig, RandomSource
+from repro.analysis.viz import population_chart
+from repro.fast.optimal_fast import simulate_optimal
+from repro.fast.simple_fast import simulate_simple
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a demonstration house-hunt with both algorithms.",
+    )
+    parser.add_argument("--n", type=int, default=256, help="colony size")
+    parser.add_argument("--k", type=int, default=5, help="candidate nests")
+    parser.add_argument("--seed", type=int, default=2015, help="random seed")
+    args = parser.parse_args(argv)
+
+    nests = NestConfig.binary(args.k, set(range(1, args.k, 2)) or {1})
+    print(
+        f"house-hunting: n={args.n} ants, k={args.k} nests "
+        f"(good: {list(nests.good_nests)}), seed={args.seed}\n"
+    )
+
+    # Row selections: Algorithm 3 stands at nests on odd rounds (default);
+    # Algorithm 2's cohort populations are visible on its B2 sub-rounds.
+    for name, simulate, rows in [
+        ("Algorithm 3 (Simple, O(k log n))", simulate_simple, None),
+        ("Algorithm 2 (Optimal, O(log n))", simulate_optimal, slice(2, None, 4)),
+    ]:
+        result = simulate(
+            args.n,
+            nests,
+            seed=RandomSource(args.seed),
+            max_rounds=50_000,
+            record_history=True,
+        )
+        print(name)
+        print(population_chart(result.population_history, row_slice=rows))
+        if result.converged:
+            print(
+                f"  -> consensus on nest {result.chosen_nest} in "
+                f"{result.converged_round} rounds\n"
+            )
+        else:
+            print(f"  -> no consensus within {result.rounds_executed} rounds\n")
+    print("more: python -m repro.experiments --list   |   examples/*.py")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Mean-field dynamics of Algorithm 3 — Lemma 5.3 made executable.
+
+Lemma 5.3 shows the expected population proportion of nest ``i`` evolves as
+
+    E[p(i, r+2)] = p(i, r) · (1 + ξ₁·p(i, r) − ξ₂)
+
+where ξ₁/ξ₂ fold in the recruitment process's collision losses.  In the
+mean-field (infinite-colony) limit the colony-wide bookkeeping forces the
+proportions to stay on the simplex, giving the deterministic map
+
+    p_i ← p_i + ξ·(p_i² − p_i·Σ²),     Σ² = Σ_j p_j²
+
+(a nest gains in proportion to its squared share and loses by being poached
+at rate proportional to the total recruitment pressure Σ²; ξ is the
+effective per-round recruitment efficiency, absorbing Lemma 2.1's success
+probability).  The map conserves Σp = 1 exactly, amplifies any gap
+(Lemma 5.7's (1 + Ω(1/k)) per-step growth appears as its linearization),
+and drives every trajectory with a unique maximal nest to a single winner —
+the deterministic skeleton of Theorem 5.11.
+
+This module provides the map (:func:`simple_mean_field`), an estimator of
+ξ from recorded simulation histories (:func:`fit_xi`), and the time-to-
+dominance predictor used to sanity-check measured convergence rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def mean_field_step(proportions: np.ndarray, xi: float) -> np.ndarray:
+    """One recruit+assess cycle of the mean-field map."""
+    sigma2 = float(np.sum(proportions**2))
+    updated = proportions + xi * (proportions**2 - proportions * sigma2)
+    # The analytic map conserves mass and positivity for xi <= 1; clip and
+    # renormalize anyway to keep long trajectories numerically on-simplex.
+    updated = np.clip(updated, 0.0, None)
+    total = updated.sum()
+    if total == 0:
+        raise ConfigurationError("mean-field state collapsed to zero mass")
+    return updated / total
+
+
+def simple_mean_field(
+    initial_proportions,
+    steps: int,
+    xi: float = 0.8,
+) -> np.ndarray:
+    """Iterate the Lemma 5.3 mean-field map.
+
+    Parameters
+    ----------
+    initial_proportions:
+        Nest shares after the search round, length ``k``; normalized if
+        needed.
+    steps:
+        Number of recruit+assess cycles (two model rounds each).
+    xi:
+        Effective recruitment efficiency per cycle, in ``(0, 1]``.
+
+    Returns
+    -------
+    Trajectory of shape ``(steps + 1, k)`` (row 0 = initial shares).
+    """
+    shares = np.asarray(initial_proportions, dtype=float)
+    if shares.ndim != 1 or len(shares) < 1:
+        raise ConfigurationError("need a 1-D vector of nest shares")
+    if np.any(shares < 0) or shares.sum() == 0:
+        raise ConfigurationError("shares must be non-negative, not all zero")
+    if not 0.0 < xi <= 1.0:
+        raise ConfigurationError("xi must be in (0, 1]")
+    if steps < 0:
+        raise ConfigurationError("steps must be >= 0")
+    shares = shares / shares.sum()
+    trajectory = np.empty((steps + 1, len(shares)))
+    trajectory[0] = shares
+    for step in range(1, steps + 1):
+        shares = mean_field_step(shares, xi)
+        trajectory[step] = shares
+    return trajectory
+
+
+def predicted_winner(initial_proportions) -> int:
+    """Mean-field winner: the (1-based) nest with the largest initial share.
+
+    The deterministic map strictly amplifies the leader's advantage, so the
+    initially largest nest always wins in the mean-field limit — the
+    stochastic colony deviates only through sampling noise (compare E14's
+    dominance curves).
+    """
+    shares = np.asarray(initial_proportions, dtype=float)
+    return int(np.argmax(shares)) + 1
+
+
+def dominance_steps(
+    initial_proportions, xi: float = 0.8, threshold: float = 0.99,
+    max_steps: int = 100_000,
+) -> int:
+    """Cycles until the leading nest holds ``threshold`` of the colony."""
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError("threshold must be in (0, 1)")
+    shares = np.asarray(initial_proportions, dtype=float)
+    shares = shares / shares.sum()
+    for step in range(max_steps):
+        if shares.max() >= threshold:
+            return step
+        shares = mean_field_step(shares, xi)
+    raise ConfigurationError(
+        f"no dominance within {max_steps} steps (degenerate tie?)"
+    )
+
+
+def fit_xi(population_history: np.ndarray) -> float:
+    """Estimate the effective ξ from a recorded Algorithm 3 history.
+
+    ``population_history`` is the fast engine's per-round count matrix
+    (``record_history=True``).  Candidate-nest shares are read off the
+    assessment rows (odd rounds); each consecutive pair contributes the
+    regression sample ``Δp_i ≈ ξ·(p_i² − p_i·Σ²)``, and ξ is the
+    least-squares slope through the origin.
+    """
+    if population_history is None or len(population_history) < 3:
+        raise ConfigurationError("need a history with at least two assessments")
+    assessments = population_history[::2].astype(float)
+    totals = assessments.sum(axis=1, keepdims=True)
+    shares = assessments[:, 1:] / np.maximum(totals, 1.0)
+    features: list[float] = []
+    responses: list[float] = []
+    for row in range(len(shares) - 1):
+        current, nxt = shares[row], shares[row + 1]
+        sigma2 = float(np.sum(current**2))
+        predictor = current**2 - current * sigma2
+        mask = current > 0
+        features.extend(predictor[mask])
+        responses.extend((nxt - current)[mask])
+    feature_array = np.asarray(features)
+    response_array = np.asarray(responses)
+    denominator = float(np.dot(feature_array, feature_array))
+    if denominator == 0.0:
+        raise ConfigurationError("history has no competitive dynamics to fit")
+    return float(np.dot(feature_array, response_array) / denominator)

@@ -1,0 +1,152 @@
+"""The experiment registry: one entry per reproduced claim.
+
+The paper is pure theory, so its "tables and figures" are its quantitative
+lemmas and theorems; DESIGN.md §4 assigns each an experiment id.  This
+module is the machine-readable version of that index — tests verify every
+registered experiment has its bench file, and the bench harness uses the
+specs for titles and theory references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproduced claim and where its artifacts live."""
+
+    experiment_id: str
+    claim: str
+    measures: str
+    bench_file: str
+    theory_reference: str
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in [
+        ExperimentSpec(
+            "E1",
+            "Theorem 3.2: any algorithm needs Ω(log n) rounds",
+            "rounds for best-case information spread to reach all n ants vs n",
+            "bench_lower_bound.py",
+            "lower_bound_rounds",
+        ),
+        ExperimentSpec(
+            "E2",
+            "Lemma 2.1: a recruiter succeeds with probability ≥ 1/16",
+            "empirical recruiter success probability over home-nest mixes",
+            "bench_recruitment.py",
+            "LEMMA_2_1_SUCCESS_LOWER_BOUND",
+        ),
+        ExperimentSpec(
+            "E3a",
+            "Lemma 4.1: competing-nest population change is symmetric",
+            "P[Y<0] vs P[Y>0] per competition block",
+            "bench_optimal_dropout.py",
+            "—",
+        ),
+        ExperimentSpec(
+            "E3b",
+            "Lemma 4.2: a competing nest drops out w.p. ≥ 1/66 per block",
+            "per-block drop-out frequency of competing nests",
+            "bench_optimal_dropout.py",
+            "LEMMA_4_2_DROPOUT_LOWER_BOUND",
+        ),
+        ExperimentSpec(
+            "E4",
+            "Theorem 4.3: Algorithm 2 solves HouseHunting in O(log n)",
+            "convergence rounds vs n (k fixed) and vs k (n fixed); model fits",
+            "bench_optimal_scaling.py",
+            "optimal_k_bound",
+        ),
+        ExperimentSpec(
+            "E4b",
+            "DESIGN.md §3.2: strict vs clarified case-3 count update",
+            "rounds and success for both OptimalAnt modes",
+            "bench_optimal_scaling.py",
+            "—",
+        ),
+        ExperimentSpec(
+            "E5",
+            "Lemma 5.4: E[ε(i,j,1)] ≥ 1/(3(n−1)) after the search round",
+            "mean relative population gap of nest pairs after round 1",
+            "bench_simple_gap.py",
+            "lemma_5_4_initial_gap",
+        ),
+        ExperimentSpec(
+            "E6",
+            "Lemmas 5.8/5.9: nests below n/(dk) stay small and empty out",
+            "survival and emptying times of small nests under Algorithm 3",
+            "bench_simple_dropout.py",
+            "small_nest_threshold",
+        ),
+        ExperimentSpec(
+            "E7",
+            "Theorem 5.11: Algorithm 3 solves HouseHunting in O(k log n)",
+            "convergence rounds vs n (k fixed) and vs k (n fixed); model fits",
+            "bench_simple_scaling.py",
+            "simple_k_bound",
+        ),
+        ExperimentSpec(
+            "E8",
+            "Implicit: Optimal beats Simple; positive feedback is essential",
+            "head-to-head rounds/success: Optimal, Simple, quorum, uniform",
+            "bench_comparison.py",
+            "—",
+        ),
+        ExperimentSpec(
+            "E9",
+            "Section 6: round-indexed rate boost approaches O(polylog n)",
+            "adaptive vs plain Simple rounds across k",
+            "bench_extensions.py",
+            "—",
+        ),
+        ExperimentSpec(
+            "E10",
+            "Section 6: quality-weighted recruitment picks the best nest",
+            "P(best nest wins) and rounds vs quality gap",
+            "bench_extensions.py",
+            "—",
+        ),
+        ExperimentSpec(
+            "E11",
+            "Section 6: Algorithm 3 tolerates unbiased count noise",
+            "rounds/success vs noise level (Gaussian and encounter-rate)",
+            "bench_extensions.py",
+            "—",
+        ),
+        ExperimentSpec(
+            "E12",
+            "Section 6: Algorithm 3 tolerates crash and Byzantine faults",
+            "rounds/success vs fault fraction",
+            "bench_extensions.py",
+            "—",
+        ),
+        ExperimentSpec(
+            "E13",
+            "Section 6: Algorithm 3 tolerates partial asynchrony",
+            "rounds/success vs per-round delay probability",
+            "bench_extensions.py",
+            "—",
+        ),
+        ExperimentSpec(
+            "E14",
+            "Section 5 intro: Algorithm 3 behaves like a Pólya urn",
+            "dominance probability vs initial share: colony vs urn",
+            "bench_polya.py",
+            "—",
+        ),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment spec by id (raises ``KeyError`` if absent)."""
+    return EXPERIMENTS[experiment_id]
+
+
+def all_bench_files() -> set[str]:
+    """The set of bench files the registry references."""
+    return {spec.bench_file for spec in EXPERIMENTS.values()}

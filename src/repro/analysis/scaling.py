@@ -1,0 +1,125 @@
+"""Scaling-law fitting: which growth model explains the measurements?
+
+The paper's claims are asymptotic — Algorithm 2 in Θ(log n), Algorithm 3 in
+Θ(k log n), the lower bound Ω(log n).  The reproduction tests those shapes
+by fitting small families of two-parameter models to measured convergence
+rounds and comparing fit quality:
+
+- ``log_model``      : y = a + b·ln(x)
+- ``linear_model``   : y = a + b·x
+- ``sqrt_model``     : y = a + b·√x
+- ``klogn_model``    : y = a + b·(k·ln n)   (for two-variable sweeps)
+
+Each fit reports least-squares coefficients, R², and AIC; the experiment
+passes when the paper's model wins (or statistically ties) the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Maps raw predictor values to the model's single regressor.
+FeatureMap = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """A named two-parameter model ``y = a + b·f(x)``."""
+
+    name: str
+    feature: FeatureMap
+
+
+def log_model() -> ScalingModel:
+    """``y = a + b·ln x``."""
+    return ScalingModel("a + b*log(x)", lambda x: np.log(x))
+
+
+def linear_model() -> ScalingModel:
+    """``y = a + b·x``."""
+    return ScalingModel("a + b*x", lambda x: x.astype(float))
+
+
+def sqrt_model() -> ScalingModel:
+    """``y = a + b·sqrt(x)``."""
+    return ScalingModel("a + b*sqrt(x)", lambda x: np.sqrt(x))
+
+
+def klogn_model(n_values: Sequence[float]) -> ScalingModel:
+    """``y = a + b·(k·ln n)`` over paired ``(k, n)`` observations.
+
+    The model is applied to ``x = k`` with the matching ``n`` supplied
+    here, enabling joint sweeps.
+    """
+    n_array = np.asarray(n_values, dtype=float)
+    return ScalingModel(
+        "a + b*k*log(n)", lambda k: k.astype(float) * np.log(n_array)
+    )
+
+
+@dataclass(frozen=True)
+class ModelFit:
+    """Least-squares outcome of one model on one data set."""
+
+    name: str
+    intercept: float
+    slope: float
+    r_squared: float
+    aic: float
+    residuals: np.ndarray
+
+    def predict(self, feature_values: np.ndarray) -> np.ndarray:
+        """Predicted response for already-mapped feature values."""
+        return self.intercept + self.slope * feature_values
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: intercept={self.intercept:.2f} slope={self.slope:.3f} "
+            f"R^2={self.r_squared:.4f} AIC={self.aic:.1f}"
+        )
+
+
+def fit_model(model: ScalingModel, x, y) -> ModelFit:
+    """Ordinary least squares of ``y`` on ``[1, f(x)]``."""
+    x_array = np.asarray(x, dtype=float)
+    y_array = np.asarray(y, dtype=float)
+    if x_array.shape != y_array.shape or x_array.ndim != 1:
+        raise ConfigurationError("x and y must be 1-D arrays of equal length")
+    if x_array.size < 3:
+        raise ConfigurationError("need at least 3 points to fit a 2-parameter model")
+    features = model.feature(x_array)
+    design = np.column_stack([np.ones_like(features), features])
+    coefficients, *_ = np.linalg.lstsq(design, y_array, rcond=None)
+    predictions = design @ coefficients
+    residuals = y_array - predictions
+    rss = float(np.sum(residuals**2))
+    tss = float(np.sum((y_array - y_array.mean()) ** 2))
+    r_squared = 1.0 - rss / tss if tss > 0 else 1.0
+    n_points = x_array.size
+    # AIC for Gaussian residuals with 2 coefficients + variance.
+    rss_floor = max(rss, 1e-12)
+    aic = n_points * np.log(rss_floor / n_points) + 2 * 3
+    return ModelFit(
+        name=model.name,
+        intercept=float(coefficients[0]),
+        slope=float(coefficients[1]),
+        r_squared=r_squared,
+        aic=float(aic),
+        residuals=residuals,
+    )
+
+
+def fit_models(models: Sequence[ScalingModel], x, y) -> list[ModelFit]:
+    """Fit several models to the same data, best AIC first."""
+    fits = [fit_model(model, x, y) for model in models]
+    return sorted(fits, key=lambda fit: fit.aic)
+
+
+def best_model(models: Sequence[ScalingModel], x, y) -> ModelFit:
+    """The AIC-best of the candidate models."""
+    return fit_models(models, x, y)[0]

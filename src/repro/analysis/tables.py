@@ -1,0 +1,104 @@
+"""Plain-text result tables for the benchmark harness.
+
+The environment is terminal-only (no plotting stack), so every experiment
+renders its result as an aligned ASCII table — the same rows EXPERIMENTS.md
+records.  :class:`Table` handles alignment, numeric formatting, optional
+markdown output, and a title/notes block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _format_cell(value) -> str:
+    """Render one value: floats get 4 significant digits, rest ``str``."""
+    if isinstance(value, (bool, np.bool_)):
+        return "yes" if value else "no"
+    if isinstance(value, np.integer):
+        value = int(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """An aligned text table with a title and footnotes."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ConfigurationError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self._rows: list[list[str]] = []
+        self._notes: list[str] = []
+
+    def add_row(self, *values) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self._rows.append([_format_cell(value) for value in values])
+
+    def add_rows(self, rows: Iterable[Sequence]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote line rendered under the table."""
+        self._notes.append(note)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of data rows."""
+        return len(self._rows)
+
+    def _widths(self) -> list[int]:
+        widths = [len(header) for header in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """The full ASCII rendering (title, rule, header, rows, notes)."""
+        widths = self._widths()
+        header = " | ".join(
+            name.ljust(width) for name, width in zip(self.columns, widths)
+        )
+        rule = "-+-".join("-" * width for width in widths)
+        lines = [self.title, "=" * max(len(self.title), len(header)), header, rule]
+        for row in self._rows:
+            lines.append(
+                " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        for note in self._notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering (for EXPERIMENTS.md)."""
+        header = "| " + " | ".join(self.columns) + " |"
+        rule = "|" + "|".join(" --- " for _ in self.columns) + "|"
+        lines = [f"**{self.title}**", "", header, rule]
+        for row in self._rows:
+            lines.append("| " + " | ".join(row) + " |")
+        if self._notes:
+            lines.append("")
+            lines.extend(f"- {note}" for note in self._notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

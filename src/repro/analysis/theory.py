@@ -1,0 +1,94 @@
+"""The paper's theoretical constants and bounds, as executable functions.
+
+Every experiment table prints its measured quantity next to the value the
+paper's theory asserts; this module is the single source of those numbers,
+with the defining lemma/theorem cited at each definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Lemma 2.1: an active recruiter succeeds with probability at least 1/16
+#: whenever the home nest holds at least two ants.
+LEMMA_2_1_SUCCESS_LOWER_BOUND: float = 1.0 / 16.0
+
+#: Lemma 3.1: an ignorant ant stays ignorant through one round with
+#: probability at least 1/4 (the per-round survival rate of ignorance).
+LEMMA_3_1_IGNORANCE_LOWER_BOUND: float = 1.0 / 4.0
+
+#: Lemma 4.2: a competing nest's population decreases over one competition
+#: block with probability at least 1/66.
+LEMMA_4_2_DROPOUT_LOWER_BOUND: float = 1.0 / 66.0
+
+#: Section 5's constant d (the analysis requires d >= 64); nests below a
+#: 1/(dk) population share are "small" and die out (Lemmas 5.8/5.9).
+SECTION_5_D: int = 64
+
+
+def lower_bound_rounds(n: int, c: float = 1.0) -> float:
+    """Theorem 3.2's round threshold ``(log₄ n)/2 − log₄(12c)``.
+
+    With probability ≥ 1 − 1/n^c, at least ``6c√n`` ants are still ignorant
+    after this many rounds, so any algorithm needs more rounds than this.
+    """
+    if n < 2:
+        raise ConfigurationError("n must be >= 2")
+    if c <= 0:
+        raise ConfigurationError("c must be positive")
+    return float(np.log(n) / (2 * np.log(4)) - np.log(12 * c) / np.log(4))
+
+
+def remaining_ignorant_bound(n: int, c: float = 1.0) -> float:
+    """Theorem 3.2: ≥ ``6c√n`` ants remain ignorant at the threshold round."""
+    if n < 2:
+        raise ConfigurationError("n must be >= 2")
+    return float(6.0 * c * np.sqrt(n))
+
+
+def optimal_k_bound(n: int, c: float = 1.0) -> float:
+    """Theorem 4.3's requirement ``k ≤ n / (12(c+1) log n)``."""
+    if n < 2:
+        raise ConfigurationError("n must be >= 2")
+    return float(n / (12.0 * (c + 1.0) * np.log(n)))
+
+
+def simple_k_bound(n: int, c: float = 1.0, d: int = SECTION_5_D) -> float:
+    """Section 5's requirement ``k ≤ √n / (8d²(c+6) log n)``.
+
+    The paper calls this assumption conservative ("we are also hopeful that
+    it could be removed"); our experiments indeed converge well beyond it.
+    """
+    if n < 2:
+        raise ConfigurationError("n must be >= 2")
+    if d < 64:
+        raise ConfigurationError("Section 5 requires d >= 64")
+    return float(np.sqrt(n) / (8.0 * d * d * (c + 6.0) * np.log(n)))
+
+
+def lemma_5_4_initial_gap(n: int) -> float:
+    """Lemma 5.4: ``E[ε(i,j,1)] ≥ 1/(3(n−1))`` after the search round."""
+    if n < 2:
+        raise ConfigurationError("n must be >= 2")
+    return float(1.0 / (3.0 * (n - 1)))
+
+
+def small_nest_threshold(n: int, k: int, d: int = SECTION_5_D) -> float:
+    """Lemmas 5.8/5.9's smallness threshold ``n/(dk)`` in ants."""
+    if n < 1 or k < 1:
+        raise ConfigurationError("n and k must be >= 1")
+    return float(n / (d * k))
+
+
+def simple_dropout_horizon(n: int, k: int, c: float = 1.0) -> float:
+    """Lemma 5.9's emptying horizon ``64(c+4)·k·log n`` in rounds."""
+    if n < 2 or k < 1:
+        raise ConfigurationError("need n >= 2 and k >= 1")
+    return float(64.0 * (c + 4.0) * k * np.log(n))
+
+
+def theorem_4_3_block_decay() -> float:
+    """Theorem 4.3: expected surviving-nest decay factor 65/66 per block."""
+    return 65.0 / 66.0

@@ -1,0 +1,103 @@
+"""Terminal visualization: sparklines and population charts.
+
+The execution environment is terminal-only (no plotting stack), so the
+examples and experiment notes render time series as unicode sparklines and
+horizontal bar charts.  Pure functions over numpy arrays; no terminal
+control codes, so output is safe to pipe into files and docs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int | None = None) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    ``width`` (optional) downsamples the series to at most that many
+    characters by block-averaging; a constant series renders at the lowest
+    level.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ConfigurationError("sparkline needs a non-empty 1-D series")
+    if width is not None:
+        if width < 1:
+            raise ConfigurationError("width must be >= 1")
+        if array.size > width:
+            # Block-average into `width` buckets.
+            edges = np.linspace(0, array.size, width + 1).astype(int)
+            array = np.array(
+                [array[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+            )
+    low, high = float(array.min()), float(array.max())
+    if high == low:
+        return _SPARK_LEVELS[0] * array.size
+    scaled = (array - low) / (high - low)
+    indices = np.minimum(
+        (scaled * len(_SPARK_LEVELS)).astype(int), len(_SPARK_LEVELS) - 1
+    )
+    return "".join(_SPARK_LEVELS[i] for i in indices)
+
+
+def share_bar(fraction: float, width: int = 30) -> str:
+    """A single horizontal bar for a fraction in [0, 1]."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be in [0, 1]")
+    if width < 1:
+        raise ConfigurationError("width must be >= 1")
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def population_chart(
+    history: np.ndarray,
+    assessment_rows_only: bool = True,
+    width: int = 48,
+    row_slice: slice | None = None,
+) -> str:
+    """Per-nest sparkline chart of a recorded population history.
+
+    ``history`` is a ``(rounds, k+1)`` count matrix (column 0 = home).
+    With ``assessment_rows_only`` (default) only rows where ants stand at
+    candidate nests are drawn — for Algorithm 3 these are the odd rounds —
+    which avoids the sawtooth caused by recruitment rounds emptying every
+    nest.  ``row_slice`` overrides the row selection entirely (e.g.
+    ``slice(2, None, 4)`` picks Algorithm 2's B2 cohort-measurement rows).
+    """
+    if history is None or history.ndim != 2 or history.shape[1] < 2:
+        raise ConfigurationError("need a (rounds, k+1) population history")
+    if row_slice is not None:
+        rows = history[row_slice]
+        if len(rows) == 0:
+            raise ConfigurationError("row_slice selects no rows")
+    else:
+        rows = history[::2] if assessment_rows_only else history
+    n = int(history[0].sum())
+    lines = []
+    for nest in range(1, history.shape[1]):
+        series = rows[:, nest]
+        peak = int(series.max())
+        lines.append(
+            f"n{nest:<3d} {sparkline(series, width=width)}  peak={peak:>5d}"
+            f" ({peak / max(n, 1):.0%})"
+        )
+    return "\n".join(lines)
+
+
+def final_share_chart(counts: np.ndarray, width: int = 30) -> str:
+    """Bar chart of final per-nest populations (column 0 = home)."""
+    counts = np.asarray(counts)
+    if counts.ndim != 1 or len(counts) < 2:
+        raise ConfigurationError("need a (k+1,) count vector")
+    total = max(int(counts.sum()), 1)
+    lines = [f"home {share_bar(counts[0] / total, width)} {int(counts[0])}"]
+    for nest in range(1, len(counts)):
+        lines.append(
+            f"n{nest:<3d} {share_bar(counts[nest] / total, width)} {int(counts[nest])}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Comparison algorithms and reference processes.
+
+- :mod:`repro.baselines.rumor` — randomized rumor spreading (Karp et al.),
+  the process whose lower-bound argument Section 3 adapts;
+- :mod:`repro.baselines.quorum` — a Pratt-style quorum-sensing ant, the
+  strategy biologists believe *Temnothorax* actually uses (Section 1.1);
+- :mod:`repro.baselines.uniform` — Algorithm 3 with its positive feedback
+  removed (constant recruit probability): the key ablation;
+- :mod:`repro.baselines.polya` — the Pólya-urn reference dynamics Section 5
+  invokes ("similar to the well-known Polya's urn model").
+"""
+
+from repro.baselines.polya import PolyaUrn, urn_win_probability
+from repro.baselines.quorum import QuorumAnt, quorum_factory
+from repro.baselines.rumor import RumorMode, rumor_rounds, spread_on_graph
+from repro.baselines.uniform import UniformRecruitAnt, uniform_factory
+
+__all__ = [
+    "PolyaUrn",
+    "QuorumAnt",
+    "RumorMode",
+    "UniformRecruitAnt",
+    "quorum_factory",
+    "rumor_rounds",
+    "spread_on_graph",
+    "uniform_factory",
+    "urn_win_probability",
+]

@@ -1,0 +1,157 @@
+"""A Pratt-style quorum-sensing ant — the biologically observed strategy.
+
+Section 1.1 describes what real *Temnothorax* colonies are believed to do
+(Pratt et al. 2002): ants that find an acceptable nest recruit slowly by
+tandem runs; each visit they (imperfectly) check whether the nest's
+population has exceeded a quorum threshold; once it has, they switch to
+rapid transport, committing the colony.  This baseline embeds that strategy
+in the paper's model so it can be compared head-to-head with Algorithms 2
+and 3 (bench E8):
+
+- *assessing* ants alternate nest visits and recruitment rounds, recruiting
+  with a fixed slow probability ``tandem_probability``;
+- once a visit sees ``count >= quorum_fraction * n``, the ant *commits* and
+  recruits every round (transport);
+- passive ants (bad first nest) wait at home and adopt whatever nest they
+  are recruited to.
+
+Like the real strategy — and unlike Algorithm 2 — nothing here guarantees a
+single winner: two nests can both reach quorum (a known failure mode of
+real colonies under time pressure).  The benchmarks measure exactly how
+often that splits the colony.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.model.actions import (
+    Action,
+    ActionResult,
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.sim.run import AntFactory
+from repro.types import GOOD_THRESHOLD, NestId
+
+
+class QuorumAnt(Ant):
+    """Quorum-threshold strategy in the Section 2 model.
+
+    Parameters
+    ----------
+    quorum_fraction:
+        The quorum as a fraction of colony size ``n``.  Pratt's field
+        estimates are ~0.05–0.25 of the colony, but those colonies discover
+        nests gradually; in this model all ``n`` ants search simultaneously,
+        so every nest starts at ≈ n/k ants and a meaningful quorum must
+        exceed 1/k (otherwise every nest is instantly "at quorum" and the
+        strategy degenerates to saturated neutral drift).  The default 0.35
+        is safely above 1/k for k ≥ 3.
+    tandem_probability:
+        Pre-quorum recruitment probability (slow tandem runs).
+    """
+
+    _PHASE_SEARCH = "search"
+    _PHASE_RECRUIT = "recruit"
+    _PHASE_ASSESS = "assess"
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        quorum_fraction: float = 0.35,
+        tandem_probability: float = 0.25,
+        good_threshold: float = GOOD_THRESHOLD,
+    ) -> None:
+        super().__init__(ant_id, n, rng)
+        if not 0.0 < quorum_fraction <= 1.0:
+            raise ConfigurationError("quorum_fraction must be in (0, 1]")
+        if not 0.0 < tandem_probability <= 1.0:
+            raise ConfigurationError("tandem_probability must be in (0, 1]")
+        self.quorum = max(2.0, quorum_fraction * n)
+        self.tandem_probability = tandem_probability
+        self.good_threshold = good_threshold
+        self.phase = self._PHASE_SEARCH
+        self.assessing = False  # found an acceptable nest, pre-quorum
+        self.committed = False  # quorum seen: transport mode
+        self.nest: NestId | None = None
+        self.count = 0
+
+    def decide(self) -> Action:
+        if self.phase is self._PHASE_SEARCH:
+            return Search()
+        assert self.nest is not None
+        if self.phase == self._PHASE_RECRUIT:
+            if self.committed:
+                return Recruit(True, self.nest)
+            if self.assessing:
+                tandem = self.rng.random() < self.tandem_probability
+                return Recruit(tandem, self.nest)
+            return Recruit(False, self.nest)  # passive: wait to be recruited
+        if self.phase == self._PHASE_ASSESS:
+            return Go(self.nest)
+        raise SimulationError(f"ant {self.ant_id}: unknown phase {self.phase}")
+
+    def observe(self, result: ActionResult) -> None:
+        if isinstance(result, SearchResult):
+            self.nest = result.nest
+            self.count = result.count
+            self.assessing = result.quality > self.good_threshold
+            self._check_quorum()
+            self.phase = self._PHASE_RECRUIT
+        elif isinstance(result, RecruitResult):
+            if result.nest != self.nest:
+                # Recruited to a different nest: adopt it and assess it
+                # ourselves (the tandem-run follower behavior).
+                self.nest = result.nest
+                self.assessing = True
+                self.committed = False
+            self.phase = self._PHASE_ASSESS
+        elif isinstance(result, GoResult):
+            self.count = result.count
+            self._check_quorum()
+            self.phase = self._PHASE_RECRUIT
+
+    def _check_quorum(self) -> None:
+        """Switch to transport mode when the population reaches quorum."""
+        if self.assessing and self.count >= self.quorum:
+            self.committed = True
+
+    @property
+    def committed_nest(self) -> NestId | None:
+        return self.nest
+
+    def state_label(self) -> str:
+        if self.committed:
+            return "transport"
+        if self.assessing:
+            return "tandem"
+        return "passive"
+
+
+def quorum_factory(
+    quorum_fraction: float = 0.35,
+    tandem_probability: float = 0.25,
+    good_threshold: float = GOOD_THRESHOLD,
+) -> AntFactory:
+    """Factory for :class:`QuorumAnt` colonies."""
+
+    def build(ant_id: int, n: int, rng) -> QuorumAnt:
+        return QuorumAnt(
+            ant_id,
+            n,
+            rng,
+            quorum_fraction=quorum_fraction,
+            tandem_probability=tandem_probability,
+            good_threshold=good_threshold,
+        )
+
+    return build

@@ -1,0 +1,64 @@
+"""Ablation: Algorithm 3 with the positive feedback removed.
+
+Algorithm 3's essential mechanism is recruiting *with probability
+proportional to nest population*.  :class:`UniformRecruitAnt` replaces that
+with a constant probability — everything else (the alternating
+recruit/assess schedule, adoption of the recruiter's nest, passive
+activation) is identical to :class:`~repro.core.simple.SimpleAnt`.
+
+Without the proportional rate, nest populations perform an (almost)
+unbiased competition instead of the urn-like rich-get-richer dynamics, so
+convergence slows from O(k log n) toward the random-walk absorption time.
+Bench E8 quantifies the gap, which is the paper's central design insight
+made measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simple import SimpleAnt
+from repro.exceptions import ConfigurationError
+from repro.sim.run import AntFactory
+from repro.types import GOOD_THRESHOLD
+
+
+class UniformRecruitAnt(SimpleAnt):
+    """Algorithm 3 variant recruiting at a fixed rate (the ablation)."""
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        recruit_probability: float = 0.5,
+        good_threshold: float = GOOD_THRESHOLD,
+    ) -> None:
+        super().__init__(ant_id, n, rng, good_threshold=good_threshold)
+        if not 0.0 <= recruit_probability <= 1.0:
+            raise ConfigurationError("recruit_probability must be in [0, 1]")
+        self.recruit_probability = recruit_probability
+
+    def _recruit_bit(self) -> bool:
+        """Constant-rate replacement for line 6's ``count/n`` coin."""
+        return bool(self.rng.random() < self.recruit_probability)
+
+    def state_label(self) -> str:
+        return f"uniform-{super().state_label()}"
+
+
+def uniform_factory(
+    recruit_probability: float = 0.5, good_threshold: float = GOOD_THRESHOLD
+) -> AntFactory:
+    """Factory for :class:`UniformRecruitAnt` colonies."""
+
+    def build(ant_id: int, n: int, rng) -> UniformRecruitAnt:
+        return UniformRecruitAnt(
+            ant_id,
+            n,
+            rng,
+            recruit_probability=recruit_probability,
+            good_threshold=good_threshold,
+        )
+
+    return build

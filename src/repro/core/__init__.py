@@ -1,0 +1,28 @@
+"""The paper's algorithms: Algorithm 2 (Optimal), Algorithm 3 (Simple),
+and the best-case information-spreading process behind the Ω(log n) lower
+bound (Theorem 3.2).
+"""
+
+from repro.core.colony import (
+    informed_spread_factory,
+    optimal_factory,
+    simple_factory,
+)
+from repro.core.lower_bound import IgnorantPolicy, InformedSpreadAnt
+from repro.core.optimal import OptimalAnt
+from repro.core.simple import SimpleAnt
+from repro.core.states import OptimalPhase, OptimalState, SimplePhase, SimpleState
+
+__all__ = [
+    "IgnorantPolicy",
+    "InformedSpreadAnt",
+    "OptimalAnt",
+    "OptimalPhase",
+    "OptimalState",
+    "SimpleAnt",
+    "SimplePhase",
+    "SimpleState",
+    "informed_spread_factory",
+    "optimal_factory",
+    "simple_factory",
+]

@@ -1,0 +1,51 @@
+"""Factory helpers for building colonies of each algorithm.
+
+The trial runner (:mod:`repro.sim.run`) consumes factories of signature
+``(ant_id, n, rng) -> Ant``; these helpers bind algorithm parameters into
+such factories so experiment code stays declarative.
+"""
+
+from __future__ import annotations
+
+from repro.core.lower_bound import IgnorantPolicy, InformedSpreadAnt
+from repro.core.optimal import OptimalAnt
+from repro.core.simple import SimpleAnt
+from repro.sim.run import AntFactory
+from repro.types import GOOD_THRESHOLD
+
+
+def simple_factory(good_threshold: float = GOOD_THRESHOLD) -> AntFactory:
+    """Factory for Algorithm 3 (:class:`~repro.core.simple.SimpleAnt`)."""
+
+    def build(ant_id: int, n: int, rng) -> SimpleAnt:
+        return SimpleAnt(ant_id, n, rng, good_threshold=good_threshold)
+
+    return build
+
+
+def optimal_factory(
+    good_threshold: float = GOOD_THRESHOLD, strict_pseudocode: bool = False
+) -> AntFactory:
+    """Factory for Algorithm 2 (:class:`~repro.core.optimal.OptimalAnt`)."""
+
+    def build(ant_id: int, n: int, rng) -> OptimalAnt:
+        return OptimalAnt(
+            ant_id,
+            n,
+            rng,
+            good_threshold=good_threshold,
+            strict_pseudocode=strict_pseudocode,
+        )
+
+    return build
+
+
+def informed_spread_factory(
+    policy: IgnorantPolicy = IgnorantPolicy.WAIT,
+) -> AntFactory:
+    """Factory for the lower-bound spread process."""
+
+    def build(ant_id: int, n: int, rng) -> InformedSpreadAnt:
+        return InformedSpreadAnt(ant_id, n, rng, policy=policy)
+
+    return build

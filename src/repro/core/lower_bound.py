@@ -1,0 +1,123 @@
+"""The information-spreading process behind the Ω(log n) lower bound
+(Section 3 / Theorem 3.2).
+
+The lower bound's setting: exactly one good nest ``n_w`` (the "rumor").
+An ant is *informed* once it knows ``w`` — by searching into it or by being
+recruited to it — and the proof shows an ignorant ant stays ignorant each
+round with probability ≥ 1/4, so Ω(log n) rounds are needed before all
+``n`` ants can be informed, *no matter what algorithm is used*.
+
+:class:`InformedSpreadAnt` implements the strongest spreading strategies the
+model allows, so measuring its completion time empirically brackets the bound:
+
+- informed ants call ``recruit(1, w)`` **every round** (maximal push rate);
+- ignorant ants follow an :class:`IgnorantPolicy`:
+
+  - ``WAIT``: stay at home (``recruit(0, ·)``) — maximally recruitable;
+  - ``SEARCH``: keep searching — finds ``w`` directly w.p. 1/k per round
+    but is never at home to be recruited;
+  - ``MIXED``: flip a fair coin between the two each round.
+
+The measured completion time of the best policy, divided by ``log n``, gives
+the empirical constant to compare against the theoretical
+``(log₄ n)/2 − log₄(12c)`` bound (see ``analysis.theory`` and bench E1).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.model.actions import (
+    Action,
+    ActionResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.types import GOOD_THRESHOLD, NestId
+
+
+class IgnorantPolicy(Enum):
+    """What an ignorant ant does while it waits to learn the rumor."""
+
+    WAIT = "wait"
+    SEARCH = "search"
+    MIXED = "mixed"
+
+
+class InformedSpreadAnt(Ant):
+    """Best-case rumor-spreading ant for the lower-bound experiment.
+
+    The single good nest plays the rumor; quality readings identify it
+    (``q(w) = 1``, everything else 0), matching the lower bound's assumption
+    that "each ant is able to recognize nest ``n_w`` once it knows its id".
+    """
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        policy: IgnorantPolicy = IgnorantPolicy.WAIT,
+    ) -> None:
+        super().__init__(ant_id, n, rng)
+        self.policy = policy
+        self.winning_nest: NestId | None = None
+        self._fallback_nest: NestId | None = None  # any known nest, for recruit(0, ·)
+
+    @property
+    def informed(self) -> bool:
+        """Whether this ant knows the good nest's id."""
+        return self.winning_nest is not None
+
+    def decide(self) -> Action:
+        if self.informed:
+            assert self.winning_nest is not None
+            return Recruit(True, self.winning_nest)
+        if self._fallback_nest is None:
+            # Round 1 (or until something is known): searching is the only
+            # legal call for an ant with an empty known set.
+            return Search()
+        if self.policy is IgnorantPolicy.SEARCH:
+            return Search()
+        if self.policy is IgnorantPolicy.MIXED and self.rng.random() < 0.5:
+            return Search()
+        return Recruit(False, self._fallback_nest)
+
+    def observe(self, result: ActionResult) -> None:
+        if isinstance(result, SearchResult):
+            self._fallback_nest = result.nest
+            if result.quality > GOOD_THRESHOLD:
+                self.winning_nest = result.nest
+        elif isinstance(result, RecruitResult) and not self.informed:
+            # Being handed a nest different from our own input means we were
+            # recruited — by assumption only informed ants recruit, and they
+            # recruit to w, so the rumor arrived.
+            if result.nest != self._fallback_nest:
+                self.winning_nest = result.nest
+
+    @property
+    def committed_nest(self) -> NestId | None:
+        return self.winning_nest
+
+    @property
+    def settled(self) -> bool:
+        return self.informed
+
+    def state_label(self) -> str:
+        return "informed" if self.informed else "ignorant"
+
+
+def validate_lower_bound_world(k: int, good_nest: NestId) -> None:
+    """Sanity-check the single-good-nest workload used by the experiment."""
+    if k < 2:
+        raise ConfigurationError(
+            "the lower bound requires k >= 2 (Theorem 3.2's statement)"
+        )
+    if not 1 <= good_nest <= k:
+        raise ConfigurationError(f"good nest {good_nest} out of range 1..{k}")

@@ -1,0 +1,245 @@
+"""Algorithm 2 — the asymptotically optimal house-hunting algorithm
+(Section 4).
+
+Each ant is in one of four states — ``search``, ``active``, ``passive``,
+``final`` — and executes four-round *case blocks* that the whole colony
+steps through in lock-step (every path through a block is exactly four
+rounds, which is what keeps the schedule aligned; see the padding calls the
+paper highlights on lines 13, 18–19, 35–36, 42).
+
+The competition mechanism: in each block, an active ant recruits to its
+nest (R1), then revisits it and compares the new population against the
+one it remembered (R2).  Non-decreasing population ⇒ the nest keeps
+competing (case 1); decreasing ⇒ the entire nest's cohort gives up and
+turns passive (case 2); and an ant that was itself recruited away joins the
+new nest and checks whether *that* nest is competing or dropping (case 3).
+Because a nest's active cohort always shares the same remembered ``count``,
+a nest keeps or loses its whole cohort at once; Lemma 4.2 shows each
+competing nest drops out per block with probability ≥ 1/66, and at least
+one always survives, so O(log k) blocks leave a single winner.  Its cohort
+detects ``counth = count`` (everyone at home is committed to my nest) and
+turns ``final``, after which finals recruit the passive ants — who wait at
+home every fourth round — doubling the final cohort until the colony is
+unanimous: O(log n) rounds in total (Theorem 4.3).
+
+Pseudocode line mapping (the paper's Algorithm 2):
+
+=============  ==========================================================
+lines          here
+=============  ==========================================================
+6–11           ``SEARCH`` phase (round 1)
+12–19          passive block: ``P1_AT_NEST`` … ``P4_PAD``
+20–21          final state: ``F_RECRUIT`` every round
+22–24          active block: ``A1_RECRUIT``, ``A2_ASSESS``
+25–31 (case1)  ``A3_HOLD``, ``A4_HOME_CHECK``
+32–36 (case2)  ``A3_DROP_WAIT``, ``A4_DROP_RETURN``
+37–42 (case3)  ``A3_REVISIT``, ``A4_REVISIT_PAD``
+=============  ==========================================================
+
+Faithfulness clarification (DESIGN.md §3.2): in case 3 the pseudocode
+assesses the new nest into ``countn`` but never stores it; the prose says
+"the ant updates that count".  With ``strict_pseudocode=False`` (default)
+we set ``count := countn`` when the ant stays active, preserving the
+cohort-count invariant the analysis uses.  ``strict_pseudocode=True`` keeps
+the literal stale ``count`` for comparison (bench E4b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.model.actions import (
+    Action,
+    ActionResult,
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.core.states import OptimalPhase, OptimalState
+from repro.types import GOOD_THRESHOLD, NestId
+
+_P = OptimalPhase
+_S = OptimalState
+
+
+class OptimalAnt(Ant):
+    """One ant running Algorithm 2.
+
+    Parameters
+    ----------
+    ant_id, n, rng:
+        See :class:`~repro.model.ant.Ant`.
+    good_threshold:
+        Quality above which a nest is acceptable.
+    strict_pseudocode:
+        Keep the literal (stale-``count``) case-3 behavior; see module
+        docstring.
+    """
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        good_threshold: float = GOOD_THRESHOLD,
+        strict_pseudocode: bool = False,
+    ) -> None:
+        super().__init__(ant_id, n, rng)
+        self.good_threshold = good_threshold
+        self.strict_pseudocode = strict_pseudocode
+        self.state = _S.SEARCH
+        self.phase = _P.SEARCH
+        self.nest: NestId | None = None
+        self.count: int = 0
+        # Block-local registers (the pseudocode's nestt / countt).
+        self._nestt: NestId | None = None
+        self._countt: int = 0
+
+    # -- decide: one action per phase -----------------------------------------
+
+    def decide(self) -> Action:
+        phase = self.phase
+        if phase is _P.SEARCH:
+            return Search()  # line 7
+        assert self.nest is not None
+        if phase is _P.A1_RECRUIT:
+            return Recruit(True, self.nest)  # line 23
+        if phase is _P.A2_ASSESS:
+            assert self._nestt is not None
+            return Go(self._nestt)  # line 24
+        if phase is _P.A3_HOLD:
+            return Go(self.nest)  # line 28
+        if phase is _P.A4_HOME_CHECK:
+            return Recruit(False, self.nest)  # line 29
+        if phase is _P.A3_DROP_WAIT:
+            return Recruit(False, self.nest)  # line 35 (padding)
+        if phase is _P.A4_DROP_RETURN:
+            return Go(self.nest)  # line 36 (padding)
+        if phase is _P.A3_REVISIT:
+            return Go(self.nest)  # line 39 (nest already := nestt)
+        if phase is _P.A4_REVISIT_PAD:
+            return Go(self.nest)  # line 42 (padding)
+        if phase is _P.P1_AT_NEST:
+            return Go(self.nest)  # line 13 (padding)
+        if phase is _P.P2_WAIT:
+            return Recruit(False, self.nest)  # line 14
+        if phase is _P.P3_PAD:
+            return Go(self.nest)  # line 18 (padding)
+        if phase is _P.P4_PAD:
+            return Go(self.nest)  # line 19 (padding)
+        if phase is _P.F_RECRUIT:
+            return Recruit(True, self.nest)  # line 21
+        raise SimulationError(f"ant {self.ant_id}: unknown phase {phase}")
+
+    # -- observe: state transitions --------------------------------------------
+
+    def observe(self, result: ActionResult) -> None:
+        phase = self.phase
+        if phase is _P.SEARCH:
+            assert isinstance(result, SearchResult)
+            self._observe_search(result)
+        elif phase is _P.A1_RECRUIT:
+            assert isinstance(result, RecruitResult)
+            self._nestt = result.nest
+            self.phase = _P.A2_ASSESS
+        elif phase is _P.A2_ASSESS:
+            assert isinstance(result, GoResult)
+            self._observe_assessment(result)
+        elif phase is _P.A3_HOLD:
+            self.phase = _P.A4_HOME_CHECK
+        elif phase is _P.A4_HOME_CHECK:
+            assert isinstance(result, RecruitResult)
+            # Line 29 discards the returned nest; only counth is read.
+            if result.home_count == self.count:  # line 30
+                self.state = _S.FINAL
+                self.phase = _P.F_RECRUIT
+            else:
+                self.phase = _P.A1_RECRUIT
+        elif phase is _P.A3_DROP_WAIT:
+            # Line 35: return value fully discarded.
+            self.phase = _P.A4_DROP_RETURN
+        elif phase is _P.A4_DROP_RETURN:
+            self.phase = _P.P1_AT_NEST
+        elif phase is _P.A3_REVISIT:
+            assert isinstance(result, GoResult)
+            self._observe_revisit(result)
+        elif phase is _P.A4_REVISIT_PAD:
+            self.phase = (
+                _P.P1_AT_NEST if self.state is _S.PASSIVE else _P.A1_RECRUIT
+            )
+        elif phase is _P.P1_AT_NEST:
+            self.phase = _P.P2_WAIT
+        elif phase is _P.P2_WAIT:
+            assert isinstance(result, RecruitResult)
+            if result.nest != self.nest:  # line 15
+                self.nest = result.nest
+                self.state = _S.FINAL
+            self.phase = _P.P3_PAD
+        elif phase is _P.P3_PAD:
+            self.phase = _P.P4_PAD
+        elif phase is _P.P4_PAD:
+            self.phase = (
+                _P.F_RECRUIT if self.state is _S.FINAL else _P.P1_AT_NEST
+            )
+        elif phase is _P.F_RECRUIT:
+            assert isinstance(result, RecruitResult)
+            self.nest = result.nest  # line 21 assigns the returned nest
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"ant {self.ant_id}: unknown phase {phase}")
+
+    def _observe_search(self, result: SearchResult) -> None:
+        """Lines 7–11: commit to the found nest; bad quality ⇒ passive."""
+        self.nest = result.nest
+        self.count = result.count
+        if result.quality > self.good_threshold:
+            self.state = _S.ACTIVE
+            self.phase = _P.A1_RECRUIT
+        else:
+            self.state = _S.PASSIVE
+            self.phase = _P.P1_AT_NEST
+
+    def _observe_assessment(self, result: GoResult) -> None:
+        """Lines 25–42 branch on (nestt, countt) after the R2 visit."""
+        self._countt = result.count
+        if self._nestt == self.nest:
+            if self._countt >= self.count:
+                # Case 1 (lines 25–28): nest keeps competing.
+                self.count = self._countt
+                self.phase = _P.A3_HOLD
+            else:
+                # Case 2 (lines 32–34): population fell — give up.
+                self.state = _S.PASSIVE
+                self.phase = _P.A3_DROP_WAIT
+        else:
+            # Case 3 (lines 37–38): recruited away; adopt the new nest.
+            self.nest = self._nestt
+            self.phase = _P.A3_REVISIT
+
+    def _observe_revisit(self, result: GoResult) -> None:
+        """Lines 39–42: is the new nest competing or dropping out?"""
+        countn = result.count
+        if countn < self._countt:  # line 40
+            self.state = _S.PASSIVE
+        elif not self.strict_pseudocode:
+            # DESIGN.md §3.2: "the ant updates that count" — keep the
+            # cohort-count invariant.
+            self.count = countn
+        self.phase = _P.A4_REVISIT_PAD
+
+    # -- observation interface ---------------------------------------------------
+
+    @property
+    def committed_nest(self) -> NestId | None:
+        return self.nest
+
+    @property
+    def settled(self) -> bool:
+        return self.state is _S.FINAL
+
+    def state_label(self) -> str:
+        return self.state.value

@@ -1,0 +1,135 @@
+"""Algorithm 3 — the Simple house-hunting algorithm (Section 5).
+
+The whole algorithm, from the paper:
+
+    In the first round all ants search.  Ants that found a good nest stay
+    *active*; the rest turn *passive*.  Rounds then alternate between
+    recruitment at the home nest and population assessment at the ants'
+    candidate nests.  In each recruitment round an active ant recruits with
+    probability ``count/n`` (its nest's last assessed population over the
+    colony size) — positive feedback that lets large nests swamp small ones,
+    as in a Pólya urn.  A recruited ant (active or passive) adopts the
+    recruiter's nest; passive ants become active when recruited.
+
+Theorem 5.11: converges to a single good nest in ``O(k log n)`` rounds with
+high probability (for ``k = O(√n / log n)``).
+
+Pseudocode mapping (the paper's Algorithm 3):
+
+==========  =====================================================
+line        here
+==========  =====================================================
+2–4         ``observe(SearchResult)``
+6           ``_recruit_bit`` inside ``decide`` (phase RECRUIT)
+7, 10–13    ``observe(RecruitResult)``
+8, 14       ``decide`` (phase ASSESS) + ``observe(GoResult)``
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.model.actions import (
+    Action,
+    ActionResult,
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.core.states import SimplePhase, SimpleState
+from repro.types import GOOD_THRESHOLD, NestId
+
+
+class SimpleAnt(Ant):
+    """One ant running Algorithm 3.
+
+    Parameters
+    ----------
+    ant_id, n, rng:
+        See :class:`~repro.model.ant.Ant`.
+    good_threshold:
+        Quality above which a nest is acceptable (the paper's binary model
+        uses qualities {0, 1} and threshold 0.5).
+    """
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        good_threshold: float = GOOD_THRESHOLD,
+    ) -> None:
+        super().__init__(ant_id, n, rng)
+        self.good_threshold = good_threshold
+        self.state = SimpleState.SEARCH
+        self.phase = SimplePhase.SEARCH
+        self.nest: NestId | None = None
+        self.count: int = 0
+
+    # -- per-round contract --------------------------------------------------
+
+    def decide(self) -> Action:
+        if self.phase is SimplePhase.SEARCH:
+            return Search()
+        if self.phase is SimplePhase.RECRUIT:
+            assert self.nest is not None
+            if self.state is SimpleState.ACTIVE:
+                return Recruit(self._recruit_bit(), self.nest)
+            return Recruit(False, self.nest)
+        if self.phase is SimplePhase.ASSESS:
+            assert self.nest is not None
+            return Go(self.nest)
+        raise SimulationError(f"ant {self.ant_id}: unknown phase {self.phase}")
+
+    def _recruit_bit(self) -> bool:
+        """Line 6: ``b := 1`` with probability ``count / n``."""
+        return bool(self.rng.random() < self.count / self.n)
+
+    def observe(self, result: ActionResult) -> None:
+        if self.phase is SimplePhase.SEARCH:
+            assert isinstance(result, SearchResult)
+            self._observe_search(result)
+        elif self.phase is SimplePhase.RECRUIT:
+            assert isinstance(result, RecruitResult)
+            self._observe_recruit(result)
+        elif self.phase is SimplePhase.ASSESS:
+            assert isinstance(result, GoResult)
+            self.count = result.count
+            self.phase = SimplePhase.RECRUIT
+
+    def _observe_search(self, result: SearchResult) -> None:
+        """Lines 2–4: commit to the found nest; reject bad nests."""
+        self.nest = result.nest
+        self.count = result.count
+        if result.quality > self.good_threshold:
+            self.state = SimpleState.ACTIVE
+        else:
+            self.state = SimpleState.PASSIVE
+        self.phase = SimplePhase.RECRUIT
+
+    def _observe_recruit(self, result: RecruitResult) -> None:
+        """Lines 7 and 10–13: adopt the returned nest; wake up if recruited."""
+        if self.state is SimpleState.ACTIVE:
+            # Line 7: nest := recruit(b, nest) — unconditional adoption.
+            self.nest = result.nest
+        else:
+            # Lines 10–13: a passive ant recruited to a new nest activates.
+            if result.nest != self.nest:
+                self.state = SimpleState.ACTIVE
+                self.nest = result.nest
+        self.phase = SimplePhase.ASSESS
+
+    # -- observation interface ------------------------------------------------
+
+    @property
+    def committed_nest(self) -> NestId | None:
+        return self.nest
+
+    def state_label(self) -> str:
+        return self.state.value

@@ -1,0 +1,63 @@
+"""Control-state and phase enumerations for the paper's algorithms.
+
+Keeping these as first-class enums (rather than strings buried in the ant
+classes) lets tests and metrics assert on exact machine states, and makes
+the FSM structure of the pseudocode explicit.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SimpleState(Enum):
+    """Algorithm 3's two states (plus the pre-search round)."""
+
+    SEARCH = "search"
+    ACTIVE = "active"
+    PASSIVE = "passive"
+
+
+class SimplePhase(Enum):
+    """Algorithm 3 alternates recruitment rounds and assessment rounds."""
+
+    SEARCH = "search"  # round 1 only
+    RECRUIT = "recruit"  # at home, everyone participates
+    ASSESS = "assess"  # at own candidate nest, reading its count
+
+
+class OptimalState(Enum):
+    """Algorithm 2's four states (Section 4.1)."""
+
+    SEARCH = "search"
+    ACTIVE = "active"
+    PASSIVE = "passive"
+    FINAL = "final"
+
+
+class OptimalPhase(Enum):
+    """Program counter inside Algorithm 2's four-round case blocks.
+
+    Names encode ``<state letter><round-in-block><branch>``; the pseudocode
+    line references are given in :mod:`repro.core.optimal`.  Every path
+    through a block is exactly four rounds, which is what keeps the whole
+    colony block-aligned.
+    """
+
+    SEARCH = "search"  # round 1: the single search() call
+
+    A1_RECRUIT = "a1_recruit"  # R1: recruit(1, nest)
+    A2_ASSESS = "a2_assess"  # R2: go(nestt)
+    A3_HOLD = "a3_hold"  # R3 case 1: go(nest)
+    A4_HOME_CHECK = "a4_home_check"  # R4 case 1: recruit(0, nest)
+    A3_DROP_WAIT = "a3_drop_wait"  # R3 case 2: recruit(0, nest), discarded
+    A4_DROP_RETURN = "a4_drop_return"  # R4 case 2: go(nest)
+    A3_REVISIT = "a3_revisit"  # R3 case 3: go(new nest)
+    A4_REVISIT_PAD = "a4_revisit_pad"  # R4 case 3: go(nest)
+
+    P1_AT_NEST = "p1_at_nest"  # R1: go(nest)
+    P2_WAIT = "p2_wait"  # R2: recruit(0, nest)
+    P3_PAD = "p3_pad"  # R3: go(nest)
+    P4_PAD = "p4_pad"  # R4: go(nest)
+
+    F_RECRUIT = "f_recruit"  # final: recruit(1, nest), every round

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the house-hunting reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base type.  :class:`ProtocolError` is the important one operationally: the
+synchronous engine raises it when an ant violates the model of Section 2
+(e.g. calling ``go(i)`` on a nest it has never visited, or targeting the
+home nest with ``go``/``recruit``).  These indicate bugs in an algorithm
+implementation, never recoverable runtime conditions, which is why they are
+exceptions rather than error returns.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid construction parameters (bad ``n``, ``k``, qualities, ...)."""
+
+
+class ProtocolError(ReproError):
+    """An ant violated the environment interaction rules of Section 2."""
+
+    def __init__(self, ant_id: int, message: str) -> None:
+        super().__init__(f"ant {ant_id}: {message}")
+        self.ant_id = ant_id
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent internal state."""
+
+
+class NotConvergedError(ReproError):
+    """A run was asked for its solution but never satisfied the predicate."""

@@ -1,0 +1,57 @@
+"""Executable reproductions of every quantitative claim in the paper.
+
+One module per experiment id (see DESIGN.md §4 and
+:mod:`repro.analysis.experiments`).  Each module exposes::
+
+    run(quick: bool = False, base_seed: int = 0, **overrides) -> Table
+
+returning a ready-to-print :class:`repro.analysis.tables.Table`.  ``quick``
+shrinks grids/trial counts to seconds (used by the test suite); the defaults
+regenerate the EXPERIMENTS.md numbers.  The benchmark harness under
+``benchmarks/`` wraps these runners with pytest-benchmark; the CLI runs any
+subset::
+
+    python -m repro.experiments E1 E7 --quick
+"""
+
+from typing import Callable
+
+from repro.analysis.tables import Table
+
+from repro.experiments import (
+    e01_lower_bound,
+    e02_recruitment,
+    e03_optimal_dropout,
+    e04_optimal_scaling,
+    e05_simple_gap,
+    e06_simple_dropout,
+    e07_simple_scaling,
+    e08_comparison,
+    e09_adaptive,
+    e10_nonbinary,
+    e11_noise,
+    e12_faults,
+    e13_asynchrony,
+    e14_polya,
+)
+
+#: Experiment id → runner.  E3a/E3b and E4/E4b share runner modules.
+RUNNERS: dict[str, Callable[..., Table]] = {
+    "E1": e01_lower_bound.run,
+    "E2": e02_recruitment.run,
+    "E3": e03_optimal_dropout.run,
+    "E4": e04_optimal_scaling.run,
+    "E4b": e04_optimal_scaling.run_strict_ablation,
+    "E5": e05_simple_gap.run,
+    "E6": e06_simple_dropout.run,
+    "E7": e07_simple_scaling.run,
+    "E8": e08_comparison.run,
+    "E9": e09_adaptive.run,
+    "E10": e10_nonbinary.run,
+    "E11": e11_noise.run,
+    "E12": e12_faults.run,
+    "E13": e13_asynchrony.run,
+    "E14": e14_polya.run,
+}
+
+__all__ = ["RUNNERS"]

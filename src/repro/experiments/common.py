@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.fast.results import FastRunResult
+from repro.sim.rng import RandomSource
+
+
+def trial_seeds(base_seed: int, count: int) -> list[RandomSource]:
+    """Independent per-trial random sources under one base seed."""
+    root = RandomSource(base_seed)
+    return [root.trial(index) for index in range(count)]
+
+
+def censored_median(rounds: Sequence[float], fallback: float) -> float:
+    """Median of converged rounds, or ``fallback`` when nothing converged."""
+    values = [value for value in rounds if value is not None]
+    return float(np.median(values)) if values else float(fallback)
+
+
+def summarize_fast_runs(
+    results: Sequence[FastRunResult],
+) -> tuple[float, float, int]:
+    """(median converged round, success rate, n converged) for fast runs."""
+    converged = [r.converged_round for r in results if r.converged]
+    median = float(np.median(converged)) if converged else float("nan")
+    return median, len(converged) / len(results), len(converged)

@@ -1,0 +1,89 @@
+"""E1 — Theorem 3.2: any algorithm needs Ω(log n) rounds.
+
+Measures the completion time of the *best-case* information-spreading
+process (informed ants push the winning nest's id at the maximum rate the
+model allows) as ``n`` grows, for both ignorant-ant policies, and fits
+growth models.  The reproduction holds if (a) completion time grows
+logarithmically (the log model wins the fit comparison), and (b) every
+measured completion time exceeds the theorem's threshold
+``(log₄ n)/2 − log₄ 12`` — i.e. not even the best-case process beats the
+lower bound.  The classic push-gossip process is shown alongside as the
+reference the paper's proof parallels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.scaling import fit_models, linear_model, log_model, sqrt_model
+from repro.analysis.tables import Table
+from repro.analysis.theory import lower_bound_rounds
+from repro.baselines.rumor import RumorMode, rumor_rounds
+from repro.core.lower_bound import IgnorantPolicy
+from repro.experiments.common import trial_seeds
+from repro.fast.spread_fast import simulate_spread
+
+
+def run(
+    quick: bool = False,
+    base_seed: int = 0,
+    k: int = 8,
+    sizes: tuple[int, ...] | None = None,
+    trials: int | None = None,
+) -> Table:
+    """Sweep ``n``; report spread completion rounds vs the theory threshold."""
+    if sizes is None:
+        sizes = (128, 256, 512, 1024) if quick else (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+    if trials is None:
+        trials = 10 if quick else 40
+
+    table = Table(
+        f"E1  Lower bound (Theorem 3.2): best-case spread time, k={k}",
+        [
+            "n",
+            "median rounds (wait)",
+            "median rounds (mixed)",
+            "push gossip",
+            "theory threshold",
+            "min observed",
+            "above threshold",
+        ],
+    )
+
+    medians_wait: list[float] = []
+    for n in sizes:
+        sources = trial_seeds(base_seed + n, trials)
+        wait = [
+            simulate_spread(n, k, IgnorantPolicy.WAIT, seed=source).completion_round
+            for source in sources
+        ]
+        mixed = [
+            simulate_spread(n, k, IgnorantPolicy.MIXED, seed=source).completion_round
+            for source in sources
+        ]
+        gossip_rng = np.random.default_rng(base_seed + n)
+        gossip = [rumor_rounds(n, gossip_rng, RumorMode.PUSH) for _ in range(trials)]
+        threshold = lower_bound_rounds(n, c=1.0)
+        minimum = min(min(wait), min(mixed))
+        medians_wait.append(float(np.median(wait)))
+        table.add_row(
+            n,
+            float(np.median(wait)),
+            float(np.median(mixed)),
+            float(np.median(gossip)),
+            threshold,
+            minimum,
+            minimum > threshold,
+        )
+
+    if len(sizes) >= 3:
+        fits = fit_models(
+            [log_model(), linear_model(), sqrt_model()], list(sizes), medians_wait
+        )
+        table.add_note(f"best growth model for wait-policy medians: {fits[0]}")
+        table.add_note(f"runner-up: {fits[1]}")
+    table.add_note(
+        "theory threshold is (log4 n)/2 - log4(12) with c=1; Theorem 3.2 "
+        "guarantees >= 6*sqrt(n) ignorant ants remain at that round w.h.p."
+    )
+    return table

@@ -1,0 +1,91 @@
+"""E5 — Lemma 5.4: the initial population gap, E[ε(i,j,1)] ≥ 1/(3(n−1)).
+
+Round 1 assigns each ant a uniform nest, so the joint nest populations are
+multinomial.  We sample that directly and measure the relative gap
+``ε(i,j,1) = max(c_i, c_j)/min(c_i, c_j) − 1`` for a fixed nest pair, plus
+``P[ε = 0]`` (the tie probability the lemma's proof bounds by 2/3 via
+Stirling).  Ties with an empty smaller nest make ε infinite — which only
+helps the lower bound; we report the finite-sample mean excluding those
+(rare for n ≫ k) and their frequency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.analysis.theory import lemma_5_4_initial_gap
+
+
+def sample_initial_gaps(
+    n: int, k: int, trials: int, rng: np.random.Generator
+) -> tuple[np.ndarray, int, int]:
+    """(finite ε samples, ties, zero-denominator events) for nest pair (1, 2)."""
+    counts = rng.multinomial(n, np.full(k, 1.0 / k), size=trials)
+    first = counts[:, 0].astype(float)
+    second = counts[:, 1].astype(float)
+    high = np.maximum(first, second)
+    low = np.minimum(first, second)
+    ties = int((high == low).sum())
+    zero_low = low == 0
+    n_zero = int(zero_low.sum())
+    finite = high[~zero_low] / low[~zero_low] - 1.0
+    return finite, ties, n_zero
+
+
+def run(
+    quick: bool = False,
+    base_seed: int = 0,
+    configs: tuple[tuple[int, int], ...] | None = None,
+    trials: int | None = None,
+) -> Table:
+    """Estimate E[ε(i,j,1)] across (n, k) and compare to 1/(3(n−1))."""
+    if configs is None:
+        configs = ((64, 2), (256, 4)) if quick else (
+            (64, 2),
+            (256, 2),
+            (256, 8),
+            (1024, 4),
+            (4096, 8),
+            (16384, 16),
+        )
+    if trials is None:
+        trials = 2_000 if quick else 20_000
+
+    table = Table(
+        "E5  Initial search gap (Lemma 5.4): E[eps(i,j,1)] vs 1/(3(n-1))",
+        [
+            "n",
+            "k",
+            "E[eps] (finite)",
+            "P(eps=0)",
+            "P(empty nest)",
+            "bound",
+            "ratio",
+            "holds",
+        ],
+    )
+    rng = np.random.default_rng(base_seed)
+    for n, k in configs:
+        finite, ties, n_zero = sample_initial_gaps(n, k, trials, rng)
+        mean_gap = float(finite.mean())
+        bound = lemma_5_4_initial_gap(n)
+        table.add_row(
+            n,
+            k,
+            mean_gap,
+            ties / trials,
+            n_zero / trials,
+            bound,
+            mean_gap / bound,
+            mean_gap >= bound,
+        )
+    table.add_note(
+        "empty-nest draws (eps infinite) are excluded from the mean — the "
+        "exclusion only biases it downward, so 'holds' is conservative."
+    )
+    table.add_note(
+        "the lemma's proof also bounds P(eps=0) < 2/3 via Stirling; the "
+        "measured tie probabilities are far smaller."
+    )
+    return table

@@ -1,0 +1,93 @@
+"""E10 — Section 6 "Non-binary nest qualities": quality-weighted recruitment.
+
+Two nests with qualities ``0.5 + gap`` and ``0.5 − gap``; the colony runs
+:class:`~repro.extensions.nonbinary.QualityWeightedAnt` and we measure the
+probability the *better* nest wins and the rounds to unanimity, sweeping
+the gap and the quality weight (the speed/accuracy dial of Pratt & Sumpter
+that the paper cites).  Expected shape: accuracy increases with both the
+gap and the weight; a weight of 0 reduces to quality-blind Algorithm 3
+(accuracy tracks only the initial population split, ≈ 50%).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import wilson_interval
+from repro.analysis.tables import Table
+from repro.extensions.nonbinary import quality_weighted_factory
+from repro.model.nests import NestConfig
+from repro.sim.convergence import UnanimousCommitment
+from repro.sim.run import run_trial
+from repro.sim.rng import RandomSource
+
+
+def run(
+    quick: bool = False,
+    base_seed: int = 0,
+    n: int | None = None,
+    gaps: tuple[float, ...] | None = None,
+    weights: tuple[float, ...] | None = None,
+    trials: int | None = None,
+) -> Table:
+    """Sweep quality gap × quality weight; report accuracy and speed."""
+    if n is None:
+        n = 128 if quick else 256
+    if gaps is None:
+        gaps = (0.1, 0.4) if quick else (0.05, 0.1, 0.2, 0.4)
+    if weights is None:
+        weights = (1.0,) if quick else (0.0, 1.0, 2.0, 4.0)
+    if trials is None:
+        trials = 10 if quick else 60
+
+    table = Table(
+        f"E10  Non-binary qualities at n={n}, k=2: does the better nest win?",
+        [
+            "gap",
+            "weight",
+            "P(best wins)",
+            "wilson 95% lo",
+            "P(agreed)",
+            "median rounds",
+        ],
+    )
+    root = RandomSource(base_seed)
+    index = 0
+    for gap in gaps:
+        nests = NestConfig.graded([0.5 + gap, 0.5 - gap])
+        for weight in weights:
+            best_wins = 0
+            agreed = 0
+            rounds: list[int] = []
+            for _ in range(trials):
+                result = run_trial(
+                    quality_weighted_factory(quality_weight=weight),
+                    n,
+                    nests,
+                    seed=root.trial(index),
+                    max_rounds=50_000,
+                    criterion_factory=UnanimousCommitment,
+                )
+                index += 1
+                if result.converged:
+                    agreed += 1
+                    rounds.append(result.converged_round)
+                    if result.chosen_nest == 1:
+                        best_wins += 1
+            lo, _ = wilson_interval(best_wins, max(agreed, 1))
+            median = float(sorted(rounds)[len(rounds) // 2]) if rounds else float("nan")
+            table.add_row(
+                gap,
+                weight,
+                best_wins / max(agreed, 1),
+                lo,
+                agreed / trials,
+                median,
+            )
+    table.add_note(
+        "weight 0 removes quality from the *recruitment* rate but the "
+        "stochastic acceptance (accept w.p. q) still tilts the initial "
+        "active population toward the better nest, so accuracy starts near "
+        "0.8, not 0.5; raising the weight pushes it to 1.0 at a measurable "
+        "cost in rounds — the speed/accuracy trade-off of Pratt & Sumpter "
+        "(2006) that Section 6 anticipates."
+    )
+    return table

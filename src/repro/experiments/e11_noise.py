@@ -1,0 +1,87 @@
+"""E11 — Section 6 "Approximate counting": tolerance to measurement noise.
+
+Runs Algorithm 3 under increasingly noisy population readings, in two
+flavors:
+
+- parametric unbiased Gaussian noise (relative σ sweep) on the fast engine;
+- the mechanistic encounter-rate estimator (Pratt 2005) on the agent
+  engine, sweeping the sampling budget (fewer encounter trials = noisier).
+
+The paper conjectures that unbiased estimators preserve correctness "perhaps
+with some runtime cost dependent on estimator variance" — the table
+measures exactly that curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.core.colony import simple_factory
+from repro.experiments.common import summarize_fast_runs, trial_seeds
+from repro.extensions.estimation import EncounterNoise, EncounterRateEstimator
+from repro.fast.simple_fast import simulate_simple
+from repro.model.nests import NestConfig
+from repro.sim.noise import CountNoise
+from repro.sim.run import run_trials
+
+
+def run(
+    quick: bool = False,
+    base_seed: int = 0,
+    n: int | None = None,
+    k: int = 4,
+    sigmas: tuple[float, ...] | None = None,
+    encounter_trials: tuple[int, ...] | None = None,
+    trials: int | None = None,
+    agent_trials: int | None = None,
+) -> Table:
+    """Noise sweep: Gaussian (fast engine) and encounter-rate (agent)."""
+    if n is None:
+        n = 256 if quick else 1024
+    if sigmas is None:
+        sigmas = (0.0, 0.5) if quick else (0.0, 0.25, 0.5, 1.0, 2.0)
+    if encounter_trials is None:
+        encounter_trials = (16,) if quick else (8, 32, 128)
+    if trials is None:
+        trials = 10 if quick else 40
+    if agent_trials is None:
+        agent_trials = 5 if quick else 20
+
+    nests = NestConfig.all_good(k)
+    table = Table(
+        f"E11  Noisy counting at n={n}, k={k} (Algorithm 3)",
+        ["noise model", "level", "median rounds", "success"],
+    )
+    for sigma in sigmas:
+        noise = CountNoise(relative_sigma=sigma)
+        results = [
+            simulate_simple(n, nests, seed=source, max_rounds=100_000, noise=noise)
+            for source in trial_seeds(base_seed + int(sigma * 100), trials)
+        ]
+        median, success, _ = summarize_fast_runs(results)
+        table.add_row("gaussian relative", sigma, median, success)
+
+    agent_n = min(n, 256)
+    for budget in encounter_trials:
+        noise = EncounterNoise(
+            estimator=EncounterRateEstimator(trials=budget, capacity=2 * agent_n)
+        )
+        stats = run_trials(
+            simple_factory(),
+            agent_n,
+            nests,
+            n_trials=agent_trials,
+            base_seed=base_seed + budget,
+            max_rounds=100_000,
+            noise=noise,
+        )
+        table.add_row(
+            f"encounter-rate (agent, n={agent_n})",
+            f"{budget} samples",
+            stats.median_rounds,
+            stats.success_rate,
+        )
+    table.add_note(
+        "unbiased noise leaves success at 1 and costs rounds roughly "
+        "monotonically in the noise level — the Section 6 conjecture."
+    )
+    return table

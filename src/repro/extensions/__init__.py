@@ -1,0 +1,53 @@
+"""Section 6 extensions, implemented and benchmarked.
+
+Each module realizes one of the paper's "Extensions to the Algorithms" /
+"Extensions to the Model" discussion items as runnable code:
+
+- :mod:`repro.extensions.adaptive` — round-indexed recruitment-rate boost
+  ("Improved running time");
+- :mod:`repro.extensions.nonbinary` — real-valued qualities with
+  quality-weighted recruitment ("Non-binary nest qualities");
+- :mod:`repro.extensions.estimation` — encounter-rate population estimation
+  and Buffon's-needle area assessment ("explicitly model lower level
+  behavior and implement subroutines");
+- :mod:`repro.extensions.robust` — re-searching scouts and approximate
+  knowledge of ``n`` ("Approximate ... knowledge of n", search-phase
+  deadlock recovery).
+"""
+
+from repro.extensions.adaptive import (
+    AdaptiveSimpleAnt,
+    PowerFeedbackAnt,
+    adaptive_factory,
+    ktilde_schedule,
+    power_feedback_factory,
+)
+from repro.extensions.estimation import (
+    BuffonNeedleEstimator,
+    EncounterNoise,
+    EncounterRateEstimator,
+)
+from repro.extensions.nonbinary import QualityWeightedAnt, quality_weighted_factory
+from repro.extensions.robust import (
+    ApproximateNAnt,
+    RetryingSimpleAnt,
+    approximate_n_factory,
+    retrying_factory,
+)
+
+__all__ = [
+    "AdaptiveSimpleAnt",
+    "ApproximateNAnt",
+    "BuffonNeedleEstimator",
+    "EncounterNoise",
+    "EncounterRateEstimator",
+    "PowerFeedbackAnt",
+    "QualityWeightedAnt",
+    "RetryingSimpleAnt",
+    "adaptive_factory",
+    "approximate_n_factory",
+    "ktilde_schedule",
+    "power_feedback_factory",
+    "quality_weighted_factory",
+    "retrying_factory",
+]

@@ -1,0 +1,157 @@
+"""Adaptive recruitment rates — Section 6, "Improved running time".
+
+The paper: Algorithm 3 needs O(k log n) rounds because each nest starts
+with ≈ n/k ants, so ants recruit only with probability ≈ 1/k and O(k)
+rounds pass per constant-factor gap amplification.  "If ants keep track of
+the round number, they can map this to an estimate k̃(r) of how many
+competing nests remain, allowing them to recruit at rate
+O(c(i, r)/n · k̃(r))", conjecturally converging in polylog(n) rounds.
+
+Two concrete instantiations:
+
+- :class:`AdaptiveSimpleAnt` — the paper's schedule idea literally: the
+  recruit probability is ``min(1, (count/n) · k̃(phase))`` with
+  ``k̃(phase) = max(1, k₀ · 2^(−(phase−1)/half_life))`` — a geometrically
+  *decaying* estimate of the surviving-nest count, indexed purely by the
+  (synchronously shared) round number.  The boost squeezes out the 1/k idle
+  factor early, then decays before it would saturate every surviving nest
+  into rate-1 neutral drift.  Tuning note, verified empirically (bench E9):
+  the decay must run *ahead* of the true survivor count — ``half_life ≈
+  k₀/4`` recruitment phases works well; slower decay (≥ k₀) keeps several
+  nests saturated simultaneously, erasing the proportional feedback and
+  performing *worse* than plain Algorithm 3.
+
+- :class:`PowerFeedbackAnt` — a knowledge-free alternative: recruit with
+  probability ``(count/n)^β`` for ``β ∈ (0, 1]``.  β = 1 is Algorithm 3;
+  smaller β lifts everyone's early rate (k^−β instead of k^−1) while
+  preserving strictly-increasing population feedback, needing neither k nor
+  the round number.
+
+Both preserve the property the analysis needs — larger nests recruit at
+strictly higher rates — so the swamping argument still applies; only the
+time scale changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.simple import SimpleAnt
+from repro.core.states import SimplePhase, SimpleState
+from repro.exceptions import ConfigurationError
+from repro.sim.run import AntFactory
+from repro.types import GOOD_THRESHOLD
+
+#: Maps the 1-based recruitment-phase index to a rate multiplier k̃(phase).
+RateSchedule = Callable[[int], float]
+
+
+def ktilde_schedule(initial: float, half_life: float) -> RateSchedule:
+    """The default schedule ``k̃(phase) = max(1, initial·2^(−(phase−1)/half_life))``.
+
+    ``initial`` is the colony's (assumed or estimated) starting nest count
+    k₀; ants that only know ``n`` can use the model's ``k = O(√n)`` ceiling.
+    """
+    if initial < 1.0:
+        raise ConfigurationError("initial k-tilde must be >= 1")
+    if half_life <= 0.0:
+        raise ConfigurationError("half_life must be positive")
+
+    def schedule(phase: int) -> float:
+        return float(max(1.0, initial * 0.5 ** ((phase - 1) / half_life)))
+
+    return schedule
+
+
+class AdaptiveSimpleAnt(SimpleAnt):
+    """Algorithm 3 with the round-indexed k̃(r) recruitment boost."""
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        schedule: RateSchedule,
+        good_threshold: float = GOOD_THRESHOLD,
+    ) -> None:
+        super().__init__(ant_id, n, rng, good_threshold=good_threshold)
+        self.schedule = schedule
+        self._phase_index = 0
+
+    def _recruit_bit(self) -> bool:
+        """Line 6 with the boosted rate ``min(1, count/n · k̃(phase))``."""
+        probability = min(
+            1.0, (self.count / self.n) * self.schedule(self._phase_index)
+        )
+        return bool(self.rng.random() < probability)
+
+    def decide(self):
+        # Count recruitment phases for *every* ant (active or passive) so
+        # the schedule stays colony-synchronized when passive ants wake up.
+        if self.phase is SimplePhase.RECRUIT:
+            self._phase_index += 1
+        return super().decide()
+
+    def state_label(self) -> str:
+        return f"adaptive-{super().state_label()}"
+
+
+class PowerFeedbackAnt(SimpleAnt):
+    """Algorithm 3 with sublinear power-law feedback ``(count/n)^β``."""
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        beta: float = 0.5,
+        good_threshold: float = GOOD_THRESHOLD,
+    ) -> None:
+        super().__init__(ant_id, n, rng, good_threshold=good_threshold)
+        if not 0.0 < beta <= 1.0:
+            raise ConfigurationError("beta must be in (0, 1]")
+        self.beta = beta
+
+    def _recruit_bit(self) -> bool:
+        """Line 6 with ``b := 1`` w.p. ``(count/n)^β``."""
+        probability = (self.count / self.n) ** self.beta
+        return bool(self.rng.random() < probability)
+
+    def state_label(self) -> str:
+        return f"power-{super().state_label()}"
+
+
+def adaptive_factory(
+    k_initial: float,
+    half_life: float | None = None,
+    good_threshold: float = GOOD_THRESHOLD,
+) -> AntFactory:
+    """Factory for :class:`AdaptiveSimpleAnt` colonies.
+
+    ``half_life`` defaults to ``k_initial/4`` recruitment phases (the
+    empirically robust setting; see module docstring).
+    """
+    resolved_half_life = half_life if half_life is not None else max(1.0, k_initial / 4.0)
+    schedule = ktilde_schedule(k_initial, resolved_half_life)
+
+    def build(ant_id: int, n: int, rng) -> AdaptiveSimpleAnt:
+        return AdaptiveSimpleAnt(
+            ant_id, n, rng, schedule=schedule, good_threshold=good_threshold
+        )
+
+    return build
+
+
+def power_feedback_factory(
+    beta: float = 0.5, good_threshold: float = GOOD_THRESHOLD
+) -> AntFactory:
+    """Factory for :class:`PowerFeedbackAnt` colonies."""
+
+    def build(ant_id: int, n: int, rng) -> PowerFeedbackAnt:
+        return PowerFeedbackAnt(
+            ant_id, n, rng, beta=beta, good_threshold=good_threshold
+        )
+
+    return build

@@ -1,0 +1,148 @@
+"""Low-level sensing subroutines — Section 6, "Approximate counting, nest
+assessment".
+
+The paper points at two concrete mechanisms from the biology literature and
+suggests "explicitly model[ing] lower level behavior and implement[ing]
+subroutines for nest assessment [and] population measurement":
+
+- **Encounter-rate population estimation** (Pratt 2005; Gordon 2010): an
+  ant walking inside a nest bumps into nestmates at a rate proportional to
+  their density.  :class:`EncounterRateEstimator` models ``trials``
+  independent micro-encounters, each hitting with probability
+  ``count / capacity``, and returns the unbiased estimate
+  ``ĉ = hits/trials · capacity`` with binomial noise that *shrinks* as the
+  ant samples longer — the biologically meaningful accuracy/time dial.
+
+- **Buffon's-needle area assessment** (Mallon & Franks 2000): an ant lays a
+  pheromone trail of length ``L₁`` on its first visit and, on a second
+  visit, walks ``L₂`` counting crossings of its own trail.  The crossing
+  count is ≈ Poisson with mean ``2·L₁·L₂/(π·A)`` for nest area ``A``, so
+  ``Â = 2·L₁·L₂ / (π·max(N,1))`` estimates the area (larger usually means
+  better, up to a species-specific optimum).
+
+:class:`EncounterNoise` adapts the encounter estimator to the
+:class:`~repro.sim.noise.NoisyAnt` interface, so Algorithm 3 can run on
+*mechanistically generated* measurement noise instead of the parametric
+Gaussian model — bench E11 compares both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EncounterRateEstimator:
+    """Population estimation from random encounters inside the nest.
+
+    Parameters
+    ----------
+    trials:
+        Number of micro-encounter opportunities per assessment (the time
+        the ant spends sampling).
+    capacity:
+        Physical capacity of a nest (ants at which density saturates); the
+        encounter probability per trial is ``min(1, count/capacity)``.
+    """
+
+    trials: int = 64
+    capacity: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        if self.capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+
+    def sample(self, count: int, rng: np.random.Generator) -> int:
+        """One noisy population estimate of a nest holding ``count`` ants."""
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        rate = min(1.0, count / self.capacity)
+        hits = rng.binomial(self.trials, rate)
+        return int(round(hits / self.trials * self.capacity))
+
+    def standard_error(self, count: int) -> float:
+        """Standard deviation of :meth:`sample` for a given true count."""
+        rate = min(1.0, count / self.capacity)
+        return float(self.capacity * np.sqrt(rate * (1.0 - rate) / self.trials))
+
+
+@dataclass(frozen=True)
+class BuffonNeedleEstimator:
+    """Nest-area assessment by trail self-crossing counts.
+
+    Parameters
+    ----------
+    first_visit_length, second_visit_length:
+        Trail lengths L₁ (laid) and L₂ (walked while counting crossings),
+        in the same length unit as ``sqrt(area)``.
+    """
+
+    first_visit_length: float = 40.0
+    second_visit_length: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.first_visit_length <= 0 or self.second_visit_length <= 0:
+            raise ConfigurationError("trail lengths must be positive")
+
+    def expected_crossings(self, area: float) -> float:
+        """Mean self-crossing count for a nest of the given floor area."""
+        if area <= 0:
+            raise ConfigurationError("area must be positive")
+        return (
+            2.0
+            * self.first_visit_length
+            * self.second_visit_length
+            / (np.pi * area)
+        )
+
+    def sample_crossings(self, area: float, rng: np.random.Generator) -> int:
+        """Draw a crossing count (Poisson around the Buffon mean)."""
+        return int(rng.poisson(self.expected_crossings(area)))
+
+    def estimate_area(self, crossings: int) -> float:
+        """Invert the crossing formula (``max(N, 1)`` guards division)."""
+        return (
+            2.0
+            * self.first_visit_length
+            * self.second_visit_length
+            / (np.pi * max(crossings, 1))
+        )
+
+    def sample(self, area: float, rng: np.random.Generator) -> float:
+        """One end-to-end noisy area estimate."""
+        return self.estimate_area(self.sample_crossings(area, rng))
+
+
+@dataclass(frozen=True)
+class EncounterNoise:
+    """Adapter: encounter-rate sensing as a ``NoisyAnt`` noise model.
+
+    Implements the same duck-typed interface as
+    :class:`~repro.sim.noise.CountNoise` (``is_null``, ``perturb_count``,
+    ``perturb_quality``) but generates count errors from the mechanistic
+    encounter model rather than a Gaussian.
+    """
+
+    estimator: EncounterRateEstimator = EncounterRateEstimator()
+    quality_flip_prob: float = 0.0
+
+    @property
+    def is_null(self) -> bool:
+        """Encounter sampling is always noisy."""
+        return False
+
+    def perturb_count(self, count: int, n: int, rng: np.random.Generator) -> int:
+        """Replace the exact count by an encounter-rate estimate."""
+        return int(np.clip(self.estimator.sample(count, rng), 0, n))
+
+    def perturb_quality(self, quality: float, rng: np.random.Generator) -> float:
+        """Optionally flip binary quality readings (as in CountNoise)."""
+        if self.quality_flip_prob > 0.0 and rng.random() < self.quality_flip_prob:
+            return 1.0 - quality
+        return quality

@@ -1,0 +1,99 @@
+"""Non-binary nest qualities — Section 6, "Non-binary nest qualities".
+
+With real-valued qualities in (0, 1] there is no crisp good/bad split, so
+Algorithm 3's accept-and-recruit rule needs two changes, both suggested by
+the paper ("it should be possible to incorporate the quality of the nest
+into the recruitment probability in order [to] make the algorithm converge
+to a high-quality nest"):
+
+1. **Stochastic acceptance.** An ant that searches into a nest of quality
+   ``q`` accepts it (becomes active) with probability ``q^sharpness`` —
+   the graded, error-prone acceptance real ants exhibit (Sasaki & Pratt).
+2. **Quality-weighted positive feedback.** Active ants recruit with
+   probability ``(count/n) · q^weight``, so equal-sized nests compete with
+   odds tilted toward quality, and the winning nest is high-quality with
+   probability increasing in the quality gap.
+
+``weight`` is the speed/accuracy dial (Pratt & Sumpter's "tunable
+algorithm"): 0 recovers quality-blind Algorithm 3 (fast, inaccurate among
+acceptable nests); larger values trade rounds for accuracy.  Bench E10
+sweeps the quality gap and the weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simple import SimpleAnt
+from repro.core.states import SimplePhase, SimpleState
+from repro.exceptions import ConfigurationError
+from repro.model.actions import ActionResult, GoResult, RecruitResult, SearchResult
+from repro.sim.run import AntFactory
+
+
+class QualityWeightedAnt(SimpleAnt):
+    """Algorithm 3 for graded qualities: quality-weighted recruitment."""
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        quality_weight: float = 1.0,
+        acceptance_sharpness: float = 1.0,
+    ) -> None:
+        # The binary threshold is unused; acceptance is stochastic in q.
+        super().__init__(ant_id, n, rng, good_threshold=0.0)
+        if quality_weight < 0:
+            raise ConfigurationError("quality_weight must be >= 0")
+        if acceptance_sharpness <= 0:
+            raise ConfigurationError("acceptance_sharpness must be > 0")
+        self.quality_weight = quality_weight
+        self.acceptance_sharpness = acceptance_sharpness
+        self.quality: float = 0.0
+
+    def _recruit_bit(self) -> bool:
+        """Quality-weighted line 6: ``b := 1`` w.p. ``(count/n)·q^weight``."""
+        probability = (self.count / self.n) * self.quality**self.quality_weight
+        return bool(self.rng.random() < min(1.0, probability))
+
+    def observe(self, result: ActionResult) -> None:
+        if self.phase is SimplePhase.SEARCH:
+            assert isinstance(result, SearchResult)
+            self.nest = result.nest
+            self.count = result.count
+            self.quality = result.quality
+            accept = self.rng.random() < result.quality**self.acceptance_sharpness
+            self.state = SimpleState.ACTIVE if accept else SimpleState.PASSIVE
+            self.phase = SimplePhase.RECRUIT
+            return
+        if self.phase is SimplePhase.ASSESS:
+            assert isinstance(result, GoResult)
+            # Re-assess quality on every visit: recruited ants learn their
+            # new nest's quality here.
+            self.quality = result.quality
+            self.count = result.count
+            self.phase = SimplePhase.RECRUIT
+            return
+        assert isinstance(result, RecruitResult)
+        super()._observe_recruit(result)
+
+    def state_label(self) -> str:
+        return f"graded-{super().state_label()}"
+
+
+def quality_weighted_factory(
+    quality_weight: float = 1.0, acceptance_sharpness: float = 1.0
+) -> AntFactory:
+    """Factory for :class:`QualityWeightedAnt` colonies."""
+
+    def build(ant_id: int, n: int, rng) -> QualityWeightedAnt:
+        return QualityWeightedAnt(
+            ant_id,
+            n,
+            rng,
+            quality_weight=quality_weight,
+            acceptance_sharpness=acceptance_sharpness,
+        )
+
+    return build

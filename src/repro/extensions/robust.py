@@ -1,0 +1,145 @@
+"""Robustness extensions: re-searching scouts and approximate ``n``.
+
+Two more of Section 6's discussion items made concrete:
+
+- :class:`RetryingSimpleAnt` — in the paper's Algorithm 3, ants search
+  exactly once; a colony whose every searcher lands on bad nests deadlocks
+  forever (passive ants wait for recruiters that never come).  Real scouts
+  keep exploring.  This variant lets a *passive* ant re-search with a small
+  probability per recruitment phase, eliminating the deadlock at a measured
+  (small) cost in convergence time.
+
+- :class:`ApproximateNAnt` — the paper assumes ants know ``n`` exactly but
+  conjectures approximations suffice ("assuming ants know only an
+  approximation of n").  This variant gives each ant its own multiplicative
+  misestimate ``ñ = n · factor``; the recruit probability becomes
+  ``count/ñ``.  Underestimates make everyone over-recruit (rates saturate);
+  overestimates slow everyone down uniformly — either way the *relative*
+  feedback ordering between nests survives, which is what drives
+  convergence.  Bench E9b quantifies the runtime cost as a function of the
+  misestimation factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simple import SimpleAnt
+from repro.core.states import SimplePhase, SimpleState
+from repro.exceptions import ConfigurationError
+from repro.model.actions import Action, ActionResult, Search, SearchResult
+from repro.sim.run import AntFactory
+from repro.types import GOOD_THRESHOLD
+
+
+class RetryingSimpleAnt(SimpleAnt):
+    """Algorithm 3 with persistent scouting by passive ants."""
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        research_probability: float = 0.05,
+        good_threshold: float = GOOD_THRESHOLD,
+    ) -> None:
+        super().__init__(ant_id, n, rng, good_threshold=good_threshold)
+        if not 0.0 <= research_probability <= 1.0:
+            raise ConfigurationError("research_probability must be in [0, 1]")
+        self.research_probability = research_probability
+        self._researching = False
+
+    def decide(self) -> Action:
+        if (
+            self.state is SimpleState.PASSIVE
+            and self.phase is SimplePhase.RECRUIT
+            and self.rng.random() < self.research_probability
+        ):
+            # Skip one recruitment opportunity to scout a random nest.
+            self._researching = True
+            return Search()
+        return super().decide()
+
+    def observe(self, result: ActionResult) -> None:
+        if self._researching:
+            assert isinstance(result, SearchResult)
+            self._researching = False
+            if result.quality > self.good_threshold:
+                # A fresh find: commit and start recruiting for it.
+                self.nest = result.nest
+                self.count = result.count
+                self.state = SimpleState.ACTIVE
+            # The skipped recruitment round happened while the colony was at
+            # home; the next global round is an assessment round, so rejoin
+            # the colony's alternation there (phase ASSESS), not at RECRUIT —
+            # otherwise this ant would be at its nest during every future
+            # recruitment round and could never be recruited.
+            self.phase = SimplePhase.ASSESS
+            return
+        super().observe(result)
+
+    def state_label(self) -> str:
+        return f"retrying-{super().state_label()}"
+
+
+class ApproximateNAnt(SimpleAnt):
+    """Algorithm 3 with a per-ant misestimate of the colony size."""
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        n_estimate: float | None = None,
+        max_factor: float = 2.0,
+        good_threshold: float = GOOD_THRESHOLD,
+    ) -> None:
+        super().__init__(ant_id, n, rng, good_threshold=good_threshold)
+        if max_factor < 1.0:
+            raise ConfigurationError("max_factor must be >= 1")
+        if n_estimate is None:
+            # Log-uniform factor in [1/max_factor, max_factor]: unbiased in
+            # the log domain, as misjudgments of scale plausibly are.
+            log_factor = rng.uniform(-np.log(max_factor), np.log(max_factor))
+            n_estimate = n * float(np.exp(log_factor))
+        if n_estimate <= 0:
+            raise ConfigurationError("n_estimate must be positive")
+        self.n_estimate = float(n_estimate)
+
+    def _recruit_bit(self) -> bool:
+        """Line 6 with the misestimated denominator: b w.p. count/ñ."""
+        probability = min(1.0, self.count / self.n_estimate)
+        return bool(self.rng.random() < probability)
+
+    def state_label(self) -> str:
+        return f"approxn-{super().state_label()}"
+
+
+def retrying_factory(
+    research_probability: float = 0.05, good_threshold: float = GOOD_THRESHOLD
+) -> AntFactory:
+    """Factory for :class:`RetryingSimpleAnt` colonies."""
+
+    def build(ant_id: int, n: int, rng) -> RetryingSimpleAnt:
+        return RetryingSimpleAnt(
+            ant_id,
+            n,
+            rng,
+            research_probability=research_probability,
+            good_threshold=good_threshold,
+        )
+
+    return build
+
+
+def approximate_n_factory(
+    max_factor: float = 2.0, good_threshold: float = GOOD_THRESHOLD
+) -> AntFactory:
+    """Factory for :class:`ApproximateNAnt` colonies (per-ant misestimates)."""
+
+    def build(ant_id: int, n: int, rng) -> ApproximateNAnt:
+        return ApproximateNAnt(
+            ant_id, n, rng, max_factor=max_factor, good_threshold=good_threshold
+        )
+
+    return build

@@ -1,0 +1,22 @@
+"""Vectorized re-implementations of the paper's processes.
+
+The agent-based engine (:mod:`repro.sim`) is the readable reference; these
+simulators keep all per-ant state in numpy arrays and re-implement the exact
+same round semantics (including the Algorithm 1 matcher, shared via
+:func:`repro.model.recruitment.match_arrays`), making sweeps at
+``n = 2^12 .. 2^16`` practical.  Tests assert statistical equivalence of the
+two engines' convergence-round distributions on common configurations.
+"""
+
+from repro.fast.results import FastRunResult
+from repro.fast.optimal_fast import simulate_optimal
+from repro.fast.simple_fast import simulate_simple
+from repro.fast.spread_fast import SpreadResult, simulate_spread
+
+__all__ = [
+    "FastRunResult",
+    "SpreadResult",
+    "simulate_optimal",
+    "simulate_simple",
+    "simulate_spread",
+]

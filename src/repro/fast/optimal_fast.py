@@ -1,0 +1,215 @@
+"""Vectorized Algorithm 2, simulated one four-round block at a time.
+
+Per-ant state: ``status`` (active / passive / final), ``nest``, ``count``
+(the remembered population).  Each iteration resolves the four sub-rounds of
+one case block exactly as the agent-based :class:`repro.core.optimal.
+OptimalAnt` does, including who is physically where in every sub-round (so
+recorded population histories are faithful):
+
+====  =======================  ====================  ==================
+sub   actives                  passives              finals
+====  =======================  ====================  ==================
+B1    recruit(1, nest) [home]  go(nest)              recruit(1, ·) [home]
+B2    go(nestt)                recruit(0, ·) [home]  recruit(1, ·) [home]
+B3    c1/c3: go · c2: home     go(nest)              recruit(1, ·) [home]
+B4    c1: home · c2/c3: go     go(nest)              recruit(1, ·) [home]
+====  =======================  ====================  ==================
+
+The three matchers per block (B1: actives+finals, B2: passives+finals,
+B3/B4: dropping/checking actives+finals) reuse the model-layer
+:func:`~repro.model.recruitment.match_arrays`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.fast.results import FastRunResult
+from repro.model.nests import NestConfig
+from repro.model.recruitment import match_arrays
+from repro.sim.rng import RandomSource
+
+_ACTIVE, _PASSIVE, _FINAL = 0, 1, 2
+
+
+def _match_subset(
+    ids: np.ndarray,
+    active: np.ndarray,
+    targets: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the matcher over a subset; return (results, recruited_mask)."""
+    results, recruiter_of, _ = match_arrays(active, targets, rng)
+    return results, recruiter_of != -1
+
+
+def simulate_optimal(
+    n: int,
+    nests: NestConfig,
+    seed: int | RandomSource = 0,
+    max_rounds: int = 100_000,
+    strict_pseudocode: bool = False,
+    record_history: bool = False,
+) -> FastRunResult:
+    """Run Algorithm 2 to full settlement (all ants ``final``) or ``max_rounds``.
+
+    Convergence is the paper's termination notion: every ant in the
+    ``final`` state, unanimously committed to one good nest.  The reported
+    ``converged_round`` is the global round (1-based, round 1 = search) at
+    which the last ant settled, matching the agent engine's criterion.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
+    env_rng = source.environment
+    matcher_rng = source.matcher
+
+    k = nests.k
+    qualities = np.concatenate([[0.0], nests.quality_array()])
+    good = qualities > nests.good_threshold
+
+    history: list[np.ndarray] = []
+
+    def record(locations: np.ndarray) -> None:
+        if record_history:
+            history.append(np.bincount(locations, minlength=k + 1))
+
+    # Round 1: search.
+    nest = env_rng.integers(1, k + 1, size=n)
+    counts1 = np.bincount(nest, minlength=k + 1)
+    count = counts1[nest].astype(np.int64)
+    status = np.where(good[nest], _ACTIVE, _PASSIVE)
+    record(nest)
+    rounds_executed = 1
+    converged_round: int | None = None
+
+    def all_final_unanimous(final_mask: np.ndarray) -> bool:
+        if not final_mask.all():
+            return False
+        target = nest[0]
+        return bool(np.all(nest == target) and good[target])
+
+    while rounds_executed + 4 <= max_rounds and converged_round is None:
+        active_ids = np.flatnonzero(status == _ACTIVE)
+        passive_ids = np.flatnonzero(status == _PASSIVE)
+        final_ids = np.flatnonzero(status == _FINAL)
+        home = np.zeros(0, dtype=np.int64)
+
+        # ---- B1: actives + finals recruit(1, nest); passives go(nest).
+        b1_ids = np.concatenate([active_ids, final_ids])
+        b1_results, _ = _match_subset(
+            b1_ids,
+            np.ones(len(b1_ids), dtype=bool),
+            nest[b1_ids],
+            matcher_rng,
+        )
+        nestt = nest.copy()
+        nestt[active_ids] = b1_results[: len(active_ids)]
+        nest[final_ids] = b1_results[len(active_ids) :]
+        locations = nest.copy()
+        locations[b1_ids] = 0  # recruit() relocates home
+        record(locations)
+        rounds_executed += 1
+
+        # ---- B2: actives go(nestt); passives + finals recruit at home.
+        locations = np.zeros(n, dtype=np.int64)
+        locations[active_ids] = nestt[active_ids]
+        record(locations)
+        rounds_executed += 1
+        counts_b2 = np.bincount(nestt[active_ids], minlength=k + 1)
+        countt = counts_b2[nestt]
+
+        b2_ids = np.concatenate([passive_ids, final_ids])
+        b2_active = np.zeros(len(b2_ids), dtype=bool)
+        b2_active[len(passive_ids) :] = True
+        b2_results, b2_recruited = _match_subset(
+            b2_ids, b2_active, nest[b2_ids], matcher_rng
+        )
+        passive_results = b2_results[: len(passive_ids)]
+        new_final_mask = passive_results != nest[passive_ids]  # line 15
+        new_final_ids = passive_ids[new_final_mask]
+        nest[new_final_ids] = passive_results[new_final_mask]
+        nest[final_ids] = b2_results[len(passive_ids) :]
+
+        # Classify the actives (lines 25–42) using pre-update counts.
+        a_nest, a_nestt = nest[active_ids], nestt[active_ids]
+        a_count, a_countt = count[active_ids], countt[active_ids]
+        case1 = (a_nestt == a_nest) & (a_countt >= a_count)
+        case2 = (a_nestt == a_nest) & (a_countt < a_count)
+        case3 = a_nestt != a_nest
+        case1_ids = active_ids[case1]
+        case2_ids = active_ids[case2]
+        case3_ids = active_ids[case3]
+        count[case1_ids] = countt[case1_ids]  # line 27
+        nest[case3_ids] = nestt[case3_ids]  # line 38
+
+        # Everyone settled check at B2 (the last passives may settle here).
+        prospective_final = status == _FINAL
+        prospective_final[new_final_ids] = True
+        if len(active_ids) == 0 and all_final_unanimous(prospective_final):
+            converged_round = rounds_executed
+
+        # ---- B3: case1/case3 go(nest); passives (incl. new finals) go(nest);
+        #          case2 + finals at home.
+        locations = np.zeros(n, dtype=np.int64)
+        locations[case1_ids] = nest[case1_ids]
+        locations[case3_ids] = nest[case3_ids]
+        locations[passive_ids] = nest[passive_ids]
+        record(locations)
+        rounds_executed += 1
+        counts_b3 = np.bincount(locations[locations > 0], minlength=k + 1)
+        countn = counts_b3[nest]
+
+        b3_ids = np.concatenate([case2_ids, final_ids])
+        if len(b3_ids):
+            b3_active = np.zeros(len(b3_ids), dtype=bool)
+            b3_active[len(case2_ids) :] = True
+            b3_results, _ = _match_subset(b3_ids, b3_active, nest[b3_ids], matcher_rng)
+            # Case-2 ants discard the result (line 35); finals adopt (line 21).
+            nest[final_ids] = b3_results[len(case2_ids) :]
+
+        case3_drop = countn[case3_ids] < countt[case3_ids]  # line 40
+        case3_drop_ids = case3_ids[case3_drop]
+        case3_stay_ids = case3_ids[~case3_drop]
+        if not strict_pseudocode:
+            count[case3_stay_ids] = countn[case3_stay_ids]  # DESIGN.md §3.2
+
+        # ---- B4: case1 + finals at home; everyone else at its nest.
+        locations = np.zeros(n, dtype=np.int64)
+        others = np.concatenate([case2_ids, case3_ids, passive_ids])
+        locations[others] = nest[others]
+        record(locations)
+        rounds_executed += 1
+        counth = len(case1_ids) + len(final_ids)
+
+        b4_ids = np.concatenate([case1_ids, final_ids])
+        if len(b4_ids):
+            b4_active = np.zeros(len(b4_ids), dtype=bool)
+            b4_active[len(case1_ids) :] = True
+            b4_results, _ = _match_subset(b4_ids, b4_active, nest[b4_ids], matcher_rng)
+            # Case-1 ants discard the returned nest (line 29); finals adopt.
+            nest[final_ids] = b4_results[len(case1_ids) :]
+
+        settle = count[case1_ids] == counth  # line 30
+        settled_ids = case1_ids[settle]
+
+        # Apply end-of-block status changes.
+        status[case2_ids] = _PASSIVE
+        status[case3_drop_ids] = _PASSIVE
+        status[new_final_ids] = _FINAL
+        status[settled_ids] = _FINAL
+
+        if converged_round is None and all_final_unanimous(status == _FINAL):
+            converged_round = rounds_executed
+
+    final_counts = np.bincount(nest, minlength=k + 1)
+    chosen = int(nest[0]) if np.all(nest == nest[0]) else None
+    return FastRunResult(
+        converged=converged_round is not None,
+        converged_round=converged_round,
+        rounds_executed=rounds_executed,
+        chosen_nest=chosen,
+        final_counts=final_counts,
+        population_history=np.vstack(history) if record_history else None,
+    )

@@ -1,0 +1,36 @@
+"""Result container shared by the fast simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import NestId
+
+
+@dataclass(frozen=True)
+class FastRunResult:
+    """Outcome of one fast-simulator run.
+
+    Mirrors the essentials of :class:`repro.sim.engine.SimulationResult` so
+    experiment code can treat the two engines interchangeably.
+    """
+
+    converged: bool
+    converged_round: int | None
+    rounds_executed: int
+    chosen_nest: NestId | None
+    final_counts: np.ndarray
+    #: Optional per-round population matrix ``(T, k+1)`` — column 0 is the
+    #: home nest.  Populated only when ``record_history=True``.
+    population_history: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def rounds_to_convergence(self) -> int:
+        """Convergence round, or ``rounds_executed`` when censored."""
+        return (
+            self.converged_round
+            if self.converged_round is not None
+            else self.rounds_executed
+        )

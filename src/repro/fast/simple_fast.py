@@ -1,0 +1,155 @@
+"""Vectorized Algorithm 3 (and its rate-schedule generalization).
+
+Round semantics identical to :class:`repro.core.simple.SimpleAnt` on the
+reference engine:
+
+- round 1: everyone searches; good-nest finders are *active*;
+- even rounds: everyone is at home and participates in one Algorithm 1
+  matching; an active ant recruits with probability ``count/n`` (optionally
+  scaled by a ``rate_multiplier`` — the Section 6 "improved running time"
+  extension) and adopts whatever nest the matcher returns; a recruited
+  passive ant activates;
+- odd rounds: everyone assesses its nest's population (optionally through
+  measurement noise).
+
+Per-ant state lives in three arrays (``nest``, ``active``, ``count``); the
+only Python-level loop is the matcher's sequential scan, which the model's
+permutation semantics make irreducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.fast.results import FastRunResult
+from repro.model.nests import NestConfig
+from repro.model.recruitment import match_arrays
+from repro.sim.noise import CountNoise
+from repro.sim.rng import RandomSource
+
+#: Maps the 1-based recruitment-phase index to a multiplier on the recruit
+#: probability ``count/n`` (clipped to 1).  ``None`` means Algorithm 3's
+#: plain rate.
+RateMultiplier = Callable[[int], float]
+
+
+def simulate_simple(
+    n: int,
+    nests: NestConfig,
+    seed: int | RandomSource = 0,
+    max_rounds: int = 100_000,
+    rate_multiplier: RateMultiplier | None = None,
+    quality_weighted: bool = False,
+    noise: CountNoise | None = None,
+    record_history: bool = False,
+) -> FastRunResult:
+    """Run Algorithm 3 to convergence (or ``max_rounds``) and summarize.
+
+    Parameters
+    ----------
+    n, nests, seed, max_rounds:
+        Workload and stopping control.
+    rate_multiplier:
+        Optional schedule ``m(phase)``; the recruit probability becomes
+        ``min(1, count/n · m(phase))`` where ``phase = 1, 2, ...`` counts
+        recruitment rounds.  Implements the adaptive extension (E9).
+    quality_weighted:
+        Scale the recruit probability by the nest's quality (non-binary
+        extension, E10); ants accept any nest with quality > 0 as their
+        initial commitment when this is set.
+    noise:
+        Optional unbiased measurement noise applied to assessed counts (E11).
+    record_history:
+        Keep the per-round population matrix (costs ``O(T·k)`` memory).
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
+    env_rng = source.environment
+    matcher_rng = source.matcher
+    colony_rng = source.colony
+    noise_rng = source.noise
+
+    k = nests.k
+    qualities = np.concatenate([[0.0], nests.quality_array()])  # index by nest id
+    good = qualities > nests.good_threshold
+    if quality_weighted:
+        acceptable = qualities > 0.0
+    else:
+        acceptable = good
+
+    history: list[np.ndarray] = []
+
+    def counts_of(locations: np.ndarray) -> np.ndarray:
+        return np.bincount(locations, minlength=k + 1)
+
+    # Round 1: search.
+    nest = env_rng.integers(1, k + 1, size=n)
+    counts = counts_of(nest)
+    count = counts[nest].astype(np.int64)
+    active = acceptable[nest]
+    rounds_executed = 1
+    if record_history:
+        history.append(counts.copy())
+
+    def perturb(values: np.ndarray) -> np.ndarray:
+        if noise is None or noise.is_null:
+            return values
+        noisy = values.astype(float)
+        if noise.relative_sigma > 0.0:
+            noisy = noisy * (1.0 + noise.relative_sigma * noise_rng.standard_normal(n))
+        if noise.absolute_sigma > 0.0:
+            noisy = noisy + noise.absolute_sigma * noise_rng.standard_normal(n)
+        return np.clip(np.rint(noisy), 0, n).astype(np.int64)
+
+    count = perturb(count)
+
+    converged_round: int | None = None
+    phase = 0
+    while rounds_executed + 2 <= max_rounds and converged_round is None:
+        phase += 1
+        # Recruitment round (everyone at home).
+        probability = count / n
+        if quality_weighted:
+            probability = probability * qualities[nest]
+        if rate_multiplier is not None:
+            probability = probability * rate_multiplier(phase)
+        probability = np.clip(probability, 0.0, 1.0)
+        wants = active & (colony_rng.random(n) < probability)
+        results, recruiter_of, _ = match_arrays(wants, nest, matcher_rng)
+
+        recruited = recruiter_of != -1
+        # Active ants adopt the returned nest unconditionally (line 7);
+        # passive ants activate only when handed a *different* nest
+        # (lines 10–13).
+        woke = (~active) & recruited & (results != nest)
+        nest = np.where(active | woke, results, nest)
+        active = active | woke
+        rounds_executed += 1
+        if record_history:
+            home = np.array([n], dtype=np.int64)
+            history.append(np.concatenate([home, np.zeros(k, dtype=np.int64)]))
+        unanimous = nest[0] if np.all(nest == nest[0]) else None
+        if unanimous is not None and good[unanimous]:
+            converged_round = rounds_executed
+
+        # Assessment round (everyone at its nest).
+        counts = counts_of(nest)
+        count = perturb(counts[nest].astype(np.int64))
+        rounds_executed += 1
+        if record_history:
+            history.append(counts.copy())
+
+    final_counts = counts_of(nest)
+    chosen = int(nest[0]) if np.all(nest == nest[0]) else None
+    return FastRunResult(
+        converged=converged_round is not None,
+        converged_round=converged_round,
+        rounds_executed=rounds_executed,
+        chosen_nest=chosen,
+        final_counts=final_counts,
+        population_history=np.vstack(history) if record_history else None,
+    )

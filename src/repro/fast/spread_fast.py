@@ -1,0 +1,106 @@
+"""Vectorized lower-bound information-spreading process (Theorem 3.2).
+
+Measures how many rounds the *best-case* algorithm needs before every ant
+knows the unique good nest ``w`` — the quantity the Ω(log n) lower bound
+constrains.  Matches :class:`repro.core.lower_bound.InformedSpreadAnt` on
+the reference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lower_bound import IgnorantPolicy
+from repro.exceptions import ConfigurationError
+from repro.model.recruitment import match_arrays
+from repro.sim.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class SpreadResult:
+    """Outcome of one spread run."""
+
+    all_informed: bool
+    rounds_to_all_informed: int | None
+    rounds_executed: int
+    #: Number of informed ants at the end of each round (index 0 = round 1).
+    informed_history: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def completion_round(self) -> int:
+        """Completion round, or ``rounds_executed`` when censored."""
+        return (
+            self.rounds_to_all_informed
+            if self.rounds_to_all_informed is not None
+            else self.rounds_executed
+        )
+
+
+def simulate_spread(
+    n: int,
+    k: int,
+    policy: IgnorantPolicy = IgnorantPolicy.WAIT,
+    seed: int | RandomSource = 0,
+    max_rounds: int = 100_000,
+) -> SpreadResult:
+    """Spread the identity of the single good nest to all ``n`` ants.
+
+    Round 1: everyone searches; finders of ``w`` become informed.  Later
+    rounds: informed ants ``recruit(1, w)`` every round; ignorant ants
+    follow ``policy`` (wait at home / keep searching / mix).  Returns the
+    first round after which zero ants are ignorant.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if k < 2:
+        raise ConfigurationError("the lower-bound setting requires k >= 2")
+    source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
+    env_rng = source.environment
+    matcher_rng = source.matcher
+    colony_rng = source.colony
+
+    # Round 1: search; w.l.o.g. the good nest is nest 1.
+    informed = env_rng.integers(1, k + 1, size=n) == 1
+    history = [int(informed.sum())]
+    rounds_executed = 1
+    done_round = 1 if informed.all() else None
+
+    while done_round is None and rounds_executed < max_rounds:
+        if policy is IgnorantPolicy.WAIT:
+            searching = np.zeros(n, dtype=bool)
+        elif policy is IgnorantPolicy.SEARCH:
+            searching = ~informed
+        else:  # MIXED: each ignorant ant flips a fair coin.
+            searching = (~informed) & (colony_rng.random(n) < 0.5)
+
+        # Searchers may stumble on w directly.
+        n_searching = int(searching.sum())
+        if n_searching:
+            found = env_rng.integers(1, k + 1, size=n_searching) == 1
+            informed[np.flatnonzero(searching)[found]] = True
+
+        # Everyone not searching is at home and participates in matching.
+        home_ids = np.flatnonzero(~searching)
+        if len(home_ids):
+            active = informed[home_ids]
+            # Targets: informed push w (= 1); ignorant ants' inputs are
+            # irrelevant (any known nest); use 0 as a sentinel that can
+            # never equal w.
+            targets = np.where(active, 1, 0).astype(np.int64)
+            results, recruiter_of, _ = match_arrays(active, targets, matcher_rng)
+            recruited_to_w = (recruiter_of != -1) & (results == 1)
+            informed[home_ids[recruited_to_w]] = True
+
+        rounds_executed += 1
+        history.append(int(informed.sum()))
+        if informed.all():
+            done_round = rounds_executed
+
+    return SpreadResult(
+        all_informed=done_round is not None,
+        rounds_to_all_informed=done_round,
+        rounds_executed=rounds_executed,
+        informed_history=np.asarray(history, dtype=np.int64),
+    )

@@ -1,0 +1,47 @@
+"""The paper's Section 2 model: actions, nests, environment, recruitment.
+
+This package is the substrate everything else builds on.  It provides:
+
+- :mod:`repro.model.actions` — the three per-round environment calls
+  (``search``, ``go``, ``recruit``) as value objects plus their results;
+- :mod:`repro.model.nests` — nest quality configuration;
+- :mod:`repro.model.environment` — ant locations, visited sets, counts;
+- :mod:`repro.model.recruitment` — the paper's Algorithm 1 pairing process;
+- :mod:`repro.model.ant` — the abstract ant (probabilistic FSM) interface;
+- :mod:`repro.model.problem` — the HouseHunting problem statement.
+"""
+
+from repro.model.actions import (
+    Action,
+    ActionResult,
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.model.problem import HouseHuntingProblem, SolutionStatus
+from repro.model.recruitment import MatchOutcome, RecruitRequest, run_recruitment
+
+__all__ = [
+    "Action",
+    "ActionResult",
+    "Ant",
+    "Environment",
+    "Go",
+    "GoResult",
+    "HouseHuntingProblem",
+    "MatchOutcome",
+    "NestConfig",
+    "Recruit",
+    "RecruitRequest",
+    "RecruitResult",
+    "Search",
+    "SearchResult",
+    "SolutionStatus",
+    "run_recruitment",
+]

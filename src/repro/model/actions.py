@@ -1,0 +1,124 @@
+"""Per-round ant actions and their environment results.
+
+Section 2 of the paper allows each ant exactly one call per round to one of
+three functions.  We model each call as an immutable *action* value returned
+by ``Ant.decide()`` and resolved by the engine, which then hands the ant an
+immutable *result* value via ``Ant.observe()``:
+
+=============  =======================  ==============================
+model call     action                   result
+=============  =======================  ==============================
+``search()``   :class:`Search`          :class:`SearchResult`
+``go(i)``      :class:`Go`              :class:`GoResult`
+``recruit``    :class:`Recruit`         :class:`RecruitResult`
+=============  =======================  ==============================
+
+Results carry exactly the information the paper's functions return — counts
+are end-of-round values ``c(i, r)`` and a recruited ant learns only the nest
+id ``j`` it was recruited to, not who recruited it or whether its own
+recruitment attempt succeeded.  (The engine records richer pairing data in
+the trace for *analysis*, but ants never see it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.types import NestId, Quality
+
+
+@dataclass(frozen=True, slots=True)
+class Search:
+    """``search()``: relocate to a uniformly random candidate nest."""
+
+    def describe(self) -> str:
+        """Human-readable rendering used by traces."""
+        return "search()"
+
+
+@dataclass(frozen=True, slots=True)
+class Go:
+    """``go(i)``: revisit the previously visited candidate nest ``i``."""
+
+    nest: NestId
+
+    def describe(self) -> str:
+        """Human-readable rendering used by traces."""
+        return f"go({self.nest})"
+
+
+@dataclass(frozen=True, slots=True)
+class Recruit:
+    """``recruit(b, i)``: return home and participate in recruitment.
+
+    ``active`` is the paper's bit ``b``: ``True`` means the ant actively
+    recruits others to ``nest``; ``False`` means it waits at the home nest to
+    be recruited (its "answer" stays ``nest`` if nobody recruits it).
+    """
+
+    active: bool
+    nest: NestId
+
+    def describe(self) -> str:
+        """Human-readable rendering used by traces."""
+        return f"recruit({int(self.active)}, {self.nest})"
+
+
+Action = Union[Search, Go, Recruit]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """Return value of ``search()``: the triple ``<i, q(i), c(i, r)>``."""
+
+    nest: NestId
+    quality: Quality
+    count: int
+
+
+@dataclass(frozen=True, slots=True)
+class GoResult:
+    """Return value of ``go(i)``: the end-of-round count ``c(i, r)``.
+
+    ``quality`` is a re-assessment of the nest the ant is standing in.  The
+    paper's ``go`` returns only the count; the paper's algorithms never read
+    more, but an ant physically at a nest can clearly sense its quality
+    (exactly as ``search`` reports it), and the Section 6 non-binary
+    extension needs the reading.  Binary-model algorithms ignore the field.
+    """
+
+    nest: NestId
+    count: int
+    quality: Quality = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class RecruitResult:
+    """Return value of ``recruit(b, i)``: the pair ``<j, c(0, r)>``.
+
+    ``nest`` is ``j``: the input nest if the ant was not recruited (or if it
+    recruited successfully), else the recruiting ant's target nest.
+    ``home_count`` is ``c(0, r)``, the home-nest population at end of round.
+    """
+
+    nest: NestId
+    home_count: int
+
+
+ActionResult = Union[SearchResult, GoResult, RecruitResult]
+
+
+def action_kind(action: Action) -> str:
+    """Return a short tag (``"search"``/``"go"``/``"recruit"``) for ``action``.
+
+    Useful for dispatch in metrics and traces without ``isinstance`` chains
+    at every call site.
+    """
+    if isinstance(action, Search):
+        return "search"
+    if isinstance(action, Go):
+        return "go"
+    if isinstance(action, Recruit):
+        return "recruit"
+    raise TypeError(f"not an Action: {action!r}")

@@ -1,0 +1,81 @@
+"""The abstract ant: a probabilistic finite state machine.
+
+Section 2 models each ant as a probabilistic FSM that, once per round,
+performs unbounded local computation plus exactly one environment call.
+:class:`Ant` captures that contract for the synchronous engine:
+
+- ``decide()`` is called at the start of round ``r`` and must return the
+  single :class:`~repro.model.actions.Action` for that round, using only the
+  ant's internal state;
+- ``observe(result)`` is called at the end of round ``r`` with the call's
+  return value; all state transitions (the "local computation") happen here.
+
+Per the model, ants know the colony size ``n`` but *not* the number of
+candidate nests ``k``, so implementations may be parameterized by ``n`` only.
+Randomness comes from the generator handed in at construction (the engine
+assigns every ant the colony stream of its
+:class:`~repro.sim.rng.RandomSource`, and calls ants in a fixed order, so
+executions are reproducible given a seed).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.model.actions import Action, ActionResult
+from repro.types import AntId, NestId
+
+
+class Ant(ABC):
+    """Base class for every ant algorithm in the library.
+
+    Subclasses implement :meth:`decide` and :meth:`observe`, and expose two
+    introspection properties used by convergence criteria and metrics:
+    :attr:`committed_nest` (the nest the ant currently considers its choice,
+    or ``None``) and :attr:`settled` (whether the ant has reached a terminal
+    state, such as Algorithm 2's ``final``).  Introspection exists purely for
+    *observation*: no ant ever reads another ant's attributes.
+    """
+
+    def __init__(self, ant_id: AntId, n: int, rng: np.random.Generator) -> None:
+        self.ant_id = ant_id
+        self.n = n
+        self.rng = rng
+
+    # -- the per-round contract --------------------------------------------
+
+    @abstractmethod
+    def decide(self) -> Action:
+        """Choose this round's single environment call."""
+
+    @abstractmethod
+    def observe(self, result: ActionResult) -> None:
+        """Consume the environment call's return value; transition state."""
+
+    # -- observation interface ----------------------------------------------
+
+    @property
+    @abstractmethod
+    def committed_nest(self) -> NestId | None:
+        """The candidate nest this ant is currently committed to, if any."""
+
+    @property
+    def settled(self) -> bool:
+        """Whether the ant has reached a terminal (committed-forever) state.
+
+        Defaults to ``False``; algorithms with an explicit terminal state
+        (Algorithm 2's ``final``) override this.
+        """
+        return False
+
+    def state_label(self) -> str:
+        """Short label of the ant's current control state, for metrics."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(id={self.ant_id}, "
+            f"state={self.state_label()}, nest={self.committed_nest})"
+        )

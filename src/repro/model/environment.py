@@ -1,0 +1,184 @@
+"""The shared environment: nest qualities, ant locations, visited sets.
+
+:class:`Environment` owns the ground-truth state that the paper's model
+functions read and write — where every ant is (``ℓ(a, r)``), which nests each
+ant has visited (the precondition for ``go`` and ``recruit``), and the
+per-nest population counts ``c(i, r)``.  It deliberately contains *no*
+behavior: the synchronous engine (:mod:`repro.sim.engine`) drives it, and
+ants never touch it directly.
+
+State is stored in numpy arrays so snapshots and counts are cheap even for
+large colonies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.model.nests import NestConfig
+from repro.types import HOME_NEST, AntId, NestId
+
+
+class Environment:
+    """Mutable world state for one house-hunting execution.
+
+    Parameters
+    ----------
+    n:
+        Colony size (number of ants).
+    nests:
+        Candidate nest configuration (qualities).
+    """
+
+    def __init__(self, n: int, nests: NestConfig) -> None:
+        if n < 1:
+            raise ConfigurationError(f"colony size must be >= 1, got {n}")
+        self.n = n
+        self.nests = nests
+        self.k = nests.k
+        # ℓ(a, r): everyone starts at the home nest before round 1.
+        self._locations = np.full(n, HOME_NEST, dtype=np.int64)
+        # known[a, i] — precondition tracking for go()/recruit().  A nest
+        # becomes known by being located there (search/go) *or by being
+        # recruited to it*: the whole point of a tandem run (Section 1.1) is
+        # that "the recruited ant learns the candidate nest location", and
+        # Algorithm 3's pseudocode relies on go(nest) right after a
+        # recruitment.  Column 0 (home) is always known.
+        self._known = np.zeros((n, self.k + 1), dtype=bool)
+        self._known[:, HOME_NEST] = True
+        self._round = 0
+
+    # -- read access -------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        """Number of completed rounds (0 before round 1 resolves)."""
+        return self._round
+
+    def location_of(self, ant: AntId) -> NestId:
+        """Current nest of ``ant`` (end of the last completed round)."""
+        return int(self._locations[ant])
+
+    def locations(self) -> np.ndarray:
+        """Copy of the full location vector ``ℓ(·)`` of shape ``(n,)``."""
+        return self._locations.copy()
+
+    def counts(self) -> np.ndarray:
+        """Population counts ``c(i)`` for ``i = 0..k`` as shape ``(k+1,)``."""
+        return np.bincount(self._locations, minlength=self.k + 1)
+
+    def count_at(self, nest: NestId) -> int:
+        """Population at one nest."""
+        return int(np.count_nonzero(self._locations == nest))
+
+    def knows(self, ant: AntId, nest: NestId) -> bool:
+        """Whether ``ant`` may target ``nest`` (visited it or was led there)."""
+        return bool(self._known[ant, nest])
+
+    def known_matrix(self) -> np.ndarray:
+        """Copy of the boolean known-nests matrix of shape ``(n, k+1)``."""
+        return self._known.copy()
+
+    # -- precondition checks (raise ProtocolError) -------------------------
+
+    def check_go(self, ant: AntId, nest: NestId) -> None:
+        """Validate a ``go(nest)`` call per Section 2.
+
+        ``go`` applies only to candidate nests the ant knows (visited or was
+        recruited to); ``go(0)`` is explicitly not allowed (returning home is
+        only possible via ``recruit``).
+        """
+        if nest == HOME_NEST:
+            raise ProtocolError(ant, "go(0) is not allowed; use recruit() to go home")
+        if not 1 <= nest <= self.k:
+            raise ProtocolError(ant, f"go({nest}): nest id out of range 1..{self.k}")
+        if not self._known[ant, nest]:
+            raise ProtocolError(ant, f"go({nest}): nest unknown (never visited or led to)")
+
+    def check_recruit(self, ant: AntId, nest: NestId) -> None:
+        """Validate the nest argument of a ``recruit(b, nest)`` call."""
+        if not 1 <= nest <= self.k:
+            raise ProtocolError(
+                ant, f"recruit(·, {nest}): nest id out of range 1..{self.k}"
+            )
+        if not self._known[ant, nest]:
+            raise ProtocolError(
+                ant, f"recruit(·, {nest}): nest unknown (never visited or led to)"
+            )
+
+    # -- mutation (engine only) --------------------------------------------
+
+    def apply_moves(self, destinations: np.ndarray) -> None:
+        """Set every ant's location for the current round at once.
+
+        ``destinations`` must have shape ``(n,)``; entry ``a`` is the nest
+        ant ``a`` occupies at the end of the round.  Visited sets are updated
+        and the round counter advances.  The engine computes destinations
+        from the validated actions; this method trusts them.
+        """
+        if destinations.shape != (self.n,):
+            raise ConfigurationError(
+                f"destinations must have shape ({self.n},), got {destinations.shape}"
+            )
+        if destinations.min(initial=0) < 0 or destinations.max(initial=0) > self.k:
+            raise ConfigurationError("destination nest id out of range")
+        self._locations[:] = destinations
+        self._known[np.arange(self.n), destinations] = True
+        self._round += 1
+
+    def mark_known(self, ant: AntId, nest: NestId) -> None:
+        """Record that ``ant`` learned the location of ``nest``.
+
+        The engine calls this for every recruited ant: the tandem run leads
+        it to the recruiter's nest, so the nest becomes a legal ``go``/
+        ``recruit`` target from the next round on.
+        """
+        self._known[ant, nest] = True
+
+    def sample_search_destination(self, rng: np.random.Generator) -> NestId:
+        """Draw the uniform random nest a ``search()`` call lands on."""
+        return int(rng.integers(1, self.k + 1))
+
+    def sample_search_destinations(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``count`` independent uniform candidate nests."""
+        return rng.integers(1, self.k + 1, size=count)
+
+    # -- convenience -------------------------------------------------------
+
+    def snapshot(self) -> "EnvironmentSnapshot":
+        """Immutable view of the current populations, for metrics/criteria."""
+        return EnvironmentSnapshot(
+            round=self._round,
+            counts=self.counts(),
+            locations=self.locations(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.counts()
+        return (
+            f"Environment(n={self.n}, k={self.k}, round={self._round}, "
+            f"home={counts[0]}, candidates={counts[1:].tolist()})"
+        )
+
+
+class EnvironmentSnapshot:
+    """Frozen per-round view handed to metrics hooks and criteria."""
+
+    __slots__ = ("round", "counts", "locations")
+
+    def __init__(self, round: int, counts: np.ndarray, locations: np.ndarray) -> None:
+        counts.flags.writeable = False
+        locations.flags.writeable = False
+        self.round = round
+        self.counts = counts
+        self.locations = locations
+
+    def count_at(self, nest: NestId) -> int:
+        """Population at one nest in this snapshot."""
+        return int(self.counts[nest])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EnvironmentSnapshot(round={self.round}, counts={self.counts.tolist()})"

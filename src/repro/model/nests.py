@@ -1,0 +1,130 @@
+"""Nest quality configuration.
+
+The environment of Section 2 consists of a home nest ``n0`` plus ``k``
+candidate nests with qualities ``q(i) ∈ Q``.  The base model takes
+``Q = {0, 1}`` with at least one good nest; the Section 6 extension allows
+real-valued qualities in ``(0, 1]``.  :class:`NestConfig` captures both and
+provides the standard workload constructors used by tests, examples and the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import GOOD_THRESHOLD, NestId, Quality
+
+
+@dataclass(frozen=True)
+class NestConfig:
+    """Qualities of the ``k`` candidate nests.
+
+    ``qualities[i - 1]`` is ``q(i)`` for candidate nest ``i`` (the home nest
+    has no quality).  Instances are immutable; the quality vector is stored
+    as a read-only numpy array.
+    """
+
+    qualities: tuple[Quality, ...]
+    good_threshold: float = GOOD_THRESHOLD
+    _array: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.qualities:
+            raise ConfigurationError("need at least one candidate nest (k >= 1)")
+        arr = np.asarray(self.qualities, dtype=float)
+        if np.any(arr < 0.0) or np.any(arr > 1.0):
+            raise ConfigurationError("nest qualities must lie in [0, 1]")
+        if not np.any(arr > self.good_threshold):
+            raise ConfigurationError(
+                "the model requires at least one good nest "
+                f"(quality > {self.good_threshold})"
+            )
+        arr.flags.writeable = False
+        object.__setattr__(self, "_array", arr)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def binary(cls, k: int, good: set[NestId] | frozenset[NestId]) -> "NestConfig":
+        """Binary qualities: nests in ``good`` have quality 1, the rest 0."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        bad_ids = [i for i in good if not 1 <= i <= k]
+        if bad_ids:
+            raise ConfigurationError(f"good nest ids out of range 1..{k}: {bad_ids}")
+        if not good:
+            raise ConfigurationError("at least one good nest is required")
+        return cls(tuple(1.0 if i in good else 0.0 for i in range(1, k + 1)))
+
+    @classmethod
+    def all_good(cls, k: int) -> "NestConfig":
+        """All ``k`` nests have quality 1 (the pure-competition workload)."""
+        return cls.binary(k, set(range(1, k + 1)))
+
+    @classmethod
+    def single_good(cls, k: int, good_nest: NestId = 1) -> "NestConfig":
+        """Exactly one good nest — the lower bound's "rumor" workload."""
+        return cls.binary(k, {good_nest})
+
+    @classmethod
+    def good_fraction(
+        cls, k: int, fraction: float, rng: np.random.Generator
+    ) -> "NestConfig":
+        """Random binary workload with roughly ``fraction * k`` good nests.
+
+        At least one nest is always good (the model requires it).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        n_good = max(1, int(round(fraction * k)))
+        good_ids = rng.choice(np.arange(1, k + 1), size=n_good, replace=False)
+        return cls.binary(k, set(int(i) for i in good_ids))
+
+    @classmethod
+    def graded(
+        cls,
+        qualities: list[float] | tuple[float, ...],
+        good_threshold: float = GOOD_THRESHOLD,
+    ) -> "NestConfig":
+        """Real-valued qualities in [0, 1] (Section 6 non-binary extension).
+
+        ``good_threshold`` controls only how the binary solution predicate
+        classifies the outcome; graded ants never consult it.
+        """
+        return cls(tuple(float(q) for q in qualities), good_threshold=good_threshold)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """The number of candidate nests."""
+        return len(self.qualities)
+
+    def quality(self, nest: NestId) -> Quality:
+        """Return ``q(nest)`` for candidate nest ``nest`` (1-based)."""
+        if not 1 <= nest <= self.k:
+            raise ConfigurationError(f"nest id {nest} out of range 1..{self.k}")
+        return float(self._array[nest - 1])
+
+    def is_good(self, nest: NestId) -> bool:
+        """Whether ``nest`` counts as suitable under the binary decision rule."""
+        return self.quality(nest) > self.good_threshold
+
+    @property
+    def good_nests(self) -> tuple[NestId, ...]:
+        """Ids of all good nests, ascending."""
+        return tuple(
+            int(i) for i in np.nonzero(self._array > self.good_threshold)[0] + 1
+        )
+
+    @property
+    def best_nest(self) -> NestId:
+        """Id of the highest-quality nest (lowest id wins ties)."""
+        return int(np.argmax(self._array)) + 1
+
+    def quality_array(self) -> np.ndarray:
+        """Read-only array of shape ``(k,)`` with ``q(1..k)``."""
+        return self._array

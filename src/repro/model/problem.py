@@ -1,0 +1,96 @@
+"""The HouseHunting problem statement and solution predicate.
+
+The paper: "An algorithm A solves the HouseHunting problem with k nests in
+T rounds with probability 1 − δ if, with probability 1 − δ over executions,
+there exists a nest i with q(i) = 1 such that ℓ(a, r) = i for all ants a and
+all rounds r ≥ T."
+
+As Section 4.2 concedes, algorithms in this model never literally pin every
+ant to a nest forever — ``recruit()`` physically relocates participants to
+the home nest each round, and Algorithm 2's final-state ants keep recruiting
+one another indefinitely.  The operational convergence notion used by the
+paper's own correctness arguments is *commitment*: every ant's chosen nest
+is the same good nest (and, where the algorithm defines one, every ant is in
+its terminal state).  :class:`HouseHuntingProblem` implements that predicate
+and classifies partial progress for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.model.ant import Ant
+from repro.model.nests import NestConfig
+from repro.types import NestId
+
+
+class SolutionStatus(Enum):
+    """Classification of a colony's progress toward solving HouseHunting."""
+
+    #: Every ant is committed to the same good nest (and settled, when the
+    #: algorithm defines a terminal state and ``require_settled`` is set).
+    SOLVED = "solved"
+    #: All ants agree on a single nest, but it is a bad nest.
+    AGREED_ON_BAD_NEST = "agreed_on_bad_nest"
+    #: Ants are committed to two or more distinct nests.
+    SPLIT = "split"
+    #: At least one ant has no commitment yet.
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class HouseHuntingProblem:
+    """The decision problem instance: ``n`` ants, ``k`` nests with qualities.
+
+    Parameters
+    ----------
+    n:
+        Colony size.
+    nests:
+        Candidate nest qualities.
+    require_settled:
+        If ``True``, :meth:`status` demands every ant's :attr:`settled` flag
+        in addition to unanimous commitment.  Used for Algorithm 2, whose
+        ``final`` state is the paper's termination marker.  Algorithm 3 has
+        no terminal state, so its runs use ``False``.
+    """
+
+    n: int
+    nests: NestConfig
+    require_settled: bool = False
+
+    @property
+    def k(self) -> int:
+        """Number of candidate nests."""
+        return self.nests.k
+
+    def status(self, ants: Sequence[Ant]) -> SolutionStatus:
+        """Classify the colony's current progress."""
+        commitments: set[NestId] = set()
+        for ant in ants:
+            nest = ant.committed_nest
+            if nest is None:
+                return SolutionStatus.UNDECIDED
+            commitments.add(nest)
+            if self.require_settled and not ant.settled:
+                return SolutionStatus.UNDECIDED
+        if len(commitments) > 1:
+            return SolutionStatus.SPLIT
+        (nest,) = commitments
+        if self.nests.is_good(nest):
+            return SolutionStatus.SOLVED
+        return SolutionStatus.AGREED_ON_BAD_NEST
+
+    def is_solved(self, ants: Sequence[Ant]) -> bool:
+        """Whether the colony currently satisfies the solution predicate."""
+        return self.status(ants) is SolutionStatus.SOLVED
+
+    def chosen_nest(self, ants: Sequence[Ant]) -> NestId | None:
+        """The unanimously chosen nest, or ``None`` if there is none."""
+        commitments = {ant.committed_nest for ant in ants}
+        if len(commitments) == 1:
+            (nest,) = commitments
+            return nest
+        return None

@@ -1,0 +1,47 @@
+"""Synchronous simulation engine: round loop, metrics, faults, noise.
+
+The engine executes the Section 2 model faithfully: each round it collects
+one action per ant, validates preconditions, resolves all moves
+simultaneously, runs the recruitment pairing (Algorithm 1) over the ants at
+the home nest, computes end-of-round counts, and only then delivers results
+back to the ants.  Perturbation layers (faults, measurement noise, delays)
+wrap ants or results without touching algorithm code, mirroring Section 6's
+robustness discussion.
+"""
+
+from repro.sim.asynchrony import DelayModel, DelayedAnt
+from repro.sim.convergence import (
+    CommittedToSingleGoodNest,
+    ConvergenceCriterion,
+    StableForRounds,
+)
+from repro.sim.engine import RoundRecord, Simulation, SimulationResult
+from repro.sim.faults import ByzantineAnt, CrashedAnt, CrashMode, FaultPlan
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.noise import CountNoise, NoisyAnt
+from repro.sim.rng import RandomSource
+from repro.sim.run import TrialStats, run_trial, run_trials
+from repro.sim.trace import EventTrace
+
+__all__ = [
+    "ByzantineAnt",
+    "CommittedToSingleGoodNest",
+    "ConvergenceCriterion",
+    "CountNoise",
+    "CrashMode",
+    "CrashedAnt",
+    "DelayModel",
+    "DelayedAnt",
+    "EventTrace",
+    "FaultPlan",
+    "MetricsRecorder",
+    "NoisyAnt",
+    "RandomSource",
+    "RoundRecord",
+    "Simulation",
+    "SimulationResult",
+    "StableForRounds",
+    "TrialStats",
+    "run_trial",
+    "run_trials",
+]

@@ -1,0 +1,127 @@
+"""Partial asynchrony as a perturbation layer (Section 6, "Asynchrony").
+
+The paper's algorithms assume lock-step rounds.  Section 6 conjectures
+Algorithm 3 keeps working "as long as the distribution of ants in candidate
+nests throughout time stays close to the distribution in the synchronous
+model".  :class:`DelayedAnt` tests exactly that: with probability
+``delay_probability`` per round the wrapped ant *stalls* — it holds its
+position (``go`` to its current candidate nest, or a passive ``recruit`` if
+it is at home) and its intended action is postponed to the next non-stalled
+round.  The action's eventual result therefore reflects a *later* round's
+counts, which is precisely the staleness a partially synchronous execution
+introduces.
+
+A stalled ant that gets recruited while idling at home ignores the
+information (the result of a filler action is discarded), modeling a
+tandem-run attempt on an unresponsive partner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.model.actions import (
+    Action,
+    ActionResult,
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.types import HOME_NEST, NestId
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Per-round, per-ant stall distribution."""
+
+    delay_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delay_probability < 1.0:
+            raise ConfigurationError("delay_probability must be in [0, 1)")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether delays never occur."""
+        return self.delay_probability == 0.0
+
+
+class DelayedAnt(Ant):
+    """Wrapper that randomly stalls its inner ant's actions."""
+
+    def __init__(self, inner: Ant, model: DelayModel, rng: np.random.Generator) -> None:
+        super().__init__(inner.ant_id, inner.n, inner.rng)
+        self.inner = inner
+        self.model = model
+        self._delay_rng = rng
+        self._pending: Action | None = None
+        self._executing_filler = False
+        self._location: NestId = HOME_NEST
+        self._last_candidate: NestId | None = None
+
+    def decide(self) -> Action:
+        if self._pending is None:
+            self._pending = self.inner.decide()
+        filler = self._filler_action()
+        stall = (
+            filler is not None
+            and self._delay_rng.random() < self.model.delay_probability
+        )
+        if stall:
+            self._executing_filler = True
+            return filler
+        self._executing_filler = False
+        action = self._pending
+        self._pending = None
+        return action
+
+    def _filler_action(self) -> Action | None:
+        """A legal hold-position action, or ``None`` if none exists yet.
+
+        Before the first search the ant has visited nothing, so it cannot
+        legally stall (``go``/``recruit`` need a visited nest); it simply is
+        never delayed on its first action.
+        """
+        if self._location != HOME_NEST:
+            return Go(self._location)
+        if self._last_candidate is not None:
+            return Recruit(False, self._last_candidate)
+        return None
+
+    def observe(self, result: ActionResult) -> None:
+        if isinstance(result, (SearchResult, GoResult)):
+            self._location = result.nest
+            self._last_candidate = result.nest
+        elif isinstance(result, RecruitResult):
+            self._location = HOME_NEST
+        if self._executing_filler:
+            # Result of a stall round: the inner machine never sees it.
+            self._executing_filler = False
+            return
+        self.inner.observe(result)
+
+    @property
+    def committed_nest(self) -> NestId | None:
+        return self.inner.committed_nest
+
+    @property
+    def settled(self) -> bool:
+        return self.inner.settled
+
+    def state_label(self) -> str:
+        return self.inner.state_label()
+
+
+def with_delays(
+    ants: list[Ant], model: DelayModel, rng: np.random.Generator
+) -> list[Ant]:
+    """Wrap a whole colony in :class:`DelayedAnt` (no-op for null model)."""
+    if model.is_null:
+        return list(ants)
+    return [DelayedAnt(ant, model, rng) for ant in ants]

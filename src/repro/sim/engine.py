@@ -1,0 +1,281 @@
+"""The synchronous round engine.
+
+One :class:`Simulation` drives one execution of the Section 2 model:
+
+1. **Decide** — every ant's ``decide()`` is called (in ant-id order) before
+   anything resolves, so no ant can react to another ant's same-round action.
+2. **Validate** — ``go``/``recruit`` preconditions are checked against the
+   environment's visited sets; violations raise
+   :class:`~repro.exceptions.ProtocolError`.
+3. **Move** — all location updates apply simultaneously: searchers land on
+   uniform random candidate nests, ``go(i)`` callers at ``i``, recruitment
+   participants at the home nest.
+4. **Match** — Algorithm 1 pairs the home-nest ants
+   (:func:`repro.model.recruitment.run_recruitment`).
+5. **Observe** — end-of-round counts ``c(·, r)`` are computed once and each
+   ant receives exactly the return value its call defines.
+6. **Record** — metrics/trace hooks fire and the convergence criterion is
+   evaluated on the new state.
+
+The engine is algorithm-agnostic: Algorithms 2 and 3, the lower-bound spread
+process, the baselines, and all Section 6 extension ants run unmodified on
+top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.model.actions import (
+    Action,
+    ActionResult,
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.model.environment import Environment, EnvironmentSnapshot
+from repro.model.problem import HouseHuntingProblem, SolutionStatus
+from repro.model.recruitment import MatchOutcome, RecruitRequest, run_recruitment
+from repro.sim.convergence import (
+    CommittedToSingleGoodNest,
+    ConvergenceCriterion,
+    is_faulty,
+)
+from repro.sim.rng import RandomSource
+from repro.types import HOME_NEST, NestId
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything that happened in one round, for hooks and analysis."""
+
+    round: int
+    actions: tuple[Action, ...]
+    match: MatchOutcome
+    snapshot: EnvironmentSnapshot
+    status: SolutionStatus
+
+    @property
+    def n_searching(self) -> int:
+        """Number of ants that called ``search()`` this round."""
+        return sum(1 for a in self.actions if isinstance(a, Search))
+
+    @property
+    def n_recruiting(self) -> int:
+        """Number of ants that called ``recruit(1, ·)`` this round."""
+        return sum(1 for a in self.actions if isinstance(a, Recruit) and a.active)
+
+    @property
+    def n_at_home(self) -> int:
+        """Home-nest population at end of round."""
+        return int(self.snapshot.counts[HOME_NEST])
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a completed :meth:`Simulation.run`."""
+
+    converged: bool
+    converged_round: int | None
+    rounds_executed: int
+    status: SolutionStatus
+    chosen_nest: NestId | None
+    final_counts: np.ndarray
+    history: tuple[RoundRecord, ...] = field(repr=False, default=())
+
+    @property
+    def rounds_to_convergence(self) -> int:
+        """Convergence round, or ``rounds_executed`` if never converged.
+
+        Convenient for aggregating censored observations in experiments; the
+        caller should check :attr:`converged` when censoring matters.
+        """
+        return self.converged_round if self.converged_round is not None else self.rounds_executed
+
+
+RoundHook = Callable[[RoundRecord], None]
+
+
+class Simulation:
+    """Synchronous execution of a colony on an environment.
+
+    Parameters
+    ----------
+    ants:
+        The colony, in ant-id order (``ants[i].ant_id == i`` is enforced).
+    environment:
+        World state; its ``n``/``k`` must match the colony.
+    random_source:
+        Seeded stream bundle; the engine uses its ``environment`` stream for
+        search destinations and its ``matcher`` stream for Algorithm 1.
+    criterion:
+        Convergence detector.  Defaults to
+        :class:`~repro.sim.convergence.CommittedToSingleGoodNest` over the
+        implied problem instance.
+    max_rounds:
+        Hard stop; a run that hits it reports ``converged=False``.
+    keep_history:
+        Retain every :class:`RoundRecord` on the result (memory-heavy for
+        large runs; hooks are the streaming alternative).
+    hooks:
+        Callables invoked with each round's record after it resolves.
+    """
+
+    def __init__(
+        self,
+        ants: Sequence[Ant],
+        environment: Environment,
+        random_source: RandomSource,
+        criterion: ConvergenceCriterion | None = None,
+        max_rounds: int = 100_000,
+        keep_history: bool = False,
+        hooks: Sequence[RoundHook] = (),
+    ) -> None:
+        if len(ants) != environment.n:
+            raise ConfigurationError(
+                f"colony size {len(ants)} != environment size {environment.n}"
+            )
+        for index, ant in enumerate(ants):
+            if ant.ant_id != index:
+                raise ConfigurationError(
+                    f"ants must be listed in id order; position {index} "
+                    f"holds ant {ant.ant_id}"
+                )
+        if max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.ants = list(ants)
+        self.environment = environment
+        self.problem = HouseHuntingProblem(environment.n, environment.nests)
+        self.criterion = criterion or CommittedToSingleGoodNest()
+        self.criterion.bind(self.problem)
+        self.max_rounds = max_rounds
+        self.keep_history = keep_history
+        self.hooks = list(hooks)
+        self._rng = random_source
+        self._history: list[RoundRecord] = []
+        self._converged_round: int | None = None
+
+    @property
+    def round(self) -> int:
+        """Number of completed rounds."""
+        return self.environment.round
+
+    @property
+    def converged_round(self) -> int | None:
+        """First round at which the criterion held, if any."""
+        return self._converged_round
+
+    # -- single round --------------------------------------------------------
+
+    def step(self) -> RoundRecord:
+        """Execute one synchronous round and return its record."""
+        env = self.environment
+        actions: list[Action] = [ant.decide() for ant in self.ants]
+
+        destinations = np.empty(env.n, dtype=np.int64)
+        requests: list[RecruitRequest] = []
+        for ant_id, action in enumerate(actions):
+            if isinstance(action, Search):
+                destinations[ant_id] = env.sample_search_destination(
+                    self._rng.environment
+                )
+            elif isinstance(action, Go):
+                env.check_go(ant_id, action.nest)
+                destinations[ant_id] = action.nest
+            elif isinstance(action, Recruit):
+                env.check_recruit(ant_id, action.nest)
+                destinations[ant_id] = HOME_NEST
+                requests.append(
+                    RecruitRequest(ant=ant_id, active=action.active, target=action.nest)
+                )
+            else:
+                raise TypeError(f"ant {ant_id} returned a non-action: {action!r}")
+
+        env.apply_moves(destinations)
+        match = run_recruitment(requests, self._rng.matcher)
+        # A recruited ant is led to the recruiter's nest (tandem run): it now
+        # knows that nest's location and may go()/recruit() to it later.
+        for recruitee in match.recruited_by:
+            env.mark_known(recruitee, match.assignments[recruitee])
+        counts = env.counts()
+
+        for ant_id, action in enumerate(actions):
+            self.ants[ant_id].observe(
+                self._build_result(action, ant_id, destinations, counts, match)
+            )
+
+        snapshot = env.snapshot()
+        status = self.problem.status(self.ants)
+        record = RoundRecord(
+            round=env.round,
+            actions=tuple(actions),
+            match=match,
+            snapshot=snapshot,
+            status=status,
+        )
+        if self.keep_history:
+            self._history.append(record)
+        for hook in self.hooks:
+            hook(record)
+        if self._converged_round is None and self.criterion.update(self.ants, record):
+            self._converged_round = env.round
+        return record
+
+    def _build_result(
+        self,
+        action: Action,
+        ant_id: int,
+        destinations: np.ndarray,
+        counts: np.ndarray,
+        match: MatchOutcome,
+    ) -> ActionResult:
+        """Assemble the model-defined return value for one ant's call."""
+        if isinstance(action, Search):
+            nest = int(destinations[ant_id])
+            return SearchResult(
+                nest=nest,
+                quality=self.environment.nests.quality(nest),
+                count=int(counts[nest]),
+            )
+        if isinstance(action, Go):
+            return GoResult(
+                nest=action.nest,
+                count=int(counts[action.nest]),
+                quality=self.environment.nests.quality(action.nest),
+            )
+        assert isinstance(action, Recruit)
+        return RecruitResult(
+            nest=match.assignments[ant_id],
+            home_count=int(counts[HOME_NEST]),
+        )
+
+    # -- full run --------------------------------------------------------------
+
+    def run(self, stop_when_converged: bool = True) -> SimulationResult:
+        """Run until convergence (plus criterion satisfaction) or ``max_rounds``."""
+        while self.round < self.max_rounds:
+            self.step()
+            if stop_when_converged and self._converged_round is not None:
+                break
+        status = self.problem.status(self.ants)
+        # The colony's decision is its healthy members' unanimous choice;
+        # fault-injected wrappers (crashed/Byzantine) cannot change their
+        # commitment and do not get a vote.
+        healthy = [ant for ant in self.ants if not is_faulty(ant)]
+        return SimulationResult(
+            converged=self._converged_round is not None,
+            converged_round=self._converged_round,
+            rounds_executed=self.round,
+            status=status,
+            chosen_nest=self.problem.chosen_nest(healthy or self.ants),
+            final_counts=self.environment.counts(),
+            history=tuple(self._history),
+        )

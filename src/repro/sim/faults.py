@@ -1,0 +1,232 @@
+"""Fault injection: crash and Byzantine ants (Section 6, "Fault tolerance").
+
+The paper conjectures Algorithm 3 tolerates "a small number of ants
+suffering from crash-faults or even malicious faults".  We make that
+testable by wrapping arbitrary ants:
+
+- :class:`CrashedAnt` runs its inner algorithm normally until a scheduled
+  crash round, then degenerates into one of two zombie behaviors that are
+  both legal under the model (an ant must still make one call per round):
+
+  - ``CrashMode.AT_NEST``: forever ``go(nest)`` to its last candidate nest —
+    the corpse *inflates that nest's population counts*;
+  - ``CrashMode.AT_HOME``: forever ``recruit(0, nest)`` — it soaks up other
+    ants' recruitment attempts and ignores what it is told.
+
+- :class:`ByzantineAnt` ignores its inner algorithm entirely and recruits to
+  the first (or first *bad*) nest it finds, every round, at full rate —
+  adversarial positive feedback against the colony's consensus.
+
+:class:`FaultPlan` builds a faulty colony from a healthy one with a chosen
+fault fraction and crash-time distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.model.actions import (
+    Action,
+    ActionResult,
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.types import GOOD_THRESHOLD, NestId
+
+
+class CrashMode(Enum):
+    """What a crashed ant's body does for the rest of the execution."""
+
+    AT_NEST = "at_nest"
+    AT_HOME = "at_home"
+
+
+class CrashedAnt(Ant):
+    """Wrapper that crash-stops its inner ant at ``crash_round``.
+
+    Until the crash the wrapper is transparent.  From the crash round on,
+    the inner ant is never consulted again; the zombie behavior depends on
+    :class:`CrashMode`.  If the ant crashes before ever reaching a candidate
+    nest it searches once (the model offers no legal "do nothing" call for
+    an ant with an empty visited set) and then freezes there.
+    """
+
+    def __init__(self, inner: Ant, crash_round: int, mode: CrashMode) -> None:
+        super().__init__(inner.ant_id, inner.n, inner.rng)
+        if crash_round < 1:
+            raise ConfigurationError(f"crash_round must be >= 1, got {crash_round}")
+        self.inner = inner
+        self.crash_round = crash_round
+        self.mode = mode
+        self._rounds_started = 0
+        self._last_candidate: NestId | None = None
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the crash round has been reached."""
+        return self._rounds_started >= self.crash_round
+
+    def decide(self) -> Action:
+        self._rounds_started += 1
+        if not self.crashed:
+            return self.inner.decide()
+        if self._last_candidate is None:
+            return Search()
+        if self.mode is CrashMode.AT_NEST:
+            return Go(self._last_candidate)
+        return Recruit(False, self._last_candidate)
+
+    def observe(self, result: ActionResult) -> None:
+        if isinstance(result, SearchResult):
+            self._last_candidate = result.nest
+        elif isinstance(result, GoResult):
+            self._last_candidate = result.nest
+        if self._rounds_started < self.crash_round:
+            self.inner.observe(result)
+        elif self._rounds_started == self.crash_round and not isinstance(
+            result, RecruitResult
+        ):
+            # The crash happened mid-round; remember where the body ended up
+            # but do not advance the inner state machine.
+            pass
+
+    @property
+    def committed_nest(self) -> NestId | None:
+        if self.crashed:
+            return self.inner.committed_nest or self._last_candidate
+        return self.inner.committed_nest
+
+    @property
+    def settled(self) -> bool:
+        # A dead ant never blocks convergence checks that exclude faulty
+        # ants; for the strict predicate it is simply never settled.
+        return False if self.crashed else self.inner.settled
+
+    def state_label(self) -> str:
+        return "crashed" if self.crashed else self.inner.state_label()
+
+
+class ByzantineAnt(Ant):
+    """Adversarial ant: recruits to a fixed nest at full rate, forever.
+
+    ``seek_bad=True`` makes it keep searching until it finds a nest whose
+    quality is bad (below ``GOOD_THRESHOLD``) and then push that nest; with
+    ``seek_bad=False`` it pushes the first nest it lands on.  If the world
+    contains no bad nest, the seeker gives up after ``max_search_rounds``
+    and pushes its last find (all-good worlds bound the search).
+    """
+
+    def __init__(
+        self,
+        ant_id: int,
+        n: int,
+        rng: np.random.Generator,
+        seek_bad: bool = True,
+        max_search_rounds: int = 64,
+    ) -> None:
+        super().__init__(ant_id, n, rng)
+        self.seek_bad = seek_bad
+        self.max_search_rounds = max_search_rounds
+        self._target: NestId | None = None
+        self._searches = 0
+
+    def decide(self) -> Action:
+        if self._target is None:
+            return Search()
+        return Recruit(True, self._target)
+
+    def observe(self, result: ActionResult) -> None:
+        if isinstance(result, SearchResult) and self._target is None:
+            self._searches += 1
+            is_bad = result.quality <= GOOD_THRESHOLD
+            give_up = self._searches >= self.max_search_rounds
+            if not self.seek_bad or is_bad or give_up:
+                self._target = result.nest
+
+    @property
+    def committed_nest(self) -> NestId | None:
+        return self._target
+
+    def state_label(self) -> str:
+        return "byzantine"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Recipe for turning a healthy colony into a faulty one.
+
+    Parameters
+    ----------
+    crash_fraction:
+        Fraction of ants that crash (uniformly chosen).
+    byzantine_fraction:
+        Fraction of ants replaced by :class:`ByzantineAnt`.
+    crash_round_range:
+        Crash times drawn uniformly from ``[lo, hi]`` inclusive.
+    crash_mode:
+        Zombie behavior for crashed ants.
+    """
+
+    crash_fraction: float = 0.0
+    byzantine_fraction: float = 0.0
+    crash_round_range: tuple[int, int] = (1, 20)
+    crash_mode: CrashMode = CrashMode.AT_HOME
+    seek_bad: bool = True
+
+    def __post_init__(self) -> None:
+        total = self.crash_fraction + self.byzantine_fraction
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ConfigurationError("crash_fraction must be in [0, 1]")
+        if not 0.0 <= self.byzantine_fraction <= 1.0:
+            raise ConfigurationError("byzantine_fraction must be in [0, 1]")
+        if total > 1.0:
+            raise ConfigurationError("total fault fraction exceeds 1")
+        lo, hi = self.crash_round_range
+        if lo < 1 or hi < lo:
+            raise ConfigurationError(f"invalid crash_round_range {self.crash_round_range}")
+
+    def n_crashed(self, n: int) -> int:
+        """Number of crash-faulty ants in a colony of ``n``."""
+        return int(round(self.crash_fraction * n))
+
+    def n_byzantine(self, n: int) -> int:
+        """Number of Byzantine ants in a colony of ``n``."""
+        return int(round(self.byzantine_fraction * n))
+
+    def apply(self, ants: Sequence[Ant], rng: np.random.Generator) -> list[Ant]:
+        """Return a new colony with faults injected per this plan.
+
+        Faulty ants are chosen uniformly without replacement; crashed ants
+        keep their inner algorithm until their crash round.
+        """
+        n = len(ants)
+        faulty_total = self.n_crashed(n) + self.n_byzantine(n)
+        if faulty_total == 0:
+            return list(ants)
+        chosen = rng.choice(n, size=faulty_total, replace=False)
+        crashed_ids = set(int(a) for a in chosen[: self.n_crashed(n)])
+        byzantine_ids = set(int(a) for a in chosen[self.n_crashed(n) :])
+        lo, hi = self.crash_round_range
+
+        colony: list[Ant] = []
+        for ant in ants:
+            if ant.ant_id in crashed_ids:
+                crash_round = int(rng.integers(lo, hi + 1))
+                colony.append(CrashedAnt(ant, crash_round, self.crash_mode))
+            elif ant.ant_id in byzantine_ids:
+                colony.append(
+                    ByzantineAnt(ant.ant_id, ant.n, ant.rng, seek_bad=self.seek_bad)
+                )
+            else:
+                colony.append(ant)
+        return colony

@@ -1,0 +1,127 @@
+"""Per-round measurement of a running simulation.
+
+:class:`MetricsRecorder` is a hook (see ``Simulation(hooks=...)``) that
+accumulates the time series the paper's analysis reasons about:
+
+- per-nest populations ``c(i, r)`` (the central quantity of Sections 4–5),
+- population *proportions* ``p(i, r) = c(i, r)/n`` (Section 5's notation),
+- counts of ants per control state (search/active/passive/final/...),
+- recruitment activity: participants, active recruiters, successful pairs.
+
+Everything is stored as plain lists during the run and exposed as numpy
+arrays afterwards, so the recorder adds O(k) work per round and the analysis
+layer gets cheap vectorized access.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.model.ant import Ant
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import RoundRecord
+
+
+class MetricsRecorder:
+    """Accumulates population/state/recruitment series over a run.
+
+    Parameters
+    ----------
+    ants:
+        The colony (observed, never mutated) for state labels.
+    record_states:
+        Collect per-round state-label histograms.  Costs one pass over the
+        colony per round; disable for large-``n`` timing runs.
+    """
+
+    def __init__(self, ants: Sequence[Ant], record_states: bool = True) -> None:
+        self._ants = ants
+        self._record_states = record_states
+        self._rounds: list[int] = []
+        self._counts: list[np.ndarray] = []
+        self._participants: list[int] = []
+        self._active_recruiters: list[int] = []
+        self._successful_pairs: list[int] = []
+        self._state_histograms: list[Counter[str]] = []
+
+    # -- hook ------------------------------------------------------------
+
+    def __call__(self, record: "RoundRecord") -> None:
+        """Engine hook: record one round."""
+        self._rounds.append(record.round)
+        self._counts.append(record.snapshot.counts.copy())
+        self._participants.append(len(record.match.assignments))
+        self._active_recruiters.append(record.n_recruiting)
+        self._successful_pairs.append(len(record.match.recruited_by))
+        if self._record_states:
+            self._state_histograms.append(
+                Counter(ant.state_label() for ant in self._ants)
+            )
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of recorded rounds."""
+        return len(self._rounds)
+
+    def rounds(self) -> np.ndarray:
+        """Recorded round numbers, shape ``(T,)``."""
+        return np.asarray(self._rounds, dtype=np.int64)
+
+    def population_matrix(self) -> np.ndarray:
+        """Counts ``c(i, r)`` as shape ``(T, k+1)`` (column 0 = home)."""
+        if not self._counts:
+            return np.zeros((0, 0), dtype=np.int64)
+        return np.vstack(self._counts)
+
+    def proportions(self) -> np.ndarray:
+        """Proportions ``p(i, r)`` as shape ``(T, k+1)`` (Section 5 notation)."""
+        matrix = self.population_matrix().astype(float)
+        if matrix.size == 0:
+            return matrix
+        totals = matrix.sum(axis=1, keepdims=True)
+        return matrix / np.maximum(totals, 1.0)
+
+    def nest_series(self, nest: int) -> np.ndarray:
+        """Population time series of one nest, shape ``(T,)``."""
+        return self.population_matrix()[:, nest]
+
+    def recruitment_series(self) -> dict[str, np.ndarray]:
+        """Participants, active recruiters and successful pairs per round."""
+        return {
+            "participants": np.asarray(self._participants, dtype=np.int64),
+            "active_recruiters": np.asarray(self._active_recruiters, dtype=np.int64),
+            "successful_pairs": np.asarray(self._successful_pairs, dtype=np.int64),
+        }
+
+    def state_counts(self, label: str) -> np.ndarray:
+        """Per-round count of ants whose ``state_label()`` equals ``label``."""
+        if not self._record_states:
+            raise ValueError("state recording was disabled for this recorder")
+        return np.asarray(
+            [histogram.get(label, 0) for histogram in self._state_histograms],
+            dtype=np.int64,
+        )
+
+    def state_labels(self) -> set[str]:
+        """All state labels observed during the run."""
+        labels: set[str] = set()
+        for histogram in self._state_histograms:
+            labels.update(histogram)
+        return labels
+
+    def surviving_nests(self, threshold: int = 1) -> np.ndarray:
+        """Per-round number of candidate nests with ≥ ``threshold`` ants.
+
+        This is the paper's ``k_r`` (number of still-competing nests) proxy,
+        measured from raw populations.
+        """
+        matrix = self.population_matrix()
+        if matrix.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return (matrix[:, 1:] >= threshold).sum(axis=1)

@@ -1,0 +1,140 @@
+"""Measurement noise (Section 6, "Approximate counting [and] nest assessment").
+
+Real ants estimate nest populations from encounter rates and nest quality
+from noisy sensing; the paper conjectures Algorithm 3 survives *unbiased*
+estimators of these quantities.  :class:`NoisyAnt` wraps any ant and
+perturbs the population counts and quality readings in the results it
+observes — the algorithm under test runs unchanged on distorted inputs.
+
+The default :class:`CountNoise` model produces an unbiased estimate
+``ĉ = c·(1 + σ_rel·Z) + σ_abs·Z'`` (``Z, Z'`` standard normal), rounded and
+clamped to ``[0, n]``.  Quality readings flip with probability
+``quality_flip_prob`` (binary model) — matching the paper's observation that
+"nest assessments by an individual ant are not always precise or rational".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.model.actions import (
+    Action,
+    ActionResult,
+    GoResult,
+    RecruitResult,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.types import NestId
+
+
+@dataclass(frozen=True)
+class CountNoise:
+    """Unbiased perturbation model for population counts and qualities.
+
+    Parameters
+    ----------
+    relative_sigma:
+        Standard deviation of the multiplicative error term.
+    absolute_sigma:
+        Standard deviation of the additive error term (in ants).
+    quality_flip_prob:
+        Probability a binary quality reading is inverted.
+    """
+
+    relative_sigma: float = 0.0
+    absolute_sigma: float = 0.0
+    quality_flip_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.relative_sigma < 0 or self.absolute_sigma < 0:
+            raise ConfigurationError("noise sigmas must be >= 0")
+        if not 0.0 <= self.quality_flip_prob <= 1.0:
+            raise ConfigurationError("quality_flip_prob must be in [0, 1]")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this model never changes anything."""
+        return (
+            self.relative_sigma == 0.0
+            and self.absolute_sigma == 0.0
+            and self.quality_flip_prob == 0.0
+        )
+
+    def perturb_count(self, count: int, n: int, rng: np.random.Generator) -> int:
+        """Noisy, unbiased, clamped version of a population count."""
+        value = float(count)
+        if self.relative_sigma > 0.0:
+            value *= 1.0 + self.relative_sigma * rng.standard_normal()
+        if self.absolute_sigma > 0.0:
+            value += self.absolute_sigma * rng.standard_normal()
+        return int(np.clip(round(value), 0, n))
+
+    def perturb_quality(self, quality: float, rng: np.random.Generator) -> float:
+        """Possibly-flipped binary quality reading."""
+        if self.quality_flip_prob > 0.0 and rng.random() < self.quality_flip_prob:
+            return 1.0 - quality
+        return quality
+
+
+class NoisyAnt(Ant):
+    """Wrapper feeding its inner ant noise-distorted observations."""
+
+    def __init__(self, inner: Ant, noise: CountNoise, rng: np.random.Generator) -> None:
+        super().__init__(inner.ant_id, inner.n, inner.rng)
+        self.inner = inner
+        self.noise = noise
+        self._noise_rng = rng
+
+    def decide(self) -> Action:
+        return self.inner.decide()
+
+    def observe(self, result: ActionResult) -> None:
+        self.inner.observe(self._distort(result))
+
+    def _distort(self, result: ActionResult) -> ActionResult:
+        if self.noise.is_null:
+            return result
+        rng = self._noise_rng
+        if isinstance(result, SearchResult):
+            return SearchResult(
+                nest=result.nest,
+                quality=self.noise.perturb_quality(result.quality, rng),
+                count=self.noise.perturb_count(result.count, self.n, rng),
+            )
+        if isinstance(result, GoResult):
+            return GoResult(
+                nest=result.nest,
+                count=self.noise.perturb_count(result.count, self.n, rng),
+                quality=self.noise.perturb_quality(result.quality, rng),
+            )
+        assert isinstance(result, RecruitResult)
+        # The recruited-nest id is *communication*, not measurement; only
+        # the home-count reading is subject to sensing noise.
+        return RecruitResult(
+            nest=result.nest,
+            home_count=self.noise.perturb_count(result.home_count, self.n, rng),
+        )
+
+    @property
+    def committed_nest(self) -> NestId | None:
+        return self.inner.committed_nest
+
+    @property
+    def settled(self) -> bool:
+        return self.inner.settled
+
+    def state_label(self) -> str:
+        return self.inner.state_label()
+
+
+def with_noise(
+    ants: list[Ant], noise: CountNoise, rng: np.random.Generator
+) -> list[Ant]:
+    """Wrap a whole colony in :class:`NoisyAnt` (no-op for null noise)."""
+    if noise.is_null:
+        return list(ants)
+    return [NoisyAnt(ant, noise, rng) for ant in ants]

@@ -1,0 +1,152 @@
+"""High-level trial runner: build → perturb → simulate → aggregate.
+
+Experiments in this reproduction are Monte-Carlo estimates over seeded
+trials.  :func:`run_trial` assembles one complete run (colony, environment,
+optional noise/fault/delay layers, criterion) from a single root seed;
+:func:`run_trials` repeats it over independent seeds and aggregates into
+:class:`TrialStats` (success rate with Wilson interval, convergence-round
+percentiles, chosen-nest histogram).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.model.ant import Ant
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.sim.asynchrony import DelayModel, with_delays
+from repro.sim.convergence import CommittedToSingleGoodNest, ConvergenceCriterion
+from repro.sim.engine import RoundHook, Simulation, SimulationResult
+from repro.sim.faults import FaultPlan
+from repro.sim.noise import CountNoise, with_noise
+from repro.sim.rng import RandomSource
+
+#: Builds one ant: ``factory(ant_id, n, rng) -> Ant``.
+AntFactory = Callable[[int, int, np.random.Generator], Ant]
+
+#: Builds a fresh criterion per trial (criteria are stateful).
+CriterionFactory = Callable[[], ConvergenceCriterion]
+
+
+def build_colony(factory: AntFactory, n: int, rng: np.random.Generator) -> list[Ant]:
+    """Construct ``n`` ants sharing the colony random stream."""
+    return [factory(ant_id, n, rng) for ant_id in range(n)]
+
+
+def run_trial(
+    factory: AntFactory,
+    n: int,
+    nests: NestConfig,
+    seed: int | RandomSource = 0,
+    max_rounds: int = 100_000,
+    criterion_factory: CriterionFactory | None = None,
+    noise: CountNoise | None = None,
+    fault_plan: FaultPlan | None = None,
+    delay_model: DelayModel | None = None,
+    hooks: Sequence[RoundHook] = (),
+    keep_history: bool = False,
+) -> SimulationResult:
+    """Run one fully-assembled simulation and return its result."""
+    source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
+    colony = build_colony(factory, n, source.colony)
+    if fault_plan is not None:
+        colony = fault_plan.apply(colony, source.faults)
+    if noise is not None:
+        colony = with_noise(colony, noise, source.noise)
+    if delay_model is not None:
+        colony = with_delays(colony, delay_model, source.delays)
+    environment = Environment(n, nests)
+    criterion = (
+        criterion_factory() if criterion_factory else CommittedToSingleGoodNest()
+    )
+    simulation = Simulation(
+        ants=colony,
+        environment=environment,
+        random_source=source,
+        criterion=criterion,
+        max_rounds=max_rounds,
+        keep_history=keep_history,
+        hooks=hooks,
+    )
+    return simulation.run()
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Aggregate of many independent trials of the same configuration."""
+
+    n_trials: int
+    n_converged: int
+    rounds: np.ndarray  # convergence rounds of converged trials only
+    censored_at: int  # max_rounds used (bound for non-converged trials)
+    chosen_nests: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of trials that converged to a good nest."""
+        return self.n_converged / self.n_trials if self.n_trials else 0.0
+
+    @property
+    def mean_rounds(self) -> float:
+        """Mean convergence round over converged trials (NaN if none)."""
+        return float(np.mean(self.rounds)) if len(self.rounds) else float("nan")
+
+    @property
+    def median_rounds(self) -> float:
+        """Median convergence round over converged trials (NaN if none)."""
+        return float(np.median(self.rounds)) if len(self.rounds) else float("nan")
+
+    @property
+    def max_rounds_observed(self) -> int:
+        """Worst converged trial (0 if none converged)."""
+        return int(self.rounds.max()) if len(self.rounds) else 0
+
+    def percentile(self, q: float) -> float:
+        """Percentile of convergence rounds over converged trials."""
+        return float(np.percentile(self.rounds, q)) if len(self.rounds) else float("nan")
+
+    def __str__(self) -> str:
+        return (
+            f"TrialStats(trials={self.n_trials}, success={self.success_rate:.3f}, "
+            f"median_rounds={self.median_rounds:.1f}, p95={self.percentile(95):.1f})"
+        )
+
+
+def run_trials(
+    factory: AntFactory,
+    n: int,
+    nests: NestConfig,
+    n_trials: int,
+    base_seed: int = 0,
+    **trial_kwargs,
+) -> TrialStats:
+    """Run ``n_trials`` independent trials and aggregate their outcomes.
+
+    Trial ``t`` uses the independent child source ``RandomSource(base_seed)
+    .trial(t)``, so adding trials never reshuffles earlier ones.  Keyword
+    arguments are forwarded to :func:`run_trial`.
+    """
+    root = RandomSource(base_seed)
+    rounds: list[int] = []
+    n_converged = 0
+    chosen: Counter[int] = Counter()
+    max_rounds = int(trial_kwargs.get("max_rounds", 100_000))
+    for index in range(n_trials):
+        result = run_trial(factory, n, nests, seed=root.trial(index), **trial_kwargs)
+        if result.converged:
+            n_converged += 1
+            rounds.append(result.converged_round)
+        if result.chosen_nest is not None:
+            chosen[result.chosen_nest] += 1
+    return TrialStats(
+        n_trials=n_trials,
+        n_converged=n_converged,
+        rounds=np.asarray(rounds, dtype=np.int64),
+        censored_at=max_rounds,
+        chosen_nests=dict(chosen),
+    )

@@ -1,0 +1,172 @@
+"""Structured event tracing for detailed run inspection.
+
+Where :class:`~repro.sim.metrics.MetricsRecorder` keeps aggregate series,
+:class:`EventTrace` records *individual* events — who searched where, who
+recruited whom, who changed control state — so tests and examples can replay
+causality ("ant 17 learned nest 3 from ant 4 in round 12").  Tracing every
+ant is O(n) per round; traces are opt-in and support filtering to a subset
+of ants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.model.actions import Go, Recruit, Search
+from repro.types import AntId, NestId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import RoundRecord
+
+
+@dataclass(frozen=True, slots=True)
+class SearchEvent:
+    """An ant searched and landed on ``nest``."""
+
+    round: int
+    ant: AntId
+    nest: NestId
+
+
+@dataclass(frozen=True, slots=True)
+class VisitEvent:
+    """An ant revisited ``nest`` via ``go``."""
+
+    round: int
+    ant: AntId
+    nest: NestId
+
+
+@dataclass(frozen=True, slots=True)
+class RecruitmentEvent:
+    """A successful pairing: ``recruiter`` led ``recruitee`` toward ``nest``.
+
+    Self-pairs (recruiter == recruitee) are recorded too; they represent the
+    model's "forced self-recruitment" and are useful when validating
+    Lemma 2.1 statistics.
+    """
+
+    round: int
+    recruiter: AntId
+    recruitee: AntId
+    nest: NestId
+
+
+@dataclass(frozen=True, slots=True)
+class AttemptEvent:
+    """An active recruitment attempt (``recruit(1, nest)``) by ``ant``."""
+
+    round: int
+    ant: AntId
+    nest: NestId
+    succeeded: bool
+
+
+Event = SearchEvent | VisitEvent | RecruitmentEvent | AttemptEvent
+
+
+class EventTrace:
+    """Engine hook that collects :class:`Event` records.
+
+    Parameters
+    ----------
+    ants_of_interest:
+        If given, only events whose subject ant (searcher, visitor,
+        recruiter, or recruitee) is in this set are kept.
+    """
+
+    def __init__(self, ants_of_interest: Iterable[AntId] | None = None) -> None:
+        self._filter = frozenset(ants_of_interest) if ants_of_interest is not None else None
+        self._events: list[Event] = []
+
+    def _keep(self, *ants: AntId) -> bool:
+        return self._filter is None or any(a in self._filter for a in ants)
+
+    def __call__(self, record: "RoundRecord") -> None:
+        """Engine hook: extract events from one round."""
+        r = record.round
+        recruited_by = record.match.recruited_by
+        successful = record.match.successful_recruiters
+        for ant_id, action in enumerate(record.actions):
+            if isinstance(action, Search):
+                nest = int(record.snapshot.locations[ant_id])
+                if self._keep(ant_id):
+                    self._events.append(SearchEvent(round=r, ant=ant_id, nest=nest))
+            elif isinstance(action, Go):
+                if self._keep(ant_id):
+                    self._events.append(VisitEvent(round=r, ant=ant_id, nest=action.nest))
+            elif isinstance(action, Recruit) and action.active:
+                if self._keep(ant_id):
+                    self._events.append(
+                        AttemptEvent(
+                            round=r,
+                            ant=ant_id,
+                            nest=action.nest,
+                            succeeded=ant_id in successful,
+                        )
+                    )
+        for recruitee, recruiter in recruited_by.items():
+            if self._keep(recruiter, recruitee):
+                self._events.append(
+                    RecruitmentEvent(
+                        round=r,
+                        recruiter=recruiter,
+                        recruitee=recruitee,
+                        nest=record.match.assignments[recruitee],
+                    )
+                )
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events(self, kind: type | None = None) -> list[Event]:
+        """All events, optionally restricted to one event class."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if isinstance(event, kind)]
+
+    def recruitments_of(self, ant: AntId) -> list[RecruitmentEvent]:
+        """Every recruitment in which ``ant`` was the recruitee."""
+        return [
+            event
+            for event in self._events
+            if isinstance(event, RecruitmentEvent) and event.recruitee == ant
+        ]
+
+    def informing_chain(self, ant: AntId) -> list[RecruitmentEvent]:
+        """Causal back-trace of how ``ant`` most recently learned its nest.
+
+        Walks recruiter links backwards from ``ant``'s last recruitment;
+        each hop only considers recruitments of the recruiter *strictly
+        before* the round it passed the information on, so the returned
+        chain (oldest-first) is causally ordered.  Stops at an ant that was
+        not recruited before that point (it learned its nest by searching)
+        or at a self-pair.
+        """
+        chain: list[RecruitmentEvent] = []
+        current = ant
+        before = float("inf")
+        seen: set[AntId] = set()
+        while current not in seen:
+            seen.add(current)
+            recruitments = [
+                event
+                for event in self.recruitments_of(current)
+                if event.round < before
+            ]
+            if not recruitments:
+                break
+            last = recruitments[-1]
+            chain.append(last)
+            if last.recruiter == current:
+                break
+            before = last.round
+            current = last.recruiter
+        chain.reverse()
+        return chain

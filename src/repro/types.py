@@ -1,0 +1,48 @@
+"""Shared type aliases and model constants.
+
+The vocabulary here mirrors Section 2 of the paper: nests are identified by
+integers ``0..k`` where ``0`` is the home nest, ants by integers ``0..n-1``,
+rounds are 1-based (round 1 is the initial search round), and qualities are
+floats in ``[0, 1]`` (the paper uses the binary set ``{0, 1}``; the
+non-binary extension of Section 6 uses the full interval).
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+#: Identifier of a nest.  ``HOME_NEST`` (0) is the home nest; candidate
+#: nests are ``1..k``.
+NestId: TypeAlias = int
+
+#: Identifier of an ant, in ``0..n-1``.
+AntId: TypeAlias = int
+
+#: 1-based round number.  Round 1 is the initial search round.
+Round: TypeAlias = int
+
+#: Nest quality.  The paper's base model uses ``{0.0, 1.0}``.
+Quality: TypeAlias = float
+
+#: The home nest identifier.
+HOME_NEST: NestId = 0
+
+#: Quality value of an unsuitable nest in the binary model.
+BAD_QUALITY: Quality = 0.0
+
+#: Quality value of a suitable nest in the binary model.
+GOOD_QUALITY: Quality = 1.0
+
+#: Default threshold above which a quality counts as "good" when mapping
+#: real-valued qualities onto the paper's binary accept/reject decision.
+GOOD_THRESHOLD: float = 0.5
+
+
+def is_home(nest: NestId) -> bool:
+    """Return ``True`` iff ``nest`` is the home nest."""
+    return nest == HOME_NEST
+
+
+def is_candidate(nest: NestId, k: int) -> bool:
+    """Return ``True`` iff ``nest`` is a valid candidate nest id for ``k`` nests."""
+    return 1 <= nest <= k

@@ -1,0 +1,6 @@
+"""Test suite for the house-hunting reproduction.
+
+This file makes ``tests`` a package so shared helpers (e.g.
+``tests.test_problem.StubAnt``) import identically under both ``pytest``
+and ``python -m pytest``.
+"""

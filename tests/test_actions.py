@@ -1,0 +1,66 @@
+"""Tests for action and result value objects."""
+
+import pytest
+
+from repro.model.actions import (
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+    action_kind,
+)
+
+
+class TestActions:
+    def test_search_describe(self):
+        assert Search().describe() == "search()"
+
+    def test_go_describe(self):
+        assert Go(3).describe() == "go(3)"
+
+    def test_recruit_describe_active(self):
+        assert Recruit(True, 2).describe() == "recruit(1, 2)"
+
+    def test_recruit_describe_passive(self):
+        assert Recruit(False, 5).describe() == "recruit(0, 5)"
+
+    def test_actions_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Go(1).nest = 2
+
+    def test_actions_are_hashable_values(self):
+        assert Go(1) == Go(1)
+        assert Recruit(True, 1) != Recruit(False, 1)
+        assert len({Search(), Search()}) == 1
+
+
+class TestActionKind:
+    def test_kinds(self):
+        assert action_kind(Search()) == "search"
+        assert action_kind(Go(1)) == "go"
+        assert action_kind(Recruit(True, 1)) == "recruit"
+
+    def test_non_action_rejected(self):
+        with pytest.raises(TypeError):
+            action_kind("search")
+
+
+class TestResults:
+    def test_search_result_fields(self):
+        result = SearchResult(nest=2, quality=1.0, count=7)
+        assert (result.nest, result.quality, result.count) == (2, 1.0, 7)
+
+    def test_go_result_default_quality(self):
+        # Binary-model algorithms ignore quality on go(); it defaults to 0.
+        assert GoResult(nest=1, count=3).quality == 0.0
+
+    def test_recruit_result_fields(self):
+        result = RecruitResult(nest=4, home_count=10)
+        assert result.nest == 4
+        assert result.home_count == 10
+
+    def test_results_are_immutable(self):
+        with pytest.raises(AttributeError):
+            SearchResult(1, 1.0, 1).count = 2

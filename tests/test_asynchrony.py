@@ -1,0 +1,131 @@
+"""Tests for the partial-asynchrony (delay) layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.colony import simple_factory
+from repro.core.simple import SimpleAnt
+from repro.exceptions import ConfigurationError
+from repro.model.actions import Go, Recruit, Search, SearchResult
+from repro.sim.asynchrony import DelayedAnt, DelayModel, with_delays
+from repro.sim.run import build_colony, run_trial
+
+
+class CountingAnt(SimpleAnt):
+    """SimpleAnt that counts how many results its FSM actually consumed."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.consumed = 0
+
+    def observe(self, result):
+        self.consumed += 1
+        super().observe(result)
+
+
+def make(delay, seed=0):
+    inner = CountingAnt(0, 16, np.random.default_rng(seed))
+    wrapper = DelayedAnt(inner, DelayModel(delay), np.random.default_rng(seed + 1))
+    return inner, wrapper
+
+
+class AlwaysStall:
+    """Deterministic stand-in for the delay stream: always stalls."""
+
+    @staticmethod
+    def random():
+        return 0.0
+
+
+class TestDelayModel:
+    def test_null(self):
+        assert DelayModel(0.0).is_null
+        assert not DelayModel(0.2).is_null
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DelayModel(-0.1)
+        with pytest.raises(ConfigurationError):
+            DelayModel(1.0)
+
+
+class TestDelayedAnt:
+    def test_first_action_never_delayed(self):
+        _, wrapper = make(delay=0.99)
+        assert isinstance(wrapper.decide(), Search)
+
+    def test_stalls_hold_position(self):
+        from repro.model.actions import GoResult
+
+        inner, wrapper = make(delay=0.99, seed=1)
+        wrapper.decide()
+        wrapper.observe(SearchResult(nest=2, quality=1.0, count=4))
+        wrapper._delay_rng = AlwaysStall()
+        for _ in range(3):
+            action = wrapper.decide()
+            assert action == Go(2)  # holding at the current nest
+            wrapper.observe(GoResult(nest=2, count=4, quality=1.0))
+        # The inner FSM consumed only the search result.
+        assert inner.consumed == 1
+
+    def test_filler_at_home_is_passive_recruit(self):
+        from repro.model.actions import RecruitResult
+
+        inner, wrapper = make(delay=0.0, seed=2)
+        wrapper.decide()
+        wrapper.observe(SearchResult(nest=3, quality=1.0, count=4))
+        action = wrapper.decide()  # recruit round executes normally
+        assert isinstance(action, Recruit)
+        wrapper.observe(RecruitResult(nest=3, home_count=16))
+        # Now force a stall while at home.
+        wrapper.model = DelayModel(0.99)
+        wrapper._delay_rng = AlwaysStall()
+        stall = wrapper.decide()
+        assert stall == Recruit(False, 3)
+
+    def test_deferred_action_eventually_executes(self):
+        from repro.model.actions import GoResult
+
+        inner, wrapper = make(delay=0.0, seed=4)
+        wrapper.decide()
+        wrapper.observe(SearchResult(nest=1, quality=1.0, count=4))
+        wrapper.model = DelayModel(0.99)
+        wrapper._delay_rng = AlwaysStall()
+        intended_seen = inner.consumed
+        # Stall a few rounds, then lift the delay: the postponed action runs.
+        for _ in range(3):
+            assert wrapper.decide() == Go(1)
+            wrapper.observe(GoResult(nest=1, count=4, quality=1.0))
+        assert inner.consumed == intended_seen
+        wrapper.model = DelayModel(0.0)
+        action = wrapper.decide()
+        assert isinstance(action, Recruit)  # the deferred recruit round
+
+    def test_delegation(self):
+        inner, wrapper = make(delay=0.5)
+        wrapper.decide()
+        wrapper.observe(SearchResult(nest=2, quality=1.0, count=4))
+        assert wrapper.committed_nest == inner.committed_nest
+        assert wrapper.state_label() == inner.state_label()
+
+
+class TestWithDelays:
+    def test_null_model_identity(self, rng):
+        colony = build_colony(simple_factory(), 4, rng)
+        assert with_delays(colony, DelayModel(0.0), rng) == colony
+
+    def test_wrapping(self, rng):
+        colony = build_colony(simple_factory(), 4, rng)
+        wrapped = with_delays(colony, DelayModel(0.3), rng)
+        assert all(isinstance(a, DelayedAnt) for a in wrapped)
+
+    def test_delayed_colony_converges(self, all_good_4):
+        result = run_trial(
+            simple_factory(),
+            64,
+            all_good_4,
+            seed=6,
+            max_rounds=8000,
+            delay_model=DelayModel(0.25),
+        )
+        assert result.converged

@@ -1,0 +1,44 @@
+"""Tests for the colony factories."""
+
+import numpy as np
+
+from repro.core.colony import (
+    informed_spread_factory,
+    optimal_factory,
+    simple_factory,
+)
+from repro.core.lower_bound import IgnorantPolicy, InformedSpreadAnt
+from repro.core.optimal import OptimalAnt
+from repro.core.simple import SimpleAnt
+from repro.sim.run import build_colony
+
+
+class TestFactories:
+    def test_simple(self, rng):
+        colony = build_colony(simple_factory(good_threshold=0.7), 3, rng)
+        assert all(isinstance(a, SimpleAnt) for a in colony)
+        assert all(a.good_threshold == 0.7 for a in colony)
+
+    def test_optimal(self, rng):
+        colony = build_colony(optimal_factory(strict_pseudocode=True), 3, rng)
+        assert all(isinstance(a, OptimalAnt) for a in colony)
+        assert all(a.strict_pseudocode for a in colony)
+
+    def test_optimal_defaults(self, rng):
+        colony = build_colony(optimal_factory(), 2, rng)
+        assert not colony[0].strict_pseudocode
+
+    def test_informed_spread(self, rng):
+        colony = build_colony(
+            informed_spread_factory(IgnorantPolicy.MIXED), 3, rng
+        )
+        assert all(isinstance(a, InformedSpreadAnt) for a in colony)
+        assert all(a.policy is IgnorantPolicy.MIXED for a in colony)
+
+    def test_ant_ids_sequential(self, rng):
+        colony = build_colony(simple_factory(), 4, rng)
+        assert [a.ant_id for a in colony] == [0, 1, 2, 3]
+
+    def test_shared_rng(self, rng):
+        colony = build_colony(simple_factory(), 4, rng)
+        assert all(a.rng is rng for a in colony)

@@ -1,0 +1,189 @@
+"""Tests for convergence criteria."""
+
+import numpy as np
+import pytest
+
+from repro.model.actions import Search
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.model.problem import HouseHuntingProblem
+from repro.sim.convergence import (
+    AllAntsAtOneNest,
+    CommittedToSingleGoodNest,
+    NeverConverges,
+    StableForRounds,
+    UnanimousCommitment,
+    is_faulty,
+)
+from repro.sim.engine import Simulation
+from repro.sim.faults import ByzantineAnt, CrashedAnt, CrashMode
+from repro.sim.noise import CountNoise, NoisyAnt
+from repro.sim.rng import RandomSource
+from tests.test_problem import StubAnt
+
+
+def make_record(ants, nests, counts=None):
+    """Build a minimal RoundRecord-alike for criterion unit tests."""
+    from repro.model.environment import EnvironmentSnapshot
+    from repro.model.recruitment import MatchOutcome
+    from repro.sim.engine import RoundRecord
+
+    problem = HouseHuntingProblem(len(ants), nests)
+    counts = (
+        np.asarray(counts)
+        if counts is not None
+        else np.zeros(nests.k + 1, dtype=np.int64)
+    )
+    snapshot = EnvironmentSnapshot(
+        round=1, counts=counts, locations=np.zeros(len(ants), dtype=np.int64)
+    )
+    return RoundRecord(
+        round=1,
+        actions=tuple(Search() for _ in ants),
+        match=MatchOutcome({}, {}, frozenset()),
+        snapshot=snapshot,
+        status=problem.status(ants),
+    )
+
+
+@pytest.fixture
+def nests():
+    return NestConfig.binary(3, {1})
+
+
+class TestCommittedToSingleGoodNest:
+    def test_solved(self, nests):
+        ants = [StubAnt(i, 1) for i in range(3)]
+        criterion = CommittedToSingleGoodNest()
+        assert criterion.update(ants, make_record(ants, nests))
+
+    def test_bad_nest_agreement_is_not_solved(self, nests):
+        ants = [StubAnt(i, 2) for i in range(3)]
+        criterion = CommittedToSingleGoodNest()
+        assert not criterion.update(ants, make_record(ants, nests))
+
+    def test_require_settled(self, nests):
+        ants = [StubAnt(0, 1, settled=True), StubAnt(1, 1, settled=False)]
+        criterion = CommittedToSingleGoodNest(require_settled=True)
+        assert not criterion.update(ants, make_record(ants, nests))
+
+    def test_exclude_faulty_ignores_crashed(self, nests):
+        healthy = [StubAnt(i, 1) for i in range(2)]
+        zombie = CrashedAnt(StubAnt(2, 2), crash_round=1, mode=CrashMode.AT_HOME)
+        zombie._rounds_started = 5  # simulate having crashed
+        ants = healthy + [zombie]
+        criterion = CommittedToSingleGoodNest(exclude_faulty=True)
+        criterion.bind(HouseHuntingProblem(3, nests))
+        assert criterion.update(ants, make_record(ants, nests))
+
+    def test_exclude_faulty_requires_bound_problem(self, nests):
+        ants = [StubAnt(0, 1)]
+        criterion = CommittedToSingleGoodNest(exclude_faulty=True)
+        with pytest.raises(RuntimeError):
+            criterion.update(ants, make_record(ants, nests))
+
+
+class TestIsFaulty:
+    def test_healthy_ant(self):
+        assert not is_faulty(StubAnt(0, 1))
+
+    def test_crashed_ant(self):
+        zombie = CrashedAnt(StubAnt(0, 1), crash_round=1, mode=CrashMode.AT_NEST)
+        assert not is_faulty(zombie)  # not yet crashed
+        zombie._rounds_started = 1
+        assert is_faulty(zombie)
+
+    def test_byzantine_ant(self):
+        byz = ByzantineAnt(0, 4, np.random.default_rng(0))
+        assert is_faulty(byz)
+
+    def test_sees_through_wrappers(self):
+        zombie = CrashedAnt(StubAnt(0, 1), crash_round=1, mode=CrashMode.AT_HOME)
+        zombie._rounds_started = 2
+        wrapped = NoisyAnt(
+            zombie, CountNoise(relative_sigma=0.1), np.random.default_rng(0)
+        )
+        assert is_faulty(wrapped)
+
+
+class TestUnanimousCommitment:
+    def test_accepts_bad_nest_agreement(self, nests):
+        ants = [StubAnt(i, 2) for i in range(3)]
+        assert UnanimousCommitment().update(ants, make_record(ants, nests))
+
+    def test_rejects_split(self, nests):
+        ants = [StubAnt(0, 1), StubAnt(1, 2)]
+        assert not UnanimousCommitment().update(ants, make_record(ants, nests))
+
+
+class TestStableForRounds:
+    def test_requires_consecutive_holds(self, nests):
+        ants = [StubAnt(i, 1) for i in range(2)]
+        criterion = StableForRounds(CommittedToSingleGoodNest(), window=3)
+        record = make_record(ants, nests)
+        assert not criterion.update(ants, record)
+        assert not criterion.update(ants, record)
+        assert criterion.update(ants, record)
+
+    def test_streak_resets(self, nests):
+        good = [StubAnt(i, 1) for i in range(2)]
+        split = [StubAnt(0, 1), StubAnt(1, 2)]
+        criterion = StableForRounds(CommittedToSingleGoodNest(), window=2)
+        assert not criterion.update(good, make_record(good, nests))
+        assert not criterion.update(split, make_record(split, nests))
+        assert not criterion.update(good, make_record(good, nests))
+        assert criterion.update(good, make_record(good, nests))
+
+    def test_reset(self, nests):
+        ants = [StubAnt(i, 1) for i in range(2)]
+        criterion = StableForRounds(CommittedToSingleGoodNest(), window=2)
+        criterion.update(ants, make_record(ants, nests))
+        criterion.reset()
+        assert not criterion.update(ants, make_record(ants, nests))
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            StableForRounds(NeverConverges(), window=0)
+
+
+class TestAllAntsAtOneNest:
+    def test_all_at_one(self, nests):
+        ants = [StubAnt(i, 1) for i in range(4)]
+        record = make_record(ants, nests, counts=[0, 4, 0, 0])
+        assert AllAntsAtOneNest().update(ants, record)
+
+    def test_someone_home(self, nests):
+        ants = [StubAnt(i, 1) for i in range(4)]
+        record = make_record(ants, nests, counts=[1, 3, 0, 0])
+        assert not AllAntsAtOneNest().update(ants, record)
+
+    def test_two_nests_occupied(self, nests):
+        ants = [StubAnt(i, 1) for i in range(4)]
+        record = make_record(ants, nests, counts=[0, 2, 2, 0])
+        assert not AllAntsAtOneNest().update(ants, record)
+
+
+class TestNeverConverges:
+    def test_never(self, nests):
+        ants = [StubAnt(i, 1) for i in range(2)]
+        criterion = NeverConverges()
+        assert not criterion.update(ants, make_record(ants, nests))
+
+
+class TestEngineIntegration:
+    def test_never_converges_runs_to_cap(self, nests):
+        from repro.core.colony import simple_factory
+        from repro.sim.run import build_colony
+
+        source = RandomSource(1)
+        colony = build_colony(simple_factory(), 16, source.colony)
+        sim = Simulation(
+            colony,
+            Environment(16, nests),
+            source,
+            criterion=NeverConverges(),
+            max_rounds=30,
+        )
+        result = sim.run()
+        assert result.rounds_executed == 30
+        assert not result.converged

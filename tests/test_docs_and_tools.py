@@ -1,0 +1,50 @@
+"""Documentation artifacts and the EXPERIMENTS.md build tool."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestDocumentationArtifacts:
+    def test_required_docs_exist(self):
+        for name in ("README.md", "DESIGN.md", "docs/MODEL.md"):
+            assert (ROOT / name).is_file(), name
+
+    def test_design_md_covers_all_experiments(self):
+        text = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for eid in ("E1", "E4b", "E7", "E14"):
+            assert f"| {eid} " in text, eid
+
+    def test_readme_quickstart_is_current_api(self):
+        text = (ROOT / "README.md").read_text(encoding="utf-8")
+        assert "run_trial(simple_factory()" in text
+        assert "NestConfig.binary" in text
+
+    def test_template_markers_match_registry(self):
+        from repro.analysis.experiments import EXPERIMENTS
+
+        template = (ROOT / "tools" / "EXPERIMENTS.template.md").read_text(
+            encoding="utf-8"
+        )
+        # Every registered experiment id appears in the template (E3a/E3b
+        # share the E3 table).
+        base_ids = {eid.rstrip("ab") if eid != "E4b" else "E4b" for eid in EXPERIMENTS}
+        for eid in base_ids:
+            assert f"TABLE:{eid}" in template or eid in ("E3a", "E3b"), eid
+
+
+class TestBuildTool:
+    def test_build_inlines_available_tables(self, tmp_path):
+        process = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "build_experiments_md.py")],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert process.returncode == 0, process.stderr
+        output = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert "paper vs. measured" in output
+        # At least some tables must be inlined as fenced blocks.
+        assert output.count("```text") >= 5

@@ -1,0 +1,211 @@
+"""Tests for the synchronous round engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.model.actions import (
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.ant import Ant
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.sim.engine import Simulation
+from repro.sim.rng import RandomSource
+
+
+class ScriptedAnt(Ant):
+    """Plays back a fixed action list and records everything it observes."""
+
+    def __init__(self, ant_id, n, rng, script):
+        super().__init__(ant_id, n, rng)
+        self.script = list(script)
+        self.observed = []
+        self._step = 0
+
+    def decide(self):
+        action = self.script[self._step]
+        self._step += 1
+        return action
+
+    def observe(self, result):
+        self.observed.append(result)
+
+    @property
+    def committed_nest(self):
+        return None
+
+
+def make_sim(scripts, nests=None, seed=0, **kwargs):
+    nests = nests or NestConfig.all_good(4)
+    n = len(scripts)
+    source = RandomSource(seed)
+    ants = [
+        ScriptedAnt(i, n, source.colony, script) for i, script in enumerate(scripts)
+    ]
+    sim = Simulation(ants, Environment(n, nests), source, **kwargs)
+    return sim, ants
+
+
+class TestRoundMechanics:
+    def test_search_round_places_everyone_at_candidates(self):
+        sim, ants = make_sim([[Search()]] * 6)
+        record = sim.step()
+        assert record.snapshot.counts[0] == 0
+        assert record.snapshot.counts[1:].sum() == 6
+        for ant in ants:
+            result = ant.observed[0]
+            assert isinstance(result, SearchResult)
+            assert 1 <= result.nest <= 4
+
+    def test_search_result_reports_end_of_round_count(self):
+        sim, ants = make_sim([[Search()]] * 12)
+        record = sim.step()
+        for ant_id, ant in enumerate(ants):
+            result = ant.observed[0]
+            assert result.count == record.snapshot.counts[result.nest]
+
+    def test_search_result_reports_quality(self, mixed_nests):
+        sim, ants = make_sim([[Search()]] * 8, nests=mixed_nests)
+        sim.step()
+        for ant in ants:
+            result = ant.observed[0]
+            expected = 1.0 if result.nest in (1, 3) else 0.0
+            assert result.quality == expected
+
+    def test_go_revisits_and_counts(self):
+        scripts = [[Search(), None]] * 3
+        sim, ants = make_sim(scripts)
+        sim.step()
+        for ant in ants:
+            ant.script[1] = Go(ant.observed[0].nest)
+        record = sim.step()
+        for ant in ants:
+            result = ant.observed[1]
+            assert isinstance(result, GoResult)
+            assert result.count == record.snapshot.counts[result.nest]
+            assert result.quality == 1.0
+
+    def test_recruit_places_participants_home(self):
+        scripts = [[Search(), None]] * 4
+        sim, ants = make_sim(scripts)
+        sim.step()
+        for ant in ants:
+            ant.script[1] = Recruit(False, ant.observed[0].nest)
+        record = sim.step()
+        assert record.snapshot.counts[0] == 4
+        for ant in ants:
+            result = ant.observed[1]
+            assert isinstance(result, RecruitResult)
+            assert result.home_count == 4
+
+    def test_active_recruitment_transfers_nest_id(self):
+        # One recruiter among passives: recruited ants learn its nest.
+        scripts = [[Search(), None]] * 5
+        sim, ants = make_sim(scripts, seed=3)
+        sim.step()
+        recruiter_nest = ants[0].observed[0].nest
+        ants[0].script[1] = Recruit(True, recruiter_nest)
+        for ant in ants[1:]:
+            ant.script[1] = Recruit(False, ant.observed[0].nest)
+        record = sim.step()
+        recruited = record.match.recruited_by
+        assert len(recruited) == 1
+        (recruitee,) = [a for a in recruited if recruited[a] == 0]
+        assert ants[recruitee].observed[1].nest == recruiter_nest
+
+    def test_recruited_ant_learns_location(self):
+        # After being recruited, go() to the recruiter's nest is legal.
+        scripts = [[Search(), None, None]] * 5
+        sim, ants = make_sim(scripts, seed=3)
+        sim.step()
+        ants[0].script[1] = Recruit(True, ants[0].observed[0].nest)
+        for ant in ants[1:]:
+            ant.script[1] = Recruit(False, ant.observed[0].nest)
+        record = sim.step()
+        (recruitee,) = record.match.recruited_by
+        target = ants[recruitee].observed[1].nest
+        for ant_id, ant in enumerate(ants):
+            ant.script[2] = (
+                Go(target) if ant_id == recruitee else Go(ant.observed[0].nest)
+            )
+        sim.step()  # must not raise ProtocolError
+
+
+class TestValidation:
+    def test_go_unknown_nest_raises(self):
+        sim, _ = make_sim([[Go(1)]])
+        with pytest.raises(ProtocolError):
+            sim.step()
+
+    def test_recruit_unknown_nest_raises(self):
+        sim, _ = make_sim([[Recruit(True, 2)]])
+        with pytest.raises(ProtocolError):
+            sim.step()
+
+    def test_non_action_raises(self):
+        sim, _ = make_sim([["hop"]])
+        with pytest.raises(TypeError):
+            sim.step()
+
+    def test_colony_size_mismatch(self, mixed_nests):
+        source = RandomSource(0)
+        ants = [ScriptedAnt(0, 2, source.colony, [Search()])]
+        with pytest.raises(ConfigurationError):
+            Simulation(ants, Environment(2, mixed_nests), source)
+
+    def test_ant_order_enforced(self, mixed_nests):
+        source = RandomSource(0)
+        ants = [
+            ScriptedAnt(1, 2, source.colony, [Search()]),
+            ScriptedAnt(0, 2, source.colony, [Search()]),
+        ]
+        with pytest.raises(ConfigurationError, match="id order"):
+            Simulation(ants, Environment(2, mixed_nests), source)
+
+    def test_max_rounds_must_be_positive(self, mixed_nests):
+        source = RandomSource(0)
+        ants = [ScriptedAnt(0, 1, source.colony, [Search()])]
+        with pytest.raises(ConfigurationError):
+            Simulation(ants, Environment(1, mixed_nests), source, max_rounds=0)
+
+
+class TestHooksAndHistory:
+    def test_hooks_called_each_round(self):
+        calls = []
+        sim, _ = make_sim([[Search(), Search()]] * 2, hooks=[calls.append])
+        sim.step()
+        sim.step()
+        assert [record.round for record in calls] == [1, 2]
+
+    def test_history_kept_when_requested(self):
+        sim, _ = make_sim(
+            [[Search(), Search()]] * 2, keep_history=True, max_rounds=2
+        )
+        result = sim.run()
+        assert len(result.history) == 2
+        assert result.history[0].round == 1
+
+    def test_run_respects_max_rounds(self):
+        sim, _ = make_sim([[Search()] * 5] * 2, max_rounds=5)
+        result = sim.run()
+        assert result.rounds_executed == 5
+        assert not result.converged
+        assert result.converged_round is None
+
+    def test_round_record_counts_searchers_and_recruiters(self):
+        scripts = [[Search(), None]] * 3
+        sim, ants = make_sim(scripts)
+        record = sim.step()
+        assert record.n_searching == 3
+        assert record.n_recruiting == 0
+        for ant in ants:
+            ant.script[1] = Recruit(True, ant.observed[0].nest)
+        record = sim.step()
+        assert record.n_recruiting == 3
+        assert record.n_at_home == 3

@@ -1,0 +1,75 @@
+"""Additional engine behaviors: post-convergence running, result fields."""
+
+import numpy as np
+
+from repro.core.colony import simple_factory
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.sim.engine import Simulation
+from repro.sim.rng import RandomSource
+from repro.sim.run import build_colony
+
+
+def build_sim(n=24, k=3, seed=4, max_rounds=400):
+    source = RandomSource(seed)
+    colony = build_colony(simple_factory(), n, source.colony)
+    return Simulation(
+        colony, Environment(n, NestConfig.all_good(k)), source,
+        max_rounds=max_rounds,
+    )
+
+
+class TestRunModes:
+    def test_stop_when_converged_false_runs_to_cap(self):
+        sim = build_sim(max_rounds=120)
+        result = sim.run(stop_when_converged=False)
+        assert result.rounds_executed == 120
+        # The criterion still recorded the first convergence round.
+        assert result.converged
+        assert result.converged_round < 120
+
+    def test_converged_round_is_sticky(self):
+        sim = build_sim(max_rounds=200)
+        result = sim.run(stop_when_converged=False)
+        first = result.converged_round
+        # Continuing the same simulation does not move the recorded round.
+        sim.max_rounds = 220
+        sim.run(stop_when_converged=False)
+        assert sim.converged_round == first
+
+    def test_rounds_to_convergence_converged_case(self):
+        sim = build_sim()
+        result = sim.run()
+        assert result.rounds_to_convergence == result.converged_round
+
+    def test_stepwise_equals_run(self):
+        a = build_sim(seed=9)
+        b = build_sim(seed=9)
+        result_a = a.run()
+        while b.converged_round is None and b.round < b.max_rounds:
+            b.step()
+        assert b.converged_round == result_a.converged_round
+
+
+class TestResultFields:
+    def test_final_counts_sum_to_n(self):
+        result = build_sim().run()
+        assert result.final_counts.sum() == 24
+
+    def test_unanimity_after_convergence(self):
+        sim = build_sim()
+        result = sim.run()
+        commitments = {ant.committed_nest for ant in sim.ants}
+        assert commitments == {result.chosen_nest}
+
+    def test_match_outcome_pairs_property(self):
+        sim = build_sim(seed=11)
+        sim.step()  # search round: no recruitment
+        record = sim.step()  # first recruitment round
+        pairs = record.match.pairs
+        assert all(len(pair) == 2 for pair in pairs)
+        assert len(pairs) == len(record.match.recruited_by)
+        recruiters = {recruiter for recruiter, _ in pairs}
+        assert recruiters <= set(
+            record.match.successful_recruiters
+        ) | {r for r, e in pairs if r == e}

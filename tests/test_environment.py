@@ -1,0 +1,137 @@
+"""Tests for the environment substrate (locations, known nests, counts)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.types import HOME_NEST
+
+
+class TestInitialState:
+    def test_everyone_starts_at_home(self, small_environment):
+        assert all(
+            small_environment.location_of(a) == HOME_NEST
+            for a in range(small_environment.n)
+        )
+
+    def test_initial_counts(self, small_environment):
+        counts = small_environment.counts()
+        assert counts[HOME_NEST] == small_environment.n
+        assert counts[1:].sum() == 0
+
+    def test_home_is_always_known(self, small_environment):
+        assert small_environment.knows(0, HOME_NEST)
+
+    def test_candidates_initially_unknown(self, small_environment):
+        assert not any(small_environment.knows(0, i) for i in range(1, 5))
+
+    def test_round_starts_at_zero(self, small_environment):
+        assert small_environment.round == 0
+
+    def test_rejects_empty_colony(self, mixed_nests):
+        with pytest.raises(ConfigurationError):
+            Environment(0, mixed_nests)
+
+
+class TestMoves:
+    def test_apply_moves_updates_locations_and_round(self, small_environment):
+        destinations = np.array([1, 2, 3, 4, 0, 0])
+        small_environment.apply_moves(destinations)
+        assert small_environment.location_of(0) == 1
+        assert small_environment.location_of(4) == HOME_NEST
+        assert small_environment.round == 1
+
+    def test_apply_moves_marks_known(self, small_environment):
+        small_environment.apply_moves(np.array([1, 2, 3, 4, 0, 0]))
+        assert small_environment.knows(0, 1)
+        assert not small_environment.knows(0, 2)
+
+    def test_counts_after_moves(self, small_environment):
+        small_environment.apply_moves(np.array([1, 1, 1, 2, 0, 0]))
+        counts = small_environment.counts()
+        assert counts.tolist() == [2, 3, 1, 0, 0]
+
+    def test_count_at(self, small_environment):
+        small_environment.apply_moves(np.array([1, 1, 2, 2, 2, 0]))
+        assert small_environment.count_at(2) == 3
+
+    def test_wrong_shape_rejected(self, small_environment):
+        with pytest.raises(ConfigurationError):
+            small_environment.apply_moves(np.array([1, 2]))
+
+    def test_out_of_range_destination_rejected(self, small_environment):
+        with pytest.raises(ConfigurationError):
+            small_environment.apply_moves(np.array([1, 2, 3, 4, 5, 0]))
+
+
+class TestPreconditions:
+    def test_go_requires_known_nest(self, small_environment):
+        with pytest.raises(ProtocolError, match="unknown"):
+            small_environment.check_go(0, 1)
+
+    def test_go_after_visit_allowed(self, small_environment):
+        small_environment.apply_moves(np.array([1, 0, 0, 0, 0, 0]))
+        small_environment.check_go(0, 1)  # must not raise
+
+    def test_go_home_forbidden(self, small_environment):
+        with pytest.raises(ProtocolError, match="go\\(0\\)"):
+            small_environment.check_go(0, HOME_NEST)
+
+    def test_go_out_of_range(self, small_environment):
+        with pytest.raises(ProtocolError):
+            small_environment.check_go(0, 9)
+
+    def test_recruit_requires_known_nest(self, small_environment):
+        with pytest.raises(ProtocolError):
+            small_environment.check_recruit(2, 3)
+
+    def test_recruit_out_of_range(self, small_environment):
+        with pytest.raises(ProtocolError):
+            small_environment.check_recruit(0, 0)
+
+    def test_mark_known_enables_go(self, small_environment):
+        # Recruitment teaches locations (DESIGN.md §3.7).
+        small_environment.mark_known(3, 2)
+        small_environment.check_go(3, 2)
+        small_environment.check_recruit(3, 2)
+
+
+class TestSnapshot:
+    def test_snapshot_contents(self, small_environment):
+        small_environment.apply_moves(np.array([1, 2, 0, 0, 0, 0]))
+        snapshot = small_environment.snapshot()
+        assert snapshot.round == 1
+        assert snapshot.counts.tolist() == [4, 1, 1, 0, 0]
+        assert snapshot.count_at(1) == 1
+
+    def test_snapshot_is_immutable(self, small_environment):
+        snapshot = small_environment.snapshot()
+        with pytest.raises(ValueError):
+            snapshot.counts[0] = 99
+
+    def test_snapshot_detached_from_environment(self, small_environment):
+        snapshot = small_environment.snapshot()
+        small_environment.apply_moves(np.array([1, 1, 1, 1, 1, 1]))
+        assert snapshot.counts[HOME_NEST] == 6
+
+
+class TestSearchSampling:
+    def test_destination_range(self, small_environment, rng):
+        draws = [
+            small_environment.sample_search_destination(rng) for _ in range(200)
+        ]
+        assert min(draws) >= 1
+        assert max(draws) <= small_environment.k
+
+    def test_batch_destinations(self, small_environment, rng):
+        draws = small_environment.sample_search_destinations(500, rng)
+        assert draws.shape == (500,)
+        # Uniformity sanity: every nest hit at least once in 500 draws.
+        assert set(np.unique(draws)) == {1, 2, 3, 4}
+
+    def test_known_matrix_copy(self, small_environment):
+        matrix = small_environment.known_matrix()
+        matrix[:] = True
+        assert not small_environment.knows(0, 1)

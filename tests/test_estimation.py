@@ -1,0 +1,108 @@
+"""Tests for the low-level sensing subroutines (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.extensions.estimation import (
+    BuffonNeedleEstimator,
+    EncounterNoise,
+    EncounterRateEstimator,
+)
+
+
+class TestEncounterRateEstimator:
+    def test_unbiased(self, rng):
+        estimator = EncounterRateEstimator(trials=64, capacity=512)
+        samples = [estimator.sample(100, rng) for _ in range(3000)]
+        assert abs(np.mean(samples) - 100) < 5.0
+
+    def test_more_trials_tighter_estimates(self, rng):
+        coarse = EncounterRateEstimator(trials=8, capacity=512)
+        fine = EncounterRateEstimator(trials=512, capacity=512)
+        coarse_std = np.std([coarse.sample(100, rng) for _ in range(1500)])
+        fine_std = np.std([fine.sample(100, rng) for _ in range(1500)])
+        assert fine_std < coarse_std / 2
+
+    def test_standard_error_formula(self, rng):
+        estimator = EncounterRateEstimator(trials=64, capacity=512)
+        predicted = estimator.standard_error(100)
+        observed = np.std([estimator.sample(100, rng) for _ in range(4000)])
+        assert abs(observed - predicted) < 0.2 * predicted
+
+    def test_zero_count(self, rng):
+        estimator = EncounterRateEstimator(trials=16, capacity=64)
+        assert estimator.sample(0, rng) == 0
+
+    def test_saturated_count(self, rng):
+        estimator = EncounterRateEstimator(trials=16, capacity=64)
+        assert estimator.sample(64, rng) == 64
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            EncounterRateEstimator(trials=0)
+        with pytest.raises(ConfigurationError):
+            EncounterRateEstimator(capacity=0)
+        estimator = EncounterRateEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.sample(-1, rng)
+
+
+class TestBuffonNeedleEstimator:
+    def test_expected_crossings_inverse_in_area(self):
+        estimator = BuffonNeedleEstimator(40.0, 40.0)
+        small = estimator.expected_crossings(50.0)
+        large = estimator.expected_crossings(200.0)
+        assert small == pytest.approx(4 * large)
+
+    def test_estimate_inverts_expectation(self):
+        estimator = BuffonNeedleEstimator(40.0, 40.0)
+        area = 100.0
+        crossings = estimator.expected_crossings(area)
+        assert estimator.estimate_area(round(crossings)) == pytest.approx(
+            area, rel=0.05
+        )
+
+    def test_sampling_is_roughly_centered(self, rng):
+        estimator = BuffonNeedleEstimator(60.0, 60.0)
+        samples = [estimator.sample(100.0, rng) for _ in range(3000)]
+        # 1/Poisson is biased upward; the median is the robust check.
+        assert 70 < np.median(samples) < 140
+
+    def test_zero_crossings_guarded(self):
+        estimator = BuffonNeedleEstimator(10.0, 10.0)
+        assert np.isfinite(estimator.estimate_area(0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BuffonNeedleEstimator(first_visit_length=0.0)
+        estimator = BuffonNeedleEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.expected_crossings(0.0)
+
+
+class TestEncounterNoise:
+    def test_interface(self, rng):
+        noise = EncounterNoise()
+        assert not noise.is_null
+        value = noise.perturb_count(50, 100, rng)
+        assert 0 <= value <= 100
+
+    def test_quality_flip(self, rng):
+        noise = EncounterNoise(quality_flip_prob=1.0)
+        assert noise.perturb_quality(1.0, rng) == 0.0
+
+    def test_quality_passthrough_by_default(self, rng):
+        noise = EncounterNoise()
+        assert noise.perturb_quality(1.0, rng) == 1.0
+
+    def test_usable_with_noisy_ant(self, rng):
+        from repro.core.simple import SimpleAnt
+        from repro.model.actions import SearchResult
+        from repro.sim.noise import NoisyAnt
+
+        inner = SimpleAnt(0, 64, np.random.default_rng(0))
+        noisy = NoisyAnt(inner, EncounterNoise(), rng)
+        noisy.decide()
+        noisy.observe(SearchResult(nest=1, quality=1.0, count=30))
+        assert 0 <= inner.count <= 64

@@ -1,0 +1,61 @@
+"""Every example script must run end-to-end (small parameters)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--n", "64", "--k", "4", "--seed", "3")
+        assert "converged" in out
+        assert "committed to nest" in out
+
+    def test_emergency_relocation(self):
+        out = run_example(
+            "emergency_relocation.py",
+            "--n", "96", "--k", "6", "--good", "2", "--trials", "2",
+        )
+        assert "Relocation race" in out
+        assert "Optimal" in out and "Quorum" in out
+
+    def test_noisy_colony(self):
+        out = run_example(
+            "noisy_colony.py",
+            "--n", "96", "--crash", "0.1", "--byzantine", "0.0",
+            "--delay", "0.05", "--seed", "1",
+        )
+        assert "agreed on nest" in out
+
+    def test_speed_accuracy(self):
+        out = run_example(
+            "speed_accuracy.py", "--n", "96", "--trials", "4",
+            "--weights", "0", "2",
+        )
+        assert "frontier" in out
+
+    def test_scaling_study(self):
+        out = run_example(
+            "scaling_study.py", "--sizes", "64", "128", "256", "--trials", "4"
+        )
+        assert "growth-model fits" in out
+
+    def test_mean_field(self):
+        out = run_example("mean_field.py", "--n", "512", "--k", "4")
+        assert "fitted xi" in out
+        assert "mean-field winner" in out

@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    NotConvergedError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [ConfigurationError, NotConvergedError, ProtocolError, SimulationError],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers using plain ValueError handling still catch config issues.
+        assert issubclass(ConfigurationError, ValueError)
+
+
+class TestProtocolError:
+    def test_message_includes_ant_id(self):
+        error = ProtocolError(17, "go(3): nest unknown")
+        assert "ant 17" in str(error)
+        assert "go(3)" in str(error)
+
+    def test_ant_id_attribute(self):
+        assert ProtocolError(4, "x").ant_id == 4
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise ProtocolError(0, "violation")

@@ -1,0 +1,162 @@
+"""Unit tests for the analysis helpers inside the experiment runners."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import censored_median, summarize_fast_runs, trial_seeds
+from repro.experiments.e02_recruitment import tagged_success_probability
+from repro.experiments.e03_optimal_dropout import competition_changes
+from repro.experiments.e05_simple_gap import sample_initial_gaps
+from repro.experiments.e06_simple_dropout import dropout_times
+from repro.fast.results import FastRunResult
+
+
+class TestCommon:
+    def test_trial_seeds_independent_and_stable(self):
+        first = trial_seeds(5, 3)
+        second = trial_seeds(5, 3)
+        for a, b in zip(first, second):
+            assert a.colony.random(2).tolist() == b.colony.random(2).tolist()
+        draws = {tuple(s.colony.random(2)) for s in trial_seeds(5, 4)}
+        assert len(draws) == 4
+
+    def test_censored_median(self):
+        assert censored_median([10, None, 30], fallback=99) == 20.0
+        assert censored_median([None, None], fallback=99) == 99.0
+
+    def test_summarize_fast_runs(self):
+        def result(converged, rounds):
+            return FastRunResult(
+                converged=converged,
+                converged_round=rounds if converged else None,
+                rounds_executed=rounds or 100,
+                chosen_nest=1 if converged else None,
+                final_counts=np.array([0, 4]),
+            )
+
+        median, success, count = summarize_fast_runs(
+            [result(True, 10), result(True, 30), result(False, None)]
+        )
+        assert median == 20.0
+        assert success == pytest.approx(2 / 3)
+        assert count == 2
+
+
+class TestTaggedSuccess:
+    def test_returns_trial_count(self, rng):
+        successes, trials = tagged_success_probability(8, 0.5, 50, rng)
+        assert trials == 50
+        assert 0 <= successes <= 50
+
+    def test_solo_recruiter_with_two_ants(self, rng):
+        successes, trials = tagged_success_probability(2, 0.0, 400, rng)
+        # Fails only by drawing itself: p(success) = 1/2... actually the
+        # tagged ant picks uniformly between itself and the other ant.
+        assert 0.35 < successes / trials < 0.65
+
+
+class TestCompetitionChanges:
+    def test_extracts_b2_deltas(self):
+        # Hand-built history: search row + two blocks of four rows, k=2.
+        # B2 rows are indices 2 and 6.
+        history = np.array(
+            [
+                [0, 5, 5],  # round 1 search
+                [10, 0, 0],  # B1
+                [0, 6, 4],  # B2  <- cohorts measured here
+                [0, 6, 4],  # B3
+                [10, 0, 0],  # B4
+                [10, 0, 0],  # B1
+                [0, 8, 2],  # B2  <- deltas: +2 and -2
+                [0, 8, 2],  # B3
+                [10, 0, 0],  # B4
+                [10, 0, 0],
+                [0, 10, 0],
+                [0, 10, 0],
+                [10, 0, 0],
+            ]
+        )
+        changes = competition_changes(history)
+        # Row 2 -> 6: +2 (nest 1) and -2 (nest 2); row 6 -> 10: +2 for
+        # nest 1 (nest 2's emptying transition is excluded by design).
+        assert sorted(changes) == [-2, 2, 2]
+
+    def test_stops_when_single_nest_remains(self):
+        history = np.array(
+            [
+                [0, 10, 0],
+                [10, 0, 0],
+                [0, 10, 0],  # B2: only one competing nest -> no samples
+                [0, 10, 0],
+                [10, 0, 0],
+                [10, 0, 0],
+                [0, 10, 0],
+                [0, 10, 0],
+                [10, 0, 0],
+            ]
+        )
+        assert competition_changes(history) == []
+
+
+class TestInitialGaps:
+    def test_shapes_and_ranges(self, rng):
+        finite, ties, zeros = sample_initial_gaps(100, 4, 500, rng)
+        assert len(finite) + zeros <= 500
+        assert (finite >= 0).all()
+        assert ties >= 0
+
+    def test_two_ants_two_nests(self, rng):
+        # With n=2, k=2: either both land together (zero-denominator) or
+        # split evenly (tie, eps=0).
+        finite, ties, zeros = sample_initial_gaps(2, 2, 300, rng)
+        assert (finite == 0).all()
+        assert ties + zeros == 300
+
+
+class TestDropoutTimes:
+    def test_detects_extinction(self):
+        # Assessment rows at indices 0,2,4,...; nest 2 crosses below the
+        # threshold at its second assessment and dies at its fourth.
+        history = np.array(
+            [
+                [0, 8, 8],
+                [16, 0, 0],
+                [0, 12, 4],  # nest 2 crosses (threshold 5)
+                [16, 0, 0],
+                [0, 14, 2],
+                [16, 0, 0],
+                [0, 16, 0],  # extinct: 2 assessments after crossing
+                [16, 0, 0],
+            ]
+        )
+        times, resurfaced = dropout_times(history, threshold=5)
+        assert times == [4]  # two assessment rows later = 4 rounds
+        assert resurfaced == 0
+
+    def test_counts_resurfacing(self):
+        history = np.array(
+            [
+                [0, 12, 4],  # below threshold immediately
+                [16, 0, 0],
+                [0, 8, 8],  # resurfaces above threshold
+                [16, 0, 0],
+                [0, 16, 0],  # then dies
+                [16, 0, 0],
+            ]
+        )
+        times, resurfaced = dropout_times(history, threshold=5)
+        assert resurfaced == 1
+        assert times == [4]
+
+    def test_winner_never_counted(self):
+        history = np.array(
+            [
+                [0, 8, 8],
+                [16, 0, 0],
+                [0, 16, 0],
+            ]
+        )
+        times, _ = dropout_times(history, threshold=5)
+        # Nest 1 never went below threshold; nest 2 crossed and died at the
+        # same assessment (0 rounds later).
+        assert times == [0]

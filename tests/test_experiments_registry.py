@@ -1,0 +1,50 @@
+"""Tests tying the experiment registry, runners, and bench files together."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, all_bench_files, get_experiment
+from repro.experiments import RUNNERS
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+
+
+class TestRegistry:
+    def test_all_paper_claims_covered(self):
+        # One experiment per quantitative claim of the paper (DESIGN.md §4).
+        expected = {
+            "E1", "E2", "E3a", "E3b", "E4", "E4b", "E5", "E6", "E7", "E8",
+            "E9", "E10", "E11", "E12", "E13", "E14",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_get_experiment(self):
+        spec = get_experiment("E7")
+        assert "5.11" in spec.claim
+        assert spec.bench_file == "bench_simple_scaling.py"
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_every_bench_file_exists(self):
+        for bench_file in all_bench_files():
+            assert (BENCH_DIR / bench_file).is_file(), bench_file
+
+    def test_specs_are_complete(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.claim
+            assert spec.measures
+            assert spec.bench_file.endswith(".py")
+
+
+class TestRunnersMap:
+    def test_runner_ids_match_registry(self):
+        # E3a/E3b share the E3 runner; E4/E4b both present.
+        registry_bases = {eid.rstrip("ab") or eid for eid in EXPERIMENTS}
+        runner_bases = {eid.rstrip("b") if eid != "E4b" else "E4" for eid in RUNNERS}
+        assert {"E1", "E2", "E3", "E4", "E5", "E6", "E7"} <= runner_bases
+        assert registry_bases <= {f"E{i}" for i in range(1, 15)}
+
+    def test_all_runners_callable(self):
+        for runner in RUNNERS.values():
+            assert callable(runner)

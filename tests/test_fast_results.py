@@ -1,0 +1,42 @@
+"""Tests for the fast-engine result container and CLI run path."""
+
+import numpy as np
+
+from repro.fast.results import FastRunResult
+
+
+class TestFastRunResult:
+    def make(self, converged=True):
+        return FastRunResult(
+            converged=converged,
+            converged_round=42 if converged else None,
+            rounds_executed=100,
+            chosen_nest=2 if converged else None,
+            final_counts=np.array([0, 0, 8]),
+        )
+
+    def test_rounds_to_convergence_converged(self):
+        assert self.make().rounds_to_convergence == 42
+
+    def test_rounds_to_convergence_censored(self):
+        assert self.make(converged=False).rounds_to_convergence == 100
+
+    def test_history_defaults_to_none(self):
+        assert self.make().population_history is None
+
+
+class TestExperimentsCliRun:
+    def test_runs_one_quick_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["E5", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "E5" in out
+        assert "completed in" in out
+
+    def test_markdown_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["E5", "--quick", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| --- |" in out

@@ -1,0 +1,74 @@
+"""Tests for the vectorized lower-bound spread simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.lower_bound import IgnorantPolicy
+from repro.exceptions import ConfigurationError
+from repro.fast.spread_fast import simulate_spread
+
+
+class TestBasics:
+    @pytest.mark.parametrize(
+        "policy", [IgnorantPolicy.WAIT, IgnorantPolicy.SEARCH, IgnorantPolicy.MIXED]
+    )
+    def test_completes(self, policy):
+        result = simulate_spread(128, 8, policy, seed=0, max_rounds=5000)
+        assert result.all_informed
+        assert result.rounds_to_all_informed is not None
+
+    def test_reproducible(self):
+        a = simulate_spread(128, 8, seed=4)
+        b = simulate_spread(128, 8, seed=4)
+        assert a.rounds_to_all_informed == b.rounds_to_all_informed
+
+    def test_informed_history_monotone(self):
+        result = simulate_spread(256, 8, seed=1)
+        history = result.informed_history
+        assert (np.diff(history) >= 0).all()
+        assert history[-1] == 256
+
+    def test_completion_round_matches_history(self):
+        result = simulate_spread(128, 4, seed=2)
+        history = result.informed_history
+        first_full = int(np.argmax(history == 128)) + 1  # rounds are 1-based
+        assert result.rounds_to_all_informed == first_full
+
+    def test_round_cap(self):
+        result = simulate_spread(4096, 64, IgnorantPolicy.SEARCH, seed=0, max_rounds=3)
+        assert not result.all_informed
+        assert result.completion_round == result.rounds_executed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_spread(0, 4)
+        with pytest.raises(ConfigurationError):
+            simulate_spread(16, 1)
+
+
+class TestGrowthShape:
+    def test_wait_policy_grows_logarithmically(self):
+        """Doubling n should add roughly a constant number of rounds."""
+        medians = []
+        for n in (256, 1024, 4096):
+            rounds = [
+                simulate_spread(n, 8, seed=s).rounds_to_all_informed
+                for s in range(10)
+            ]
+            medians.append(float(np.median(rounds)))
+        increments = np.diff(medians)
+        # log growth: small, roughly equal increments (x4 size steps).
+        assert all(0 <= inc <= 10 for inc in increments)
+
+    def test_search_policy_slower_than_wait_at_scale(self):
+        wait = np.median(
+            [simulate_spread(2048, 16, IgnorantPolicy.WAIT, seed=s).completion_round
+             for s in range(5)]
+        )
+        search = np.median(
+            [simulate_spread(2048, 16, IgnorantPolicy.SEARCH, seed=s).completion_round
+             for s in range(5)]
+        )
+        # Pure searching is coupon-collector-like (k log n expected per ant
+        # is 1/k per round); recruitment doubles -- far faster.
+        assert wait < search

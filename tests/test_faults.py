@@ -1,0 +1,153 @@
+"""Tests for fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.colony import simple_factory
+from repro.core.simple import SimpleAnt
+from repro.exceptions import ConfigurationError
+from repro.model.actions import Go, Recruit, Search, SearchResult
+from repro.model.nests import NestConfig
+from repro.sim.convergence import CommittedToSingleGoodNest
+from repro.sim.faults import ByzantineAnt, CrashedAnt, CrashMode, FaultPlan
+from repro.sim.run import build_colony, run_trial
+
+
+def make_inner(seed=0):
+    return SimpleAnt(0, 16, np.random.default_rng(seed))
+
+
+class TestCrashedAnt:
+    def test_transparent_before_crash(self):
+        ant = CrashedAnt(make_inner(), crash_round=3, mode=CrashMode.AT_HOME)
+        assert isinstance(ant.decide(), Search)
+        ant.observe(SearchResult(nest=2, quality=1.0, count=4))
+        assert ant.committed_nest == 2
+        assert not ant.crashed
+
+    def test_at_nest_zombie_goes_forever(self):
+        ant = CrashedAnt(make_inner(), crash_round=2, mode=CrashMode.AT_NEST)
+        ant.decide()
+        ant.observe(SearchResult(nest=3, quality=1.0, count=4))
+        for _ in range(5):
+            action = ant.decide()
+            assert action == Go(3)
+        assert ant.crashed
+
+    def test_at_home_zombie_waits_forever(self):
+        ant = CrashedAnt(make_inner(), crash_round=2, mode=CrashMode.AT_HOME)
+        ant.decide()
+        ant.observe(SearchResult(nest=3, quality=1.0, count=4))
+        for _ in range(5):
+            assert ant.decide() == Recruit(False, 3)
+
+    def test_crash_before_any_visit_searches_once(self):
+        ant = CrashedAnt(make_inner(), crash_round=1, mode=CrashMode.AT_NEST)
+        assert isinstance(ant.decide(), Search)
+        ant.observe(SearchResult(nest=1, quality=0.0, count=2))
+        assert ant.decide() == Go(1)
+
+    def test_crashed_never_settled(self):
+        ant = CrashedAnt(make_inner(), crash_round=1, mode=CrashMode.AT_HOME)
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=2))
+        assert not ant.settled
+        assert ant.state_label() == "crashed"
+
+    def test_crash_round_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrashedAnt(make_inner(), crash_round=0, mode=CrashMode.AT_HOME)
+
+
+class TestByzantineAnt:
+    def test_seeks_bad_nest(self):
+        rng = np.random.default_rng(0)
+        ant = ByzantineAnt(0, 16, rng, seek_bad=True)
+        assert isinstance(ant.decide(), Search)
+        ant.observe(SearchResult(nest=1, quality=1.0, count=4))
+        assert isinstance(ant.decide(), Search)  # good nest rejected
+        ant.observe(SearchResult(nest=2, quality=0.0, count=4))
+        assert ant.decide() == Recruit(True, 2)
+
+    def test_first_nest_mode(self):
+        ant = ByzantineAnt(0, 16, np.random.default_rng(0), seek_bad=False)
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=4))
+        assert ant.decide() == Recruit(True, 1)
+
+    def test_gives_up_after_max_search(self):
+        ant = ByzantineAnt(0, 16, np.random.default_rng(0), max_search_rounds=2)
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=4))
+        ant.decide()
+        ant.observe(SearchResult(nest=3, quality=1.0, count=4))
+        assert ant.decide() == Recruit(True, 3)
+
+    def test_label(self):
+        ant = ByzantineAnt(0, 16, np.random.default_rng(0))
+        assert ant.state_label() == "byzantine"
+
+
+class TestFaultPlan:
+    def test_counts(self):
+        plan = FaultPlan(crash_fraction=0.25, byzantine_fraction=0.125)
+        assert plan.n_crashed(16) == 4
+        assert plan.n_byzantine(16) == 2
+
+    def test_apply_wraps_chosen_ants(self, rng):
+        colony = build_colony(simple_factory(), 16, rng)
+        plan = FaultPlan(crash_fraction=0.25, byzantine_fraction=0.125)
+        faulty = plan.apply(colony, rng)
+        assert len(faulty) == 16
+        assert sum(isinstance(a, CrashedAnt) for a in faulty) == 4
+        assert sum(isinstance(a, ByzantineAnt) for a in faulty) == 2
+        assert [a.ant_id for a in faulty] == list(range(16))
+
+    def test_zero_plan_is_identity(self, rng):
+        colony = build_colony(simple_factory(), 8, rng)
+        assert FaultPlan().apply(colony, rng) == colony
+
+    def test_crash_rounds_within_range(self, rng):
+        colony = build_colony(simple_factory(), 32, rng)
+        plan = FaultPlan(crash_fraction=0.5, crash_round_range=(3, 9))
+        faulty = plan.apply(colony, rng)
+        for ant in faulty:
+            if isinstance(ant, CrashedAnt):
+                assert 3 <= ant.crash_round <= 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crash_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crash_fraction=0.7, byzantine_fraction=0.7)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crash_round_range=(5, 2))
+
+
+class TestEndToEnd:
+    def test_colony_survives_crashes(self, all_good_4):
+        result = run_trial(
+            simple_factory(),
+            64,
+            all_good_4,
+            seed=3,
+            max_rounds=4000,
+            fault_plan=FaultPlan(crash_fraction=0.15),
+            criterion_factory=lambda: CommittedToSingleGoodNest(exclude_faulty=True),
+        )
+        assert result.converged
+        assert result.chosen_nest in (1, 2, 3, 4)
+
+    def test_colony_survives_mild_byzantine(self):
+        nests = NestConfig.binary(4, {1, 2, 3})
+        result = run_trial(
+            simple_factory(),
+            64,
+            nests,
+            seed=5,
+            max_rounds=6000,
+            fault_plan=FaultPlan(byzantine_fraction=0.03),
+            criterion_factory=lambda: CommittedToSingleGoodNest(exclude_faulty=True),
+        )
+        assert result.converged
+        assert result.chosen_nest in (1, 2, 3)

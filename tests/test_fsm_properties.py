@@ -1,0 +1,105 @@
+"""Property-based tests of the ant FSMs' protocol legality.
+
+The engine enforces the Section 2 rules (one call per round, ``go``/
+``recruit`` only to known nests).  Here hypothesis drives whole colonies
+through randomized worlds and checks that no algorithm ever violates the
+protocol, whatever the nest layout and seed — the engine's
+``ProtocolError`` doubles as the property oracle.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.quorum import quorum_factory
+from repro.baselines.uniform import uniform_factory
+from repro.core.colony import (
+    informed_spread_factory,
+    optimal_factory,
+    simple_factory,
+)
+from repro.extensions.adaptive import power_feedback_factory
+from repro.extensions.nonbinary import quality_weighted_factory
+from repro.extensions.robust import retrying_factory
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.sim.engine import Simulation
+from repro.sim.rng import RandomSource
+from repro.sim.run import build_colony
+
+
+@st.composite
+def worlds(draw):
+    """A random (n, nest-config, seed) world with >= 1 good nest."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    k = draw(st.integers(min_value=1, max_value=6))
+    good_mask = draw(
+        st.lists(st.booleans(), min_size=k, max_size=k).filter(any)
+    )
+    good = {i + 1 for i, flag in enumerate(good_mask) if flag}
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n, NestConfig.binary(k, good), seed
+
+
+def drive(factory, n, nests, seed, rounds=40):
+    """Run `rounds` rounds; any ProtocolError fails the test."""
+    source = RandomSource(seed)
+    colony = build_colony(factory, n, source.colony)
+    simulation = Simulation(
+        colony, Environment(n, nests), source, max_rounds=rounds
+    )
+    simulation.run(stop_when_converged=False)
+    return colony
+
+
+ALGORITHMS = [
+    ("simple", simple_factory()),
+    ("optimal", optimal_factory()),
+    ("optimal-strict", optimal_factory(strict_pseudocode=True)),
+    ("spread", informed_spread_factory()),
+    ("quorum", quorum_factory()),
+    ("uniform", uniform_factory()),
+    ("power", power_feedback_factory()),
+    ("graded", quality_weighted_factory()),
+    ("retrying", retrying_factory(research_probability=0.3)),
+]
+
+
+class TestProtocolLegality:
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_simple_never_violates_protocol(self, world):
+        drive(simple_factory(), *world)
+
+    @given(worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_never_violates_protocol(self, world):
+        drive(optimal_factory(), *world)
+
+    @given(worlds())
+    @settings(max_examples=20, deadline=None)
+    def test_strict_optimal_never_violates_protocol(self, world):
+        drive(optimal_factory(strict_pseudocode=True), *world)
+
+    @given(worlds())
+    @settings(max_examples=20, deadline=None)
+    def test_baselines_never_violate_protocol(self, world):
+        drive(quorum_factory(), *world)
+        drive(uniform_factory(), *world)
+
+    @given(worlds())
+    @settings(max_examples=20, deadline=None)
+    def test_extensions_never_violate_protocol(self, world):
+        drive(power_feedback_factory(), *world)
+        drive(quality_weighted_factory(), *world)
+        drive(retrying_factory(research_probability=0.3), *world)
+
+    @given(worlds())
+    @settings(max_examples=20, deadline=None)
+    def test_commitments_always_known_nests(self, world):
+        n, nests, seed = world
+        for _, factory in ALGORITHMS[:4]:
+            colony = drive(factory, n, nests, seed, rounds=20)
+            for ant in colony:
+                nest = ant.committed_nest
+                assert nest is None or 1 <= nest <= nests.k

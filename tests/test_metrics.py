@@ -1,0 +1,127 @@
+"""Tests for the metrics recorder."""
+
+import numpy as np
+import pytest
+
+from repro.core.colony import simple_factory
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.sim.engine import Simulation
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.rng import RandomSource
+from repro.sim.run import build_colony
+
+
+@pytest.fixture
+def recorded_run(all_good_4):
+    source = RandomSource(5)
+    colony = build_colony(simple_factory(), 32, source.colony)
+    metrics = MetricsRecorder(colony)
+    sim = Simulation(
+        colony,
+        Environment(32, all_good_4),
+        source,
+        max_rounds=40,
+        hooks=[metrics],
+    )
+    result = sim.run()
+    return metrics, result, colony
+
+
+class TestPopulationSeries:
+    def test_matrix_shape(self, recorded_run):
+        metrics, result, _ = recorded_run
+        matrix = metrics.population_matrix()
+        assert matrix.shape == (result.rounds_executed, 5)
+
+    def test_rows_sum_to_colony_size(self, recorded_run):
+        metrics, _, _ = recorded_run
+        assert (metrics.population_matrix().sum(axis=1) == 32).all()
+
+    def test_proportions_sum_to_one(self, recorded_run):
+        metrics, _, _ = recorded_run
+        sums = metrics.proportions().sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_nest_series_matches_matrix(self, recorded_run):
+        metrics, _, _ = recorded_run
+        assert (metrics.nest_series(2) == metrics.population_matrix()[:, 2]).all()
+
+    def test_rounds_are_sequential(self, recorded_run):
+        metrics, result, _ = recorded_run
+        rounds = metrics.rounds()
+        assert rounds[0] == 1
+        assert (np.diff(rounds) == 1).all()
+
+    def test_empty_recorder(self):
+        metrics = MetricsRecorder([])
+        assert metrics.n_rounds == 0
+        assert metrics.population_matrix().size == 0
+        assert metrics.proportions().size == 0
+
+
+class TestRecruitmentSeries:
+    def test_shapes_match_rounds(self, recorded_run):
+        metrics, result, _ = recorded_run
+        series = metrics.recruitment_series()
+        for values in series.values():
+            assert len(values) == result.rounds_executed
+
+    def test_round_one_has_no_participants(self, recorded_run):
+        metrics, _, _ = recorded_run
+        series = metrics.recruitment_series()
+        assert series["participants"][0] == 0  # everyone searched
+
+    def test_recruit_rounds_have_full_participation(self, recorded_run):
+        metrics, _, _ = recorded_run
+        participants = metrics.recruitment_series()["participants"]
+        # Algorithm 3: even rounds are recruitment rounds with all 32 ants.
+        assert (participants[1::2] == 32).all()
+
+    def test_successes_bounded_by_recruiters(self, recorded_run):
+        metrics, _, _ = recorded_run
+        series = metrics.recruitment_series()
+        assert (series["successful_pairs"] <= series["participants"]).all()
+
+
+class TestStateHistograms:
+    def test_state_counts_sum_to_colony(self, recorded_run):
+        metrics, result, _ = recorded_run
+        total = sum(
+            metrics.state_counts(label) for label in metrics.state_labels()
+        )
+        assert (total == 32).all()
+
+    def test_search_state_only_round_one(self, recorded_run):
+        metrics, _, _ = recorded_run
+        # After round 1 every SimpleAnt is active or passive.
+        assert "search" not in metrics.state_labels() or (
+            metrics.state_counts("search")[1:] == 0
+        ).all()
+
+    def test_disabled_state_recording_raises(self, all_good_4):
+        source = RandomSource(5)
+        colony = build_colony(simple_factory(), 8, source.colony)
+        metrics = MetricsRecorder(colony, record_states=False)
+        sim = Simulation(
+            colony, Environment(8, all_good_4), source, max_rounds=4, hooks=[metrics]
+        )
+        sim.run()
+        with pytest.raises(ValueError):
+            metrics.state_counts("active")
+
+
+class TestSurvivingNests:
+    def test_monotone_nonincreasing_on_assessment_rounds(self, recorded_run):
+        metrics, _, _ = recorded_run
+        surviving = metrics.surviving_nests()[::2]  # odd rounds: at nests
+        assert (np.diff(surviving) <= 0).all()
+
+    def test_chosen_nest_dominates_last_assessment(self, recorded_run):
+        metrics, result, _ = recorded_run
+        if result.converged:
+            # Convergence lands on a recruit round (everyone home); the row
+            # before it is the last assessment round, where the eventual
+            # winner must already hold the plurality.
+            last_assessment = metrics.population_matrix()[-2]
+            assert int(np.argmax(last_assessment[1:])) + 1 == result.chosen_nest

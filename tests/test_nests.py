@@ -1,0 +1,107 @@
+"""Tests for nest quality configuration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.nests import NestConfig
+
+
+class TestConstruction:
+    def test_binary(self):
+        config = NestConfig.binary(4, {2, 4})
+        assert config.k == 4
+        assert config.quality(2) == 1.0
+        assert config.quality(1) == 0.0
+
+    def test_all_good(self):
+        config = NestConfig.all_good(3)
+        assert config.good_nests == (1, 2, 3)
+
+    def test_single_good(self):
+        config = NestConfig.single_good(5, good_nest=4)
+        assert config.good_nests == (4,)
+
+    def test_graded(self):
+        config = NestConfig.graded([0.9, 0.3])
+        assert config.quality(1) == pytest.approx(0.9)
+        assert config.quality(2) == pytest.approx(0.3)
+
+    def test_good_fraction_always_has_a_good_nest(self):
+        rng = np.random.default_rng(0)
+        config = NestConfig.good_fraction(10, 0.0, rng)
+        assert len(config.good_nests) == 1
+
+    def test_good_fraction_counts(self):
+        rng = np.random.default_rng(0)
+        config = NestConfig.good_fraction(10, 0.5, rng)
+        assert len(config.good_nests) == 5
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NestConfig(())
+
+    def test_no_good_nest_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one good nest"):
+            NestConfig((0.0, 0.0))
+
+    def test_quality_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NestConfig((1.5,))
+        with pytest.raises(ConfigurationError):
+            NestConfig((-0.1, 1.0))
+
+    def test_binary_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            NestConfig.binary(0, {1})
+
+    def test_binary_out_of_range_good_ids(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            NestConfig.binary(3, {4})
+
+    def test_binary_empty_good_set(self):
+        with pytest.raises(ConfigurationError):
+            NestConfig.binary(3, set())
+
+    def test_good_fraction_bad_fraction(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            NestConfig.good_fraction(4, 1.5, rng)
+
+    def test_quality_lookup_out_of_range(self):
+        config = NestConfig.all_good(2)
+        with pytest.raises(ConfigurationError):
+            config.quality(0)
+        with pytest.raises(ConfigurationError):
+            config.quality(3)
+
+
+class TestAccessors:
+    def test_is_good_uses_threshold(self):
+        config = NestConfig.graded([0.8, 0.2], good_threshold=0.5)
+        assert config.is_good(1)
+        assert not config.is_good(2)
+
+    def test_best_nest(self):
+        config = NestConfig.graded([0.3, 0.9, 0.6])
+        assert config.best_nest == 2
+
+    def test_best_nest_tie_prefers_lowest_id(self):
+        config = NestConfig.graded([0.9, 0.9])
+        assert config.best_nest == 1
+
+    def test_quality_array_read_only(self):
+        config = NestConfig.all_good(2)
+        with pytest.raises(ValueError):
+            config.quality_array()[0] = 0.0
+
+    def test_immutability_of_dataclass(self):
+        config = NestConfig.all_good(2)
+        with pytest.raises(AttributeError):
+            config.qualities = (0.0,)
+
+    def test_graded_custom_threshold_propagates(self):
+        config = NestConfig.graded([0.4, 0.2], good_threshold=0.3)
+        assert config.good_nests == (1,)

@@ -1,0 +1,121 @@
+"""Tests for measurement-noise injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.colony import simple_factory
+from repro.core.simple import SimpleAnt
+from repro.exceptions import ConfigurationError
+from repro.model.actions import GoResult, RecruitResult, SearchResult
+from repro.sim.noise import CountNoise, NoisyAnt, with_noise
+from repro.sim.run import build_colony, run_trial
+
+
+class RecordingAnt(SimpleAnt):
+    """SimpleAnt that also logs raw observed results."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seen = []
+
+    def observe(self, result):
+        self.seen.append(result)
+        super().observe(result)
+
+
+class TestCountNoise:
+    def test_null_noise(self):
+        noise = CountNoise()
+        assert noise.is_null
+        assert noise.perturb_count(5, 10, np.random.default_rng(0)) == 5
+        assert noise.perturb_quality(1.0, np.random.default_rng(0)) == 1.0
+
+    def test_unbiasedness(self, rng):
+        noise = CountNoise(relative_sigma=0.2, absolute_sigma=1.0)
+        samples = [noise.perturb_count(50, 1000, rng) for _ in range(4000)]
+        assert abs(np.mean(samples) - 50) < 1.0
+
+    def test_clamped_to_range(self, rng):
+        noise = CountNoise(relative_sigma=3.0, absolute_sigma=10.0)
+        samples = [noise.perturb_count(5, 10, rng) for _ in range(500)]
+        assert min(samples) >= 0
+        assert max(samples) <= 10
+
+    def test_quality_flip_probability(self, rng):
+        noise = CountNoise(quality_flip_prob=0.25)
+        flips = sum(
+            noise.perturb_quality(1.0, rng) == 0.0 for _ in range(4000)
+        )
+        assert 0.2 < flips / 4000 < 0.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountNoise(relative_sigma=-1)
+        with pytest.raises(ConfigurationError):
+            CountNoise(quality_flip_prob=1.5)
+
+
+class TestNoisyAnt:
+    def make(self, noise, seed=0):
+        inner = RecordingAnt(0, 16, np.random.default_rng(seed))
+        return inner, NoisyAnt(inner, noise, np.random.default_rng(seed + 1))
+
+    def test_null_noise_passes_through(self):
+        inner, noisy = self.make(CountNoise())
+        result = SearchResult(nest=1, quality=1.0, count=7)
+        noisy.observe(result)
+        assert inner.seen[0] is result
+
+    def test_counts_distorted(self):
+        inner, noisy = self.make(CountNoise(absolute_sigma=50.0))
+        noisy.observe(SearchResult(nest=1, quality=1.0, count=8))
+        seen = inner.seen[0]
+        assert isinstance(seen, SearchResult)
+        assert seen.nest == 1  # identity never distorted
+        assert 0 <= seen.count <= 16
+
+    def test_recruit_nest_id_never_distorted(self):
+        # The recruited-to nest is communication, not measurement.
+        inner, noisy = self.make(CountNoise(relative_sigma=5.0))
+        noisy.observe(SearchResult(nest=2, quality=1.0, count=8))
+        noisy.observe(RecruitResult(nest=3, home_count=10))
+        seen = inner.seen[1]
+        assert seen.nest == 3
+
+    def test_go_result_distortion_preserves_nest(self):
+        inner, noisy = self.make(CountNoise(absolute_sigma=4.0))
+        noisy.observe(SearchResult(nest=2, quality=1.0, count=8))
+        noisy.observe(RecruitResult(nest=2, home_count=10))
+        noisy.observe(GoResult(nest=2, count=5, quality=1.0))
+        seen = inner.seen[2]
+        assert isinstance(seen, GoResult)
+        assert seen.nest == 2
+
+    def test_delegation(self):
+        inner, noisy = self.make(CountNoise(relative_sigma=0.1))
+        noisy.observe(SearchResult(nest=1, quality=1.0, count=7))
+        assert noisy.committed_nest == inner.committed_nest == 1
+        assert noisy.state_label() == inner.state_label()
+        assert noisy.settled == inner.settled
+
+
+class TestWithNoise:
+    def test_null_noise_returns_same_ants(self, rng):
+        colony = build_colony(simple_factory(), 4, rng)
+        assert with_noise(colony, CountNoise(), rng) == colony
+
+    def test_wrapping(self, rng):
+        colony = build_colony(simple_factory(), 4, rng)
+        wrapped = with_noise(colony, CountNoise(relative_sigma=0.1), rng)
+        assert all(isinstance(a, NoisyAnt) for a in wrapped)
+
+    def test_noisy_colony_still_converges(self, all_good_4):
+        result = run_trial(
+            simple_factory(),
+            64,
+            all_good_4,
+            seed=2,
+            max_rounds=4000,
+            noise=CountNoise(relative_sigma=0.5),
+        )
+        assert result.converged

@@ -1,0 +1,107 @@
+"""Tests for the non-binary quality extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.extensions.nonbinary import QualityWeightedAnt, quality_weighted_factory
+from repro.model.actions import GoResult, RecruitResult, SearchResult
+from repro.model.nests import NestConfig
+from repro.core.states import SimpleState
+from repro.sim.convergence import UnanimousCommitment
+from repro.sim.run import run_trial
+
+
+def make_ant(seed=0, weight=1.0, sharpness=1.0, n=16):
+    return QualityWeightedAnt(
+        0,
+        n,
+        np.random.default_rng(seed),
+        quality_weight=weight,
+        acceptance_sharpness=sharpness,
+    )
+
+
+class TestAcceptance:
+    def test_acceptance_probability_tracks_quality(self):
+        accepted = 0
+        for seed in range(800):
+            ant = make_ant(seed=seed)
+            ant.decide()
+            ant.observe(SearchResult(nest=1, quality=0.3, count=4))
+            accepted += ant.state is SimpleState.ACTIVE
+        assert 0.24 < accepted / 800 < 0.36
+
+    def test_quality_one_always_accepted(self):
+        ant = make_ant()
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=4))
+        assert ant.state is SimpleState.ACTIVE
+
+    def test_quality_zero_never_accepted(self):
+        ant = make_ant()
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=0.0, count=4))
+        assert ant.state is SimpleState.PASSIVE
+
+
+class TestRecruitment:
+    def test_quality_weighted_rate(self):
+        # count/n = 1/2, q = 0.5, weight 1 -> p = 1/4.
+        draws = []
+        for seed in range(800):
+            ant = make_ant(seed=seed)
+            ant.decide()
+            ant.observe(SearchResult(nest=1, quality=1.0, count=8))
+            ant.quality = 0.5
+            draws.append(ant.decide().active)
+        assert 0.19 < np.mean(draws) < 0.31
+
+    def test_weight_zero_ignores_quality(self):
+        draws = []
+        for seed in range(800):
+            ant = make_ant(seed=seed, weight=0.0)
+            ant.decide()
+            ant.observe(SearchResult(nest=1, quality=1.0, count=8))
+            ant.quality = 0.2
+            draws.append(ant.decide().active)
+        assert 0.42 < np.mean(draws) < 0.58
+
+    def test_reassessment_on_visit(self):
+        ant = make_ant()
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=0.9, count=4))
+        ant.decide()
+        ant.observe(RecruitResult(nest=2, home_count=16))  # recruited away
+        ant.decide()
+        ant.observe(GoResult(nest=2, count=5, quality=0.4))
+        assert ant.quality == pytest.approx(0.4)
+        assert ant.count == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_ant(weight=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_ant(sharpness=0.0)
+
+
+class TestEndToEnd:
+    def test_big_gap_picks_best(self):
+        nests = NestConfig.graded([0.9, 0.2])
+        wins = 0
+        for seed in range(8):
+            result = run_trial(
+                quality_weighted_factory(quality_weight=2.0),
+                96,
+                nests,
+                seed=seed,
+                max_rounds=20_000,
+                criterion_factory=UnanimousCommitment,
+            )
+            assert result.converged
+            wins += int(result.chosen_nest == 1)
+        assert wins >= 7
+
+    def test_label(self):
+        ant = make_ant()
+        assert ant.state_label().startswith("graded-")

@@ -1,0 +1,215 @@
+"""Tests for Algorithm 2 (OptimalAnt) — phase schedule and transitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.colony import optimal_factory
+from repro.core.optimal import OptimalAnt
+from repro.core.states import OptimalPhase as P
+from repro.core.states import OptimalState as S
+from repro.model.actions import (
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.nests import NestConfig
+from repro.sim.convergence import CommittedToSingleGoodNest
+from repro.sim.run import run_trial
+
+
+def make_ant(seed=0, strict=False):
+    return OptimalAnt(0, 16, np.random.default_rng(seed), strict_pseudocode=strict)
+
+
+def searched_ant(quality=1.0, nest=2, count=4, **kwargs):
+    ant = make_ant(**kwargs)
+    assert isinstance(ant.decide(), Search)
+    ant.observe(SearchResult(nest=nest, quality=quality, count=count))
+    return ant
+
+
+class TestSearchTransition:
+    def test_good_nest_to_active_block(self):
+        ant = searched_ant(quality=1.0)
+        assert ant.state is S.ACTIVE
+        assert ant.phase is P.A1_RECRUIT
+        assert ant.count == 4
+
+    def test_bad_nest_to_passive_block(self):
+        ant = searched_ant(quality=0.0)
+        assert ant.state is S.PASSIVE
+        assert ant.phase is P.P1_AT_NEST
+
+
+class TestActiveBlockCase1:
+    """nestt == nest, countt >= count: the nest keeps competing."""
+
+    def drive(self, ant, countt=6, counth=10):
+        assert ant.decide() == Recruit(True, 2)  # R1
+        ant.observe(RecruitResult(nest=2, home_count=12))
+        assert ant.decide() == Go(2)  # R2
+        ant.observe(GoResult(nest=2, count=countt))
+        assert ant.decide() == Go(2)  # R3 hold
+        ant.observe(GoResult(nest=2, count=countt))
+        action = ant.decide()  # R4 home check
+        assert action == Recruit(False, 2)
+        ant.observe(RecruitResult(nest=2, home_count=counth))
+
+    def test_count_updated_and_block_repeats(self):
+        ant = searched_ant()
+        self.drive(ant, countt=6, counth=10)
+        assert ant.count == 6
+        assert ant.state is S.ACTIVE
+        assert ant.phase is P.A1_RECRUIT
+
+    def test_settles_when_home_equals_count(self):
+        ant = searched_ant()
+        self.drive(ant, countt=6, counth=6)
+        assert ant.state is S.FINAL
+        assert ant.phase is P.F_RECRUIT
+        assert ant.settled
+
+
+class TestActiveBlockCase2:
+    """nestt == nest, countt < count: the whole cohort drops out."""
+
+    def test_drops_to_passive_via_padding(self):
+        ant = searched_ant(count=8)
+        ant.decide()
+        ant.observe(RecruitResult(nest=2, home_count=12))
+        ant.decide()
+        ant.observe(GoResult(nest=2, count=5))  # population fell
+        assert ant.state is S.PASSIVE
+        assert ant.decide() == Recruit(False, 2)  # R3 padding wait
+        ant.observe(RecruitResult(nest=9, home_count=3))  # discarded!
+        assert ant.committed_nest == 2  # line 35 return value ignored
+        assert ant.decide() == Go(2)  # R4 padding return
+        ant.observe(GoResult(nest=2, count=1))
+        assert ant.phase is P.P1_AT_NEST
+
+
+class TestActiveBlockCase3:
+    """nestt != nest: the ant was recruited away."""
+
+    def drive_to_revisit(self, ant, new_nest=4, countt=9):
+        ant.decide()
+        ant.observe(RecruitResult(nest=new_nest, home_count=12))  # poached
+        assert ant.decide() == Go(new_nest)  # R2 assesses the new nest
+        ant.observe(GoResult(nest=new_nest, count=countt))
+        assert ant.committed_nest == new_nest
+        assert ant.decide() == Go(new_nest)  # R3 revisit
+
+    def test_new_nest_competing_updates_count(self):
+        ant = searched_ant()
+        self.drive_to_revisit(ant, countt=9)
+        ant.observe(GoResult(nest=4, count=9))  # countn == countt
+        assert ant.state is S.ACTIVE
+        assert ant.count == 9  # DESIGN.md §3.2 clarified update
+        assert ant.decide() == Go(4)  # R4 padding
+        ant.observe(GoResult(nest=4, count=9))
+        assert ant.phase is P.A1_RECRUIT
+
+    def test_new_nest_dropping_goes_passive(self):
+        ant = searched_ant()
+        self.drive_to_revisit(ant, countt=9)
+        ant.observe(GoResult(nest=4, count=7))  # countn < countt
+        assert ant.state is S.PASSIVE
+        assert ant.decide() == Go(4)  # R4 padding
+        ant.observe(GoResult(nest=4, count=7))
+        assert ant.phase is P.P1_AT_NEST
+
+    def test_strict_mode_keeps_stale_count(self):
+        ant = searched_ant(count=4, strict=True)
+        self.drive_to_revisit(ant, countt=9)
+        ant.observe(GoResult(nest=4, count=9))
+        assert ant.count == 4  # literal pseudocode: count never written
+
+
+class TestPassiveBlock:
+    def passive_ant(self):
+        return searched_ant(quality=0.0, nest=3)
+
+    def test_schedule(self):
+        ant = self.passive_ant()
+        assert ant.decide() == Go(3)  # P1
+        ant.observe(GoResult(nest=3, count=2))
+        assert ant.decide() == Recruit(False, 3)  # P2
+        ant.observe(RecruitResult(nest=3, home_count=5))  # not recruited
+        assert ant.decide() == Go(3)  # P3
+        ant.observe(GoResult(nest=3, count=2))
+        assert ant.decide() == Go(3)  # P4
+        ant.observe(GoResult(nest=3, count=2))
+        assert ant.phase is P.P1_AT_NEST  # loops
+
+    def test_recruited_passive_turns_final_after_padding(self):
+        ant = self.passive_ant()
+        ant.decide()
+        ant.observe(GoResult(nest=3, count=2))
+        ant.decide()
+        ant.observe(RecruitResult(nest=5, home_count=5))  # recruited to 5
+        assert ant.state is S.FINAL
+        assert ant.committed_nest == 5
+        # Lines 18-19: the block still pads with go(nest) on the NEW nest.
+        assert ant.decide() == Go(5)
+        ant.observe(GoResult(nest=5, count=4))
+        assert ant.decide() == Go(5)
+        ant.observe(GoResult(nest=5, count=4))
+        assert ant.phase is P.F_RECRUIT
+
+
+class TestFinalState:
+    def test_recruits_every_round_and_adopts_result(self):
+        ant = searched_ant()
+        ant.state = S.FINAL
+        ant.phase = P.F_RECRUIT
+        for _ in range(3):
+            action = ant.decide()
+            assert action == Recruit(True, ant.nest)
+            ant.observe(RecruitResult(nest=ant.nest, home_count=4))
+        # Line 21 assigns the returned nest (possibly from a poacher).
+        ant.decide()
+        ant.observe(RecruitResult(nest=7, home_count=4))
+        assert ant.committed_nest == 7
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_converges_all_settled(self, seed, all_good_4):
+        result = run_trial(
+            optimal_factory(),
+            64,
+            all_good_4,
+            seed=seed,
+            max_rounds=4000,
+            criterion_factory=lambda: CommittedToSingleGoodNest(require_settled=True),
+        )
+        assert result.converged
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_avoids_bad_nests(self, seed, mixed_nests):
+        result = run_trial(
+            optimal_factory(),
+            64,
+            mixed_nests,
+            seed=seed,
+            max_rounds=4000,
+            criterion_factory=lambda: CommittedToSingleGoodNest(require_settled=True),
+        )
+        assert result.converged
+        assert result.chosen_nest in (1, 3)
+
+    def test_single_ant(self):
+        nests = NestConfig.all_good(1)
+        result = run_trial(
+            optimal_factory(),
+            1,
+            nests,
+            seed=0,
+            max_rounds=100,
+            criterion_factory=lambda: CommittedToSingleGoodNest(require_settled=True),
+        )
+        assert result.converged
+        assert result.converged_round == 5  # search + one 4-round block

@@ -1,0 +1,60 @@
+"""Tests for the Pólya-urn reference process."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.polya import PolyaUrn, urn_win_probability
+from repro.exceptions import ConfigurationError
+
+
+class TestUrn:
+    def test_step_adds_one_ball(self, rng):
+        urn = PolyaUrn([3, 3])
+        chosen = urn.step(rng)
+        assert urn.total == 7
+        assert chosen in (0, 1)
+
+    def test_run_trajectory_shape(self, rng):
+        urn = PolyaUrn([2, 2, 2], gamma=1.0)
+        trajectory = urn.run(50, rng)
+        assert trajectory.shape == (51, 3)
+        assert np.allclose(trajectory.sum(axis=1), 1.0)
+
+    def test_shares(self):
+        urn = PolyaUrn([1, 3])
+        assert urn.shares().tolist() == [0.25, 0.75]
+
+    def test_empty_urn_never_reinforced(self, rng):
+        urn = PolyaUrn([0, 5], gamma=2.0)
+        for _ in range(20):
+            urn.step(rng)
+        assert urn.counts[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PolyaUrn([5])
+        with pytest.raises(ConfigurationError):
+            PolyaUrn([0, 0])
+        with pytest.raises(ConfigurationError):
+            PolyaUrn([-1, 2])
+        with pytest.raises(ConfigurationError):
+            PolyaUrn([1, 1], gamma=0.0)
+
+
+class TestDominance:
+    def test_superlinear_locks_in(self, rng):
+        p = urn_win_probability(30, 10, steps=400, trials=60, rng=rng, gamma=2.0)
+        assert p > 0.95
+
+    def test_gamma2_sharper_than_gamma1(self, rng):
+        p2 = urn_win_probability(22, 18, steps=400, trials=150, rng=rng, gamma=2.0)
+        p1 = urn_win_probability(22, 18, steps=400, trials=150, rng=rng, gamma=1.0)
+        assert p2 > p1
+
+    def test_even_start_is_fair(self, rng):
+        p = urn_win_probability(10, 10, steps=200, trials=200, rng=rng, gamma=2.0)
+        assert 0.35 < p < 0.65
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            urn_win_probability(1, 1, steps=10, trials=0, rng=rng)

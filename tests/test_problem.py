@@ -1,0 +1,74 @@
+"""Tests for the HouseHunting problem statement."""
+
+import numpy as np
+import pytest
+
+from repro.model.ant import Ant
+from repro.model.nests import NestConfig
+from repro.model.problem import HouseHuntingProblem, SolutionStatus
+
+
+class StubAnt(Ant):
+    """Minimal ant with a fixed commitment for predicate tests."""
+
+    def __init__(self, ant_id, nest, settled=False):
+        super().__init__(ant_id, n=4, rng=np.random.default_rng(0))
+        self._nest = nest
+        self._settled = settled
+
+    def decide(self):  # pragma: no cover - never driven
+        raise NotImplementedError
+
+    def observe(self, result):  # pragma: no cover - never driven
+        raise NotImplementedError
+
+    @property
+    def committed_nest(self):
+        return self._nest
+
+    @property
+    def settled(self):
+        return self._settled
+
+
+@pytest.fixture
+def problem(mixed_nests) -> HouseHuntingProblem:
+    return HouseHuntingProblem(n=4, nests=mixed_nests)
+
+
+class TestStatus:
+    def test_solved(self, problem):
+        ants = [StubAnt(i, 1) for i in range(4)]
+        assert problem.status(ants) is SolutionStatus.SOLVED
+        assert problem.is_solved(ants)
+
+    def test_agreed_on_bad_nest(self, problem):
+        ants = [StubAnt(i, 2) for i in range(4)]
+        assert problem.status(ants) is SolutionStatus.AGREED_ON_BAD_NEST
+        assert not problem.is_solved(ants)
+
+    def test_split(self, problem):
+        ants = [StubAnt(0, 1), StubAnt(1, 3), StubAnt(2, 1), StubAnt(3, 1)]
+        assert problem.status(ants) is SolutionStatus.SPLIT
+
+    def test_undecided(self, problem):
+        ants = [StubAnt(0, 1), StubAnt(1, None)]
+        assert problem.status(ants) is SolutionStatus.UNDECIDED
+
+    def test_require_settled(self, mixed_nests):
+        problem = HouseHuntingProblem(2, mixed_nests, require_settled=True)
+        unsettled = [StubAnt(0, 1, settled=True), StubAnt(1, 1, settled=False)]
+        assert problem.status(unsettled) is SolutionStatus.UNDECIDED
+        settled = [StubAnt(0, 1, settled=True), StubAnt(1, 1, settled=True)]
+        assert problem.status(settled) is SolutionStatus.SOLVED
+
+
+class TestChosenNest:
+    def test_unanimous(self, problem):
+        assert problem.chosen_nest([StubAnt(0, 2), StubAnt(1, 2)]) == 2
+
+    def test_split_returns_none(self, problem):
+        assert problem.chosen_nest([StubAnt(0, 1), StubAnt(1, 2)]) is None
+
+    def test_k_property(self, problem):
+        assert problem.k == 4

@@ -1,0 +1,60 @@
+"""Tests for the package's public surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_docstring_quickstart_runs(self):
+        """The usage example in the package docstring must stay true."""
+        from repro import NestConfig, run_trial, simple_factory
+
+        nests = NestConfig.binary(k=4, good={1, 3})
+        result = run_trial(simple_factory(), n=128, nests=nests, seed=7)
+        assert result.converged
+        assert result.chosen_nest in (1, 3)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.model",
+            "repro.sim",
+            "repro.core",
+            "repro.fast",
+            "repro.baselines",
+            "repro.extensions",
+            "repro.analysis",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_exports_resolve(self, module):
+        package = importlib.import_module(module)
+        for name in getattr(package, "__all__", []):
+            assert getattr(package, name, None) is not None, f"{module}.{name}"
+
+    def test_demo_cli_runs(self):
+        from repro.__main__ import main
+
+        assert main(["--n", "48", "--k", "3", "--seed", "1"]) == 0
+
+    def test_experiments_cli_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E14" in out
+
+    def test_experiments_cli_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        assert main(["E99"]) == 2

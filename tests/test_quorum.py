@@ -1,0 +1,92 @@
+"""Tests for the quorum-sensing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.quorum import QuorumAnt, quorum_factory
+from repro.exceptions import ConfigurationError
+from repro.model.actions import Go, Recruit, RecruitResult, Search, SearchResult, GoResult
+from repro.model.nests import NestConfig
+from repro.sim.convergence import UnanimousCommitment
+from repro.sim.run import run_trial
+
+
+def make_ant(quorum_fraction=0.5, n=20, seed=0):
+    return QuorumAnt(
+        0, n, np.random.default_rng(seed), quorum_fraction=quorum_fraction
+    )
+
+
+class TestStates:
+    def test_bad_nest_is_passive(self):
+        ant = make_ant()
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=0.0, count=3))
+        assert ant.state_label() == "passive"
+        assert ant.decide() == Recruit(False, 1)
+
+    def test_good_nest_assesses(self):
+        ant = make_ant()
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=3))
+        assert ant.state_label() == "tandem"
+
+    def test_quorum_triggers_transport(self):
+        ant = make_ant(quorum_fraction=0.5, n=20)  # quorum = 10
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=12))
+        assert ant.committed
+        assert ant.state_label() == "transport"
+        assert ant.decide() == Recruit(True, 1)
+
+    def test_quorum_triggers_on_later_visit(self):
+        ant = make_ant(quorum_fraction=0.5, n=20)
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=3))
+        ant.decide()  # recruit round (tandem or wait)
+        ant.observe(RecruitResult(nest=1, home_count=20))
+        assert ant.decide() == Go(1)
+        ant.observe(GoResult(nest=1, count=11))
+        assert ant.committed
+
+    def test_recruited_ant_reassesses(self):
+        ant = make_ant()
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=0.0, count=3))
+        ant.decide()
+        ant.observe(RecruitResult(nest=4, home_count=20))
+        assert ant.committed_nest == 4
+        assert ant.state_label() == "tandem"
+        assert not ant.committed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_ant(quorum_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            QuorumAnt(0, 8, np.random.default_rng(0), tandem_probability=0.0)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_converges(self, seed, all_good_4):
+        result = run_trial(
+            quorum_factory(quorum_fraction=0.4),
+            96,
+            all_good_4,
+            seed=seed,
+            max_rounds=8000,
+            criterion_factory=UnanimousCommitment,
+        )
+        assert result.converged
+
+    def test_avoids_bad_nests(self, mixed_nests):
+        result = run_trial(
+            quorum_factory(quorum_fraction=0.4),
+            96,
+            mixed_nests,
+            seed=2,
+            max_rounds=8000,
+            criterion_factory=UnanimousCommitment,
+        )
+        assert result.converged
+        assert result.chosen_nest in (1, 3)

@@ -1,0 +1,144 @@
+"""Tests for the recruitment pairing process (the paper's Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.model.recruitment import (
+    MatchOutcome,
+    RecruitRequest,
+    match_arrays,
+    run_recruitment,
+)
+
+
+def outcome(requests, seed=0) -> MatchOutcome:
+    return run_recruitment(requests, np.random.default_rng(seed))
+
+
+class TestEmptyAndTrivial:
+    def test_no_participants(self):
+        result = outcome([])
+        assert result.assignments == {}
+        assert result.pairs == ()
+
+    def test_single_passive_ant_keeps_nest(self):
+        result = outcome([RecruitRequest(ant=0, active=False, target=3)])
+        assert result.assignments == {0: 3}
+        assert not result.was_recruited(0)
+
+    def test_single_active_ant_self_recruits(self):
+        # With c(0, r) = 1 the only possible choice is itself (the forced
+        # self-recruitment the Theorem 3.2 proof leans on).
+        result = outcome([RecruitRequest(ant=0, active=True, target=3)])
+        assert result.assignments == {0: 3}
+        assert result.recruited_by == {0: 0}
+        assert 0 in result.successful_recruiters
+
+
+class TestPairingInvariants:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_each_ant_in_at_most_one_pair(self, seed):
+        requests = [
+            RecruitRequest(ant=a, active=a % 2 == 0, target=1 + a % 3)
+            for a in range(20)
+        ]
+        result = outcome(requests, seed)
+        recruitees = list(result.recruited_by)
+        assert len(recruitees) == len(set(recruitees))
+        recruiters = list(result.recruited_by.values())
+        assert len(recruiters) == len(set(recruiters))
+        # No ant is recruiter in one pair and recruitee in another.
+        overlap = set(recruitees) & set(recruiters)
+        assert all(result.recruited_by[a] == a for a in overlap)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_only_active_ants_recruit(self, seed):
+        requests = [
+            RecruitRequest(ant=a, active=a < 5, target=1) for a in range(15)
+        ]
+        result = outcome(requests, seed)
+        assert all(r < 5 for r in result.recruited_by.values())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_recruited_ants_learn_recruiters_nest(self, seed):
+        requests = [RecruitRequest(ant=0, active=True, target=7)] + [
+            RecruitRequest(ant=a, active=False, target=1) for a in range(1, 8)
+        ]
+        result = outcome(requests, seed)
+        for recruitee, recruiter in result.recruited_by.items():
+            if recruiter == 0:
+                assert result.assignments[recruitee] == 7
+
+    def test_unrecruited_ants_keep_their_input(self):
+        requests = [RecruitRequest(ant=a, active=False, target=a + 1) for a in range(5)]
+        result = outcome(requests)
+        assert result.assignments == {a: a + 1 for a in range(5)}
+
+    def test_all_active_high_success_rate(self):
+        # With everyone recruiting, roughly a constant fraction succeeds.
+        requests = [RecruitRequest(ant=a, active=True, target=1) for a in range(100)]
+        result = outcome(requests, seed=5)
+        assert len(result.successful_recruiters) >= 20
+
+
+class TestMatchArrays:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            match_arrays(
+                np.array([True]), np.array([1, 2]), np.random.default_rng(0)
+            )
+
+    def test_empty(self):
+        results, recruiter_of, is_recruiter = match_arrays(
+            np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64),
+            np.random.default_rng(0),
+        )
+        assert len(results) == len(recruiter_of) == len(is_recruiter) == 0
+
+    def test_no_active_means_no_pairs(self):
+        results, recruiter_of, is_recruiter = match_arrays(
+            np.zeros(6, dtype=bool),
+            np.arange(6, dtype=np.int64),
+            np.random.default_rng(0),
+        )
+        assert (recruiter_of == -1).all()
+        assert not is_recruiter.any()
+        assert (results == np.arange(6)).all()
+
+    def test_deterministic_under_seed(self):
+        active = np.array([True, False, True, False, True])
+        targets = np.array([1, 2, 3, 4, 5], dtype=np.int64)
+        first = match_arrays(active, targets, np.random.default_rng(42))
+        second = match_arrays(active, targets, np.random.default_rng(42))
+        for a, b in zip(first, second):
+            assert (a == b).all()
+
+    def test_results_do_not_alias_targets(self):
+        active = np.array([True, True])
+        targets = np.array([1, 2], dtype=np.int64)
+        results, *_ = match_arrays(active, targets, np.random.default_rng(0))
+        results[0] = 99
+        assert targets[0] == 1
+
+
+class TestSuccessProbability:
+    def test_lemma_2_1_bound_everyone_active(self):
+        """Lemma 2.1: success probability >= 1/16 whenever c(0,r) >= 2."""
+        rng = np.random.default_rng(7)
+        active = np.ones(32, dtype=bool)
+        targets = np.arange(32, dtype=np.int64)
+        successes = sum(
+            int(match_arrays(active, targets, rng)[2][0]) for _ in range(800)
+        )
+        assert successes / 800 >= 1 / 16
+
+    def test_lone_recruiter_among_passives_usually_succeeds(self):
+        rng = np.random.default_rng(7)
+        active = np.zeros(32, dtype=bool)
+        active[0] = True
+        targets = np.arange(32, dtype=np.int64)
+        successes = sum(
+            int(match_arrays(active, targets, rng)[2][0]) for _ in range(400)
+        )
+        # Only failure mode is drawing itself (p = 1/32).
+        assert successes / 400 > 0.9

@@ -1,0 +1,123 @@
+"""Tests for the robustness extensions (re-search, approximate n)."""
+
+import numpy as np
+import pytest
+
+from repro.core.states import SimplePhase, SimpleState
+from repro.exceptions import ConfigurationError
+from repro.extensions.robust import (
+    ApproximateNAnt,
+    RetryingSimpleAnt,
+    approximate_n_factory,
+    retrying_factory,
+)
+from repro.model.actions import Search, SearchResult
+from repro.model.nests import NestConfig
+from repro.sim.run import run_trial
+
+
+class TestRetryingSimpleAnt:
+    def test_passive_ant_researches(self):
+        ant = RetryingSimpleAnt(
+            0, 16, np.random.default_rng(0), research_probability=1.0
+        )
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=0.0, count=4))
+        assert ant.state is SimpleState.PASSIVE
+        assert isinstance(ant.decide(), Search)
+
+    def test_research_success_activates_and_resyncs(self):
+        ant = RetryingSimpleAnt(
+            0, 16, np.random.default_rng(0), research_probability=1.0
+        )
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=0.0, count=4))
+        ant.decide()  # the re-search
+        ant.observe(SearchResult(nest=3, quality=1.0, count=2))
+        assert ant.state is SimpleState.ACTIVE
+        assert ant.committed_nest == 3
+        # Next global round is an assessment round: the ant must rejoin the
+        # colony's alternation there, not at a recruit round.
+        assert ant.phase is SimplePhase.ASSESS
+
+    def test_research_failure_keeps_passive(self):
+        ant = RetryingSimpleAnt(
+            0, 16, np.random.default_rng(0), research_probability=1.0
+        )
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=0.0, count=4))
+        ant.decide()
+        ant.observe(SearchResult(nest=2, quality=0.0, count=2))
+        assert ant.state is SimpleState.PASSIVE
+        assert ant.committed_nest == 1  # old commitment kept
+
+    def test_active_ants_never_research(self):
+        ant = RetryingSimpleAnt(
+            0, 16, np.random.default_rng(0), research_probability=1.0
+        )
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=4))
+        assert not isinstance(ant.decide(), Search)
+
+    def test_escapes_all_bad_initial_search(self):
+        """The deadlock plain Algorithm 3 cannot escape: a world where the
+        only good nest is unlikely to be found in round 1."""
+        nests = NestConfig.binary(8, {8})
+        result = run_trial(
+            retrying_factory(research_probability=0.2),
+            8,  # 8 ants over 8 nests: often nobody finds nest 8 initially
+            nests,
+            seed=6,
+            max_rounds=20_000,
+        )
+        assert result.converged
+        assert result.chosen_nest == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryingSimpleAnt(
+                0, 8, np.random.default_rng(0), research_probability=1.5
+            )
+
+
+class TestApproximateNAnt:
+    def test_explicit_estimate_used(self):
+        draws = []
+        for seed in range(600):
+            ant = ApproximateNAnt(
+                0, 16, np.random.default_rng(seed), n_estimate=32.0
+            )
+            ant.decide()
+            ant.observe(SearchResult(nest=1, quality=1.0, count=16))
+            draws.append(ant.decide().active)
+        # count/ñ = 16/32 = 1/2 even though count/n would be 1.
+        assert 0.42 < np.mean(draws) < 0.58
+
+    def test_random_estimate_within_factor(self):
+        for seed in range(50):
+            ant = ApproximateNAnt(
+                0, 100, np.random.default_rng(seed), max_factor=2.0
+            )
+            assert 50.0 <= ant.n_estimate <= 200.0
+
+    def test_probability_clamped(self):
+        ant = ApproximateNAnt(0, 16, np.random.default_rng(0), n_estimate=4.0)
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=16))
+        assert ant.decide().active  # min(1, 16/4) = 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ApproximateNAnt(0, 8, np.random.default_rng(0), n_estimate=0.0)
+        with pytest.raises(ConfigurationError):
+            ApproximateNAnt(0, 8, np.random.default_rng(0), max_factor=0.5)
+
+    def test_end_to_end(self, all_good_4):
+        result = run_trial(
+            approximate_n_factory(max_factor=2.0),
+            96,
+            all_good_4,
+            seed=3,
+            max_rounds=8000,
+        )
+        assert result.converged

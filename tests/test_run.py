@@ -1,0 +1,84 @@
+"""Tests for the trial runner and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.colony import simple_factory
+from repro.sim.run import TrialStats, build_colony, run_trial, run_trials
+
+
+class TestBuildColony:
+    def test_ids_and_size(self, rng):
+        colony = build_colony(simple_factory(), 5, rng)
+        assert [a.ant_id for a in colony] == [0, 1, 2, 3, 4]
+        assert all(a.n == 5 for a in colony)
+
+
+class TestRunTrial:
+    def test_reproducible_under_seed(self, all_good_4):
+        a = run_trial(simple_factory(), 32, all_good_4, seed=11, max_rounds=2000)
+        b = run_trial(simple_factory(), 32, all_good_4, seed=11, max_rounds=2000)
+        assert a.converged_round == b.converged_round
+        assert a.chosen_nest == b.chosen_nest
+
+    def test_different_seeds_usually_differ(self, all_good_4):
+        results = {
+            run_trial(
+                simple_factory(), 32, all_good_4, seed=s, max_rounds=2000
+            ).converged_round
+            for s in range(6)
+        }
+        assert len(results) > 1
+
+    def test_history_opt_in(self, all_good_4):
+        result = run_trial(
+            simple_factory(), 16, all_good_4, seed=0, max_rounds=500,
+            keep_history=True,
+        )
+        assert len(result.history) == result.rounds_executed
+
+    def test_rounds_to_convergence_censoring(self, all_good_4):
+        result = run_trial(simple_factory(), 16, all_good_4, seed=0, max_rounds=2)
+        assert not result.converged
+        assert result.rounds_to_convergence == 2
+
+
+class TestRunTrials:
+    def test_aggregation(self, all_good_4):
+        stats = run_trials(
+            simple_factory(), 32, all_good_4, n_trials=6, base_seed=1,
+            max_rounds=2000,
+        )
+        assert stats.n_trials == 6
+        assert stats.n_converged == 6
+        assert stats.success_rate == 1.0
+        assert stats.mean_rounds > 0
+        assert stats.median_rounds <= stats.percentile(95)
+        assert sum(stats.chosen_nests.values()) == 6
+
+    def test_censoring_reported(self, all_good_4):
+        stats = run_trials(
+            simple_factory(), 32, all_good_4, n_trials=3, base_seed=1,
+            max_rounds=3,
+        )
+        assert stats.n_converged == 0
+        assert stats.success_rate == 0.0
+        assert np.isnan(stats.median_rounds)
+        assert stats.censored_at == 3
+        assert stats.max_rounds_observed == 0
+
+    def test_str_smoke(self, all_good_4):
+        stats = run_trials(
+            simple_factory(), 16, all_good_4, n_trials=2, base_seed=0,
+            max_rounds=2000,
+        )
+        assert "success" in str(stats)
+
+
+class TestTrialStats:
+    def test_empty(self):
+        stats = TrialStats(
+            n_trials=0, n_converged=0, rounds=np.array([]), censored_at=10
+        )
+        assert stats.success_rate == 0.0
+        assert np.isnan(stats.mean_rounds)

@@ -1,0 +1,87 @@
+"""Tests for scaling-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (
+    best_model,
+    fit_model,
+    fit_models,
+    klogn_model,
+    linear_model,
+    log_model,
+    sqrt_model,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestFitModel:
+    def test_recovers_log_coefficients(self):
+        x = np.array([64, 128, 256, 512, 1024, 2048])
+        y = 5.0 + 3.0 * np.log(x)
+        fit = fit_model(log_model(), x, y)
+        assert fit.intercept == pytest.approx(5.0, abs=1e-6)
+        assert fit.slope == pytest.approx(3.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovers_linear_coefficients(self):
+        x = np.array([1, 2, 3, 4, 5])
+        y = 2.0 + 0.5 * x
+        fit = fit_model(linear_model(), x, y)
+        assert fit.slope == pytest.approx(0.5)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(0)
+        x = np.array([64, 128, 256, 512, 1024, 2048, 4096])
+        y = 5.0 + 3.0 * np.log(x) + rng.normal(0, 0.5, size=len(x))
+        fit = fit_model(log_model(), x, y)
+        assert abs(fit.slope - 3.0) < 0.5
+        assert fit.r_squared > 0.9
+
+    def test_predict(self):
+        x = np.array([1.0, 2.0, 3.0])
+        fit = fit_model(linear_model(), x, 2 * x)
+        assert fit.predict(np.array([10.0]))[0] == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_model(log_model(), [1, 2], [1, 2])
+        with pytest.raises(ConfigurationError):
+            fit_model(log_model(), [1, 2, 3], [1, 2])
+
+
+class TestModelSelection:
+    def test_log_data_selects_log_model(self):
+        x = np.array([64, 128, 256, 512, 1024, 2048, 4096, 8192])
+        rng = np.random.default_rng(1)
+        y = 10.0 + 4.0 * np.log(x) + rng.normal(0, 0.3, size=len(x))
+        winner = best_model([log_model(), linear_model(), sqrt_model()], x, y)
+        assert winner.name == "a + b*log(x)"
+
+    def test_linear_data_selects_linear_model(self):
+        x = np.array([2, 4, 8, 16, 32, 48, 64])
+        rng = np.random.default_rng(2)
+        y = 3.0 + 5.0 * x + rng.normal(0, 1.0, size=len(x))
+        winner = best_model([log_model(), linear_model(), sqrt_model()], x, y)
+        assert winner.name == "a + b*x"
+
+    def test_fit_models_sorted_by_aic(self):
+        x = np.array([64, 128, 256, 512, 1024])
+        y = 1.0 + 2.0 * np.log(x)
+        fits = fit_models([log_model(), linear_model()], x, y)
+        assert fits[0].aic <= fits[1].aic
+
+
+class TestKlognModel:
+    def test_recovers_joint_coefficients(self):
+        k = np.array([2, 4, 8, 16, 4, 4, 4], dtype=float)
+        n = np.array([1024, 1024, 1024, 1024, 256, 4096, 16384], dtype=float)
+        y = 7.0 + 0.9 * k * np.log(n)
+        fit = fit_model(klogn_model(n), k, y)
+        assert fit.intercept == pytest.approx(7.0, abs=1e-6)
+        assert fit.slope == pytest.approx(0.9, abs=1e-6)
+
+    def test_str_smoke(self):
+        x = np.array([1.0, 2.0, 3.0])
+        fit = fit_model(linear_model(), x, 2 * x)
+        assert "slope" in str(fit)

@@ -1,0 +1,153 @@
+"""Tests for Algorithm 3 (SimpleAnt)."""
+
+import numpy as np
+import pytest
+
+from repro.core.colony import simple_factory
+from repro.core.simple import SimpleAnt
+from repro.core.states import SimplePhase, SimpleState
+from repro.model.actions import (
+    Go,
+    GoResult,
+    Recruit,
+    RecruitResult,
+    Search,
+    SearchResult,
+)
+from repro.model.nests import NestConfig
+from repro.sim.run import run_trial
+
+
+def make_ant(seed=0, n=16):
+    return SimpleAnt(0, n, np.random.default_rng(seed))
+
+
+class TestSearchPhase:
+    def test_first_action_is_search(self):
+        assert isinstance(make_ant().decide(), Search)
+
+    def test_good_nest_activates(self):
+        ant = make_ant()
+        ant.decide()
+        ant.observe(SearchResult(nest=2, quality=1.0, count=5))
+        assert ant.state is SimpleState.ACTIVE
+        assert ant.committed_nest == 2
+        assert ant.count == 5
+
+    def test_bad_nest_deactivates(self):
+        ant = make_ant()
+        ant.decide()
+        ant.observe(SearchResult(nest=2, quality=0.0, count=5))
+        assert ant.state is SimpleState.PASSIVE
+
+    def test_threshold_respected(self):
+        ant = SimpleAnt(0, 16, np.random.default_rng(0), good_threshold=0.7)
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=0.6, count=3))
+        assert ant.state is SimpleState.PASSIVE
+
+
+class TestRecruitPhase:
+    def advance_to_recruit(self, quality=1.0, count=8, seed=0, n=16):
+        ant = make_ant(seed=seed, n=n)
+        ant.decide()
+        ant.observe(SearchResult(nest=3, quality=quality, count=count))
+        return ant
+
+    def test_active_ant_calls_recruit_with_own_nest(self):
+        ant = self.advance_to_recruit()
+        action = ant.decide()
+        assert isinstance(action, Recruit)
+        assert action.nest == 3
+
+    def test_passive_ant_never_recruits_actively(self):
+        ant = self.advance_to_recruit(quality=0.0)
+        for _ in range(20):
+            action = ant.decide()
+            assert isinstance(action, Recruit)
+            assert not action.active
+            ant.observe(RecruitResult(nest=3, home_count=16))
+            assert isinstance(ant.decide(), Go)
+            ant.observe(GoResult(nest=3, count=1))
+
+    def test_recruit_probability_matches_count_over_n(self):
+        # Line 6: b := 1 with probability count/n.  count=8, n=16 -> 1/2.
+        draws = []
+        for seed in range(600):
+            ant = self.advance_to_recruit(count=8, seed=seed, n=16)
+            draws.append(ant.decide().active)
+        rate = np.mean(draws)
+        assert 0.42 < rate < 0.58
+
+    def test_full_nest_always_recruits(self):
+        ant = self.advance_to_recruit(count=16, n=16)
+        assert ant.decide().active
+
+    def test_active_adopts_returned_nest(self):
+        ant = self.advance_to_recruit()
+        ant.decide()
+        ant.observe(RecruitResult(nest=4, home_count=16))
+        assert ant.committed_nest == 4
+        assert ant.state is SimpleState.ACTIVE
+
+    def test_passive_wakes_on_new_nest(self):
+        ant = self.advance_to_recruit(quality=0.0)
+        ant.decide()
+        ant.observe(RecruitResult(nest=4, home_count=16))
+        assert ant.state is SimpleState.ACTIVE
+        assert ant.committed_nest == 4
+
+    def test_passive_stays_passive_on_own_nest(self):
+        ant = self.advance_to_recruit(quality=0.0)
+        ant.decide()
+        ant.observe(RecruitResult(nest=3, home_count=16))
+        assert ant.state is SimpleState.PASSIVE
+
+
+class TestAssessPhase:
+    def test_assessment_updates_count(self):
+        ant = make_ant()
+        ant.decide()
+        ant.observe(SearchResult(nest=3, quality=1.0, count=5))
+        ant.decide()
+        ant.observe(RecruitResult(nest=3, home_count=16))
+        action = ant.decide()
+        assert action == Go(3)
+        ant.observe(GoResult(nest=3, count=9))
+        assert ant.count == 9
+        assert ant.phase is SimplePhase.RECRUIT
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_converges_all_good(self, seed, all_good_4):
+        result = run_trial(
+            simple_factory(), 64, all_good_4, seed=seed, max_rounds=4000
+        )
+        assert result.converged
+        assert result.chosen_nest in (1, 2, 3, 4)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_converges_to_good_nest_only(self, seed, mixed_nests):
+        result = run_trial(
+            simple_factory(), 64, mixed_nests, seed=seed, max_rounds=4000
+        )
+        assert result.converged
+        assert result.chosen_nest in (1, 3)
+
+    def test_single_nest_world(self):
+        nests = NestConfig.all_good(1)
+        result = run_trial(simple_factory(), 16, nests, seed=0, max_rounds=500)
+        assert result.converged
+        assert result.chosen_nest == 1
+
+    def test_two_ants(self, all_good_4):
+        result = run_trial(simple_factory(), 2, all_good_4, seed=4, max_rounds=4000)
+        assert result.converged
+
+    def test_state_labels(self):
+        ant = make_ant()
+        assert ant.state_label() == "search"
+        ant.decide()
+        ant.observe(SearchResult(nest=1, quality=1.0, count=1))
+        assert ant.state_label() == "active"

@@ -1,0 +1,57 @@
+"""Agent-vs-fast equivalence for the lower-bound spread process.
+
+Completes the cross-engine test triad (Algorithm 3 and Algorithm 2 have
+their own equivalence tests): the two implementations of the information-
+spreading process must produce statistically indistinguishable completion
+times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.colony import informed_spread_factory
+from repro.core.lower_bound import IgnorantPolicy
+from repro.fast.spread_fast import simulate_spread
+from repro.model.nests import NestConfig
+from repro.sim.run import run_trials
+
+
+@pytest.mark.parametrize(
+    "policy", [IgnorantPolicy.WAIT, IgnorantPolicy.MIXED]
+)
+def test_spread_distributional_match(policy):
+    n, k, trials = 96, 8, 15
+    nests = NestConfig.single_good(k, good_nest=1)
+    agent = run_trials(
+        informed_spread_factory(policy),
+        n,
+        nests,
+        n_trials=trials,
+        base_seed=21,
+        max_rounds=2000,
+    )
+    fast = [
+        simulate_spread(n, k, policy, seed=3000 + s, max_rounds=2000)
+        for s in range(trials)
+    ]
+    fast_median = float(np.median([r.rounds_to_all_informed for r in fast]))
+    assert agent.success_rate == 1.0
+    assert all(r.all_informed for r in fast)
+    assert abs(fast_median - agent.median_rounds) <= 0.4 * max(
+        fast_median, agent.median_rounds
+    )
+
+
+def test_fast_spread_search_policy_matches_coupon_collector_scale():
+    """With pure searching (no recruitment), each ignorant ant finds the
+    good nest w.p. 1/k per round; the colony completion time is the max of
+    n geometric variables ≈ k·ln n.  The measured median should sit within
+    a factor ~2 of that (discreteness + max-statistics slack)."""
+    n, k = 512, 8
+    expected = k * np.log(n)
+    rounds = [
+        simulate_spread(n, k, IgnorantPolicy.SEARCH, seed=s).completion_round
+        for s in range(10)
+    ]
+    measured = float(np.median(rounds))
+    assert expected / 2 <= measured <= expected * 2

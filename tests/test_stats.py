@@ -1,0 +1,99 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_mean_interval,
+    empirical_probability,
+    geometric_mean,
+    summarize,
+    wilson_interval,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.n == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+
+    def test_single_value(self):
+        summary = summarize([7])
+        assert summary.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_str_smoke(self):
+        assert "median" in str(summarize([1, 2, 3]))
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(80, 100)
+        assert lo < 0.8 < hi
+
+    def test_bounded_in_unit_interval(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0
+        assert hi > 0.0
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0
+        assert lo < 1.0
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(8, 10)
+        lo2, hi2 = wilson_interval(800, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_higher_confidence_widens(self):
+        lo90, hi90 = wilson_interval(50, 100, confidence=0.90)
+        lo99, hi99 = wilson_interval(50, 100, confidence=0.99)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 4)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 4, confidence=1.0)
+
+
+class TestBootstrap:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, size=200)
+        lo, hi = bootstrap_mean_interval(data, seed=1)
+        assert lo < 10.3 and hi > 9.7
+
+    def test_single_point(self):
+        assert bootstrap_mean_interval([5.0]) == (5.0, 5.0)
+
+    def test_custom_statistic(self):
+        lo, hi = bootstrap_mean_interval([1, 2, 3, 100], statistic=np.median)
+        assert hi <= 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_interval([])
+
+
+class TestSmallHelpers:
+    def test_empirical_probability(self):
+        assert empirical_probability(3, 4) == 0.75
+        with pytest.raises(ConfigurationError):
+            empirical_probability(1, 0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])

@@ -1,0 +1,85 @@
+"""Tests for the result-table renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(ConfigurationError):
+            Table("t", [])
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_add_rows(self):
+        table = Table("t", ["a"])
+        table.add_rows([[1], [2], [3]])
+        assert table.n_rows == 3
+
+
+class TestRendering:
+    def test_render_contains_everything(self):
+        table = Table("My results", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("beta", 20000.0)
+        table.add_note("a footnote")
+        text = table.render()
+        assert "My results" in text
+        assert "alpha" in text
+        assert "1.5" in text
+        assert "20,000" in text
+        assert "* a footnote" in text
+
+    def test_columns_aligned(self):
+        table = Table("t", ["col", "x"])
+        table.add_row("aaa", 1)
+        table.add_row("b", 22)
+        lines = table.render().splitlines()
+        data_lines = lines[2:]  # header onwards
+        assert len({len(line) for line in data_lines[:3]}) == 1
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(0.123456)
+        assert "0.1235" in table.render()
+
+    def test_nan_renders_as_dash(self):
+        table = Table("t", ["v"])
+        table.add_row(float("nan"))
+        assert "-" in table.render().splitlines()[-1]
+
+    def test_bools_render_yes_no(self):
+        table = Table("t", ["v"])
+        table.add_row(True)
+        table.add_row(np.bool_(False))
+        text = table.render()
+        assert "yes" in text
+        assert "no" in text
+
+    def test_numpy_integers(self):
+        table = Table("t", ["v"])
+        table.add_row(np.int64(7))
+        assert "7" in table.render()
+
+    def test_str_is_render(self):
+        table = Table("t", ["v"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+
+class TestMarkdown:
+    def test_markdown_shape(self):
+        table = Table("Results", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_note("note")
+        md = table.to_markdown()
+        assert md.startswith("**Results**")
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md
+        assert "- note" in md

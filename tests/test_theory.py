@@ -1,0 +1,85 @@
+"""Tests for the paper's theoretical constants and bound functions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import theory
+from repro.exceptions import ConfigurationError
+
+
+class TestConstants:
+    def test_lemma_2_1(self):
+        assert theory.LEMMA_2_1_SUCCESS_LOWER_BOUND == pytest.approx(1 / 16)
+
+    def test_lemma_3_1(self):
+        assert theory.LEMMA_3_1_IGNORANCE_LOWER_BOUND == pytest.approx(1 / 4)
+
+    def test_lemma_4_2(self):
+        assert theory.LEMMA_4_2_DROPOUT_LOWER_BOUND == pytest.approx(1 / 66)
+
+    def test_block_decay(self):
+        assert theory.theorem_4_3_block_decay() == pytest.approx(65 / 66)
+
+
+class TestLowerBound:
+    def test_grows_logarithmically(self):
+        small = theory.lower_bound_rounds(256)
+        large = theory.lower_bound_rounds(256**2)
+        # (log4 n)/2 doubles when n squares.
+        gap = theory.lower_bound_rounds(256) + np.log(12) / np.log(4)
+        assert large - small == pytest.approx(gap, rel=1e-6)
+
+    def test_matches_formula(self):
+        n, c = 4096, 2.0
+        expected = np.log(n) / (2 * np.log(4)) - np.log(12 * c) / np.log(4)
+        assert theory.lower_bound_rounds(n, c) == pytest.approx(expected)
+
+    def test_remaining_ignorant(self):
+        assert theory.remaining_ignorant_bound(100, c=1.0) == pytest.approx(60.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.lower_bound_rounds(1)
+        with pytest.raises(ConfigurationError):
+            theory.lower_bound_rounds(10, c=0)
+
+
+class TestKBounds:
+    def test_optimal_k_bound_formula(self):
+        n = 1024
+        assert theory.optimal_k_bound(n, c=1.0) == pytest.approx(
+            n / (24 * np.log(n))
+        )
+
+    def test_simple_k_bound_far_smaller(self):
+        n = 1 << 20
+        assert theory.simple_k_bound(n) < theory.optimal_k_bound(n)
+
+    def test_simple_k_bound_requires_d_64(self):
+        with pytest.raises(ConfigurationError):
+            theory.simple_k_bound(1024, d=32)
+
+    def test_bounds_increase_with_n(self):
+        assert theory.optimal_k_bound(1 << 16) > theory.optimal_k_bound(1 << 10)
+        assert theory.simple_k_bound(1 << 16) > theory.simple_k_bound(1 << 10)
+
+
+class TestSection5:
+    def test_initial_gap_formula(self):
+        assert theory.lemma_5_4_initial_gap(101) == pytest.approx(1 / 300)
+
+    def test_small_nest_threshold(self):
+        assert theory.small_nest_threshold(6400, 10) == pytest.approx(10.0)
+
+    def test_dropout_horizon_scales_with_k(self):
+        assert theory.simple_dropout_horizon(
+            1024, 8
+        ) == pytest.approx(2 * theory.simple_dropout_horizon(1024, 4))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.lemma_5_4_initial_gap(1)
+        with pytest.raises(ConfigurationError):
+            theory.small_nest_threshold(0, 1)
+        with pytest.raises(ConfigurationError):
+            theory.simple_dropout_horizon(1, 1)

@@ -1,0 +1,105 @@
+"""Tests for event tracing."""
+
+import pytest
+
+from repro.core.colony import simple_factory
+from repro.model.environment import Environment
+from repro.model.nests import NestConfig
+from repro.sim.engine import Simulation
+from repro.sim.rng import RandomSource
+from repro.sim.run import build_colony
+from repro.sim.trace import (
+    AttemptEvent,
+    EventTrace,
+    RecruitmentEvent,
+    SearchEvent,
+    VisitEvent,
+)
+
+
+@pytest.fixture
+def traced_run(all_good_4):
+    source = RandomSource(8)
+    colony = build_colony(simple_factory(), 24, source.colony)
+    trace = EventTrace()
+    sim = Simulation(
+        colony,
+        Environment(24, all_good_4),
+        source,
+        max_rounds=30,
+        hooks=[trace],
+    )
+    result = sim.run()
+    return trace, result
+
+
+class TestEventCollection:
+    def test_round_one_searches(self, traced_run):
+        trace, _ = traced_run
+        searches = trace.events(SearchEvent)
+        assert len(searches) == 24
+        assert all(event.round == 1 for event in searches)
+        assert all(1 <= event.nest <= 4 for event in searches)
+
+    def test_visits_recorded(self, traced_run):
+        trace, _ = traced_run
+        visits = trace.events(VisitEvent)
+        assert visits  # assessment rounds produce go() events
+        assert all(event.round >= 3 for event in visits)
+
+    def test_attempts_match_successes(self, traced_run):
+        trace, _ = traced_run
+        successes = {
+            (event.round, event.ant)
+            for event in trace.events(AttemptEvent)
+            if event.succeeded
+        }
+        recruiters = {
+            (event.round, event.recruiter)
+            for event in trace.events(RecruitmentEvent)
+            if event.recruiter != event.recruitee
+        }
+        # Every non-self pairing has a matching successful attempt record.
+        assert recruiters <= {
+            (event.round, event.ant) for event in trace.events(AttemptEvent)
+        }
+        assert successes >= recruiters
+
+    def test_len_and_iter(self, traced_run):
+        trace, _ = traced_run
+        assert len(trace) == len(list(trace))
+
+
+class TestFiltering:
+    def test_filter_restricts_to_ants_of_interest(self, all_good_4):
+        source = RandomSource(9)
+        colony = build_colony(simple_factory(), 16, source.colony)
+        trace = EventTrace(ants_of_interest=[0, 1])
+        sim = Simulation(
+            colony, Environment(16, all_good_4), source, max_rounds=20, hooks=[trace]
+        )
+        sim.run()
+        for event in trace.events(SearchEvent):
+            assert event.ant in (0, 1)
+        for event in trace.events(RecruitmentEvent):
+            assert event.recruiter in (0, 1) or event.recruitee in (0, 1)
+
+
+class TestInformingChain:
+    def test_chain_terminates_and_is_causal(self, traced_run):
+        trace, _ = traced_run
+        for ant_id in range(24):
+            chain = trace.informing_chain(ant_id)
+            rounds = [event.round for event in chain]
+            assert rounds == sorted(rounds)
+            for event in chain[1:]:
+                assert isinstance(event, RecruitmentEvent)
+
+    def test_never_recruited_ant_has_empty_chain(self, traced_run):
+        trace, _ = traced_run
+        recruited_ever = {
+            event.recruitee for event in trace.events(RecruitmentEvent)
+        }
+        unrecruited = set(range(24)) - recruited_ever
+        for ant_id in unrecruited:
+            assert trace.informing_chain(ant_id) == []

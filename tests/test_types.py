@@ -1,0 +1,50 @@
+"""Tests for the shared type helpers and constants."""
+
+from repro.types import (
+    BAD_QUALITY,
+    GOOD_QUALITY,
+    GOOD_THRESHOLD,
+    HOME_NEST,
+    is_candidate,
+    is_home,
+)
+
+
+class TestConstants:
+    def test_home_nest_is_zero(self):
+        assert HOME_NEST == 0
+
+    def test_binary_qualities(self):
+        assert BAD_QUALITY == 0.0
+        assert GOOD_QUALITY == 1.0
+
+    def test_threshold_separates_binary_qualities(self):
+        assert BAD_QUALITY <= GOOD_THRESHOLD < GOOD_QUALITY
+
+
+class TestIsHome:
+    def test_home(self):
+        assert is_home(0)
+
+    def test_candidate_is_not_home(self):
+        assert not is_home(1)
+
+    def test_negative_is_not_home(self):
+        assert not is_home(-1)
+
+
+class TestIsCandidate:
+    def test_first_candidate(self):
+        assert is_candidate(1, k=4)
+
+    def test_last_candidate(self):
+        assert is_candidate(4, k=4)
+
+    def test_home_is_not_candidate(self):
+        assert not is_candidate(0, k=4)
+
+    def test_out_of_range(self):
+        assert not is_candidate(5, k=4)
+
+    def test_negative(self):
+        assert not is_candidate(-2, k=4)

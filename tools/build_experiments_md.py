@@ -1,0 +1,47 @@
+"""Inline the benchmark output tables into EXPERIMENTS.md.
+
+EXPERIMENTS.md is authored as ``tools/EXPERIMENTS.template.md`` with
+``<!--TABLE:Eid-->`` markers; this script replaces each marker with the
+corresponding ``benchmarks/output/<id>.txt`` table (fenced) and writes the
+final EXPERIMENTS.md.  Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python tools/build_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+TEMPLATE = ROOT / "tools" / "EXPERIMENTS.template.md"
+OUTPUT_DIR = ROOT / "benchmarks" / "output"
+TARGET = ROOT / "EXPERIMENTS.md"
+
+MARKER = re.compile(r"<!--TABLE:([A-Za-z0-9]+)-->")
+
+
+def substitute(match: re.Match) -> str:
+    experiment_id = match.group(1)
+    path = OUTPUT_DIR / f"{experiment_id}.txt"
+    if not path.is_file():
+        return f"*(table {experiment_id} not yet generated — run the benches)*"
+    return "```text\n" + path.read_text(encoding="utf-8").rstrip() + "\n```"
+
+
+def main() -> int:
+    if not TEMPLATE.is_file():
+        print(f"missing template: {TEMPLATE}", file=sys.stderr)
+        return 1
+    text = TEMPLATE.read_text(encoding="utf-8")
+    TARGET.write_text(MARKER.sub(substitute, text), encoding="utf-8")
+    missing = [m for m in MARKER.findall(text) if not (OUTPUT_DIR / f"{m}.txt").is_file()]
+    if missing:
+        print(f"WARNING: missing tables for {', '.join(missing)}", file=sys.stderr)
+    print(f"wrote {TARGET}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
