@@ -2,25 +2,18 @@
 
 These are conventional pytest-benchmark timings (many iterations) rather
 than table regenerations — they track the cost of the recruitment matcher,
-both fast simulators, the spread process, and one agent-engine round, so
-performance regressions in the substrate are visible independently of the
-experiment tables.
+both vectorized kernels, the spread process, and one agent-engine round via
+the Scenario API, so performance regressions in the substrate are visible
+independently of the experiment tables.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.colony import simple_factory
-from repro.fast.optimal_fast import simulate_optimal
-from repro.fast.simple_fast import simulate_simple
-from repro.fast.spread_fast import simulate_spread
-from repro.model.environment import Environment
+from repro.api import Scenario, run
 from repro.model.nests import NestConfig
 from repro.model.recruitment import match_arrays
-from repro.sim.engine import Simulation
-from repro.sim.rng import RandomSource
-from repro.sim.run import build_colony
 
 
 def test_matcher_throughput_4096(benchmark):
@@ -33,52 +26,57 @@ def test_matcher_throughput_4096(benchmark):
     benchmark(lambda: match_arrays(active, targets, rng))
 
 
-def test_fast_simple_full_run_2048(benchmark):
-    """One full Algorithm 3 house-hunt, n=2048, k=8 (fast engine)."""
-    nests = NestConfig.all_good(8)
+def _scenario_series(algorithm: str, n: int, nests: NestConfig, **kwargs):
+    """Fresh-seed scenarios so benchmark iterations never repeat a stream."""
     seeds = iter(range(10_000))
 
-    def one_run():
-        return simulate_simple(2048, nests, seed=next(seeds), max_rounds=50_000)
+    def next_scenario() -> Scenario:
+        return Scenario(
+            algorithm=algorithm, n=n, nests=nests, seed=next(seeds), **kwargs
+        )
 
-    result = benchmark(one_run)
+    return next_scenario
+
+
+def test_fast_simple_full_run_2048(benchmark):
+    """One full Algorithm 3 house-hunt, n=2048, k=8 (fast engine)."""
+    next_scenario = _scenario_series(
+        "simple", 2048, NestConfig.all_good(8), max_rounds=50_000
+    )
+
+    result = benchmark(lambda: run(next_scenario(), backend="fast"))
     assert result.converged
 
 
 def test_fast_optimal_full_run_2048(benchmark):
     """One full Algorithm 2 house-hunt, n=2048, k=8 (fast engine)."""
-    nests = NestConfig.all_good(8)
-    seeds = iter(range(10_000))
+    next_scenario = _scenario_series(
+        "optimal", 2048, NestConfig.all_good(8), max_rounds=50_000
+    )
 
-    def one_run():
-        return simulate_optimal(2048, nests, seed=next(seeds), max_rounds=50_000)
-
-    result = benchmark(one_run)
+    result = benchmark(lambda: run(next_scenario(), backend="fast"))
     assert result.converged
 
 
 def test_fast_spread_full_run_4096(benchmark):
     """One full information-spread run, n=4096, k=8."""
-    seeds = iter(range(10_000))
+    next_scenario = _scenario_series(
+        "spread", 4096, NestConfig.single_good(8, good_nest=1)
+    )
 
-    def one_run():
-        return simulate_spread(4096, 8, seed=next(seeds))
-
-    result = benchmark(one_run)
-    assert result.all_informed
+    result = benchmark(lambda: run(next_scenario(), backend="fast"))
+    assert result.converged
 
 
 def test_agent_engine_rounds_512(benchmark):
     """Sixteen agent-engine rounds of Algorithm 3 at n=512, k=8."""
-    def sixteen_rounds():
-        source = RandomSource(3)
-        colony = build_colony(simple_factory(), 512, source.colony)
-        simulation = Simulation(
-            colony, Environment(512, NestConfig.all_good(8)), source
-        )
-        for _ in range(16):
-            simulation.step()
-        return simulation
+    scenario = Scenario(
+        algorithm="simple",
+        n=512,
+        nests=NestConfig.all_good(8),
+        seed=3,
+        max_rounds=16,
+    )
 
-    simulation = benchmark(sixteen_rounds)
-    assert simulation.round == 16
+    result = benchmark(lambda: run(scenario, backend="agent"))
+    assert result.rounds_executed == 16

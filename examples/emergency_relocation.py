@@ -23,12 +23,8 @@ import argparse
 
 import numpy as np
 
-from repro import NestConfig
+from repro import NestConfig, Scenario, run_scenario
 from repro.analysis.tables import Table
-from repro.baselines.quorum import quorum_factory
-from repro.core.colony import optimal_factory, simple_factory
-from repro.sim.convergence import CommittedToSingleGoodNest, UnanimousCommitment
-from repro.sim.run import run_trial
 
 
 def main() -> None:
@@ -50,32 +46,34 @@ def main() -> None:
         f"only {sorted(good_sites)} habitable.\n"
     )
 
+    # Each strategy is just a registry name; the registry supplies the right
+    # default convergence criterion (all-final for Optimal, unanimity for
+    # Quorum) and the agent engine runs them on identical workloads.
     strategies = [
-        (
-            "Optimal (Alg. 2)",
-            optimal_factory(),
-            lambda: CommittedToSingleGoodNest(require_settled=True),
-        ),
-        ("Simple (Alg. 3)", simple_factory(), CommittedToSingleGoodNest),
-        ("Quorum (Pratt)", quorum_factory(quorum_fraction=0.35), UnanimousCommitment),
+        ("Optimal (Alg. 2)", "optimal", {}),
+        ("Simple (Alg. 3)", "simple", {}),
+        ("Quorum (Pratt)", "quorum", {"quorum_fraction": 0.35}),
     ]
 
     table = Table(
         "Relocation race (median over trials)",
         ["strategy", "median rounds", "success", "chosen sites"],
     )
-    for name, factory, criterion in strategies:
+    for name, algorithm, params in strategies:
         rounds: list[int] = []
         chosen: list[int] = []
         successes = 0
         for trial in range(args.trials):
-            result = run_trial(
-                factory,
-                args.n,
-                nests,
-                seed=args.seed + 1000 * trial,
-                max_rounds=20_000,
-                criterion_factory=criterion,
+            result = run_scenario(
+                Scenario(
+                    algorithm=algorithm,
+                    n=args.n,
+                    nests=nests,
+                    seed=args.seed + 1000 * trial,
+                    max_rounds=20_000,
+                    params=params,
+                ),
+                backend="agent",
             )
             if result.converged:
                 successes += 1

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.analysis.dynamics import dominance_steps, fit_xi, simple_mean_field
 from repro.analysis.viz import sparkline
-from repro.fast.simple_fast import simulate_simple
+from repro.api import Scenario, run
 from repro.model.nests import NestConfig
 
 
@@ -36,8 +36,16 @@ def main() -> None:
     args = parser.parse_args()
 
     nests = NestConfig.all_good(args.k)
-    result = simulate_simple(
-        args.n, nests, seed=args.seed, max_rounds=50_000, record_history=True
+    result = run(
+        Scenario(
+            algorithm="simple",
+            n=args.n,
+            nests=nests,
+            seed=args.seed,
+            max_rounds=50_000,
+            record_history=True,
+        ),
+        backend="fast",
     )
     history = result.population_history
     assessments = history[::2].astype(float)

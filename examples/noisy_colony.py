@@ -28,12 +28,9 @@ from __future__ import annotations
 
 import argparse
 
-from repro import DelayModel, FaultPlan, NestConfig
-from repro.core.colony import simple_factory
+from repro import DelayModel, FaultPlan, NestConfig, Scenario, run_scenario
 from repro.extensions.estimation import EncounterNoise, EncounterRateEstimator
-from repro.sim.convergence import CommittedToSingleGoodNest
 from repro.sim.faults import CrashMode
-from repro.sim.run import run_trial
 
 
 def main() -> None:
@@ -57,10 +54,12 @@ def main() -> None:
         f"{args.samples}-sample encounter rates\n"
     )
 
-    result = run_trial(
-        simple_factory(),
-        args.n,
-        nests,
+    # Every perturbation is part of the declarative scenario; the API routes
+    # it to the agent engine (the only one that can inject faults/delays).
+    scenario = Scenario(
+        algorithm="simple",
+        n=args.n,
+        nests=nests,
         seed=args.seed,
         max_rounds=50_000,
         noise=EncounterNoise(
@@ -73,8 +72,9 @@ def main() -> None:
             crash_round_range=(5, 40),
         ),
         delay_model=DelayModel(args.delay) if args.delay > 0 else None,
-        criterion_factory=lambda: CommittedToSingleGoodNest(exclude_faulty=True),
+        criterion="good_healthy",
     )
+    result = run_scenario(scenario)
 
     if result.converged:
         print(
@@ -85,7 +85,7 @@ def main() -> None:
     else:
         print(
             f"no agreement on a good nest within {result.rounds_executed} "
-            f"rounds (final status: {result.status.value}) — you likely "
+            f"rounds (final status: {result.extras['status']}) — you likely "
             "crossed the Byzantine/asynchrony cliff described above; try "
             "fewer faults"
         )

@@ -13,11 +13,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro import MetricsRecorder, NestConfig, RandomSource, Simulation
+from repro import NestConfig, Scenario, run_scenario
 from repro.analysis.viz import final_share_chart, population_chart
-from repro.core.colony import simple_factory
-from repro.model.environment import Environment
-from repro.sim.run import build_colony
 
 
 def main() -> None:
@@ -32,22 +29,23 @@ def main() -> None:
     nests = NestConfig.binary(args.k, good)
     print(f"colony: n={args.n} ants, k={args.k} nests, good nests: {sorted(good)}")
 
-    source = RandomSource(args.seed)
-    colony = build_colony(simple_factory(), args.n, source.colony)
-    metrics = MetricsRecorder(colony)
-    simulation = Simulation(
-        ants=colony,
-        environment=Environment(args.n, nests),
-        random_source=source,
+    scenario = Scenario(
+        algorithm="simple",
+        n=args.n,
+        nests=nests,
+        seed=args.seed,
         max_rounds=10_000,
-        hooks=[metrics],
+        record_history=True,
     )
-    result = simulation.run()
+    # The reference (agent-based) engine, so the timeline below shows the
+    # model's real round structure; backend="fast" runs the same scenario
+    # orders of magnitude faster.
+    result = run_scenario(scenario, backend="agent")
 
     print(f"\nround-by-round candidate-nest populations (c(i, r)):")
     header = "round | " + " ".join(f"n{i:<4d}" for i in range(1, args.k + 1))
     print(header)
-    populations = metrics.population_matrix()
+    populations = result.population_history
     for row_index in range(populations.shape[0]):
         # Candidate nests are occupied on odd rounds (search/assessment).
         if row_index % 2 == 0:

@@ -18,19 +18,16 @@ import numpy as np
 
 from repro.analysis.scaling import fit_models, linear_model, log_model, sqrt_model
 from repro.analysis.tables import Table
-from repro.fast.optimal_fast import simulate_optimal
-from repro.fast.simple_fast import simulate_simple
+from repro.api import Scenario, run_batch
 from repro.model.nests import NestConfig
-from repro.sim.rng import RandomSource
 
 
-def median_rounds(simulate, n: int, nests, trials: int, seed: int) -> float:
-    root = RandomSource(seed)
-    rounds = []
-    for trial in range(trials):
-        result = simulate(n, nests, seed=root.trial(trial), max_rounds=100_000)
-        if result.converged:
-            rounds.append(result.converged_round)
+def median_rounds(algorithm: str, n: int, nests, trials: int, seed: int) -> float:
+    scenario = Scenario(
+        algorithm=algorithm, n=n, nests=nests, seed=seed, max_rounds=100_000
+    )
+    reports = run_batch(scenario.trials(trials), backend="fast")
+    rounds = [r.converged_round for r in reports if r.converged]
     return float(np.median(rounds)) if rounds else float("nan")
 
 
@@ -56,8 +53,8 @@ def main() -> None:
     optimal_medians: list[float] = []
     simple_medians: list[float] = []
     for n in args.sizes:
-        opt = median_rounds(simulate_optimal, n, nests, args.trials, args.seed + 2 * n)
-        sim = median_rounds(simulate_simple, n, nests, args.trials, args.seed + 2 * n + 1)
+        opt = median_rounds("optimal", n, nests, args.trials, args.seed + 2 * n)
+        sim = median_rounds("simple", n, nests, args.trials, args.seed + 2 * n + 1)
         optimal_medians.append(opt)
         simple_medians.append(sim)
         table.add_row(n, opt, sim)

@@ -20,11 +20,8 @@ import argparse
 
 import numpy as np
 
-from repro import NestConfig
+from repro import NestConfig, Scenario, run_scenario
 from repro.analysis.tables import Table
-from repro.extensions.nonbinary import quality_weighted_factory
-from repro.sim.convergence import UnanimousCommitment
-from repro.sim.run import run_trial
 
 
 def main() -> None:
@@ -57,13 +54,16 @@ def main() -> None:
         agreed = 0
         rounds: list[int] = []
         for trial in range(args.trials):
-            result = run_trial(
-                quality_weighted_factory(quality_weight=weight),
-                args.n,
-                nests,
-                seed=args.seed + 997 * trial,
-                max_rounds=30_000,
-                criterion_factory=UnanimousCommitment,
+            result = run_scenario(
+                Scenario(
+                    algorithm="quality_weighted",
+                    n=args.n,
+                    nests=nests,
+                    seed=args.seed + 997 * trial,
+                    max_rounds=30_000,
+                    params={"quality_weight": weight},
+                    criterion="unanimous",
+                )
             )
             if result.converged:
                 agreed += 1

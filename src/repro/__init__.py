@@ -19,6 +19,17 @@ Quickstart::
     print(result.converged_round, result.chosen_nest)
 """
 
+from repro.api import (
+    REGISTRY,
+    AlgorithmRegistry,
+    RunReport,
+    Scenario,
+    aggregate,
+    resolve_backend,
+    run_batch,
+    run_scenario,
+    run_stats,
+)
 from repro.core import (
     IgnorantPolicy,
     InformedSpreadAnt,
@@ -60,6 +71,7 @@ from repro.types import BAD_QUALITY, GOOD_QUALITY, HOME_NEST
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlgorithmRegistry",
     "Ant",
     "BAD_QUALITY",
     "ConfigurationError",
@@ -78,8 +90,11 @@ __all__ = [
     "NotConvergedError",
     "OptimalAnt",
     "ProtocolError",
+    "REGISTRY",
     "RandomSource",
     "ReproError",
+    "RunReport",
+    "Scenario",
     "SimpleAnt",
     "Simulation",
     "SimulationError",
@@ -87,8 +102,13 @@ __all__ = [
     "SolutionStatus",
     "TrialStats",
     "__version__",
+    "aggregate",
     "informed_spread_factory",
     "optimal_factory",
+    "resolve_backend",
+    "run_batch",
+    "run_scenario",
+    "run_stats",
     "run_trial",
     "run_trials",
     "simple_factory",

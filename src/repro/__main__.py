@@ -9,10 +9,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro import NestConfig, RandomSource
+from repro import NestConfig, Scenario, run_scenario
 from repro.analysis.viz import population_chart
-from repro.fast.optimal_fast import simulate_optimal
-from repro.fast.simple_fast import simulate_simple
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,16 +31,20 @@ def main(argv: list[str] | None = None) -> int:
 
     # Row selections: Algorithm 3 stands at nests on odd rounds (default);
     # Algorithm 2's cohort populations are visible on its B2 sub-rounds.
-    for name, simulate, rows in [
-        ("Algorithm 3 (Simple, O(k log n))", simulate_simple, None),
-        ("Algorithm 2 (Optimal, O(log n))", simulate_optimal, slice(2, None, 4)),
+    for name, algorithm, rows in [
+        ("Algorithm 3 (Simple, O(k log n))", "simple", None),
+        ("Algorithm 2 (Optimal, O(log n))", "optimal", slice(2, None, 4)),
     ]:
-        result = simulate(
-            args.n,
-            nests,
-            seed=RandomSource(args.seed),
-            max_rounds=50_000,
-            record_history=True,
+        result = run_scenario(
+            Scenario(
+                algorithm=algorithm,
+                n=args.n,
+                nests=nests,
+                seed=args.seed,
+                max_rounds=50_000,
+                record_history=True,
+            ),
+            backend="fast",
         )
         print(name)
         print(population_chart(result.population_history, row_slice=rows))
@@ -53,7 +55,10 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print(f"  -> no consensus within {result.rounds_executed} rounds\n")
-    print("more: python -m repro.experiments --list   |   examples/*.py")
+    print(
+        "more: python -m repro.api --list   |   "
+        "python -m repro.experiments --list   |   examples/*.py"
+    )
     return 0
 
 

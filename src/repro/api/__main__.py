@@ -1,0 +1,173 @@
+"""Scenario API command line: run any registered algorithm on any backend.
+
+Usage::
+
+    python -m repro.api --list
+    python -m repro.api --algorithm simple --n 256 --k 4 --good 1,3
+    python -m repro.api --algorithm optimal --backend agent --trials 5
+    python -m repro.api --algorithm simple --trials 40 --workers 4 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+from repro.api import REGISTRY, Scenario, aggregate, resolve_backend, run_batch
+from repro.exceptions import ReproError
+from repro.model.nests import NestConfig
+
+
+def _parse_good(spec: str, k: int) -> set[int]:
+    if spec == "all":
+        return set(range(1, k + 1))
+    return {int(part) for part in spec.split(",") if part.strip()}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api",
+        description="Run a registered house-hunting algorithm via the Scenario API.",
+    )
+    parser.add_argument("--list", action="store_true", help="list registered algorithms")
+    parser.add_argument("--algorithm", help="registry name (see --list)")
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "agent", "fast"),
+        default="auto",
+        help="engine selection (default: auto)",
+    )
+    parser.add_argument("--n", type=int, default=256, help="colony size")
+    parser.add_argument("--k", type=int, default=4, help="candidate nests")
+    parser.add_argument(
+        "--good",
+        default="all",
+        help="comma-separated good nest ids, or 'all' (default)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument("--max-rounds", type=int, default=100_000, help="round cap")
+    parser.add_argument(
+        "--trials", type=int, default=1, help="independent trials (default 1)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for --trials > 1"
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="algorithm parameter (repeatable); VALUE is parsed as JSON "
+        "when possible, else kept as a string",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    return parser
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise ValueError(f"--param needs KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, backends, summary in REGISTRY.describe():
+            print(f"{name:18s} [{backends:10s}] {summary}")
+        return 0
+
+    if not args.algorithm:
+        parser.print_usage(sys.stderr)
+        print("error: --algorithm is required (or use --list)", file=sys.stderr)
+        return 2
+
+    try:
+        scenario = Scenario(
+            algorithm=args.algorithm,
+            n=args.n,
+            nests=NestConfig.binary(args.k, _parse_good(args.good, args.k)),
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            params=_parse_params(args.param),
+        )
+        backend = resolve_backend(scenario, args.backend)
+        scenarios = (
+            scenario.trials(args.trials) if args.trials > 1 else [scenario]
+        )
+        reports = run_batch(scenarios, workers=args.workers, backend=args.backend)
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        payload = {
+            "scenario": scenario.to_dict(),
+            "backend": backend,
+            "reports": [report.to_dict() for report in reports],
+        }
+        if len(reports) > 1:
+            stats = aggregate(reports)
+            payload["stats"] = {
+                "n_trials": stats.n_trials,
+                "n_completed": sum(1 for r in reports if r.converged),
+                "n_converged": stats.n_converged,
+                "success_rate": stats.success_rate,
+                "median_rounds": stats.median_rounds,
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(
+        f"{args.algorithm} on backend={backend}: n={args.n}, k={args.k}, "
+        f"seed={args.seed}, trials={args.trials}"
+    )
+    if len(reports) == 1:
+        report = reports[0]
+        if report.converged:
+            print(
+                f"converged in {report.converged_round} rounds"
+                + (
+                    f" on nest {report.chosen_nest}"
+                    f" ({'good' if report.chose_good_nest else 'bad'})"
+                    if report.chosen_nest is not None
+                    else ""
+                )
+            )
+        else:
+            print(f"did not converge within {report.rounds_executed} rounds")
+    elif all(report.chosen_nest is None for report in reports):
+        # Reference processes (rumor, spread censored, ...) complete without
+        # choosing a nest; "success on a good nest" would read as failure.
+        completed = [r.converged_round for r in reports if r.converged]
+        median = statistics.median(completed) if completed else float("nan")
+        print(
+            f"completed {len(completed)}/{len(reports)} trials, "
+            f"median {median:.1f} rounds"
+        )
+    else:
+        stats = aggregate(reports)
+        print(
+            f"success {stats.success_rate:.3f} "
+            f"({stats.n_converged}/{stats.n_trials} trials), "
+            f"median {stats.median_rounds:.1f} rounds, "
+            f"p95 {stats.percentile(95):.1f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,431 @@
+"""Built-in population of the default :data:`~repro.api.registry.REGISTRY`.
+
+Registers the paper's algorithms (Algorithm 2 "optimal", Algorithm 3
+"simple"), the lower-bound information-spreading process, all four
+baselines (quorum sensing, the uniform-rate ablation, rumor spreading, the
+Pólya urn) and the Section 6 extension variants.  Each entry supplies an
+agent-engine builder and/or a vectorized kernel; the ``fast_supports``
+predicates encode which scenario features each kernel can honor, which is
+exactly the information ``backend="auto"`` dispatch needs.
+
+Adding a protocol variant is one ``REGISTRY.register(...)`` call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.registry import REGISTRY, criterion_factory
+from repro.api.report import RunReport
+from repro.api.scenario import Scenario
+from repro.baselines.polya import PolyaUrn
+from repro.baselines.quorum import quorum_factory
+from repro.baselines.rumor import RumorMode, rumor_rounds
+from repro.baselines.uniform import uniform_factory
+from repro.core.colony import (
+    informed_spread_factory,
+    optimal_factory,
+    simple_factory,
+)
+from repro.core.lower_bound import IgnorantPolicy
+from repro.exceptions import ConfigurationError
+from repro.extensions.adaptive import (
+    adaptive_factory,
+    ktilde_schedule,
+    power_feedback_factory,
+)
+from repro.extensions.nonbinary import quality_weighted_factory
+from repro.extensions.robust import approximate_n_factory
+from repro.fast.optimal_fast import simulate_optimal
+from repro.fast.simple_fast import simulate_simple
+from repro.fast.spread_fast import simulate_spread
+from repro.sim.noise import CountNoise
+from repro.sim.rng import RandomSource
+
+
+def _params(scenario: Scenario, **defaults):
+    """Validated algorithm params: unknown keys are configuration errors."""
+    unknown = set(scenario.params) - set(defaults)
+    if unknown:
+        raise ConfigurationError(
+            f"algorithm {scenario.algorithm!r} does not accept params "
+            f"{sorted(unknown)}; known: {sorted(defaults)}"
+        )
+    merged = dict(defaults)
+    merged.update(scenario.params)
+    return merged
+
+
+def _unperturbed(scenario: Scenario) -> bool:
+    """No agent-engine-only perturbation layers requested."""
+    return scenario.fault_plan is None and scenario.delay_model is None
+
+
+def _gaussian_noise_only(scenario: Scenario) -> bool:
+    """Noise absent, or expressible by the fast engine's Gaussian model."""
+    noise = scenario.noise
+    if noise is None:
+        return True
+    return isinstance(noise, CountNoise) and noise.quality_flip_prob == 0.0
+
+
+# -- Algorithm 3 ("simple") and its rate-schedule variant --------------------
+
+
+def _simple_agent(scenario: Scenario):
+    params = _params(scenario)
+    del params
+    return simple_factory(good_threshold=scenario.nests.good_threshold), None
+
+
+def _simple_fast(scenario: Scenario, source: RandomSource) -> RunReport:
+    _params(scenario)
+    result = simulate_simple(
+        scenario.n,
+        scenario.nests,
+        seed=source,
+        max_rounds=scenario.max_rounds,
+        noise=scenario.noise,
+        record_history=scenario.record_history,
+    )
+    return RunReport.from_fast(scenario, result)
+
+
+def _simple_fast_supports(scenario: Scenario) -> bool:
+    return (
+        _unperturbed(scenario)
+        and _gaussian_noise_only(scenario)
+        and scenario.criterion in (None, "good")
+    )
+
+
+def _adaptive_schedule(scenario: Scenario):
+    params = _params(scenario, k_initial=None, half_life=None)
+    k_initial = float(
+        params["k_initial"] if params["k_initial"] is not None else scenario.nests.k
+    )
+    half_life = (
+        float(params["half_life"])
+        if params["half_life"] is not None
+        else max(1.0, k_initial / 4.0)
+    )
+    return k_initial, half_life
+
+
+def _adaptive_agent(scenario: Scenario):
+    k_initial, half_life = _adaptive_schedule(scenario)
+    return (
+        adaptive_factory(
+            k_initial, half_life, good_threshold=scenario.nests.good_threshold
+        ),
+        None,
+    )
+
+
+def _adaptive_fast(scenario: Scenario, source: RandomSource) -> RunReport:
+    k_initial, half_life = _adaptive_schedule(scenario)
+    result = simulate_simple(
+        scenario.n,
+        scenario.nests,
+        seed=source,
+        max_rounds=scenario.max_rounds,
+        rate_multiplier=ktilde_schedule(k_initial, half_life),
+        noise=scenario.noise,
+        record_history=scenario.record_history,
+    )
+    return RunReport.from_fast(scenario, result)
+
+
+# -- Algorithm 2 ("optimal") -------------------------------------------------
+
+
+def _optimal_agent(scenario: Scenario):
+    params = _params(scenario, strict_pseudocode=False)
+    factory = optimal_factory(
+        good_threshold=scenario.nests.good_threshold,
+        strict_pseudocode=bool(params["strict_pseudocode"]),
+    )
+    # The fast kernel's convergence notion is "every ant final"; the agent
+    # default must match for cross-backend parity.
+    return factory, criterion_factory("good_settled")
+
+
+def _optimal_fast(scenario: Scenario, source: RandomSource) -> RunReport:
+    params = _params(scenario, strict_pseudocode=False)
+    result = simulate_optimal(
+        scenario.n,
+        scenario.nests,
+        seed=source,
+        max_rounds=scenario.max_rounds,
+        strict_pseudocode=bool(params["strict_pseudocode"]),
+        record_history=scenario.record_history,
+    )
+    return RunReport.from_fast(scenario, result)
+
+
+def _optimal_fast_supports(scenario: Scenario) -> bool:
+    return (
+        _unperturbed(scenario)
+        and scenario.noise is None
+        and scenario.criterion in (None, "good_settled")
+    )
+
+
+# -- the lower-bound spread process ------------------------------------------
+
+
+def _spread_policy(scenario: Scenario) -> IgnorantPolicy:
+    params = _params(scenario, policy=IgnorantPolicy.WAIT.value)
+    return IgnorantPolicy(params["policy"])
+
+
+def _spread_agent(scenario: Scenario):
+    return informed_spread_factory(_spread_policy(scenario)), None
+
+
+def _spread_fast(scenario: Scenario, source: RandomSource) -> RunReport:
+    result = simulate_spread(
+        scenario.n,
+        scenario.nests.k,
+        policy=_spread_policy(scenario),
+        seed=source,
+        max_rounds=scenario.max_rounds,
+    )
+    good_nest = scenario.nests.good_nests[0]
+    return RunReport(
+        algorithm=scenario.algorithm,
+        backend="fast",
+        n=scenario.n,
+        k=scenario.nests.k,
+        seed=scenario.seed,
+        trial_index=scenario.trial_index,
+        max_rounds=scenario.max_rounds,
+        converged=result.all_informed,
+        converged_round=result.rounds_to_all_informed,
+        rounds_executed=result.rounds_executed,
+        chosen_nest=good_nest if result.all_informed else None,
+        chose_good_nest=result.all_informed,
+        final_counts=None,
+        population_history=None,
+        extras={"informed_history": result.informed_history.tolist()},
+    )
+
+
+def _spread_fast_supports(scenario: Scenario) -> bool:
+    # The vectorized process hard-codes the good nest as nest 1.
+    return (
+        _unperturbed(scenario)
+        and scenario.noise is None
+        and scenario.criterion is None
+        and not scenario.record_history
+        and scenario.nests.good_nests == (1,)
+    )
+
+
+# -- agent-only baselines and extensions -------------------------------------
+
+
+def _quorum_agent(scenario: Scenario):
+    params = _params(scenario, quorum_fraction=0.35, tandem_probability=0.25)
+    factory = quorum_factory(
+        quorum_fraction=float(params["quorum_fraction"]),
+        tandem_probability=float(params["tandem_probability"]),
+        good_threshold=scenario.nests.good_threshold,
+    )
+    # Quorum colonies commit via their own threshold rule; runs are judged
+    # on unanimity (the nest may be good or bad), as in experiment E8.
+    return factory, criterion_factory("unanimous")
+
+
+def _uniform_agent(scenario: Scenario):
+    params = _params(scenario, recruit_probability=0.5)
+    factory = uniform_factory(
+        recruit_probability=float(params["recruit_probability"]),
+        good_threshold=scenario.nests.good_threshold,
+    )
+    return factory, None
+
+
+def _power_feedback_agent(scenario: Scenario):
+    params = _params(scenario, beta=0.5)
+    factory = power_feedback_factory(
+        beta=float(params["beta"]), good_threshold=scenario.nests.good_threshold
+    )
+    return factory, None
+
+
+def _approximate_n_agent(scenario: Scenario):
+    params = _params(scenario, max_factor=2.0)
+    factory = approximate_n_factory(
+        max_factor=float(params["max_factor"]),
+        good_threshold=scenario.nests.good_threshold,
+    )
+    return factory, None
+
+
+def _quality_weighted_agent(scenario: Scenario):
+    params = _params(scenario, quality_weight=1.0, acceptance_sharpness=1.0)
+    factory = quality_weighted_factory(
+        quality_weight=float(params["quality_weight"]),
+        acceptance_sharpness=float(params["acceptance_sharpness"]),
+    )
+    return factory, None
+
+
+# -- standalone reference processes (fast-only) ------------------------------
+
+
+def _rumor_fast(scenario: Scenario, source: RandomSource) -> RunReport:
+    params = _params(scenario, mode=RumorMode.PUSH.value, initial_informed=1)
+    # rumor_rounds returns max_rounds both for completion exactly at the cap
+    # and for censoring; allowing one extra round disambiguates (a return
+    # value <= max_rounds can only mean genuine completion).
+    rounds = rumor_rounds(
+        scenario.n,
+        source.colony,
+        mode=RumorMode(params["mode"]),
+        initial_informed=int(params["initial_informed"]),
+        max_rounds=scenario.max_rounds + 1,
+    )
+    converged = rounds <= scenario.max_rounds
+    rounds = min(rounds, scenario.max_rounds)
+    return RunReport(
+        algorithm=scenario.algorithm,
+        backend="fast",
+        n=scenario.n,
+        k=scenario.nests.k,
+        seed=scenario.seed,
+        trial_index=scenario.trial_index,
+        max_rounds=scenario.max_rounds,
+        converged=converged,
+        converged_round=rounds if converged else None,
+        rounds_executed=rounds,
+        chosen_nest=None,
+        chose_good_nest=False,
+        final_counts=None,
+        population_history=None,
+        extras={"process": "rumor", "mode": params["mode"]},
+    )
+
+
+def _polya_fast(scenario: Scenario, source: RandomSource) -> RunReport:
+    params = _params(scenario, initial=None, gamma=2.0, steps=None)
+    initial = params["initial"]
+    if initial is None:
+        # Default two-urn race over the scenario's nests: the n "balls" are
+        # split as evenly as the k urns allow.
+        k = scenario.nests.k
+        base, extra = divmod(scenario.n, k)
+        initial = [base + (1 if urn < extra else 0) for urn in range(k)]
+    # One reinforcement = one round, so the round cap bounds the steps.
+    steps = int(params["steps"]) if params["steps"] is not None else 4 * scenario.n
+    steps = min(steps, scenario.max_rounds)
+    urn = PolyaUrn(initial, gamma=float(params["gamma"]))
+    trajectory = urn.run(steps, source.colony)
+    winner = int(np.argmax(urn.counts)) + 1
+    final_counts = np.concatenate([[0], urn.counts]).astype(np.int64)
+    extras: dict = {"process": "polya", "gamma": float(params["gamma"])}
+    history = None
+    if scenario.record_history:
+        history = np.rint(
+            trajectory * (np.arange(steps + 1) + sum(initial))[:, None]
+        ).astype(np.int64)
+        history = np.concatenate(
+            [np.zeros((steps + 1, 1), dtype=np.int64), history], axis=1
+        )
+    return RunReport(
+        algorithm=scenario.algorithm,
+        backend="fast",
+        n=scenario.n,
+        k=scenario.nests.k,
+        seed=scenario.seed,
+        trial_index=scenario.trial_index,
+        max_rounds=scenario.max_rounds,
+        converged=True,
+        converged_round=steps,
+        rounds_executed=steps,
+        chosen_nest=winner,
+        chose_good_nest=scenario.nests.is_good(winner),
+        final_counts=final_counts,
+        population_history=history,
+        extras=extras,
+    )
+
+
+def _standalone_supports(scenario: Scenario) -> bool:
+    return (
+        _unperturbed(scenario)
+        and scenario.noise is None
+        and scenario.criterion is None
+    )
+
+
+def register_builtin_algorithms(registry=REGISTRY) -> None:
+    """Populate ``registry`` with every built-in algorithm (idempotent)."""
+    if "simple" in registry:
+        return
+    registry.register(
+        "simple",
+        "Algorithm 3: population-proportional recruitment, O(k log n)",
+        agent_builder=_simple_agent,
+        fast_kernel=_simple_fast,
+        fast_supports=_simple_fast_supports,
+    )
+    registry.register(
+        "optimal",
+        "Algorithm 2: count-based competition, O(log n)",
+        agent_builder=_optimal_agent,
+        fast_kernel=_optimal_fast,
+        fast_supports=_optimal_fast_supports,
+    )
+    registry.register(
+        "spread",
+        "Theorem 3.2 lower-bound process: best-case information spreading",
+        agent_builder=_spread_agent,
+        fast_kernel=_spread_fast,
+        fast_supports=_spread_fast_supports,
+    )
+    registry.register(
+        "quorum",
+        "Pratt-style quorum sensing (the biological baseline)",
+        agent_builder=_quorum_agent,
+    )
+    registry.register(
+        "uniform",
+        "Algorithm 3 ablation: constant recruit probability (no feedback)",
+        agent_builder=_uniform_agent,
+    )
+    registry.register(
+        "rumor",
+        "push/pull rumor spreading on the complete graph (reference)",
+        fast_kernel=_rumor_fast,
+        fast_supports=_standalone_supports,
+    )
+    registry.register(
+        "polya",
+        "generalized Pólya urn, the Section 5 reinforcement reference",
+        fast_kernel=_polya_fast,
+        fast_supports=_standalone_supports,
+    )
+    registry.register(
+        "adaptive",
+        "Algorithm 3 with the round-indexed k-tilde rate schedule (E9)",
+        agent_builder=_adaptive_agent,
+        fast_kernel=_adaptive_fast,
+        fast_supports=_simple_fast_supports,
+    )
+    registry.register(
+        "power_feedback",
+        "Algorithm 3 with (count/n)^beta knowledge-free feedback (E9)",
+        agent_builder=_power_feedback_agent,
+    )
+    registry.register(
+        "approximate_n",
+        "Algorithm 3 under per-ant misestimates of n (robustness)",
+        agent_builder=_approximate_n_agent,
+    )
+    registry.register(
+        "quality_weighted",
+        "non-binary qualities: quality-weighted recruitment (E10)",
+        agent_builder=_quality_weighted_agent,
+    )

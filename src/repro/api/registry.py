@@ -1,0 +1,170 @@
+"""The algorithm registry: one name, up to two engines.
+
+Each :class:`AlgorithmEntry` binds a registry name to
+
+- an **agent builder**: ``(scenario) -> (AntFactory, default CriterionFactory
+  or None)`` — how to assemble a colony for the reference engine, and
+- a **fast kernel**: ``(scenario, source) -> RunReport`` — the vectorized
+  implementation, when one exists, plus a ``fast_supports`` predicate
+  declaring which scenario features the kernel can honor (fault plans and
+  delay models, for example, exist only on the agent engine).
+
+:func:`repro.api.run` consults the entry to dispatch; ``backend="auto"``
+prefers the fast kernel whenever it supports the scenario and falls back to
+the agent engine otherwise.  New protocol variants register in one line —
+see :mod:`repro.api.algorithms` for the built-in population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.exceptions import ConfigurationError
+from repro.sim.convergence import (
+    CommittedToSingleGoodNest,
+    ConvergenceCriterion,
+    UnanimousCommitment,
+)
+from repro.sim.rng import RandomSource
+from repro.sim.run import AntFactory, CriterionFactory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.report import RunReport
+    from repro.api.scenario import Scenario
+
+#: Criterion name -> factory, the runtime side of
+#: :data:`repro.api.scenario.CRITERION_NAMES`.
+CRITERIA: dict[str, CriterionFactory] = {
+    "good": CommittedToSingleGoodNest,
+    "good_settled": lambda: CommittedToSingleGoodNest(require_settled=True),
+    "good_healthy": lambda: CommittedToSingleGoodNest(exclude_faulty=True),
+    "unanimous": UnanimousCommitment,
+}
+
+
+def criterion_factory(name: str) -> CriterionFactory:
+    """The factory for a registered criterion name."""
+    try:
+        return CRITERIA[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown criterion {name!r}; known: {', '.join(sorted(CRITERIA))}"
+        ) from None
+
+
+#: Builds the agent-engine ingredients for a scenario.
+AgentBuilder = Callable[
+    ["Scenario"], tuple[AntFactory, "CriterionFactory | None"]
+]
+#: Runs the vectorized implementation of a scenario.
+FastKernel = Callable[["Scenario", RandomSource], "RunReport"]
+#: Decides whether the fast kernel can honor every feature of a scenario.
+FastSupport = Callable[["Scenario"], bool]
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """One registered algorithm: metadata plus per-engine adapters."""
+
+    name: str
+    summary: str
+    agent_builder: AgentBuilder | None = None
+    fast_kernel: FastKernel | None = None
+    fast_supports: FastSupport | None = None
+
+    def __post_init__(self) -> None:
+        if self.agent_builder is None and self.fast_kernel is None:
+            raise ConfigurationError(
+                f"algorithm {self.name!r} registers neither engine"
+            )
+
+    @property
+    def has_agent(self) -> bool:
+        """Whether an agent-engine implementation is registered."""
+        return self.agent_builder is not None
+
+    @property
+    def has_fast(self) -> bool:
+        """Whether a vectorized kernel is registered."""
+        return self.fast_kernel is not None
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        """The backends this entry can serve, fast first."""
+        names: list[str] = []
+        if self.has_fast:
+            names.append("fast")
+        if self.has_agent:
+            names.append("agent")
+        return tuple(names)
+
+    def supports_fast(self, scenario: "Scenario") -> bool:
+        """Whether the fast kernel exists *and* covers this scenario."""
+        if self.fast_kernel is None:
+            return False
+        if self.fast_supports is None:
+            return True
+        return self.fast_supports(scenario)
+
+
+class AlgorithmRegistry:
+    """Name -> :class:`AlgorithmEntry` mapping with registration helpers."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, AlgorithmEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        summary: str,
+        agent_builder: AgentBuilder | None = None,
+        fast_kernel: FastKernel | None = None,
+        fast_supports: FastSupport | None = None,
+        replace: bool = False,
+    ) -> AlgorithmEntry:
+        """Register an algorithm; returns the stored entry."""
+        if name in self._entries and not replace:
+            raise ConfigurationError(f"algorithm {name!r} already registered")
+        entry = AlgorithmEntry(
+            name=name,
+            summary=summary,
+            agent_builder=agent_builder,
+            fast_kernel=fast_kernel,
+            fast_supports=fast_supports,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> AlgorithmEntry:
+        """Look up an entry; raise with the known names on a miss."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown algorithm {name!r}; known: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._entries)
+
+    def describe(self) -> list[tuple[str, str, str]]:
+        """(name, backends, summary) rows for listings and the CLI."""
+        return [
+            (entry.name, "+".join(entry.backends), entry.summary)
+            for entry in self._entries.values()
+        ]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[AlgorithmEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide default registry, populated by :mod:`repro.api.algorithms`.
+REGISTRY = AlgorithmRegistry()

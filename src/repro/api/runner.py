@@ -1,0 +1,188 @@
+"""Scenario execution: one entrypoint over both engines, serial or parallel.
+
+:func:`run` turns a :class:`~repro.api.scenario.Scenario` into a
+:class:`~repro.api.report.RunReport` on either engine; :func:`run_batch`
+fans a list of scenarios out over worker processes.  Because every
+scenario's randomness is a pure function of its ``(seed, trial_index)``
+(see :class:`~repro.sim.rng.RandomSource`), batch results are bit-identical
+for any worker count — parallelism is an execution detail, never a
+semantics change.
+
+Backend selection (``backend="auto"``):
+
+1. use the registered fast kernel if it exists and supports every feature
+   the scenario requests (fault plans, delay models, non-Gaussian noise and
+   custom criteria are agent-engine-only);
+2. otherwise fall back to the agent engine;
+3. raise :class:`~repro.exceptions.ConfigurationError` if neither engine
+   can honor the scenario (an explicit ``backend=`` likewise raises rather
+   than silently substituting).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.api.registry import REGISTRY, AlgorithmRegistry, criterion_factory
+from repro.api.report import RunReport
+from repro.api.scenario import Scenario
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import RoundHook
+from repro.sim.run import TrialStats, run_trial
+
+BACKENDS = ("auto", "agent", "fast")
+
+
+def resolve_backend(
+    scenario: Scenario,
+    backend: str = "auto",
+    registry: AlgorithmRegistry = REGISTRY,
+) -> str:
+    """The concrete backend (``"agent"`` or ``"fast"``) a run will use."""
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
+        )
+    entry = registry.get(scenario.algorithm)
+    if backend == "auto":
+        if entry.supports_fast(scenario):
+            return "fast"
+        if entry.has_agent:
+            return "agent"
+        raise ConfigurationError(
+            f"algorithm {scenario.algorithm!r} has no agent engine and its "
+            "fast kernel does not support this scenario's features"
+        )
+    if backend == "fast":
+        if not entry.has_fast:
+            raise ConfigurationError(
+                f"algorithm {scenario.algorithm!r} has no fast kernel"
+            )
+        if not entry.supports_fast(scenario):
+            raise ConfigurationError(
+                f"the fast kernel for {scenario.algorithm!r} does not support "
+                "this scenario (fault plans, delay models, quality-flip or "
+                "encounter noise, and custom criteria need backend='agent')"
+            )
+        return "fast"
+    if not entry.has_agent:
+        raise ConfigurationError(
+            f"algorithm {scenario.algorithm!r} has no agent-engine "
+            "implementation (it is a standalone reference process)"
+        )
+    return "agent"
+
+
+def run(
+    scenario: Scenario,
+    backend: str = "auto",
+    hooks: Sequence[RoundHook] = (),
+    registry: AlgorithmRegistry = REGISTRY,
+) -> RunReport:
+    """Execute one scenario and return its normalized report.
+
+    ``hooks`` (per-round callbacks) exist only on the agent engine; passing
+    any forces agent execution under ``backend="auto"``.
+    """
+    if hooks and backend == "auto":
+        backend = "agent"
+    resolved = resolve_backend(scenario, backend, registry)
+    if resolved == "fast":
+        if hooks:
+            raise ConfigurationError("round hooks require backend='agent'")
+        entry = registry.get(scenario.algorithm)
+        return entry.fast_kernel(scenario, scenario.source())
+
+    entry = registry.get(scenario.algorithm)
+    factory, default_criterion = entry.agent_builder(scenario)
+    if scenario.criterion is not None:
+        criterion = criterion_factory(scenario.criterion)
+    else:
+        criterion = default_criterion
+    result = run_trial(
+        factory,
+        scenario.n,
+        scenario.nests,
+        seed=scenario.source(),
+        max_rounds=scenario.max_rounds,
+        criterion_factory=criterion,
+        noise=scenario.noise,
+        fault_plan=scenario.fault_plan,
+        delay_model=scenario.delay_model,
+        hooks=hooks,
+        keep_history=scenario.record_history,
+    )
+    return RunReport.from_simulation(scenario, result)
+
+
+def _run_for_pool(payload: tuple[Scenario, str]) -> RunReport:
+    """Top-level worker target (must be picklable by multiprocessing)."""
+    scenario, backend = payload
+    return run(scenario, backend=backend)
+
+
+def run_batch(
+    scenarios: Iterable[Scenario],
+    workers: int = 1,
+    backend: str = "auto",
+) -> list[RunReport]:
+    """Run many scenarios; reports come back in input order.
+
+    ``workers > 1`` fans the batch out over a process pool.  Each scenario
+    derives its randomness from its own ``(seed, trial_index)``, so the
+    per-scenario reports are identical for every ``workers`` value — a
+    property :mod:`tests.test_api` pins down.
+    """
+    batch = list(scenarios)
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    # Resolve backends up front so configuration errors surface immediately
+    # (and identically) regardless of worker count.
+    payloads = [(s, resolve_backend(s, backend)) for s in batch]
+    if workers == 1 or len(batch) <= 1:
+        return [run(s, backend=resolved) for s, resolved in payloads]
+    with ProcessPoolExecutor(max_workers=min(workers, len(batch))) as pool:
+        chunksize = max(1, len(batch) // (4 * workers))
+        return list(pool.map(_run_for_pool, payloads, chunksize=chunksize))
+
+
+def aggregate(reports: Iterable[RunReport]) -> TrialStats:
+    """Fold reports into the classic :class:`~repro.sim.run.TrialStats`.
+
+    A trial counts as converged only when it :attr:`~RunReport.solved` —
+    settled unanimously on a *good* nest — matching the (fixed) semantics
+    of :func:`repro.sim.run.run_trials`.
+    """
+    materialized = list(reports)
+    rounds = [r.converged_round for r in materialized if r.solved]
+    chosen = Counter(
+        r.chosen_nest for r in materialized if r.chosen_nest is not None
+    )
+    return TrialStats(
+        n_trials=len(materialized),
+        n_converged=len(rounds),
+        rounds=np.asarray(rounds, dtype=np.int64),
+        censored_at=max((r.max_rounds for r in materialized), default=0),
+        chosen_nests=dict(chosen),
+    )
+
+
+def run_stats(
+    scenario: Scenario,
+    n_trials: int,
+    workers: int = 1,
+    backend: str = "auto",
+) -> TrialStats:
+    """Run ``n_trials`` independent trials of a scenario and aggregate.
+
+    The drop-in Scenario-API replacement for
+    :func:`repro.sim.run.run_trials`: trial ``t`` uses
+    ``RandomSource(scenario.seed).trial(t)``, exactly as before.
+    """
+    if n_trials < 1:
+        raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
+    return aggregate(run_batch(scenario.trials(n_trials), workers, backend))

@@ -1,0 +1,250 @@
+"""Declarative run descriptions: the single currency of the Scenario API.
+
+A :class:`Scenario` says *what* to simulate — algorithm name, colony size,
+nest configuration, seed, stopping rule, perturbation layers — without
+saying *how* (which engine).  It is frozen, comparable, picklable (so
+:func:`repro.api.run_batch` can ship it to worker processes) and
+round-trips through plain dicts and JSON, which makes sweeps storable and
+shareable as data.
+
+Randomness is fully determined by ``(seed, trial_index)``: trial ``t`` of a
+scenario uses the independent child stream ``RandomSource(seed).trial(t)``,
+exactly as :func:`repro.sim.run.run_trials` always has, so batch results
+never depend on scheduling or worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.registry import CRITERIA
+from repro.exceptions import ConfigurationError
+from repro.extensions.estimation import EncounterNoise, EncounterRateEstimator
+from repro.model.nests import NestConfig
+from repro.sim.asynchrony import DelayModel
+from repro.sim.faults import CrashMode, FaultPlan
+from repro.sim.noise import CountNoise
+from repro.sim.rng import RandomSource
+
+#: Criterion names accepted by :attr:`Scenario.criterion` — exactly the
+#: registered :data:`repro.api.registry.CRITERIA` factories.
+CRITERION_NAMES = tuple(CRITERIA)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified simulation run (or family of seeded trials).
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name (see ``python -m repro.api --list``).
+    n, nests, seed, max_rounds:
+        Workload and stopping control.  ``seed`` is the *base* seed; with
+        ``trial_index=None`` the run uses ``RandomSource(seed)`` directly.
+    trial_index:
+        When set, the run uses the independent child stream
+        ``RandomSource(seed).trial(trial_index)`` — see :meth:`trials`.
+    params:
+        Algorithm-specific knobs (JSON-safe values only), interpreted by
+        the registry entry — e.g. ``{"strict_pseudocode": True}`` for
+        ``optimal`` or ``{"policy": "mixed"}`` for ``spread``.
+    noise, fault_plan, delay_model:
+        Optional perturbation layers (Section 6 extensions).
+    criterion:
+        Convergence-criterion name (one of :data:`CRITERION_NAMES`), or
+        ``None`` for the algorithm's registered default.
+    record_history:
+        Keep the per-round ``(T, k+1)`` population matrix on the report
+        (costs memory proportional to the run length).
+    """
+
+    algorithm: str
+    n: int
+    nests: NestConfig
+    seed: int = 0
+    trial_index: int | None = None
+    max_rounds: int = 100_000
+    params: Mapping[str, Any] = field(default_factory=dict)
+    noise: CountNoise | EncounterNoise | None = None
+    fault_plan: FaultPlan | None = None
+    delay_model: DelayModel | None = None
+    criterion: str | None = None
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.algorithm:
+            raise ConfigurationError("scenario needs an algorithm name")
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be >= 1, got {self.max_rounds}"
+            )
+        if self.trial_index is not None and self.trial_index < 0:
+            raise ConfigurationError(
+                f"trial_index must be >= 0, got {self.trial_index}"
+            )
+        if self.criterion is not None and self.criterion not in CRITERION_NAMES:
+            raise ConfigurationError(
+                f"unknown criterion {self.criterion!r}; "
+                f"known: {', '.join(CRITERION_NAMES)}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    # -- randomness --------------------------------------------------------
+
+    def source(self) -> RandomSource:
+        """The seeded stream bundle this scenario's run must use."""
+        root = RandomSource(self.seed)
+        return root if self.trial_index is None else root.trial(self.trial_index)
+
+    # -- derivation --------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "Scenario":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def trial(self, index: int) -> "Scenario":
+        """The scenario for independent trial ``index`` of this base seed."""
+        return self.replace(trial_index=index)
+
+    def trials(self, count: int, start: int = 0) -> list["Scenario"]:
+        """``count`` independent per-trial scenarios under this base seed."""
+        return [self.trial(start + index) for index in range(count)]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe plain-dict form; inverse of :meth:`from_dict`."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "nests": {
+                "qualities": [float(q) for q in self.nests.qualities],
+                "good_threshold": float(self.nests.good_threshold),
+            },
+            "seed": self.seed,
+            "trial_index": self.trial_index,
+            "max_rounds": self.max_rounds,
+            "params": dict(self.params),
+            "noise": _noise_to_dict(self.noise),
+            "fault_plan": _fault_plan_to_dict(self.fault_plan),
+            "delay_model": (
+                None
+                if self.delay_model is None
+                else {"delay_probability": self.delay_model.delay_probability}
+            ),
+            "criterion": self.criterion,
+            "record_history": self.record_history,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        nests_data = data["nests"]
+        delay_data = data.get("delay_model")
+        return cls(
+            algorithm=data["algorithm"],
+            n=int(data["n"]),
+            nests=NestConfig(
+                qualities=tuple(float(q) for q in nests_data["qualities"]),
+                good_threshold=float(nests_data.get("good_threshold", 0.5)),
+            ),
+            seed=int(data.get("seed", 0)),
+            trial_index=(
+                None if data.get("trial_index") is None else int(data["trial_index"])
+            ),
+            max_rounds=int(data.get("max_rounds", 100_000)),
+            params=dict(data.get("params") or {}),
+            noise=_noise_from_dict(data.get("noise")),
+            fault_plan=_fault_plan_from_dict(data.get("fault_plan")),
+            delay_model=(
+                None
+                if delay_data is None
+                else DelayModel(float(delay_data["delay_probability"]))
+            ),
+            criterion=data.get("criterion"),
+            record_history=bool(data.get("record_history", False)),
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """JSON form; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+# -- perturbation-layer (de)serialization -----------------------------------
+
+
+def _noise_to_dict(noise: CountNoise | EncounterNoise | None) -> dict | None:
+    if noise is None:
+        return None
+    if isinstance(noise, EncounterNoise):
+        return {
+            "kind": "encounter",
+            "trials": noise.estimator.trials,
+            "capacity": noise.estimator.capacity,
+            "quality_flip_prob": noise.quality_flip_prob,
+        }
+    if isinstance(noise, CountNoise):
+        return {
+            "kind": "count",
+            "relative_sigma": noise.relative_sigma,
+            "absolute_sigma": noise.absolute_sigma,
+            "quality_flip_prob": noise.quality_flip_prob,
+        }
+    raise ConfigurationError(f"cannot serialize noise model {noise!r}")
+
+
+def _noise_from_dict(data: Mapping[str, Any] | None) -> CountNoise | EncounterNoise | None:
+    if data is None:
+        return None
+    kind = data.get("kind", "count")
+    if kind == "encounter":
+        return EncounterNoise(
+            estimator=EncounterRateEstimator(
+                trials=int(data.get("trials", 64)),
+                capacity=int(data.get("capacity", 1024)),
+            ),
+            quality_flip_prob=float(data.get("quality_flip_prob", 0.0)),
+        )
+    if kind == "count":
+        return CountNoise(
+            relative_sigma=float(data.get("relative_sigma", 0.0)),
+            absolute_sigma=float(data.get("absolute_sigma", 0.0)),
+            quality_flip_prob=float(data.get("quality_flip_prob", 0.0)),
+        )
+    raise ConfigurationError(f"unknown noise kind {kind!r}")
+
+
+def _fault_plan_to_dict(plan: FaultPlan | None) -> dict | None:
+    if plan is None:
+        return None
+    return {
+        "crash_fraction": plan.crash_fraction,
+        "byzantine_fraction": plan.byzantine_fraction,
+        "crash_round_range": list(plan.crash_round_range),
+        "crash_mode": plan.crash_mode.value,
+        "seek_bad": plan.seek_bad,
+    }
+
+
+def _fault_plan_from_dict(data: Mapping[str, Any] | None) -> FaultPlan | None:
+    if data is None:
+        return None
+    lo, hi = data.get("crash_round_range", (1, 20))
+    return FaultPlan(
+        crash_fraction=float(data.get("crash_fraction", 0.0)),
+        byzantine_fraction=float(data.get("byzantine_fraction", 0.0)),
+        crash_round_range=(int(lo), int(hi)),
+        crash_mode=CrashMode(data.get("crash_mode", CrashMode.AT_HOME.value)),
+        seek_bad=bool(data.get("seek_bad", True)),
+    )

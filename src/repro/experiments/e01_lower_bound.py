@@ -18,10 +18,9 @@ import numpy as np
 from repro.analysis.scaling import fit_models, linear_model, log_model, sqrt_model
 from repro.analysis.tables import Table
 from repro.analysis.theory import lower_bound_rounds
-from repro.baselines.rumor import RumorMode, rumor_rounds
 from repro.core.lower_bound import IgnorantPolicy
-from repro.experiments.common import trial_seeds
-from repro.fast.spread_fast import simulate_spread
+from repro.experiments.common import run_trial_batch
+from repro.model.nests import NestConfig
 
 
 def run(
@@ -50,19 +49,29 @@ def run(
         ],
     )
 
+    nests = NestConfig.single_good(k, good_nest=1)
     medians_wait: list[float] = []
     for n in sizes:
-        sources = trial_seeds(base_seed + n, trials)
         wait = [
-            simulate_spread(n, k, IgnorantPolicy.WAIT, seed=source).completion_round
-            for source in sources
+            report.rounds_to_convergence
+            for report in run_trial_batch(
+                "spread", n, nests, base_seed + n, trials,
+                params={"policy": IgnorantPolicy.WAIT.value},
+            )
         ]
         mixed = [
-            simulate_spread(n, k, IgnorantPolicy.MIXED, seed=source).completion_round
-            for source in sources
+            report.rounds_to_convergence
+            for report in run_trial_batch(
+                "spread", n, nests, base_seed + n + 500_009, trials,
+                params={"policy": IgnorantPolicy.MIXED.value},
+            )
         ]
-        gossip_rng = np.random.default_rng(base_seed + n)
-        gossip = [rumor_rounds(n, gossip_rng, RumorMode.PUSH) for _ in range(trials)]
+        gossip = [
+            report.rounds_to_convergence
+            for report in run_trial_batch(
+                "rumor", n, nests, base_seed + n + 1_000_003, trials
+            )
+        ]
         threshold = lower_bound_rounds(n, c=1.0)
         minimum = min(min(wait), min(mixed))
         medians_wait.append(float(np.median(wait)))

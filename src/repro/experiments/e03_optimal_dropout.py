@@ -19,8 +19,7 @@ import numpy as np
 from repro.analysis.stats import wilson_interval
 from repro.analysis.tables import Table
 from repro.analysis.theory import LEMMA_4_2_DROPOUT_LOWER_BOUND
-from repro.experiments.common import trial_seeds
-from repro.fast.optimal_fast import simulate_optimal
+from repro.experiments.common import run_trial_batch
 from repro.model.nests import NestConfig
 
 
@@ -75,11 +74,12 @@ def run(
     for n, k in configs:
         nests = NestConfig.all_good(k)
         changes: list[int] = []
-        for source in trial_seeds(base_seed + n * 31 + k, trials):
-            result = simulate_optimal(
-                n, nests, seed=source, max_rounds=20_000, record_history=True
-            )
-            changes.extend(competition_changes(result.population_history))
+        reports = run_trial_batch(
+            "optimal", n, nests, base_seed + n * 31 + k, trials,
+            backend="fast", max_rounds=20_000, record_history=True,
+        )
+        for report in reports:
+            changes.extend(competition_changes(report.population_history))
         array = np.asarray(changes)
         negative = int((array < 0).sum())
         positive = int((array > 0).sum())

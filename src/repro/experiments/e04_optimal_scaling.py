@@ -21,8 +21,7 @@ import numpy as np
 from repro.analysis.scaling import fit_models, linear_model, log_model, sqrt_model
 from repro.analysis.tables import Table
 from repro.analysis.theory import optimal_k_bound
-from repro.experiments.common import summarize_fast_runs, trial_seeds
-from repro.fast.optimal_fast import simulate_optimal
+from repro.experiments.common import run_trial_batch, summarize_runs
 from repro.model.nests import NestConfig
 
 
@@ -52,22 +51,22 @@ def run(
     n_medians: list[float] = []
     for n in sizes:
         nests = NestConfig.all_good(k_fixed)
-        results = [
-            simulate_optimal(n, nests, seed=source, max_rounds=50_000)
-            for source in trial_seeds(base_seed + n, trials)
-        ]
-        median, success, _ = summarize_fast_runs(results)
+        results = run_trial_batch(
+            "optimal", n, nests, base_seed + n, trials,
+            backend="fast", max_rounds=50_000,
+        )
+        median, success, _ = summarize_runs(results)
         n_medians.append(median)
         table.add_row("n", n, k_fixed, median, success, optimal_k_bound(n))
 
     k_medians: list[float] = []
     for k in k_values:
         nests = NestConfig.all_good(k)
-        results = [
-            simulate_optimal(n_fixed, nests, seed=source, max_rounds=50_000)
-            for source in trial_seeds(base_seed + 7919 * k, trials)
-        ]
-        median, success, _ = summarize_fast_runs(results)
+        results = run_trial_batch(
+            "optimal", n_fixed, nests, base_seed + 7919 * k, trials,
+            backend="fast", max_rounds=50_000,
+        )
+        median, success, _ = summarize_runs(results)
         k_medians.append(median)
         table.add_row("k", n_fixed, k, median, success, optimal_k_bound(n_fixed))
 
@@ -115,18 +114,17 @@ def run_strict_ablation(
     max_rounds = 4_000
     for n, k in configs:
         nests = NestConfig.all_good(k)
-        sources = trial_seeds(base_seed + n + k, trials)
-        clarified = [
-            simulate_optimal(n, nests, seed=s, max_rounds=max_rounds) for s in sources
-        ]
-        strict = [
-            simulate_optimal(
-                n, nests, seed=s, max_rounds=max_rounds, strict_pseudocode=True
-            )
-            for s in sources
-        ]
-        c_median, c_success, _ = summarize_fast_runs(clarified)
-        s_median, s_success, _ = summarize_fast_runs(strict)
+        clarified = run_trial_batch(
+            "optimal", n, nests, base_seed + n + k, trials,
+            backend="fast", max_rounds=max_rounds,
+        )
+        strict = run_trial_batch(
+            "optimal", n, nests, base_seed + n + k, trials,
+            backend="fast", max_rounds=max_rounds,
+            params={"strict_pseudocode": True},
+        )
+        c_median, c_success, _ = summarize_runs(clarified)
+        s_median, s_success, _ = summarize_runs(strict)
         table.add_row(n, k, c_median, c_success, s_median, s_success)
     table.add_note(
         "strict mode keeps the stale `count` after a case-3 recruitment; the "

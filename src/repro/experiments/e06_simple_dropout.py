@@ -15,8 +15,7 @@ import numpy as np
 
 from repro.analysis.tables import Table
 from repro.analysis.theory import SECTION_5_D, simple_dropout_horizon, small_nest_threshold
-from repro.experiments.common import trial_seeds
-from repro.fast.simple_fast import simulate_simple
+from repro.experiments.common import run_trial_batch
 from repro.model.nests import NestConfig
 
 
@@ -78,11 +77,11 @@ def run(
         all_times: list[int] = []
         resurfacings = 0
         crossings = 0
-        for source in trial_seeds(base_seed + n * 13 + k, trials):
-            result = simulate_simple(
-                n, nests, seed=source, max_rounds=100_000, record_history=True
-            )
-            times, resurfaced = dropout_times(result.population_history, threshold)
+        for report in run_trial_batch(
+            "simple", n, nests, base_seed + n * 13 + k, trials,
+            backend="fast", max_rounds=100_000, record_history=True,
+        ):
+            times, resurfaced = dropout_times(report.population_history, threshold)
             all_times.extend(times)
             resurfacings += resurfaced
             crossings += len(times)

@@ -22,8 +22,7 @@ from repro.analysis.scaling import (
 )
 from repro.analysis.tables import Table
 from repro.analysis.theory import simple_k_bound
-from repro.experiments.common import summarize_fast_runs, trial_seeds
-from repro.fast.simple_fast import simulate_simple
+from repro.experiments.common import run_trial_batch, summarize_runs
 from repro.model.nests import NestConfig
 
 
@@ -31,11 +30,10 @@ def _median_rounds(
     n: int, k: int, trials: int, seed: int, max_rounds: int = 100_000
 ) -> tuple[float, float]:
     nests = NestConfig.all_good(k)
-    results = [
-        simulate_simple(n, nests, seed=source, max_rounds=max_rounds)
-        for source in trial_seeds(seed, trials)
-    ]
-    median, success, _ = summarize_fast_runs(results)
+    results = run_trial_batch(
+        "simple", n, nests, seed, trials, backend="fast", max_rounds=max_rounds
+    )
+    median, success, _ = summarize_runs(results)
     return median, success
 
 

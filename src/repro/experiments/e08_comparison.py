@@ -16,18 +16,14 @@ behind (no swamping); Quorum in between, occasionally splitting the colony.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.api import Scenario, run_stats
 from repro.analysis.tables import Table
-from repro.baselines.quorum import quorum_factory
-from repro.baselines.rumor import RumorMode, rumor_rounds
-from repro.baselines.uniform import uniform_factory
-from repro.experiments.common import summarize_fast_runs, trial_seeds
-from repro.fast.optimal_fast import simulate_optimal
-from repro.fast.simple_fast import simulate_simple
+from repro.experiments.common import (
+    default_workers,
+    run_trial_batch,
+    summarize_runs,
+)
 from repro.model.nests import NestConfig
-from repro.sim.convergence import UnanimousCommitment
-from repro.sim.run import run_trials
 
 
 def run(
@@ -57,24 +53,33 @@ def run(
     )
     for k in k_values:
         nests = NestConfig.all_good(k)
-        sources = trial_seeds(base_seed + k, trials)
 
-        optimal = [simulate_optimal(n, nests, seed=s, max_rounds=50_000) for s in sources]
-        median, success, _ = summarize_fast_runs(optimal)
+        optimal = run_trial_batch(
+            "optimal", n, nests, base_seed + k, trials,
+            backend="fast", max_rounds=50_000,
+        )
+        median, success, _ = summarize_runs(optimal)
         table.add_row(k, "Optimal (Alg. 2)", median, success, "O(log n)")
 
-        simple = [simulate_simple(n, nests, seed=s, max_rounds=50_000) for s in sources]
-        median, success, _ = summarize_fast_runs(simple)
+        simple = run_trial_batch(
+            "simple", n, nests, base_seed + k, trials,
+            backend="fast", max_rounds=50_000,
+        )
+        median, success, _ = summarize_runs(simple)
         table.add_row(k, "Simple (Alg. 3)", median, success, "O(k log n)")
 
-        quorum_stats = run_trials(
-            quorum_factory(quorum_fraction=max(0.35, 1.5 / k)),
-            n,
-            nests,
+        quorum_stats = run_stats(
+            Scenario(
+                algorithm="quorum",
+                n=n,
+                nests=nests,
+                seed=base_seed + 31 * k,
+                max_rounds=uniform_max_rounds,
+                params={"quorum_fraction": max(0.35, 1.5 / k)},
+                criterion="unanimous",
+            ),
             n_trials=agent_trials,
-            base_seed=base_seed + 31 * k,
-            max_rounds=uniform_max_rounds,
-            criterion_factory=UnanimousCommitment,
+            workers=default_workers(),
         )
         table.add_row(
             k,
@@ -84,13 +89,17 @@ def run(
             "natural baseline",
         )
 
-        uniform_stats = run_trials(
-            uniform_factory(recruit_probability=0.5),
-            n,
-            nests,
+        uniform_stats = run_stats(
+            Scenario(
+                algorithm="uniform",
+                n=n,
+                nests=nests,
+                seed=base_seed + 77 * k,
+                max_rounds=uniform_max_rounds,
+                params={"recruit_probability": 0.5},
+            ),
             n_trials=agent_trials,
-            base_seed=base_seed + 77 * k,
-            max_rounds=uniform_max_rounds,
+            workers=default_workers(),
         )
         table.add_row(
             k,
@@ -100,9 +109,9 @@ def run(
             "no positive feedback",
         )
 
-        gossip_rng = np.random.default_rng(base_seed + k)
-        gossip = [rumor_rounds(n, gossip_rng, RumorMode.PUSH) for _ in range(trials)]
-        table.add_row(k, "push gossip (ref.)", float(np.median(gossip)), 1.0, "information only")
+        gossip = run_trial_batch("rumor", n, nests, base_seed + k, trials)
+        median, _, _ = summarize_runs(gossip)
+        table.add_row(k, "push gossip (ref.)", median, 1.0, "information only")
 
     table.add_note(
         "success for Uniform counts runs converged within the round cap "

@@ -14,13 +14,14 @@ engine runs the others.
 
 from __future__ import annotations
 
+from repro.api import Scenario, run_stats
 from repro.analysis.tables import Table
-from repro.experiments.common import summarize_fast_runs, trial_seeds
-from repro.extensions.adaptive import ktilde_schedule, power_feedback_factory
-from repro.extensions.robust import approximate_n_factory
-from repro.fast.simple_fast import simulate_simple
+from repro.experiments.common import (
+    default_workers,
+    run_trial_batch,
+    summarize_runs,
+)
 from repro.model.nests import NestConfig
-from repro.sim.run import run_trials
 
 
 def run(
@@ -47,29 +48,33 @@ def run(
     )
     for k in k_values:
         nests = NestConfig.all_good(k)
-        sources = trial_seeds(base_seed + k, trials)
 
-        plain = [simulate_simple(n, nests, seed=s, max_rounds=100_000) for s in sources]
-        median, success, _ = summarize_fast_runs(plain)
+        plain = run_trial_batch(
+            "simple", n, nests, base_seed + k, trials,
+            backend="fast", max_rounds=100_000,
+        )
+        median, success, _ = summarize_runs(plain)
         table.add_row(k, "plain Simple", median, success)
 
-        schedule = ktilde_schedule(k, max(1.0, k / 4.0))
-        adaptive = [
-            simulate_simple(
-                n, nests, seed=s, max_rounds=100_000, rate_multiplier=schedule
-            )
-            for s in sources
-        ]
-        median, success, _ = summarize_fast_runs(adaptive)
+        adaptive = run_trial_batch(
+            "adaptive", n, nests, base_seed + k, trials,
+            backend="fast", max_rounds=100_000,
+            params={"k_initial": k, "half_life": max(1.0, k / 4.0)},
+        )
+        median, success, _ = summarize_runs(adaptive)
         table.add_row(k, "k-tilde schedule (hl=k/4)", median, success)
 
-        power_stats = run_trials(
-            power_feedback_factory(beta=0.5),
-            n if n <= 512 else 512,
-            nests,
+        power_stats = run_stats(
+            Scenario(
+                algorithm="power_feedback",
+                n=n if n <= 512 else 512,
+                nests=nests,
+                seed=base_seed + 13 * k,
+                max_rounds=100_000,
+                params={"beta": 0.5},
+            ),
             n_trials=agent_trials,
-            base_seed=base_seed + 13 * k,
-            max_rounds=100_000,
+            workers=default_workers(),
         )
         table.add_row(
             k,
@@ -78,13 +83,17 @@ def run(
             power_stats.success_rate,
         )
 
-        approx_stats = run_trials(
-            approximate_n_factory(max_factor=2.0),
-            n if n <= 512 else 512,
-            nests,
+        approx_stats = run_stats(
+            Scenario(
+                algorithm="approximate_n",
+                n=n if n <= 512 else 512,
+                nests=nests,
+                seed=base_seed + 17 * k,
+                max_rounds=100_000,
+                params={"max_factor": 2.0},
+            ),
             n_trials=agent_trials,
-            base_seed=base_seed + 17 * k,
-            max_rounds=100_000,
+            workers=default_workers(),
         )
         table.add_row(
             k,

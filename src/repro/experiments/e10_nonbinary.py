@@ -11,13 +11,11 @@ gap and the weight; a weight of 0 reduces to quality-blind Algorithm 3
 
 from __future__ import annotations
 
+from repro.api import Scenario, run_batch
 from repro.analysis.stats import wilson_interval
 from repro.analysis.tables import Table
-from repro.extensions.nonbinary import quality_weighted_factory
+from repro.experiments.common import default_workers
 from repro.model.nests import NestConfig
-from repro.sim.convergence import UnanimousCommitment
-from repro.sim.run import run_trial
-from repro.sim.rng import RandomSource
 
 
 def run(
@@ -49,28 +47,35 @@ def run(
             "median rounds",
         ],
     )
-    root = RandomSource(base_seed)
     index = 0
     for gap in gaps:
         nests = NestConfig.graded([0.5 + gap, 0.5 - gap])
         for weight in weights:
+            # Preserve the historical stream assignment: one shared base
+            # seed, trial indices running across the whole (gap, weight)
+            # grid in order.
+            scenarios = [
+                Scenario(
+                    algorithm="quality_weighted",
+                    n=n,
+                    nests=nests,
+                    seed=base_seed,
+                    trial_index=index + offset,
+                    max_rounds=50_000,
+                    params={"quality_weight": weight},
+                    criterion="unanimous",
+                )
+                for offset in range(trials)
+            ]
+            index += trials
             best_wins = 0
             agreed = 0
             rounds: list[int] = []
-            for _ in range(trials):
-                result = run_trial(
-                    quality_weighted_factory(quality_weight=weight),
-                    n,
-                    nests,
-                    seed=root.trial(index),
-                    max_rounds=50_000,
-                    criterion_factory=UnanimousCommitment,
-                )
-                index += 1
-                if result.converged:
+            for report in run_batch(scenarios, workers=default_workers()):
+                if report.converged:
                     agreed += 1
-                    rounds.append(result.converged_round)
-                    if result.chosen_nest == 1:
+                    rounds.append(report.converged_round)
+                    if report.chosen_nest == 1:
                         best_wins += 1
             lo, _ = wilson_interval(best_wins, max(agreed, 1))
             median = float(sorted(rounds)[len(rounds) // 2]) if rounds else float("nan")

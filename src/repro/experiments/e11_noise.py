@@ -14,14 +14,16 @@ measures exactly that curve.
 
 from __future__ import annotations
 
+from repro.api import Scenario, run_stats
 from repro.analysis.tables import Table
-from repro.core.colony import simple_factory
-from repro.experiments.common import summarize_fast_runs, trial_seeds
+from repro.experiments.common import (
+    default_workers,
+    run_trial_batch,
+    summarize_runs,
+)
 from repro.extensions.estimation import EncounterNoise, EncounterRateEstimator
-from repro.fast.simple_fast import simulate_simple
 from repro.model.nests import NestConfig
 from repro.sim.noise import CountNoise
-from repro.sim.run import run_trials
 
 
 def run(
@@ -53,11 +55,11 @@ def run(
     )
     for sigma in sigmas:
         noise = CountNoise(relative_sigma=sigma)
-        results = [
-            simulate_simple(n, nests, seed=source, max_rounds=100_000, noise=noise)
-            for source in trial_seeds(base_seed + int(sigma * 100), trials)
-        ]
-        median, success, _ = summarize_fast_runs(results)
+        results = run_trial_batch(
+            "simple", n, nests, base_seed + int(sigma * 100), trials,
+            backend="fast", max_rounds=100_000, noise=noise,
+        )
+        median, success, _ = summarize_runs(results)
         table.add_row("gaussian relative", sigma, median, success)
 
     agent_n = min(n, 256)
@@ -65,14 +67,17 @@ def run(
         noise = EncounterNoise(
             estimator=EncounterRateEstimator(trials=budget, capacity=2 * agent_n)
         )
-        stats = run_trials(
-            simple_factory(),
-            agent_n,
-            nests,
+        stats = run_stats(
+            Scenario(
+                algorithm="simple",
+                n=agent_n,
+                nests=nests,
+                seed=base_seed + budget,
+                max_rounds=100_000,
+                noise=noise,
+            ),
             n_trials=agent_trials,
-            base_seed=base_seed + budget,
-            max_rounds=100_000,
-            noise=noise,
+            workers=default_workers(),
         )
         table.add_row(
             f"encounter-rate (agent, n={agent_n})",

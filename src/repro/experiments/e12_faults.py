@@ -16,13 +16,12 @@ true.
 
 from __future__ import annotations
 
+from repro.api import Scenario, run_stats
 from repro.analysis.tables import Table
-from repro.core.colony import simple_factory
+from repro.experiments.common import default_workers
 from repro.model.nests import NestConfig
 from repro.sim.asynchrony import DelayModel
-from repro.sim.convergence import CommittedToSingleGoodNest
 from repro.sim.faults import CrashMode, FaultPlan
-from repro.sim.run import run_trials
 
 
 def run(
@@ -51,8 +50,21 @@ def run(
         ["fault type", "fraction", "median rounds", "success"],
     )
 
-    def criterion():
-        return CommittedToSingleGoodNest(exclude_faulty=True)
+    def faulted_stats(plan: FaultPlan, seed: int, delay: DelayModel | None = None):
+        return run_stats(
+            Scenario(
+                algorithm="simple",
+                n=n,
+                nests=nests,
+                seed=seed,
+                max_rounds=5_000,
+                fault_plan=plan,
+                delay_model=delay,
+                criterion="good_healthy",
+            ),
+            n_trials=trials,
+            workers=default_workers(),
+        )
 
     for fraction in crash_fractions:
         for mode in (CrashMode.AT_HOME, CrashMode.AT_NEST):
@@ -63,33 +75,18 @@ def run(
                 crash_mode=mode,
                 crash_round_range=(1, 20),
             )
-            stats = run_trials(
-                simple_factory(),
-                n,
-                nests,
-                n_trials=trials,
-                base_seed=base_seed + int(fraction * 1000) + (0 if mode is CrashMode.AT_HOME else 1),
-                max_rounds=5_000,
-                fault_plan=plan,
-                criterion_factory=criterion,
+            stats = faulted_stats(
+                plan,
+                base_seed + int(fraction * 1000) + (0 if mode is CrashMode.AT_HOME else 1),
             )
             label = "none" if fraction == 0.0 else f"crash ({mode.value})"
             table.add_row(label, fraction, stats.median_rounds, stats.success_rate)
 
     for fraction in byzantine_fractions:
         plan = FaultPlan(byzantine_fraction=fraction, seek_bad=True)
-        stats = run_trials(
-            simple_factory(),
-            n,
-            nests,
-            n_trials=trials,
-            base_seed=base_seed + 7 + int(fraction * 1000),
-            # Heavy Byzantine pressure can stall the colony indefinitely;
-            # 5k rounds (>10x the attacked median) bounds censored trials.
-            max_rounds=5_000,
-            fault_plan=plan,
-            criterion_factory=criterion,
-        )
+        # Heavy Byzantine pressure can stall the colony indefinitely; the
+        # 5k-round cap (>10x the attacked median) bounds censored trials.
+        stats = faulted_stats(plan, base_seed + 7 + int(fraction * 1000))
         table.add_row("byzantine (push bad nest)", fraction, stats.median_rounds, stats.success_rate)
 
     # The Byzantine x asynchrony cliff: delays weaken honest proportional
@@ -99,16 +96,8 @@ def run(
     cliff_byz = (0.005, 0.02) if quick else (0.005, 0.01, 0.02)
     for fraction in cliff_byz:
         plan = FaultPlan(byzantine_fraction=fraction, seek_bad=True)
-        stats = run_trials(
-            simple_factory(),
-            n,
-            nests,
-            n_trials=trials,
-            base_seed=base_seed + 13 + int(fraction * 1000),
-            max_rounds=5_000,
-            fault_plan=plan,
-            delay_model=DelayModel(0.1),
-            criterion_factory=criterion,
+        stats = faulted_stats(
+            plan, base_seed + 13 + int(fraction * 1000), delay=DelayModel(0.1)
         )
         table.add_row(
             "byzantine + 10% delays", fraction, stats.median_rounds, stats.success_rate

@@ -11,11 +11,11 @@ of some extra running time"; the sweep measures that cost curve.
 
 from __future__ import annotations
 
+from repro.api import Scenario, run_stats
 from repro.analysis.tables import Table
-from repro.core.colony import simple_factory
+from repro.experiments.common import default_workers
 from repro.model.nests import NestConfig
 from repro.sim.asynchrony import DelayModel
-from repro.sim.run import run_trials
 
 
 def run(
@@ -41,14 +41,18 @@ def run(
     )
     baseline: float | None = None
     for delay in delays:
-        stats = run_trials(
-            simple_factory(),
-            n,
-            nests,
+        stats = run_stats(
+            Scenario(
+                algorithm="simple",
+                n=n,
+                nests=nests,
+                seed=base_seed + int(delay * 100),
+                max_rounds=100_000,
+                delay_model=DelayModel(delay) if delay > 0 else None,
+            ),
             n_trials=trials,
-            base_seed=base_seed + int(delay * 100),
-            max_rounds=100_000,
-            delay_model=DelayModel(delay) if delay > 0 else None,
+            workers=default_workers(),
+            backend="agent",
         )
         if baseline is None:
             baseline = stats.median_rounds

@@ -15,8 +15,7 @@ import numpy as np
 
 from repro.analysis.tables import Table
 from repro.baselines.polya import urn_win_probability
-from repro.experiments.common import trial_seeds
-from repro.fast.simple_fast import simulate_simple
+from repro.experiments.common import run_trial_batch
 from repro.model.nests import NestConfig
 
 
@@ -39,10 +38,10 @@ def run(
     bins = [(0.50, 0.52), (0.52, 0.55), (0.55, 0.60), (0.60, 0.75)]
     outcomes: dict[tuple[float, float], list[int]] = {b: [] for b in bins}
 
-    for source in trial_seeds(base_seed, trials):
-        result = simulate_simple(
-            n, nests, seed=source, max_rounds=100_000, record_history=True
-        )
+    for result in run_trial_batch(
+        "simple", n, nests, base_seed, trials,
+        backend="fast", max_rounds=100_000, record_history=True,
+    ):
         if not result.converged or result.chosen_nest is None:
             continue
         initial = result.population_history[0][1:]

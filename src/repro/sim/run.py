@@ -6,6 +6,16 @@ optional noise/fault/delay layers, criterion) from a single root seed;
 :func:`run_trials` repeats it over independent seeds and aggregates into
 :class:`TrialStats` (success rate with Wilson interval, convergence-round
 percentiles, chosen-nest histogram).
+
+.. deprecated::
+    For experiment/example code these entry points are superseded by the
+    declarative Scenario API — :func:`repro.api.run`,
+    :func:`repro.api.run_batch` and :func:`repro.api.run_stats` — which
+    dispatches over both engines, parallelizes deterministically, and
+    serializes run configurations.  ``run_trial``/``run_trials`` remain
+    supported as the agent-engine substrate the Scenario API executes on
+    (and for colonies built from unregistered ad-hoc factories); see
+    CHANGES.md for the deprecation timeline.
 """
 
 from __future__ import annotations
@@ -81,8 +91,8 @@ class TrialStats:
     """Aggregate of many independent trials of the same configuration."""
 
     n_trials: int
-    n_converged: int
-    rounds: np.ndarray  # convergence rounds of converged trials only
+    n_converged: int  # trials that converged to a *good* nest
+    rounds: np.ndarray  # convergence rounds of good-nest-converged trials only
     censored_at: int  # max_rounds used (bound for non-converged trials)
     chosen_nests: dict[int, int] = field(default_factory=dict)
 
@@ -130,6 +140,12 @@ def run_trials(
     Trial ``t`` uses the independent child source ``RandomSource(base_seed)
     .trial(t)``, so adding trials never reshuffles earlier ones.  Keyword
     arguments are forwarded to :func:`run_trial`.
+
+    A trial counts toward ``n_converged`` only when its criterion fired
+    *and* the chosen nest is good — matching :attr:`TrialStats.success_rate`.
+    Under the default criterion the two coincide, but permissive criteria
+    (:class:`~repro.sim.convergence.UnanimousCommitment`) can stop on a bad
+    nest; such trials are agreement without success.
     """
     root = RandomSource(base_seed)
     rounds: list[int] = []
@@ -138,7 +154,12 @@ def run_trials(
     max_rounds = int(trial_kwargs.get("max_rounds", 100_000))
     for index in range(n_trials):
         result = run_trial(factory, n, nests, seed=root.trial(index), **trial_kwargs)
-        if result.converged:
+        solved = (
+            result.converged
+            and result.chosen_nest is not None
+            and nests.is_good(result.chosen_nest)
+        )
+        if solved:
             n_converged += 1
             rounds.append(result.converged_round)
         if result.chosen_nest is not None:

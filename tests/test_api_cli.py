@@ -1,0 +1,65 @@
+"""Smoke tests for the ``python -m repro.api`` command line."""
+
+import json
+
+from repro.api.__main__ import main
+
+
+class TestApiCli:
+    def test_list_shows_registry(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("simple", "optimal", "spread", "quorum", "rumor", "polya"):
+            assert name in out
+        assert "[fast+agent]" in out or "fast+agent" in out
+
+    def test_single_run_fast(self, capsys):
+        code = main(
+            [
+                "--algorithm", "simple", "--backend", "fast",
+                "--n", "64", "--k", "4", "--good", "1,3", "--seed", "7",
+                "--max-rounds", "5000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=fast" in out
+        assert "converged" in out
+
+    def test_trials_aggregate_on_agent(self, capsys):
+        code = main(
+            [
+                "--algorithm", "simple", "--backend", "agent",
+                "--n", "32", "--k", "2", "--seed", "1",
+                "--max-rounds", "3000", "--trials", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success" in out
+
+    def test_json_output_with_params(self, capsys):
+        code = main(
+            [
+                "--algorithm", "optimal",
+                "--n", "32", "--k", "2", "--seed", "2",
+                "--max-rounds", "4000",
+                "--param", "strict_pseudocode=false",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["algorithm"] == "optimal"
+        assert payload["reports"][0]["converged"] is True
+
+    def test_unknown_algorithm_is_an_error(self, capsys):
+        assert main(["--algorithm", "nope", "--n", "8", "--k", "2"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_missing_algorithm_is_an_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unsupported_backend_combination_is_an_error(self, capsys):
+        assert main(["--algorithm", "rumor", "--backend", "agent"]) == 2
+        assert "no agent-engine" in capsys.readouterr().err

@@ -4,6 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core.colony import simple_factory
+from repro.model.actions import Go, RecruitResult, Search, SearchResult
+from repro.model.ant import Ant
+from repro.model.nests import NestConfig
+from repro.sim.convergence import UnanimousCommitment
 from repro.sim.run import TrialStats, build_colony, run_trial, run_trials
 
 
@@ -82,3 +86,68 @@ class TestTrialStats:
         )
         assert stats.success_rate == 0.0
         assert np.isnan(stats.mean_rounds)
+
+
+class _BadNestZealot(Ant):
+    """Searches until it stumbles on ``target``, then commits to it forever.
+
+    With every ant targeting the same *bad* nest, a permissive criterion
+    (UnanimousCommitment) fires on a colony that has agreed on a bad home.
+    """
+
+    TARGET = 2
+
+    def __init__(self, ant_id, n, rng):
+        super().__init__(ant_id, n, rng)
+        self._found = False
+
+    def decide(self):
+        return Go(self.TARGET) if self._found else Search()
+
+    def observe(self, result):
+        if isinstance(result, SearchResult) and result.nest == self.TARGET:
+            self._found = True
+
+    @property
+    def committed_nest(self):
+        return self.TARGET if self._found else None
+
+
+class TestGoodNestSemantics:
+    """Regression: n_converged must mean "converged to a *good* nest".
+
+    ``success_rate``'s docstring always promised that, but ``run_trials``
+    used to trust ``result.converged`` alone, over-counting criteria that
+    can stop on a bad nest.
+    """
+
+    def test_bad_nest_agreement_is_not_success(self):
+        nests = NestConfig.binary(2, {1})  # nest 2 is bad
+        stats = run_trials(
+            lambda ant_id, n, rng: _BadNestZealot(ant_id, n, rng),
+            4,
+            nests,
+            n_trials=3,
+            base_seed=5,
+            max_rounds=500,
+            criterion_factory=UnanimousCommitment,
+        )
+        # Every trial agrees (on the bad nest) ...
+        assert stats.chosen_nests == {2: 3}
+        # ... but none of them solved HouseHunting.
+        assert stats.n_converged == 0
+        assert stats.success_rate == 0.0
+        assert len(stats.rounds) == 0
+
+    def test_good_nest_agreement_still_counts(self, all_good_4):
+        stats = run_trials(
+            simple_factory(),
+            24,
+            all_good_4,
+            n_trials=3,
+            base_seed=2,
+            max_rounds=2000,
+            criterion_factory=UnanimousCommitment,
+        )
+        assert stats.n_converged == 3
+        assert stats.success_rate == 1.0
