@@ -1,0 +1,150 @@
+"""Trial-parallel batch engine throughput — the PR-2 headline numbers.
+
+Measures ``run_batch`` at the ROADMAP scale (n = 4096, k = 8) three ways on
+the same machine and profile:
+
+- **v1 serial**: every trial through the sequential-scan fast kernel
+  (``matcher="v1"``) — exactly the PR-1 fast path, the speedup baseline;
+- **batch**: the homogeneous sweep dispatched to the trial-parallel v2
+  batch kernel in one chunk (the new default path);
+- **batch chunked**: same work split into small chunks, demonstrating that
+  chunking costs little and (with the bit-identity tests) changes nothing.
+
+Everything lands in ``BENCH_batch.json`` at the repo root — including the
+``batch_speedup_vs_v1`` ratio the acceptance gate reads — which doubles as
+the committed regression baseline for ``tools/check_bench_regression.py``.
+
+Run with::
+
+    REPRO_BENCH_PROFILE=quick pytest benchmarks/bench_batch.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_json import update_bench_json
+
+from repro.api import Scenario, run_batch
+from repro.model.nests import NestConfig
+
+N = 4096
+K = 8
+TRIALS = 16  # the acceptance-gate workload; same in both profiles
+
+
+def _scenario(seed: int, matcher: str | None = None) -> Scenario:
+    params = {} if matcher is None else {"matcher": matcher}
+    return Scenario(
+        algorithm="simple",
+        n=N,
+        nests=NestConfig.all_good(K),
+        seed=seed,
+        max_rounds=50_000,
+        params=params,
+    )
+
+
+def _config(quick_mode: bool) -> dict:
+    return {"n": N, "k": K, "trials": TRIALS}
+
+
+def _record(quick_mode: bool, **metrics: float) -> None:
+    update_bench_json(
+        "batch",
+        "quick" if quick_mode else "full",
+        _config(quick_mode),
+        metrics,
+    )
+
+
+def _timed(scenarios, repeats: int = 1, **kwargs):
+    """Best-of-``repeats`` wall time — the standard noise filter: external
+    contention only ever slows a run down, so the minimum is the cleanest
+    estimate of the code's actual cost."""
+    best = float("inf")
+    reports = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        reports = run_batch(scenarios, backend="fast", **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return reports, best
+
+
+def test_batch_vs_v1_speedup(benchmark, quick_mode):
+    """The headline: v1 serial baseline and batch engine, interleaved.
+
+    The two timings alternate inside one measurement window so transient
+    machine contention (CPU throttling, noisy neighbors) hits both sides
+    and is filtered by the per-side minimum — the speedup *ratio* is the
+    quantity that must be stable.
+    """
+    v1_scenarios = _scenario(2015, matcher="v1").trials(TRIALS)
+    batch_scenarios = _scenario(2015).trials(TRIALS)
+    run_batch(_scenario(7).replace(n=256).trials(4))  # warm the caches
+
+    def measure():
+        v1_best = float("inf")
+        batch_best = float("inf")
+        v1_reports = batch_reports = []
+        for _ in range(2):
+            batch_reports, elapsed = _timed(batch_scenarios, repeats=2, workers=1)
+            batch_best = min(batch_best, elapsed)
+            v1_reports, elapsed = _timed(v1_scenarios, repeats=1, workers=1)
+            v1_best = min(v1_best, elapsed)
+        return v1_reports, batch_reports, v1_best, batch_best
+
+    v1_reports, batch_reports, v1_best, batch_best = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert all(r.converged for r in v1_reports)
+    assert all(r.converged for r in batch_reports)
+    v1_rate = TRIALS / v1_best
+    batch_rate = TRIALS / batch_best
+    benchmark.extra_info["v1_trials_per_sec"] = round(v1_rate, 3)
+    benchmark.extra_info["batch_trials_per_sec"] = round(batch_rate, 3)
+    benchmark.extra_info["speedup"] = round(batch_rate / v1_rate, 3)
+    _record(
+        quick_mode,
+        v1_serial_trials_per_sec=v1_rate,
+        batch_trials_per_sec=batch_rate,
+        batch_speedup_vs_v1=batch_rate / v1_rate,
+    )
+
+
+def test_batch_engine_chunked(benchmark, quick_mode):
+    """Same sweep in chunks of 4 — the shape worker processes receive."""
+    scenarios = _scenario(2015).trials(TRIALS)
+
+    reports, elapsed = benchmark.pedantic(
+        _timed,
+        args=(scenarios,),
+        kwargs={"workers": 1, "batch_chunk": 4, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(r.converged for r in reports)
+    rate = TRIALS / elapsed
+    benchmark.extra_info["trials_per_sec"] = round(rate, 3)
+    _record(quick_mode, batch_chunked_trials_per_sec=rate)
+
+
+def test_record_speedup(quick_mode):
+    """Enforce the >=10x gate on the recorded headline (strict mode only).
+
+    The gate runs under ``REPRO_BENCH_STRICT=1`` — how the committed
+    baseline was produced; elsewhere (noisy shared CI runners) the 30%
+    regression check against the committed baseline
+    (``tools/check_bench_regression.py``) is the enforcement mechanism.
+    """
+    import json
+    import os
+
+    from bench_json import bench_json_path
+
+    data = json.loads(bench_json_path("batch").read_text(encoding="utf-8"))
+    speedup = data["metrics"].get("batch_speedup_vs_v1")
+    if speedup is not None and os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert speedup >= 10.0, (
+            f"batch engine speedup {speedup:.1f}x fell below the 10x gate"
+        )

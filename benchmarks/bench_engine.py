@@ -68,6 +68,35 @@ def test_fast_spread_full_run_4096(benchmark):
     assert result.converged
 
 
+def test_agent_engine_hooked_rounds_512(benchmark):
+    """Sixteen hooked agent-engine rounds reading the per-round counts.
+
+    ``RoundRecord.n_searching``/``n_recruiting`` used to rescan all ``n``
+    actions with ``isinstance`` on every access; the engine now tallies
+    them once while building the round, so metrics-style hooks are O(1)
+    per access.  This bench pins the hooked-round cost.
+    """
+    scenario = Scenario(
+        algorithm="simple",
+        n=512,
+        nests=NestConfig.all_good(8),
+        seed=3,
+        max_rounds=16,
+    )
+    activity: list[int] = []
+
+    def hook(record) -> None:
+        activity.append(record.n_searching + record.n_recruiting)
+
+    def run_hooked():
+        activity.clear()
+        return run(scenario, backend="agent", hooks=[hook])
+
+    result = benchmark(run_hooked)
+    assert result.rounds_executed == 16
+    assert len(activity) == 16
+
+
 def test_agent_engine_rounds_512(benchmark):
     """Sixteen agent-engine rounds of Algorithm 3 at n=512, k=8."""
     scenario = Scenario(

@@ -55,6 +55,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker processes for --trials > 1"
     )
     parser.add_argument(
+        "--matcher",
+        choices=("v1", "v2"),
+        help="Algorithm 1 draw schedule for the fast engine: 'v2' (default) "
+        "is the batched data-independent schedule, 'v1' the sequential-scan "
+        "reference (shorthand for --param matcher=...)",
+    )
+    parser.add_argument(
+        "--batch-chunk",
+        type=int,
+        default=None,
+        metavar="B",
+        help="trials per batch-kernel invocation for homogeneous sweeps "
+        "(default: runner's DEFAULT_BATCH_CHUNK; results never depend on it)",
+    )
+    parser.add_argument(
         "--param",
         action="append",
         default=[],
@@ -96,19 +111,27 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     try:
+        params = _parse_params(args.param)
+        if args.matcher is not None:
+            params["matcher"] = args.matcher
         scenario = Scenario(
             algorithm=args.algorithm,
             n=args.n,
             nests=NestConfig.binary(args.k, _parse_good(args.good, args.k)),
             seed=args.seed,
             max_rounds=args.max_rounds,
-            params=_parse_params(args.param),
+            params=params,
         )
         backend = resolve_backend(scenario, args.backend)
         scenarios = (
             scenario.trials(args.trials) if args.trials > 1 else [scenario]
         )
-        reports = run_batch(scenarios, workers=args.workers, backend=args.backend)
+        reports = run_batch(
+            scenarios,
+            workers=args.workers,
+            backend=args.backend,
+            batch_chunk=args.batch_chunk,
+        )
     except (ReproError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -8,14 +8,24 @@ agent-engine builder and/or a vectorized kernel; the ``fast_supports``
 predicates encode which scenario features each kernel can honor, which is
 exactly the information ``backend="auto"`` dispatch needs.
 
+Fast kernels accept a ``matcher`` param ("v2" default, "v1" for the
+sequential-scan reference schedule — see docs/PERFORMANCE.md); under v2
+the single-trial kernel is literally a batch of one, so
+:func:`repro.api.run_batch`'s trial-parallel dispatch (the ``batch_kernel``
+entries here) is bit-identical to running each trial alone.  ``quorum``
+and ``uniform`` gained fast kernels with the batch engine, so the E8
+comparison sweep no longer falls back to the agent engine.
+
 Adding a protocol variant is one ``REGISTRY.register(...)`` call.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.api.registry import REGISTRY, criterion_factory
+from repro.api.registry import REGISTRY, criterion_factory, scenario_matcher
 from repro.api.report import RunReport
 from repro.api.scenario import Scenario
 from repro.baselines.polya import PolyaUrn
@@ -36,9 +46,15 @@ from repro.extensions.adaptive import (
 )
 from repro.extensions.nonbinary import quality_weighted_factory
 from repro.extensions.robust import approximate_n_factory
+from repro.fast.batch import (
+    simulate_optimal_batch,
+    simulate_quorum_batch,
+    simulate_simple_batch,
+    simulate_spread_batch,
+)
 from repro.fast.optimal_fast import simulate_optimal
 from repro.fast.simple_fast import simulate_simple
-from repro.fast.spread_fast import simulate_spread
+from repro.fast.spread_fast import SpreadResult, simulate_spread
 from repro.sim.noise import CountNoise
 from repro.sim.rng import RandomSource
 
@@ -61,6 +77,20 @@ def _unperturbed(scenario: Scenario) -> bool:
     return scenario.fault_plan is None and scenario.delay_model is None
 
 
+def _sources(scenarios: Sequence[Scenario]) -> list[RandomSource]:
+    """Per-trial stream bundles for one homogeneous batch chunk."""
+    return [scenario.source() for scenario in scenarios]
+
+
+def _fast_extras(matcher: str) -> dict:
+    """Engine detail recorded on every fast-path report.
+
+    Both the single-trial path and the batch path attach exactly this, so
+    their reports compare equal field-for-field.
+    """
+    return {"matcher": matcher}
+
+
 def _gaussian_noise_only(scenario: Scenario) -> bool:
     """Noise absent, or expressible by the fast engine's Gaussian model."""
     noise = scenario.noise
@@ -69,26 +99,74 @@ def _gaussian_noise_only(scenario: Scenario) -> bool:
     return isinstance(noise, CountNoise) and noise.quality_flip_prob == 0.0
 
 
+def _kernel_pair(single_kernel, batch_kernel, kernel_kwargs):
+    """Build the (fast_kernel, batch_kernel) adapter pair for one algorithm.
+
+    Both adapters share one contract: ``kernel_kwargs(scenario)`` validates
+    the params and returns the kernel keyword arguments; the single-trial
+    v2 path is literally a batch of one, so the two adapters cannot drift
+    apart; ``matcher="v1"`` routes to the sequential single-trial kernel.
+    """
+
+    def fast(scenario: Scenario, source: RandomSource) -> RunReport:
+        kwargs = kernel_kwargs(scenario)
+        matcher = scenario_matcher(scenario)
+        if matcher == "v1":
+            result = single_kernel(
+                scenario.n,
+                scenario.nests,
+                seed=source,
+                max_rounds=scenario.max_rounds,
+                record_history=scenario.record_history,
+                **kwargs,
+            )
+        else:
+            result = batch_kernel(
+                scenario.n,
+                scenario.nests,
+                [source],
+                max_rounds=scenario.max_rounds,
+                record_history=scenario.record_history,
+                **kwargs,
+            )[0]
+        return RunReport.from_fast(scenario, result, extras=_fast_extras(matcher))
+
+    def batch(scenarios: Sequence[Scenario]) -> list[RunReport]:
+        base = scenarios[0]
+        results = batch_kernel(
+            base.n,
+            base.nests,
+            _sources(scenarios),
+            max_rounds=base.max_rounds,
+            record_history=base.record_history,
+            **kernel_kwargs(base),
+        )
+        extras = _fast_extras("v2")
+        return [
+            RunReport.from_fast(scenario, result, extras=extras)
+            for scenario, result in zip(scenarios, results)
+        ]
+
+    return fast, batch
+
+
 # -- Algorithm 3 ("simple") and its rate-schedule variant --------------------
 
 
 def _simple_agent(scenario: Scenario):
-    params = _params(scenario)
+    params = _params(scenario, matcher=None)
     del params
     return simple_factory(good_threshold=scenario.nests.good_threshold), None
 
 
-def _simple_fast(scenario: Scenario, source: RandomSource) -> RunReport:
-    _params(scenario)
-    result = simulate_simple(
-        scenario.n,
-        scenario.nests,
-        seed=source,
-        max_rounds=scenario.max_rounds,
-        noise=scenario.noise,
-        record_history=scenario.record_history,
-    )
-    return RunReport.from_fast(scenario, result)
+def _simple_kwargs(scenario: Scenario) -> dict:
+    _params(scenario, matcher=None)
+    return {"noise": scenario.noise}
+
+
+_simple_fast, _simple_batch = _kernel_pair(
+    simulate_simple, simulate_simple_batch, _simple_kwargs
+)
 
 
 def _simple_fast_supports(scenario: Scenario) -> bool:
@@ -100,7 +178,7 @@ def _simple_fast_supports(scenario: Scenario) -> bool:
 
 
 def _adaptive_schedule(scenario: Scenario):
-    params = _params(scenario, k_initial=None, half_life=None)
+    params = _params(scenario, k_initial=None, half_life=None, matcher=None)
     k_initial = float(
         params["k_initial"] if params["k_initial"] is not None else scenario.nests.k
     )
@@ -122,25 +200,24 @@ def _adaptive_agent(scenario: Scenario):
     )
 
 
-def _adaptive_fast(scenario: Scenario, source: RandomSource) -> RunReport:
+def _adaptive_kwargs(scenario: Scenario) -> dict:
     k_initial, half_life = _adaptive_schedule(scenario)
-    result = simulate_simple(
-        scenario.n,
-        scenario.nests,
-        seed=source,
-        max_rounds=scenario.max_rounds,
-        rate_multiplier=ktilde_schedule(k_initial, half_life),
-        noise=scenario.noise,
-        record_history=scenario.record_history,
-    )
-    return RunReport.from_fast(scenario, result)
+    return {
+        "rate_multiplier": ktilde_schedule(k_initial, half_life),
+        "noise": scenario.noise,
+    }
+
+
+_adaptive_fast, _adaptive_batch = _kernel_pair(
+    simulate_simple, simulate_simple_batch, _adaptive_kwargs
+)
 
 
 # -- Algorithm 2 ("optimal") -------------------------------------------------
 
 
 def _optimal_agent(scenario: Scenario):
-    params = _params(scenario, strict_pseudocode=False)
+    params = _params(scenario, strict_pseudocode=False, matcher=None)
     factory = optimal_factory(
         good_threshold=scenario.nests.good_threshold,
         strict_pseudocode=bool(params["strict_pseudocode"]),
@@ -150,17 +227,14 @@ def _optimal_agent(scenario: Scenario):
     return factory, criterion_factory("good_settled")
 
 
-def _optimal_fast(scenario: Scenario, source: RandomSource) -> RunReport:
-    params = _params(scenario, strict_pseudocode=False)
-    result = simulate_optimal(
-        scenario.n,
-        scenario.nests,
-        seed=source,
-        max_rounds=scenario.max_rounds,
-        strict_pseudocode=bool(params["strict_pseudocode"]),
-        record_history=scenario.record_history,
-    )
-    return RunReport.from_fast(scenario, result)
+def _optimal_kwargs(scenario: Scenario) -> dict:
+    params = _params(scenario, strict_pseudocode=False, matcher=None)
+    return {"strict_pseudocode": bool(params["strict_pseudocode"])}
+
+
+_optimal_fast, _optimal_batch = _kernel_pair(
+    simulate_optimal, simulate_optimal_batch, _optimal_kwargs
+)
 
 
 def _optimal_fast_supports(scenario: Scenario) -> bool:
@@ -175,7 +249,7 @@ def _optimal_fast_supports(scenario: Scenario) -> bool:
 
 
 def _spread_policy(scenario: Scenario) -> IgnorantPolicy:
-    params = _params(scenario, policy=IgnorantPolicy.WAIT.value)
+    params = _params(scenario, policy=IgnorantPolicy.WAIT.value, matcher=None)
     return IgnorantPolicy(params["policy"])
 
 
@@ -183,15 +257,12 @@ def _spread_agent(scenario: Scenario):
     return informed_spread_factory(_spread_policy(scenario)), None
 
 
-def _spread_fast(scenario: Scenario, source: RandomSource) -> RunReport:
-    result = simulate_spread(
-        scenario.n,
-        scenario.nests.k,
-        policy=_spread_policy(scenario),
-        seed=source,
-        max_rounds=scenario.max_rounds,
-    )
+def _spread_report(
+    scenario: Scenario, result: SpreadResult, matcher: str
+) -> RunReport:
     good_nest = scenario.nests.good_nests[0]
+    extras = _fast_extras(matcher)
+    extras["informed_history"] = result.informed_history.tolist()
     return RunReport(
         algorithm=scenario.algorithm,
         backend="fast",
@@ -207,8 +278,44 @@ def _spread_fast(scenario: Scenario, source: RandomSource) -> RunReport:
         chose_good_nest=result.all_informed,
         final_counts=None,
         population_history=None,
-        extras={"informed_history": result.informed_history.tolist()},
+        extras=extras,
     )
+
+
+def _spread_fast(scenario: Scenario, source: RandomSource) -> RunReport:
+    matcher = scenario_matcher(scenario)
+    if matcher == "v1":
+        result = simulate_spread(
+            scenario.n,
+            scenario.nests.k,
+            policy=_spread_policy(scenario),
+            seed=source,
+            max_rounds=scenario.max_rounds,
+        )
+    else:
+        result = simulate_spread_batch(
+            scenario.n,
+            scenario.nests.k,
+            [source],
+            policy=_spread_policy(scenario),
+            max_rounds=scenario.max_rounds,
+        )[0]
+    return _spread_report(scenario, result, matcher)
+
+
+def _spread_batch(scenarios: Sequence[Scenario]) -> list[RunReport]:
+    base = scenarios[0]
+    results = simulate_spread_batch(
+        base.n,
+        base.nests.k,
+        _sources(scenarios),
+        policy=_spread_policy(base),
+        max_rounds=base.max_rounds,
+    )
+    return [
+        _spread_report(scenario, result, "v2")
+        for scenario, result in zip(scenarios, results)
+    ]
 
 
 def _spread_fast_supports(scenario: Scenario) -> bool:
@@ -222,14 +329,21 @@ def _spread_fast_supports(scenario: Scenario) -> bool:
     )
 
 
-# -- agent-only baselines and extensions -------------------------------------
+# -- the quorum and uniform baselines (agent + fast since the batch engine) --
+
+
+def _quorum_params(scenario: Scenario) -> tuple[float, float]:
+    params = _params(
+        scenario, quorum_fraction=0.35, tandem_probability=0.25, matcher=None
+    )
+    return float(params["quorum_fraction"]), float(params["tandem_probability"])
 
 
 def _quorum_agent(scenario: Scenario):
-    params = _params(scenario, quorum_fraction=0.35, tandem_probability=0.25)
+    quorum_fraction, tandem_probability = _quorum_params(scenario)
     factory = quorum_factory(
-        quorum_fraction=float(params["quorum_fraction"]),
-        tandem_probability=float(params["tandem_probability"]),
+        quorum_fraction=quorum_fraction,
+        tandem_probability=tandem_probability,
         good_threshold=scenario.nests.good_threshold,
     )
     # Quorum colonies commit via their own threshold rule; runs are judged
@@ -237,13 +351,76 @@ def _quorum_agent(scenario: Scenario):
     return factory, criterion_factory("unanimous")
 
 
+def _quorum_fast(scenario: Scenario, source: RandomSource) -> RunReport:
+    quorum_fraction, tandem_probability = _quorum_params(scenario)
+    if scenario_matcher(scenario) == "v1":
+        raise ConfigurationError(
+            "the quorum fast kernel exists only under the v2 matcher "
+            "schedule; use backend='agent' for the sequential reference"
+        )
+    result = simulate_quorum_batch(
+        scenario.n,
+        scenario.nests,
+        [source],
+        max_rounds=scenario.max_rounds,
+        quorum_fraction=quorum_fraction,
+        tandem_probability=tandem_probability,
+        record_history=scenario.record_history,
+    )[0]
+    return RunReport.from_fast(scenario, result, extras=_fast_extras("v2"))
+
+
+def _quorum_batch(scenarios: Sequence[Scenario]) -> list[RunReport]:
+    base = scenarios[0]
+    quorum_fraction, tandem_probability = _quorum_params(base)
+    results = simulate_quorum_batch(
+        base.n,
+        base.nests,
+        _sources(scenarios),
+        max_rounds=base.max_rounds,
+        quorum_fraction=quorum_fraction,
+        tandem_probability=tandem_probability,
+        record_history=base.record_history,
+    )
+    extras = _fast_extras("v2")
+    return [
+        RunReport.from_fast(scenario, result, extras=extras)
+        for scenario, result in zip(scenarios, results)
+    ]
+
+
+def _quorum_fast_supports(scenario: Scenario) -> bool:
+    return (
+        _unperturbed(scenario)
+        and scenario.noise is None
+        and scenario.criterion in (None, "unanimous")
+        and scenario_matcher(scenario) == "v2"
+    )
+
+
 def _uniform_agent(scenario: Scenario):
-    params = _params(scenario, recruit_probability=0.5)
+    params = _params(scenario, recruit_probability=0.5, matcher=None)
     factory = uniform_factory(
         recruit_probability=float(params["recruit_probability"]),
         good_threshold=scenario.nests.good_threshold,
     )
     return factory, None
+
+
+def _uniform_kwargs(scenario: Scenario) -> dict:
+    params = _params(scenario, recruit_probability=0.5, matcher=None)
+    return {
+        "noise": scenario.noise,
+        "recruit_probability": float(params["recruit_probability"]),
+    }
+
+
+_uniform_fast, _uniform_batch = _kernel_pair(
+    simulate_simple, simulate_simple_batch, _uniform_kwargs
+)
+
+
+# -- agent-only extensions ----------------------------------------------------
 
 
 def _power_feedback_agent(scenario: Scenario):
@@ -370,6 +547,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         agent_builder=_simple_agent,
         fast_kernel=_simple_fast,
         fast_supports=_simple_fast_supports,
+        batch_kernel=_simple_batch,
     )
     registry.register(
         "optimal",
@@ -377,6 +555,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         agent_builder=_optimal_agent,
         fast_kernel=_optimal_fast,
         fast_supports=_optimal_fast_supports,
+        batch_kernel=_optimal_batch,
     )
     registry.register(
         "spread",
@@ -384,16 +563,23 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         agent_builder=_spread_agent,
         fast_kernel=_spread_fast,
         fast_supports=_spread_fast_supports,
+        batch_kernel=_spread_batch,
     )
     registry.register(
         "quorum",
         "Pratt-style quorum sensing (the biological baseline)",
         agent_builder=_quorum_agent,
+        fast_kernel=_quorum_fast,
+        fast_supports=_quorum_fast_supports,
+        batch_kernel=_quorum_batch,
     )
     registry.register(
         "uniform",
         "Algorithm 3 ablation: constant recruit probability (no feedback)",
         agent_builder=_uniform_agent,
+        fast_kernel=_uniform_fast,
+        fast_supports=_simple_fast_supports,
+        batch_kernel=_uniform_batch,
     )
     registry.register(
         "rumor",
@@ -413,6 +599,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         agent_builder=_adaptive_agent,
         fast_kernel=_adaptive_fast,
         fast_supports=_simple_fast_supports,
+        batch_kernel=_adaptive_batch,
     )
     registry.register(
         "power_feedback",

@@ -18,7 +18,7 @@ see :mod:`repro.api.algorithms` for the built-in population.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.sim.convergence import (
@@ -61,6 +61,27 @@ AgentBuilder = Callable[
 FastKernel = Callable[["Scenario", RandomSource], "RunReport"]
 #: Decides whether the fast kernel can honor every feature of a scenario.
 FastSupport = Callable[["Scenario"], bool]
+#: Runs one homogeneous chunk of scenarios trial-parallel (the batched fast
+#: engine); must return one report per scenario, in order, bit-identical to
+#: running each scenario alone through the v2 fast kernel.
+BatchKernel = Callable[[Sequence["Scenario"]], "list[RunReport]"]
+
+#: The matcher schedule the fast engine uses unless a scenario pins one via
+#: ``params={"matcher": ...}``.  "v2" is the batched, data-independent
+#: schedule; "v1" is the sequential-scan reference kept for regression
+#: comparison (see docs/PERFORMANCE.md).
+DEFAULT_MATCHER = "v2"
+MATCHER_NAMES = ("v1", "v2")
+
+
+def scenario_matcher(scenario: "Scenario") -> str:
+    """The matcher schedule a scenario requests (validated)."""
+    matcher = scenario.params.get("matcher", DEFAULT_MATCHER)
+    if matcher not in MATCHER_NAMES:
+        raise ConfigurationError(
+            f"unknown matcher {matcher!r}; known: {', '.join(MATCHER_NAMES)}"
+        )
+    return matcher
 
 
 @dataclass(frozen=True)
@@ -72,6 +93,7 @@ class AlgorithmEntry:
     agent_builder: AgentBuilder | None = None
     fast_kernel: FastKernel | None = None
     fast_supports: FastSupport | None = None
+    batch_kernel: BatchKernel | None = None
 
     def __post_init__(self) -> None:
         if self.agent_builder is None and self.fast_kernel is None:
@@ -107,6 +129,24 @@ class AlgorithmEntry:
             return True
         return self.fast_supports(scenario)
 
+    @property
+    def has_batch(self) -> bool:
+        """Whether a trial-parallel batch kernel is registered."""
+        return self.batch_kernel is not None
+
+    def supports_batch(self, scenario: "Scenario") -> bool:
+        """Whether the batch kernel exists and covers this scenario.
+
+        Batch execution requires the v2 matcher schedule — scenarios that
+        pin ``matcher="v1"`` run trial-by-trial through the sequential fast
+        kernel instead.
+        """
+        if self.batch_kernel is None:
+            return False
+        if not self.supports_fast(scenario):
+            return False
+        return scenario_matcher(scenario) == DEFAULT_MATCHER
+
 
 class AlgorithmRegistry:
     """Name -> :class:`AlgorithmEntry` mapping with registration helpers."""
@@ -121,6 +161,7 @@ class AlgorithmRegistry:
         agent_builder: AgentBuilder | None = None,
         fast_kernel: FastKernel | None = None,
         fast_supports: FastSupport | None = None,
+        batch_kernel: BatchKernel | None = None,
         replace: bool = False,
     ) -> AlgorithmEntry:
         """Register an algorithm; returns the stored entry."""
@@ -132,6 +173,7 @@ class AlgorithmRegistry:
             agent_builder=agent_builder,
             fast_kernel=fast_kernel,
             fast_supports=fast_supports,
+            batch_kernel=batch_kernel,
         )
         self._entries[name] = entry
         return entry

@@ -120,8 +120,19 @@ class RunReport:
         )
 
     @classmethod
-    def from_fast(cls, scenario: "Scenario", result: "FastRunResult") -> "RunReport":
-        """Normalize a fast-engine :class:`FastRunResult`."""
+    def from_fast(
+        cls,
+        scenario: "Scenario",
+        result: "FastRunResult",
+        extras: dict[str, Any] | None = None,
+    ) -> "RunReport":
+        """Normalize a fast-engine :class:`FastRunResult`.
+
+        ``extras`` lets the registry adapters record engine detail (e.g.
+        which matcher schedule ran) without widening the schema.  The batch
+        and single-trial fast paths pass identical extras, keeping their
+        reports bit-identical.
+        """
         return cls(
             algorithm=scenario.algorithm,
             backend="fast",
@@ -137,7 +148,7 @@ class RunReport:
             chose_good_nest=_is_good(scenario, result.chosen_nest),
             final_counts=result.final_counts,
             population_history=result.population_history,
-            extras={},
+            extras=dict(extras) if extras else {},
         )
 
 

@@ -2,11 +2,15 @@
 
 :func:`run` turns a :class:`~repro.api.scenario.Scenario` into a
 :class:`~repro.api.report.RunReport` on either engine; :func:`run_batch`
-fans a list of scenarios out over worker processes.  Because every
-scenario's randomness is a pure function of its ``(seed, trial_index)``
-(see :class:`~repro.sim.rng.RandomSource`), batch results are bit-identical
-for any worker count — parallelism is an execution detail, never a
-semantics change.
+additionally detects *homogeneous* runs of scenarios (same workload,
+differing only in seed/trial index), simulates them trial-parallel through
+the registered batch kernels (:mod:`repro.fast.batch`) in chunks, and fans
+chunks and leftovers out over worker processes.  Because every scenario's
+randomness is a pure function of its ``(seed, trial_index)`` (see
+:class:`~repro.sim.rng.RandomSource`) and the batch kernels draw strictly
+per trial, batch results are bit-identical for any worker count, chunk
+size, and grouping — parallelism and batching are execution details, never
+a semantics change.
 
 Backend selection (``backend="auto"``):
 
@@ -119,35 +123,99 @@ def run(
     return RunReport.from_simulation(scenario, result)
 
 
-def _run_for_pool(payload: tuple[Scenario, str]) -> RunReport:
-    """Top-level worker target (must be picklable by multiprocessing)."""
-    scenario, backend = payload
-    return run(scenario, backend=backend)
+#: Default number of trials one batch-kernel invocation simulates at once.
+#: Larger chunks amortize more Python overhead per round but hold
+#: ``O(chunk * n)`` state; results never depend on the choice.
+DEFAULT_BATCH_CHUNK = 64
+
+#: One unit of batch work: ``("single", scenario, backend)`` runs one
+#: scenario through :func:`run`; ``("batch", [scenarios])`` runs one
+#: homogeneous chunk through the algorithm's batch kernel.
+_Task = tuple
+
+
+def _batch_group_key(scenario: Scenario) -> str:
+    """Canonical identity of a scenario modulo its randomness.
+
+    Two scenarios share a key iff they differ only in ``seed`` /
+    ``trial_index`` — the definition of a homogeneous batch.  The JSON form
+    has a fixed key order, so string equality is scenario equality.
+    """
+    return scenario.replace(seed=0, trial_index=None).to_json()
+
+
+def _run_task(task: _Task) -> list[RunReport]:
+    """Top-level task target (must be picklable by multiprocessing)."""
+    if task[0] == "single":
+        _, scenario, backend = task
+        return [run(scenario, backend=backend)]
+    _, chunk = task
+    entry = REGISTRY.get(chunk[0].algorithm)
+    return entry.batch_kernel(chunk)
 
 
 def run_batch(
     scenarios: Iterable[Scenario],
     workers: int = 1,
     backend: str = "auto",
+    batch_chunk: int | None = None,
 ) -> list[RunReport]:
     """Run many scenarios; reports come back in input order.
 
-    ``workers > 1`` fans the batch out over a process pool.  Each scenario
-    derives its randomness from its own ``(seed, trial_index)``, so the
-    per-scenario reports are identical for every ``workers`` value — a
-    property :mod:`tests.test_api` pins down.
+    Homogeneous runs of scenarios — same algorithm and workload, differing
+    only in ``seed``/``trial_index`` — are detected and dispatched to the
+    algorithm's trial-parallel batch kernel in chunks of ``batch_chunk``
+    (when the registry entry has one, the resolved backend is ``fast`` and
+    the scenario uses the default v2 matcher schedule); everything else
+    runs scenario-by-scenario as before.  ``workers > 1`` fans the chunks
+    and the leftover singles out over a process pool.
+
+    Each trial derives its randomness from its own ``(seed, trial_index)``
+    and the batch kernels consume those streams per trial, so the reports
+    are **bit-identical for every** ``workers`` **and** ``batch_chunk``
+    value, and identical to running each scenario alone —
+    :mod:`tests.test_batch_engine` pins this down.
     """
     batch = list(scenarios)
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if batch_chunk is None:
+        batch_chunk = DEFAULT_BATCH_CHUNK
+    if batch_chunk < 1:
+        raise ConfigurationError(f"batch_chunk must be >= 1, got {batch_chunk}")
     # Resolve backends up front so configuration errors surface immediately
     # (and identically) regardless of worker count.
     payloads = [(s, resolve_backend(s, backend)) for s in batch]
-    if workers == 1 or len(batch) <= 1:
-        return [run(s, backend=resolved) for s, resolved in payloads]
-    with ProcessPoolExecutor(max_workers=min(workers, len(batch))) as pool:
-        chunksize = max(1, len(batch) // (4 * workers))
-        return list(pool.map(_run_for_pool, payloads, chunksize=chunksize))
+
+    # Partition into batchable groups (keyed by everything but randomness)
+    # and leftover singles, remembering every scenario's input position.
+    groups: dict[str, list[int]] = {}
+    tasks: list[_Task] = []
+    task_indices: list[list[int]] = []
+    for index, (scenario, resolved) in enumerate(payloads):
+        entry = REGISTRY.get(scenario.algorithm)
+        if resolved == "fast" and entry.supports_batch(scenario):
+            groups.setdefault(_batch_group_key(scenario), []).append(index)
+        else:
+            tasks.append(("single", scenario, resolved))
+            task_indices.append([index])
+    for indices in groups.values():
+        for start in range(0, len(indices), batch_chunk):
+            chunk_indices = indices[start : start + batch_chunk]
+            tasks.append(("batch", [batch[i] for i in chunk_indices]))
+            task_indices.append(chunk_indices)
+
+    if workers == 1 or len(tasks) <= 1:
+        task_reports = [_run_task(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            task_reports = list(pool.map(_run_task, tasks))
+
+    reports: list[RunReport | None] = [None] * len(batch)
+    for indices, chunk_reports in zip(task_indices, task_reports):
+        for index, report in zip(indices, chunk_reports):
+            reports[index] = report
+    return reports  # type: ignore[return-value]
 
 
 def aggregate(reports: Iterable[RunReport]) -> TrialStats:
@@ -176,13 +244,18 @@ def run_stats(
     n_trials: int,
     workers: int = 1,
     backend: str = "auto",
+    batch_chunk: int | None = None,
 ) -> TrialStats:
     """Run ``n_trials`` independent trials of a scenario and aggregate.
 
     The drop-in Scenario-API replacement for
     :func:`repro.sim.run.run_trials`: trial ``t`` uses
-    ``RandomSource(scenario.seed).trial(t)``, exactly as before.
+    ``RandomSource(scenario.seed).trial(t)``, exactly as before.  Trial
+    batches are the canonical homogeneous workload, so this rides the
+    trial-parallel fast engine whenever the algorithm has a batch kernel.
     """
     if n_trials < 1:
         raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
-    return aggregate(run_batch(scenario.trials(n_trials), workers, backend))
+    return aggregate(
+        run_batch(scenario.trials(n_trials), workers, backend, batch_chunk)
+    )

@@ -6,9 +6,24 @@ same round semantics (including the Algorithm 1 matcher, shared via
 :func:`repro.model.recruitment.match_arrays`), making sweeps at
 ``n = 2^12 .. 2^16`` practical.  Tests assert statistical equivalence of the
 two engines' convergence-round distributions on common configurations.
+
+Two layers coexist:
+
+- the single-trial kernels (``simulate_simple`` / ``simulate_optimal`` /
+  ``simulate_spread``), which use the sequential-scan v1 matcher, and
+- the trial-parallel batch kernels (:mod:`repro.fast.batch`), which run
+  whole sweeps as ``(trials, ants)`` arrays under the data-independent v2
+  matcher schedule (:mod:`repro.fast.batch_matcher`) and back
+  :func:`repro.api.run_batch`'s homogeneous-sweep dispatch.
 """
 
 from repro.fast.results import FastRunResult
+from repro.fast.batch import (
+    simulate_optimal_batch,
+    simulate_quorum_batch,
+    simulate_simple_batch,
+    simulate_spread_batch,
+)
 from repro.fast.optimal_fast import simulate_optimal
 from repro.fast.simple_fast import simulate_simple
 from repro.fast.spread_fast import SpreadResult, simulate_spread
@@ -17,6 +32,10 @@ __all__ = [
     "FastRunResult",
     "SpreadResult",
     "simulate_optimal",
+    "simulate_optimal_batch",
+    "simulate_quorum_batch",
     "simulate_simple",
+    "simulate_simple_batch",
     "simulate_spread",
+    "simulate_spread_batch",
 ]

@@ -1,0 +1,656 @@
+"""Trial-parallel fast engines: whole sweeps as ``(trials, ants)`` arrays.
+
+Each ``simulate_*_batch`` kernel runs ``B`` independent trials of one
+workload simultaneously.  Per-ant state lives in ``(B, n)`` arrays, one
+round of the round loop advances *every* live trial at once, and trials
+drop out of the per-round work as they converge (the live arrays are
+compacted), so a batch costs roughly one trial's worth of Python overhead
+plus vectorized array work proportional to the surviving trials.
+
+Randomness is strictly per-trial: trial ``b`` draws only from its own
+:class:`~repro.sim.rng.RandomSource` streams, in an order determined by its
+own trajectory.  Consequently **batching is invisible to the bits**: trial
+``t`` produces the same result alone (``B = 1``), in any chunk of any
+batch, and under any worker count — the invariant
+:func:`repro.api.run_batch` and its tests rely on.
+
+All kernels use the v2 matcher schedule (:mod:`repro.fast.batch_matcher`);
+round semantics otherwise mirror the single-trial kernels
+(:mod:`repro.fast.simple_fast`, :mod:`repro.fast.optimal_fast`,
+:mod:`repro.fast.spread_fast`) and, for the two baselines with no prior
+fast path, the agent implementations (:class:`repro.baselines.quorum.
+QuorumAnt`, :class:`repro.baselines.uniform.UniformRecruitAnt`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.lower_bound import IgnorantPolicy
+from repro.exceptions import ConfigurationError
+from repro.fast.batch_matcher import match_pairs_batch, match_positions_batch
+from repro.fast.results import FastRunResult
+from repro.fast.spread_fast import SpreadResult
+from repro.model.nests import NestConfig
+from repro.sim.noise import CountNoise
+from repro.sim.rng import RandomSource
+
+RateMultiplier = Callable[[int], float]
+
+
+def _check_batch(n: int, sources: Sequence[RandomSource]) -> None:
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not sources:
+        raise ConfigurationError("batch kernels need at least one RandomSource")
+
+
+def _row_bincount(values: np.ndarray, k: int) -> np.ndarray:
+    """Per-row ``bincount(minlength=k+1)`` of an ``(L, n)`` nest-id array."""
+    n_rows = values.shape[0]
+    offsets = np.arange(n_rows, dtype=np.int64)[:, None] * (k + 1)
+    flat = np.bincount((values + offsets).ravel(), minlength=n_rows * (k + 1))
+    return flat.reshape(n_rows, k + 1)
+
+
+def _row_offsets(n_rows: int, k: int) -> np.ndarray:
+    """Column vector of per-row bin offsets for flat count lookups."""
+    return np.arange(n_rows, dtype=np.int64)[:, None] * (k + 1)
+
+
+def _assess(values: np.ndarray, k: int, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row nest populations and each ant's own-nest count, in one pass.
+
+    Returns ``(counts, count, flat_ids)``: the ``(L, k+1)`` population
+    matrix, the ``(L, n)`` gather of each ant's nest population, and the
+    flat bin index of each ant (``values + offsets``) for incremental
+    maintenance.
+    """
+    n_rows = values.shape[0]
+    flat_ids = values + offsets
+    flat = np.bincount(flat_ids.ravel(), minlength=n_rows * (k + 1))
+    return flat.reshape(n_rows, k + 1), flat[flat_ids], flat_ids
+
+
+def _gather_counts(
+    counts: np.ndarray, values: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """Per-ant lookup ``counts[row, values[row, ant]]`` via flat indexing."""
+    return counts.ravel()[values + offsets]
+
+
+def _fill_rows(
+    buffer: np.ndarray, rngs: Sequence[np.random.Generator]
+) -> np.ndarray:
+    """Per-trial uniform coins drawn straight into a reusable buffer."""
+    view = buffer[: len(rngs)]
+    for row, rng in enumerate(rngs):
+        rng.random(out=view[row])
+    return view
+
+
+def _compress(keep: np.ndarray, *arrays: np.ndarray) -> tuple[np.ndarray, ...]:
+    return tuple(a[keep] for a in arrays)
+
+
+def _filter_lists(keep: np.ndarray, *lists: list) -> tuple[list, ...]:
+    kept = np.flatnonzero(keep)
+    return tuple([lst[i] for i in kept] for lst in lists)
+
+
+class _NoisePerturber:
+    """Per-trial Gaussian count noise, mirroring ``simulate_simple``'s
+    ``perturb`` draw-for-draw on each trial's own noise stream."""
+
+    def __init__(self, noise: CountNoise | None, sources: Sequence[RandomSource], n: int):
+        self.active = noise is not None and not noise.is_null
+        self.noise = noise
+        self.n = n
+        self.rngs = [s.noise for s in sources] if self.active else []
+
+    def filter(self, keep: np.ndarray) -> None:
+        if self.active:
+            (self.rngs,) = _filter_lists(keep, self.rngs)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        if not self.active:
+            return values
+        noise, n = self.noise, self.n
+        noisy = values.astype(float)
+        for row, rng in enumerate(self.rngs):
+            row_vals = noisy[row]
+            if noise.relative_sigma > 0.0:
+                row_vals = row_vals * (1.0 + noise.relative_sigma * rng.standard_normal(n))
+            if noise.absolute_sigma > 0.0:
+                row_vals = row_vals + noise.absolute_sigma * rng.standard_normal(n)
+            noisy[row] = row_vals
+        return np.clip(np.rint(noisy), 0, n).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3 ("simple"), its rate-schedule variant, and the uniform ablation
+# ---------------------------------------------------------------------------
+
+
+def simulate_simple_batch(
+    n: int,
+    nests: NestConfig,
+    sources: Sequence[RandomSource],
+    max_rounds: int = 100_000,
+    rate_multiplier: RateMultiplier | None = None,
+    quality_weighted: bool = False,
+    noise: CountNoise | None = None,
+    recruit_probability: float | None = None,
+    record_history: bool = False,
+) -> list[FastRunResult]:
+    """Batched Algorithm 3 (plus the E9/E10 variants and the E8 ablation).
+
+    Round semantics per trial are those of
+    :func:`repro.fast.simple_fast.simulate_simple` under the v2 matcher
+    schedule; ``recruit_probability`` switches in the constant-rate
+    ``uniform`` baseline.  Returns one :class:`FastRunResult` per source,
+    in order.
+    """
+    _check_batch(n, sources)
+    n_trials = len(sources)
+    env_rngs = [s.environment for s in sources]
+    mat_rngs = [s.matcher for s in sources]
+    col_rngs = [s.colony for s in sources]
+    perturb = _NoisePerturber(noise, sources, n)
+
+    k = nests.k
+    qualities = np.concatenate([[0.0], nests.quality_array()])
+    good = qualities > nests.good_threshold
+    acceptable = qualities > 0.0 if quality_weighted else good
+
+    out: list[FastRunResult | None] = [None] * n_trials
+    histories: list[list[np.ndarray]] = [[] for _ in range(n_trials)]
+    live = np.arange(n_trials)
+    offsets = _row_offsets(n_trials, k)
+    coin_buffer = np.empty((n_trials, n), dtype=np.float64)
+
+    # Round 1: search.
+    nest = np.stack([rng.integers(1, k + 1, size=n) for rng in env_rngs])
+    counts, count, flat_ids = _assess(nest, k, offsets)
+    countsf = counts.ravel()
+    count = perturb(count)
+    active = acceptable[nest]
+    rounds = 1
+    if record_history:
+        for row, gid in enumerate(live):
+            histories[gid].append(counts[row].copy())
+
+    home_row = np.concatenate([[n], np.zeros(k, dtype=np.int64)])
+
+    def finalize(row: int, gid: int, converged_round: int | None) -> None:
+        chosen = int(nest[row, 0]) if np.all(nest[row] == nest[row, 0]) else None
+        out[gid] = FastRunResult(
+            converged=converged_round is not None,
+            converged_round=converged_round,
+            rounds_executed=rounds,
+            chosen_nest=chosen,
+            final_counts=counts[row].copy(),
+            population_history=(
+                np.vstack(histories[gid]) if record_history else None
+            ),
+        )
+
+    phase = 0
+    while live.size and rounds + 2 <= max_rounds:
+        phase += 1
+        # Recruitment round (everyone at home).
+        if recruit_probability is not None:
+            probability = np.full(nest.shape, float(recruit_probability))
+        else:
+            probability = count / n  # already in [0, 1]
+        if quality_weighted:
+            probability = probability * qualities[nest]
+        if rate_multiplier is not None:
+            probability = probability * rate_multiplier(phase)
+        if quality_weighted or rate_multiplier is not None:
+            np.clip(probability, 0.0, 1.0, out=probability)
+        coins = _fill_rows(coin_buffer, col_rngs)
+        wants = active & (coins < probability)
+        sel_src, sel_dst = match_pairs_batch(wants, mat_rngs)
+
+        # Only recruited slots can change state: they adopt the recruiter's
+        # nest (a no-op for same-nest pairs) and wake if actually moved.
+        nest_flat = nest.ravel()
+        new_nests = nest_flat.take(sel_src)
+        old_nests = nest_flat.take(sel_dst)
+        changed = np.flatnonzero(new_nests != old_nests)
+        moved = sel_dst.take(changed)
+        moved_new = new_nests.take(changed)
+        moved_old = old_nests.take(changed)
+        nest_flat[sel_dst] = new_nests
+        active.ravel()[moved] = True
+        # Population counts change only at the moved ants' old/new bins.
+        flat_ids_flat = flat_ids.ravel()
+        old_bins = flat_ids_flat.take(moved)
+        new_bins = old_bins - moved_old + moved_new
+        np.subtract.at(countsf, old_bins, 1)
+        np.add.at(countsf, new_bins, 1)
+        flat_ids_flat[moved] = new_bins
+        rounds += 1
+        if record_history:
+            for gid in live:
+                histories[gid].append(home_row)
+        # Unanimity on a good nest, read off the O(L*k) counts matrix:
+        # everyone sits in ant 0's nest iff that nest holds all n ants.
+        first = nest[:, 0]
+        converged = (countsf.take(flat_ids[:, 0]) == n) & good[first]
+
+        # Assessment round (everyone at its nest).
+        count = perturb(countsf.take(flat_ids))
+        rounds += 1
+        if record_history:
+            for row, gid in enumerate(live):
+                histories[gid].append(counts[row].copy())
+
+        if converged.any():
+            for row in np.flatnonzero(converged):
+                finalize(row, live[row], rounds - 1)
+            keep = ~converged
+            nest, count, active, counts, live = _compress(
+                keep, nest, count, active, counts, live
+            )
+            env_rngs, mat_rngs, col_rngs = _filter_lists(
+                keep, env_rngs, mat_rngs, col_rngs
+            )
+            perturb.filter(keep)
+            offsets = _row_offsets(len(live), k)
+            countsf = counts.ravel()
+            flat_ids = nest + offsets
+
+    for row, gid in enumerate(live):
+        finalize(row, gid, None)
+    return out  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 2 ("optimal")
+# ---------------------------------------------------------------------------
+
+_ACTIVE, _PASSIVE, _FINAL = 0, 1, 2
+
+
+def simulate_optimal_batch(
+    n: int,
+    nests: NestConfig,
+    sources: Sequence[RandomSource],
+    max_rounds: int = 100_000,
+    strict_pseudocode: bool = False,
+    record_history: bool = False,
+) -> list[FastRunResult]:
+    """Batched Algorithm 2, one four-round case block at a time.
+
+    Mask-based port of :func:`repro.fast.optimal_fast.simulate_optimal`
+    (see that module's sub-round table) under the v2 matcher schedule; the
+    three matchings per block run over each trial's own participant subset
+    via :func:`~repro.fast.batch_matcher.match_positions_batch`.
+    """
+    _check_batch(n, sources)
+    n_trials = len(sources)
+    env_rngs = [s.environment for s in sources]
+    mat_rngs = [s.matcher for s in sources]
+
+    k = nests.k
+    qualities = np.concatenate([[0.0], nests.quality_array()])
+    good = qualities > nests.good_threshold
+
+    out: list[FastRunResult | None] = [None] * n_trials
+    histories: list[list[np.ndarray]] = [[] for _ in range(n_trials)]
+    live = np.arange(n_trials)
+    offsets = _row_offsets(n_trials, k)
+
+    # Round 1: search.
+    nest = np.stack([rng.integers(1, k + 1, size=n) for rng in env_rngs])
+    _, count, _ = _assess(nest, k, offsets)
+    status = np.where(good[nest], _ACTIVE, _PASSIVE).astype(np.int8)
+    rounds = 1
+
+    def record(locations: np.ndarray) -> None:
+        if record_history:
+            rows = _row_bincount(locations, k)
+            for row, gid in enumerate(live):
+                histories[gid].append(rows[row])
+
+    record(nest)
+
+    def finalize(row: int, gid: int, converged_round: int | None) -> None:
+        final_counts = np.bincount(nest[row], minlength=k + 1)
+        chosen = int(nest[row, 0]) if np.all(nest[row] == nest[row, 0]) else None
+        out[gid] = FastRunResult(
+            converged=converged_round is not None,
+            converged_round=converged_round,
+            rounds_executed=rounds,
+            chosen_nest=chosen,
+            final_counts=final_counts,
+            population_history=(
+                np.vstack(histories[gid]) if record_history else None
+            ),
+        )
+
+    def unanimous_good(rows_mask: np.ndarray) -> np.ndarray:
+        first = nest[:, :1]
+        return (
+            rows_mask
+            & np.logical_and.reduce(nest == first, axis=1)
+            & good[first[:, 0]]
+        )
+
+    while live.size and rounds + 4 <= max_rounds:
+        active_m = status == _ACTIVE
+        passive_m = status == _PASSIVE
+        final_m = status == _FINAL
+        conv_round = np.full(len(live), -1, dtype=np.int64)
+
+        # ---- B1: actives + finals recruit(1, nest); passives go(nest).
+        parts1 = active_m | final_m
+        res1, _ = match_positions_batch(parts1, parts1, nest, mat_rngs)
+        nestt = np.where(active_m, res1, nest)
+        nest = np.where(final_m, res1, nest)
+        record(np.where(parts1, 0, nest))
+        rounds += 1
+
+        # ---- B2: actives go(nestt); passives + finals recruit at home.
+        record(np.where(active_m, nestt, 0))
+        rounds += 1
+        counts_b2 = _row_bincount(np.where(active_m, nestt, 0), k)
+        countt = _gather_counts(counts_b2, nestt, offsets)
+
+        parts2 = passive_m | final_m
+        res2, _ = match_positions_batch(parts2, final_m, nest, mat_rngs)
+        new_final = passive_m & (res2 != nest)  # line 15
+        nest = np.where(new_final | final_m, res2, nest)
+
+        # Classify the actives (lines 25-42) using pre-update counts.
+        case1 = active_m & (nestt == nest) & (countt >= count)
+        case2 = active_m & (nestt == nest) & (countt < count)
+        case3 = active_m & (nestt != nest)
+        count = np.where(case1, countt, count)  # line 27
+        nest = np.where(case3, nestt, nest)  # line 38
+
+        # Everyone settled check at B2 (the last passives may settle here).
+        no_actives = ~active_m.any(axis=1)
+        all_prospective = np.logical_and.reduce(final_m | new_final, axis=1)
+        settled_b2 = unanimous_good(no_actives & all_prospective)
+        conv_round[settled_b2] = rounds
+
+        # ---- B3: case1/case3/passives go(nest); case2 + finals at home.
+        at_nest = case1 | case3 | passive_m
+        locations = np.where(at_nest, nest, 0)
+        record(locations)
+        rounds += 1
+        counts_b3 = _row_bincount(locations, k)
+        countn = _gather_counts(counts_b3, nest, offsets)
+
+        parts3 = case2 | final_m
+        res3, _ = match_positions_batch(parts3, final_m, nest, mat_rngs)
+        # Case-2 ants discard the result (line 35); finals adopt (line 21).
+        nest = np.where(final_m, res3, nest)
+
+        case3_drop = case3 & (countn < countt)  # line 40
+        case3_stay = case3 & ~case3_drop
+        if not strict_pseudocode:
+            count = np.where(case3_stay, countn, count)  # DESIGN.md 3.2
+
+        # ---- B4: case1 + finals at home; everyone else at its nest.
+        record(np.where(case2 | case3 | passive_m, nest, 0))
+        rounds += 1
+        counth = case1.sum(axis=1) + final_m.sum(axis=1)
+
+        parts4 = case1 | final_m
+        res4, _ = match_positions_batch(parts4, final_m, nest, mat_rngs)
+        # Case-1 ants discard the returned nest (line 29); finals adopt.
+        nest = np.where(final_m, res4, nest)
+
+        settle = case1 & (count == counth[:, None])  # line 30
+
+        # Apply end-of-block status changes.
+        status[case2 | case3_drop] = _PASSIVE
+        status[new_final | settle] = _FINAL
+
+        all_final = np.logical_and.reduce(status == _FINAL, axis=1)
+        settled_end = unanimous_good(all_final) & (conv_round < 0)
+        conv_round[settled_end] = rounds
+
+        converged = conv_round >= 0
+        if converged.any():
+            for row in np.flatnonzero(converged):
+                finalize(row, live[row], int(conv_round[row]))
+            keep = ~converged
+            nest, count, status, live = _compress(keep, nest, count, status, live)
+            env_rngs, mat_rngs = _filter_lists(keep, env_rngs, mat_rngs)
+            offsets = _row_offsets(len(live), k)
+
+    for row, gid in enumerate(live):
+        finalize(row, gid, None)
+    return out  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.2 information-spreading process
+# ---------------------------------------------------------------------------
+
+
+def simulate_spread_batch(
+    n: int,
+    k: int,
+    sources: Sequence[RandomSource],
+    policy: IgnorantPolicy = IgnorantPolicy.WAIT,
+    max_rounds: int = 100_000,
+) -> list[SpreadResult]:
+    """Batched lower-bound spread process (v2 schedule).
+
+    Port of :func:`repro.fast.spread_fast.simulate_spread`: informed ants
+    push the good nest ``w = 1`` through Algorithm 1 every round; ignorant
+    ants follow ``policy``.
+    """
+    _check_batch(n, sources)
+    if k < 2:
+        raise ConfigurationError("the lower-bound setting requires k >= 2")
+    n_trials = len(sources)
+    env_rngs = [s.environment for s in sources]
+    mat_rngs = [s.matcher for s in sources]
+    col_rngs = [s.colony for s in sources]
+
+    out: list[SpreadResult | None] = [None] * n_trials
+    histories: list[list[int]] = [[] for _ in range(n_trials)]
+    live = np.arange(n_trials)
+
+    # Round 1: search; w.l.o.g. the good nest is nest 1.
+    informed = np.stack([rng.integers(1, k + 1, size=n) == 1 for rng in env_rngs])
+    rounds = 1
+    for row, gid in enumerate(live):
+        histories[gid].append(int(informed[row].sum()))
+
+    def finalize(row: int, gid: int, done_round: int | None) -> None:
+        out[gid] = SpreadResult(
+            all_informed=done_round is not None,
+            rounds_to_all_informed=done_round,
+            rounds_executed=rounds,
+            informed_history=np.asarray(histories[gid], dtype=np.int64),
+        )
+
+    done = np.logical_and.reduce(informed, axis=1)
+    if done.any():
+        for row in np.flatnonzero(done):
+            finalize(row, live[row], 1)
+        keep = ~done
+        informed, live = _compress(keep, informed, live)
+        env_rngs, mat_rngs, col_rngs = _filter_lists(
+            keep, env_rngs, mat_rngs, col_rngs
+        )
+
+    while live.size and rounds < max_rounds:
+        if policy is IgnorantPolicy.WAIT:
+            searching = np.zeros_like(informed)
+        elif policy is IgnorantPolicy.SEARCH:
+            searching = ~informed
+        else:  # MIXED: each ignorant ant flips a fair coin.
+            coins = np.stack([rng.random(n) for rng in col_rngs])
+            searching = (~informed) & (coins < 0.5)
+
+        # Searchers may stumble on w directly.
+        n_searching = np.count_nonzero(searching, axis=1)
+        if n_searching.any():
+            rows_s, ants_s = np.nonzero(searching)
+            found_parts = [
+                rng.integers(1, k + 1, size=int(c)) == 1
+                for rng, c in zip(env_rngs, n_searching)
+                if c
+            ]
+            found = np.concatenate(found_parts)
+            informed[rows_s[found], ants_s[found]] = True
+
+        # Everyone not searching is at home and participates in matching.
+        home = ~searching
+        attempting = informed & home
+        targets = np.where(informed, 1, 0)
+        results, recruited = match_positions_batch(
+            home, attempting, targets, mat_rngs
+        )
+        informed |= recruited & (results == 1)
+
+        rounds += 1
+        for row, gid in enumerate(live):
+            histories[gid].append(int(informed[row].sum()))
+        done = np.logical_and.reduce(informed, axis=1)
+        if done.any():
+            for row in np.flatnonzero(done):
+                finalize(row, live[row], rounds)
+            keep = ~done
+            informed, live = _compress(keep, informed, live)
+            env_rngs, mat_rngs, col_rngs = _filter_lists(
+                keep, env_rngs, mat_rngs, col_rngs
+            )
+
+    for row, gid in enumerate(live):
+        finalize(row, gid, None)
+    return out  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Quorum sensing (the biological baseline)
+# ---------------------------------------------------------------------------
+
+
+def simulate_quorum_batch(
+    n: int,
+    nests: NestConfig,
+    sources: Sequence[RandomSource],
+    max_rounds: int = 100_000,
+    quorum_fraction: float = 0.35,
+    tandem_probability: float = 0.25,
+    record_history: bool = False,
+) -> list[FastRunResult]:
+    """Batched Pratt-style quorum sensing (first fast path for ``quorum``).
+
+    Vectorizes :class:`repro.baselines.quorum.QuorumAnt`: assessing ants
+    recruit slowly (``tandem_probability``) until a visit sees the quorum,
+    then transport (recruit every round); any ant led to a different nest
+    adopts it and restarts assessment.  A run converges at unanimity on
+    *any* nest — the agent engine's ``UnanimousCommitment`` criterion —
+    so ``converged`` here does not imply a good choice.
+    """
+    _check_batch(n, sources)
+    if not 0.0 < quorum_fraction <= 1.0:
+        raise ConfigurationError("quorum_fraction must be in (0, 1]")
+    if not 0.0 < tandem_probability <= 1.0:
+        raise ConfigurationError("tandem_probability must be in (0, 1]")
+    n_trials = len(sources)
+    env_rngs = [s.environment for s in sources]
+    mat_rngs = [s.matcher for s in sources]
+    col_rngs = [s.colony for s in sources]
+
+    k = nests.k
+    qualities = np.concatenate([[0.0], nests.quality_array()])
+    quorum = max(2.0, quorum_fraction * n)
+
+    out: list[FastRunResult | None] = [None] * n_trials
+    histories: list[list[np.ndarray]] = [[] for _ in range(n_trials)]
+    live = np.arange(n_trials)
+    offsets = _row_offsets(n_trials, k)
+    coin_buffer = np.empty((n_trials, n), dtype=np.float64)
+
+    # Round 1: search.
+    nest = np.stack([rng.integers(1, k + 1, size=n) for rng in env_rngs])
+    counts, count, _ = _assess(nest, k, offsets)
+    assessing = qualities[nest] > nests.good_threshold
+    committed = assessing & (count >= quorum)
+    rounds = 1
+    if record_history:
+        for row, gid in enumerate(live):
+            histories[gid].append(counts[row].copy())
+
+    home_row = np.concatenate([[n], np.zeros(k, dtype=np.int64)])
+
+    def finalize(row: int, gid: int, converged_round: int | None) -> None:
+        chosen = int(nest[row, 0]) if np.all(nest[row] == nest[row, 0]) else None
+        out[gid] = FastRunResult(
+            converged=converged_round is not None,
+            converged_round=converged_round,
+            rounds_executed=rounds,
+            chosen_nest=chosen,
+            final_counts=counts[row].copy(),
+            population_history=(
+                np.vstack(histories[gid]) if record_history else None
+            ),
+        )
+
+    def compress_state(keep: np.ndarray):
+        nonlocal nest, count, counts, assessing, committed, live, offsets
+        nonlocal env_rngs, mat_rngs, col_rngs
+        nest, count, counts, assessing, committed, live = _compress(
+            keep, nest, count, counts, assessing, committed, live
+        )
+        env_rngs, mat_rngs, col_rngs = _filter_lists(
+            keep, env_rngs, mat_rngs, col_rngs
+        )
+        offsets = _row_offsets(len(live), k)
+
+    # Unanimity can in principle hold right after the search round.
+    unanimous = np.logical_and.reduce(nest == nest[:, :1], axis=1)
+    if unanimous.any():
+        for row in np.flatnonzero(unanimous):
+            finalize(row, live[row], 1)
+        compress_state(~unanimous)
+
+    while live.size and rounds + 2 <= max_rounds:
+        # Recruitment round: transporters always, assessors at tandem rate.
+        coins = _fill_rows(coin_buffer, col_rngs)
+        wants = committed | (assessing & ~committed & (coins < tandem_probability))
+        sel_src, sel_dst = match_pairs_batch(wants, mat_rngs)
+
+        # Ants led to a *different* nest adopt it and restart assessment.
+        nest_flat = nest.ravel()
+        new_nests = nest_flat[sel_src]
+        pulled = sel_dst[new_nests != nest_flat[sel_dst]]
+        nest_flat[sel_dst] = new_nests
+        assessing.ravel()[pulled] = True
+        committed.ravel()[pulled] = False
+        rounds += 1
+        if record_history:
+            for gid in live:
+                histories[gid].append(home_row)
+        unanimous = np.logical_and.reduce(nest == nest[:, :1], axis=1)
+
+        # Assessment round: everyone revisits its nest and checks quorum.
+        counts, count, _ = _assess(nest, k, offsets)
+        committed |= assessing & (count >= quorum)
+        rounds += 1
+        if record_history:
+            for row, gid in enumerate(live):
+                histories[gid].append(counts[row].copy())
+
+        if unanimous.any():
+            for row in np.flatnonzero(unanimous):
+                finalize(row, live[row], rounds - 1)
+            compress_state(~unanimous)
+
+    for row, gid in enumerate(live):
+        finalize(row, gid, None)
+    return out  # type: ignore[return-value]

@@ -1,0 +1,276 @@
+"""Trial-parallel Algorithm 1 — the "v2" matcher.
+
+The reference matcher (:func:`repro.model.recruitment.match_arrays`, "v1")
+scans a uniform random permutation of the participant slots and lets each
+still-unrecruited active slot draw a uniform choice *at its attempt*.  That
+scan is a Python loop over up to ``m`` slots per recruitment round — the
+interpreter-bound hot path of every fast-engine run.
+
+The v2 schedule removes both data dependencies (docs/PERFORMANCE.md §3
+gives the full argument and its precise scope):
+
+1. **Fixed scan order.**  Slots are scanned in slot order instead of a
+   fresh uniform permutation.  For a single round over an exchangeable
+   state-to-slot assignment this has exactly the permutation-averaged
+   outcome law (time-0 relabeling argument); across rounds it is
+   equivalent to freezing one permutation rather than redrawing, which
+   introduces O(1/n)-scale rank-persistence effects — the v1/v2
+   equivalence relied on is *statistical*, pinned by the test suite, with
+   ``matcher="v1"`` keeping the literal schedule available.
+2. **Pre-drawn choices.**  Every slot that *wants* to recruit (the
+   ``recruit(1, ·)`` callers) is assigned one uniform choice up front, in
+   slot order, instead of drawing lazily per attempt.  Attempting slots
+   receive i.i.d. uniforms either way — this half is exactly
+   distribution-preserving.
+
+Under that schedule the scan is exactly a **greedy maximal matching**: in
+slot order, the attempt ``s -> choice(s)`` forms a pair iff neither
+endpoint is already in a pair (a recruiter cannot be recruited, a recruited
+slot cannot recruit or be recruited again; a failed recruiter stays
+recruitable).  Greedy matchings in a fixed priority order are computed
+exactly by parallel rounds of *local-minimum edge selection* — an edge is
+selected when it beats every other remaining edge at both endpoints — which
+needs only a handful of array passes (empirically 2–6 rounds, shrinking
+geometrically), and batches perfectly across independent trials by giving
+each trial a disjoint key range.
+
+Every function here consumes per-trial generators, so trial ``t`` sees the
+same draws whether it runs alone or inside any batch — the bit-identity
+contract :mod:`repro.api.runner` relies on.  The sequential specification
+these resolvers are tested bit-identical against is
+:func:`repro.model.recruitment.match_arrays_v2`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Q-value marking a slot key as consumed (paired); below every live stamp.
+_COVERED = 0
+#: Key spaces up to this size run the resolver in int32 (≥256 stamp rounds
+#: of headroom); larger batches fall back to int64.
+_INT32_KEY_LIMIT = 1 << 22
+
+
+def resolve_greedy_matching(
+    src_key: np.ndarray, dst_key: np.ndarray, n_keys: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy maximal matching over a batch of attempt edges.
+
+    Parameters
+    ----------
+    src_key, dst_key:
+        Flat endpoint keys of each attempt.  ``src_key`` must be strictly
+        increasing — it doubles as the scan priority — and trials must
+        occupy disjoint key ranges so their matchings cannot interact.
+    n_keys:
+        Size of the key space (``n_trials * slots_per_trial``).
+
+    Returns
+    -------
+    (sel_src, sel_dst):
+        Endpoint keys of the selected pairs, in no particular order.  A
+        self-pair appears as ``sel_src[i] == sel_dst[i]``.
+
+    Notes
+    -----
+    One parallel round selects every remaining edge that is the minimum-
+    priority remaining edge at *both* endpoints (a vertex's incident edges
+    are its own outgoing attempt plus every attempt choosing it); selected
+    pairs consume their endpoints and incident edges drop out.  Iterated to
+    a fixpoint this reproduces the sequential scan exactly — the classical
+    greedy-matching/local-minima equivalence.  Per-round stamp bases
+    *decrease*, so entries written in earlier rounds read as larger than
+    any live stamp, i.e. as "no incident edge" — the scratch array never
+    needs a reset — while consumed keys hold ``_COVERED``, below every
+    stamp, and block their edges forever.
+    """
+    if len(src_key) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if n_keys <= _INT32_KEY_LIMIT:
+        dtype, base0 = np.int32, np.int32(1) << 30
+    else:
+        dtype, base0 = np.int64, np.int64(1) << 62
+    stride = dtype(n_keys + 1)
+    capacity = int((base0 - 2) // stride)  # stamp rounds before a refresh
+    q = np.full(n_keys, base0 + stride, dtype=dtype)
+    e_src = np.asarray(src_key, dtype)
+    e_dst = np.asarray(dst_key, dtype)
+    sel_src_parts: list[np.ndarray] = []
+    sel_dst_parts: list[np.ndarray] = []
+    round_index = 0
+    while len(e_src):
+        round_index += 1
+        if round_index > capacity:  # pragma: no cover - astronomically rare
+            q = np.where(q == _COVERED, dtype(_COVERED), base0 + stride)
+            round_index = 1
+        ce = (base0 - dtype(round_index) * stride) + e_src
+        np.minimum.at(q, e_src, ce)
+        np.minimum.at(q, e_dst, ce)
+        # Selected: min at both endpoints (a consumed endpoint reads
+        # _COVERED and can never win).  flatnonzero + take beats boolean
+        # mask indexing by ~4x at these sizes.
+        sel = (q.take(e_src) >= ce) & (q.take(e_dst) >= ce)
+        idx_sel = np.flatnonzero(sel)
+        ssrc = e_src.take(idx_sel)
+        sdst = e_dst.take(idx_sel)
+        sel_src_parts.append(ssrc)
+        sel_dst_parts.append(sdst)
+        q[ssrc] = _COVERED
+        q[sdst] = _COVERED
+        # Survivors: unselected edges with both endpoints still free after
+        # this round's selections (re-read q so freshly consumed endpoints
+        # kill their edges immediately).
+        idx_rest = np.flatnonzero(~sel)
+        e_src = e_src.take(idx_rest)
+        e_dst = e_dst.take(idx_rest)
+        alive = (q.take(e_src) > _COVERED) & (q.take(e_dst) > _COVERED)
+        idx_alive = np.flatnonzero(alive)
+        e_src = e_src.take(idx_alive)
+        e_dst = e_dst.take(idx_alive)
+    # Keys come back in the resolver's working dtype (int32 for all but
+    # enormous batches); callers only ever use them as indices.
+    return np.concatenate(sel_src_parts), np.concatenate(sel_dst_parts)
+
+
+def draw_choices_per_trial(
+    rngs: Sequence[np.random.Generator],
+    n_attempts: np.ndarray,
+    m_participants: np.ndarray | int,
+) -> np.ndarray:
+    """The v2 draw schedule: one uniform choice per wanting slot, per trial.
+
+    Trial ``b`` draws ``rngs[b].integers(0, m_b, size=a_b)`` — a single
+    generator call whose shape depends only on that trial's own state, so
+    the stream is identical at any batch size.  Trials with no attempts
+    skip the call entirely.
+    """
+    m_arr = np.broadcast_to(np.asarray(m_participants), (len(rngs),))
+    parts = [
+        rng.integers(0, int(m), size=int(a))
+        for rng, a, m in zip(rngs, n_attempts, m_arr)
+        if a
+    ]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+def match_pairs_batch(
+    wants: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Leanest batched Algorithm 1 when *every* slot participates.
+
+    The engine-facing variant: returns just the matching as flat
+    ``(recruiter_key, recruitee_key)`` arrays, so round loops can
+    scatter-update exactly the recruited slots instead of rebuilding whole
+    state arrays — by far the cheapest way to consume a matching in which
+    most pairs change nothing.
+
+    Parameters
+    ----------
+    wants:
+        ``(B, n)`` bool; slot called ``recruit(1, ·)`` this round.
+    rngs:
+        One matcher generator per trial row.
+    """
+    n_trials, n = wants.shape
+    src_key = np.flatnonzero(wants.ravel())
+    # src_key is sorted, so per-trial attempt counts come from a handful of
+    # binary searches instead of another pass over the mask.
+    boundaries = np.searchsorted(src_key, np.arange(n_trials + 1) * n)
+    n_attempts = np.diff(boundaries)
+    choices = draw_choices_per_trial(rngs, n_attempts, n)
+    dst_key = src_key - (src_key % n) + choices
+    return resolve_greedy_matching(src_key, dst_key, n_trials * n)
+
+
+def match_slots_batch(
+    wants: np.ndarray,
+    targets: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full-detail batched Algorithm 1 over complete slot spaces.
+
+    Returns the per-slot triple of
+    :func:`repro.model.recruitment.match_arrays` — ``results``,
+    ``recruiter_of`` and ``is_recruiter`` — batched to shape ``(B, n)``.
+    The equivalence tests run this against the sequential v2 reference.
+    """
+    n_trials, n = wants.shape
+    sel_src, sel_dst = match_pairs_batch(wants, rngs)
+
+    recruiter_of = np.full((n_trials, n), -1, dtype=np.int64)
+    recruiter_of.ravel()[sel_dst] = sel_src % n
+    is_recruiter = np.zeros((n_trials, n), dtype=bool)
+    is_recruiter.ravel()[sel_src] = True
+    results = np.array(targets, dtype=np.int64, copy=True)
+    flat = results.ravel()
+    flat[sel_dst] = flat[sel_src]
+    return results, recruiter_of, is_recruiter
+
+
+def match_positions_batch(
+    participants: np.ndarray,
+    attempting: np.ndarray,
+    targets: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Algorithm 1 over per-trial participant *subsets*.
+
+    Participant slots are each trial's participating ants in ant-id order
+    (the v2 slot convention for subset rounds); choices are uniform over
+    ``0..m_b-1`` exactly as the model prescribes.
+
+    Parameters
+    ----------
+    participants:
+        ``(B, n)`` bool; ants at the home nest this round.
+    attempting:
+        ``(B, n)`` bool; subset of ``participants`` that called
+        ``recruit(1, ·)``.
+    targets:
+        ``(B, n)`` int; per-ant advertised nest (read only where
+        ``participants``).
+    rngs:
+        One matcher generator per trial row.
+
+    Returns
+    -------
+    results, recruited:
+        ``(B, n)``: the nest returned to each participating ant (its own
+        target elsewhere), and the recruited mask.
+    """
+    n_trials, n = participants.shape
+    rows_p, ants_p = np.nonzero(participants)
+    m_per = np.count_nonzero(participants, axis=1)
+    starts = np.concatenate([[0], np.cumsum(m_per)])
+    pos = np.arange(len(rows_p), dtype=np.int64) - starts[rows_p]
+    part_key = rows_p * n + pos
+
+    att_flags = attempting.ravel()[rows_p * n + ants_p]
+    att_rows = rows_p[att_flags]
+    n_attempts = np.bincount(att_rows, minlength=n_trials)
+    choices = draw_choices_per_trial(rngs, n_attempts, m_per)
+    src_key = part_key[att_flags]
+    dst_key = att_rows * n + choices
+    sel_src, sel_dst = resolve_greedy_matching(src_key, dst_key, n_trials * n)
+
+    # Map selected position keys back to ant coordinates.
+    ant_of = np.empty(n_trials * n, dtype=np.int64)
+    ant_of[part_key] = ants_p
+    rows_sel = sel_src // n
+    src_ant = ant_of[sel_src]
+    dst_ant = ant_of[sel_dst]
+
+    results = np.array(targets, dtype=np.int64, copy=True)
+    results[rows_sel, dst_ant] = results[rows_sel, src_ant]
+    recruited = np.zeros((n_trials, n), dtype=bool)
+    recruited[rows_sel, dst_ant] = True
+    return results, recruited

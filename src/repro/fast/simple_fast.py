@@ -45,6 +45,7 @@ def simulate_simple(
     quality_weighted: bool = False,
     noise: CountNoise | None = None,
     record_history: bool = False,
+    recruit_probability: float | None = None,
 ) -> FastRunResult:
     """Run Algorithm 3 to convergence (or ``max_rounds``) and summarize.
 
@@ -56,6 +57,9 @@ def simulate_simple(
         Optional schedule ``m(phase)``; the recruit probability becomes
         ``min(1, count/n · m(phase))`` where ``phase = 1, 2, ...`` counts
         recruitment rounds.  Implements the adaptive extension (E9).
+    recruit_probability:
+        When set, replace the ``count/n`` feedback with this constant —
+        the ``uniform`` ablation baseline (E8) on the fast engine.
     quality_weighted:
         Scale the recruit probability by the nest's quality (non-binary
         extension, E10); ants accept any nest with quality > 0 as their
@@ -112,7 +116,10 @@ def simulate_simple(
     while rounds_executed + 2 <= max_rounds and converged_round is None:
         phase += 1
         # Recruitment round (everyone at home).
-        probability = count / n
+        if recruit_probability is not None:
+            probability = np.full(n, float(recruit_probability))
+        else:
+            probability = count / n
         if quality_weighted:
             probability = probability * qualities[nest]
         if rate_multiplier is not None:

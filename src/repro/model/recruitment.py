@@ -21,6 +21,19 @@ and is invoked by the engine once per round.
 The core routine :func:`match_arrays` is array-based so the vectorized fast
 engine (:mod:`repro.fast`) can share it; :func:`run_recruitment` is the
 object-level wrapper used by the agent-based engine.
+
+Two draw schedules implement the same pairing law:
+
+- **v1** (:func:`match_arrays`): the literal transcription — scan a fresh
+  uniform permutation, each attempt drawing its choice lazily.  Used by the
+  agent engine and available to the fast engine as ``matcher="v1"``.
+- **v2** (:func:`match_arrays_v2`): fixed slot-order scan with one choice
+  pre-drawn per *wanting* slot.  Statistically equivalent to v1 (exactly
+  so per round over exchangeable states; see docs/PERFORMANCE.md §3 for
+  the precise scope) and data-independent, which is what lets
+  :mod:`repro.fast.batch_matcher` resolve whole trial batches with array
+  operations.  ``match_arrays_v2`` is the sequential *specification*; the
+  batched resolver is tested bit-identical against it.
 """
 
 from __future__ import annotations
@@ -122,6 +135,45 @@ def match_arrays(
             continue
         chosen = int(choices[cursor])
         cursor += 1
+        if not is_recruiter[chosen] and recruiter_of[chosen] == -1:
+            is_recruiter[slot] = True
+            recruiter_of[chosen] = slot
+
+    recruited_mask = recruiter_of != -1
+    results[recruited_mask] = targets[recruiter_of[recruited_mask]]
+    return results, recruiter_of, is_recruiter
+
+
+def match_arrays_v2(
+    wants: np.ndarray,
+    targets: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Algorithm 1 under the v2 draw schedule (sequential reference).
+
+    Scans slots in slot order; every wanting slot gets one pre-drawn
+    uniform choice (a single ``rng.integers(0, m, size=n_wanting)`` call,
+    skipped entirely when nothing wants to recruit).  Same return triple as
+    :func:`match_arrays`.  This loop is the executable specification of the
+    batched resolver in :mod:`repro.fast.batch_matcher`, which must agree
+    with it bit-for-bit for every trial in any batch.
+    """
+    m = len(wants)
+    if len(targets) != m:
+        raise ValueError("wants and targets must have the same length")
+    recruiter_of = np.full(m, -1, dtype=np.int64)
+    is_recruiter = np.zeros(m, dtype=bool)
+    results = targets.astype(np.int64, copy=True)
+    n_wanting = int(np.count_nonzero(wants))
+    if m == 0 or n_wanting == 0:
+        return results, recruiter_of, is_recruiter
+
+    choice_of = np.empty(m, dtype=np.int64)
+    choice_of[np.flatnonzero(wants)] = rng.integers(0, m, size=n_wanting)
+    for slot in range(m):
+        if not wants[slot] or recruiter_of[slot] != -1:
+            continue
+        chosen = int(choice_of[slot])
         if not is_recruiter[chosen] and recruiter_of[chosen] == -1:
             is_recruiter[slot] = True
             recruiter_of[chosen] = slot

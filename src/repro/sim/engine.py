@@ -55,23 +55,41 @@ from repro.types import HOME_NEST, NestId
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """Everything that happened in one round, for hooks and analysis."""
+    """Everything that happened in one round, for hooks and analysis.
+
+    ``n_searching``/``n_recruiting`` are plain fields computed once when
+    the engine builds the record (it is already walking the action list);
+    per-round hooks like :class:`~repro.sim.metrics.MetricsRecorder` used
+    to pay a fresh ``isinstance`` scan over all ``n`` actions on every
+    access.  Records built without them (tests, ad-hoc tooling) fall back
+    to deriving the counts from ``actions`` at construction.
+    """
 
     round: int
     actions: tuple[Action, ...]
     match: MatchOutcome
     snapshot: EnvironmentSnapshot
     status: SolutionStatus
+    n_searching: int | None = None
+    n_recruiting: int | None = None
 
-    @property
-    def n_searching(self) -> int:
-        """Number of ants that called ``search()`` this round."""
-        return sum(1 for a in self.actions if isinstance(a, Search))
-
-    @property
-    def n_recruiting(self) -> int:
-        """Number of ants that called ``recruit(1, ·)`` this round."""
-        return sum(1 for a in self.actions if isinstance(a, Recruit) and a.active)
+    def __post_init__(self) -> None:
+        if self.n_searching is None:
+            object.__setattr__(
+                self,
+                "n_searching",
+                sum(1 for a in self.actions if isinstance(a, Search)),
+            )
+        if self.n_recruiting is None:
+            object.__setattr__(
+                self,
+                "n_recruiting",
+                sum(
+                    1
+                    for a in self.actions
+                    if isinstance(a, Recruit) and a.active
+                ),
+            )
 
     @property
     def n_at_home(self) -> int:
@@ -182,17 +200,22 @@ class Simulation:
 
         destinations = np.empty(env.n, dtype=np.int64)
         requests: list[RecruitRequest] = []
+        n_searching = 0
+        n_recruiting = 0
         for ant_id, action in enumerate(actions):
             if isinstance(action, Search):
                 destinations[ant_id] = env.sample_search_destination(
                     self._rng.environment
                 )
+                n_searching += 1
             elif isinstance(action, Go):
                 env.check_go(ant_id, action.nest)
                 destinations[ant_id] = action.nest
             elif isinstance(action, Recruit):
                 env.check_recruit(ant_id, action.nest)
                 destinations[ant_id] = HOME_NEST
+                if action.active:
+                    n_recruiting += 1
                 requests.append(
                     RecruitRequest(ant=ant_id, active=action.active, target=action.nest)
                 )
@@ -220,6 +243,8 @@ class Simulation:
             match=match,
             snapshot=snapshot,
             status=status,
+            n_searching=n_searching,
+            n_recruiting=n_recruiting,
         )
         if self.keep_history:
             self._history.append(record)

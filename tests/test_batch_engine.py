@@ -1,0 +1,323 @@
+"""The trial-parallel batch engine and its run_batch dispatch.
+
+The load-bearing guarantees, each pinned here:
+
+- **Bitwise reproducibility**: ``run_batch`` returns identical reports for
+  any ``batch_chunk`` and any ``workers`` value, and each batched trial is
+  identical to running that trial alone through the v2 fast kernel —
+  batching is an execution detail, never a semantics change.
+- **Dispatch**: homogeneous fast-path sweeps go to the batch kernel;
+  heterogeneous scenarios, v1-matcher requests, and agent-only features
+  fall back per scenario, all folding into the same report list.
+- **Statistical equivalence**: the v1 (sequential permutation scan) and v2
+  (batched) matcher schedules produce convergence-round distributions and
+  success rates that agree within tolerance for ``simple``, ``optimal``,
+  and ``spread``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import REGISTRY, Scenario, run, run_batch, run_stats
+from repro.exceptions import ConfigurationError
+from repro.model.nests import NestConfig
+
+
+def _reports_equal(a, b) -> bool:
+    if (
+        a.converged != b.converged
+        or a.converged_round != b.converged_round
+        or a.rounds_executed != b.rounds_executed
+        or a.chosen_nest != b.chosen_nest
+        or a.extras.get("matcher") != b.extras.get("matcher")
+    ):
+        return False
+    if (a.final_counts is None) != (b.final_counts is None):
+        return False
+    if a.final_counts is not None and not np.array_equal(
+        a.final_counts, b.final_counts
+    ):
+        return False
+    return True
+
+
+BATCHED_ALGORITHMS = [
+    ("simple", NestConfig.all_good(4)),
+    ("optimal", NestConfig.all_good(3)),
+    ("spread", NestConfig.single_good(4, good_nest=1)),
+    ("quorum", NestConfig.binary(4, {1, 3})),
+    ("uniform", NestConfig.binary(4, {1, 3})),
+    ("adaptive", NestConfig.all_good(4)),
+]
+
+
+class TestBitwiseReproducibility:
+    @pytest.mark.parametrize("algorithm,nests", BATCHED_ALGORITHMS)
+    def test_batched_equals_single_trial_v2(self, algorithm, nests):
+        scenario = Scenario(
+            algorithm=algorithm, n=40, nests=nests, seed=9, max_rounds=6000
+        )
+        batched = run_batch(scenario.trials(6), workers=1)
+        singles = [run(scenario.trial(t), backend="fast") for t in range(6)]
+        for got, expect in zip(batched, singles):
+            assert _reports_equal(got, expect), algorithm
+
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 5, 64])
+    def test_chunk_size_never_changes_results(self, chunk):
+        scenario = Scenario(
+            algorithm="simple",
+            n=48,
+            nests=NestConfig.all_good(4),
+            seed=5,
+            max_rounds=6000,
+        )
+        reference = run_batch(scenario.trials(7), workers=1, batch_chunk=7)
+        chunked = run_batch(scenario.trials(7), workers=1, batch_chunk=chunk)
+        for got, expect in zip(chunked, reference):
+            assert _reports_equal(got, expect)
+
+    def test_workers_never_change_results(self):
+        scenario = Scenario(
+            algorithm="simple",
+            n=48,
+            nests=NestConfig.all_good(4),
+            seed=5,
+            max_rounds=6000,
+        )
+        serial = run_batch(scenario.trials(8), workers=1, batch_chunk=3)
+        parallel = run_batch(scenario.trials(8), workers=4, batch_chunk=3)
+        for got, expect in zip(parallel, serial):
+            assert _reports_equal(got, expect)
+
+    def test_mixed_seeds_and_trial_indices_group_together(self):
+        # A homogeneous group is "same everything but randomness": mixing
+        # base seeds and trial indices must still match the singles.
+        base = Scenario(
+            algorithm="simple", n=40, nests=NestConfig.all_good(4), max_rounds=6000
+        )
+        scenarios = [
+            base.replace(seed=1, trial_index=None),
+            base.replace(seed=2, trial_index=4),
+            base.replace(seed=1, trial_index=0),
+            base.replace(seed=3, trial_index=None),
+        ]
+        batched = run_batch(scenarios, workers=1)
+        singles = [run(s, backend="fast") for s in scenarios]
+        for got, expect in zip(batched, singles):
+            assert _reports_equal(got, expect)
+
+    def test_batched_history_matches_single(self):
+        scenario = Scenario(
+            algorithm="simple",
+            n=24,
+            nests=NestConfig.all_good(2),
+            seed=4,
+            max_rounds=2000,
+            record_history=True,
+        )
+        batched = run_batch(scenario.trials(3), workers=1)
+        singles = [run(scenario.trial(t), backend="fast") for t in range(3)]
+        for got, expect in zip(batched, singles):
+            assert got.population_history is not None
+            assert np.array_equal(got.population_history, expect.population_history)
+            assert got.population_history.shape[0] == got.rounds_executed
+
+
+class TestDispatch:
+    def test_registry_batch_kernels_present(self):
+        for name, _ in BATCHED_ALGORITHMS:
+            assert REGISTRY.get(name).has_batch, name
+        for name in ("rumor", "polya", "power_feedback"):
+            assert not REGISTRY.get(name).has_batch, name
+
+    def test_quorum_and_uniform_resolve_fast_on_auto(self):
+        # The E8 comparison workload no longer falls back to the slow engine.
+        from repro.api import resolve_backend
+
+        nests = NestConfig.all_good(4)
+        for name in ("quorum", "uniform"):
+            scenario = Scenario(algorithm=name, n=32, nests=nests)
+            assert resolve_backend(scenario) == "fast", name
+
+    def test_v1_matcher_scenarios_skip_the_batch_kernel(self):
+        scenario = Scenario(
+            algorithm="simple",
+            n=40,
+            nests=NestConfig.all_good(4),
+            seed=2,
+            max_rounds=6000,
+            params={"matcher": "v1"},
+        )
+        entry = REGISTRY.get("simple")
+        assert not entry.supports_batch(scenario)
+        batched = run_batch(scenario.trials(3), workers=1)
+        singles = [run(scenario.trial(t), backend="fast") for t in range(3)]
+        for got, expect in zip(batched, singles):
+            assert _reports_equal(got, expect)
+            assert got.extras["matcher"] == "v1"
+
+    def test_heterogeneous_batches_fold_into_one_ordered_list(self):
+        nests = NestConfig.all_good(4)
+        scenarios = [
+            Scenario(algorithm="simple", n=32, nests=nests, seed=1, trial_index=0),
+            Scenario(algorithm="rumor", n=64, nests=nests, seed=2),
+            Scenario(algorithm="simple", n=32, nests=nests, seed=1, trial_index=1),
+            Scenario(algorithm="optimal", n=24, nests=nests, seed=3, max_rounds=4000),
+            Scenario(algorithm="simple", n=48, nests=nests, seed=1, trial_index=0),
+        ]
+        reports = run_batch(scenarios, workers=1)
+        singles = [run(s) for s in scenarios]
+        assert [r.algorithm for r in reports] == [s.algorithm for s in scenarios]
+        assert [r.n for r in reports] == [s.n for s in scenarios]
+        for got, expect in zip(reports, singles):
+            assert got.converged_round == expect.converged_round
+
+    def test_invalid_matcher_rejected(self):
+        scenario = Scenario(
+            algorithm="simple",
+            n=16,
+            nests=NestConfig.all_good(2),
+            params={"matcher": "v3"},
+        )
+        with pytest.raises(ConfigurationError, match="matcher"):
+            run(scenario, backend="fast")
+
+    def test_invalid_batch_chunk_rejected(self):
+        scenario = Scenario(algorithm="simple", n=8, nests=NestConfig.all_good(2))
+        with pytest.raises(ConfigurationError):
+            run_batch([scenario], batch_chunk=0)
+
+    def test_quorum_fast_requires_v2(self):
+        scenario = Scenario(
+            algorithm="quorum",
+            n=32,
+            nests=NestConfig.all_good(4),
+            params={"matcher": "v1"},
+        )
+        from repro.api import resolve_backend
+
+        # auto falls back to the agent engine rather than raising...
+        assert resolve_backend(scenario) == "agent"
+        # ...while forcing the fast backend surfaces the limitation.
+        with pytest.raises(ConfigurationError):
+            run(scenario, backend="fast")
+
+    def test_run_stats_rides_the_batch_path(self):
+        scenario = Scenario(
+            algorithm="simple",
+            n=48,
+            nests=NestConfig.binary(4, {1, 3}),
+            seed=13,
+            max_rounds=6000,
+        )
+        stats = run_stats(scenario, n_trials=6, batch_chunk=2)
+        assert stats.n_trials == 6
+        assert stats.n_converged == 6
+
+
+class TestBaselineKernels:
+    """The new quorum/uniform fast kernels behave like their agent twins."""
+
+    def test_quorum_fast_agrees_with_agent_statistically(self):
+        nests = NestConfig.binary(4, {1, 3})
+        scenario = Scenario(
+            algorithm="quorum", n=64, nests=nests, seed=17, max_rounds=8000
+        )
+        fast = run_batch(scenario.trials(12), workers=1)
+        agent = [run(scenario.trial(t), backend="agent") for t in range(6)]
+        assert all(r.converged for r in fast)
+        assert all(r.converged for r in agent)
+        fast_median = float(np.median([r.converged_round for r in fast]))
+        agent_median = float(np.median([r.converged_round for r in agent]))
+        assert abs(fast_median - agent_median) <= 0.6 * max(
+            fast_median, agent_median
+        )
+
+    def test_uniform_fast_agrees_with_agent_statistically(self):
+        nests = NestConfig.all_good(4)
+        scenario = Scenario(
+            algorithm="uniform", n=48, nests=nests, seed=23, max_rounds=20_000
+        )
+        fast = run_batch(scenario.trials(10), workers=1)
+        agent = [run(scenario.trial(t), backend="agent") for t in range(5)]
+        fast_rounds = [r.converged_round for r in fast if r.converged]
+        agent_rounds = [r.converged_round for r in agent if r.converged]
+        assert fast_rounds and agent_rounds
+        fast_median = float(np.median(fast_rounds))
+        agent_median = float(np.median(agent_rounds))
+        # The feedback-free random walk is high-variance; demand the same
+        # order of magnitude, not a tight match.
+        assert fast_median < 8 * agent_median
+        assert agent_median < 8 * fast_median
+
+    def test_uniform_is_slower_than_simple(self):
+        """The ablation keeps its defining property on the fast engine."""
+        nests = NestConfig.all_good(4)
+        simple = run_stats(
+            Scenario(algorithm="simple", n=64, nests=nests, seed=3, max_rounds=30_000),
+            n_trials=8,
+        )
+        uniform = run_stats(
+            Scenario(algorithm="uniform", n=64, nests=nests, seed=3, max_rounds=30_000),
+            n_trials=8,
+        )
+        assert uniform.median_rounds > simple.median_rounds
+
+    def test_quorum_can_split_or_settle_on_any_nest(self):
+        """Quorum convergence is unanimity on *any* nest (good or bad)."""
+        nests = NestConfig.binary(4, {1, 3})
+        reports = run_batch(
+            Scenario(
+                algorithm="quorum", n=48, nests=nests, seed=31, max_rounds=8000
+            ).trials(10),
+            workers=1,
+        )
+        for report in reports:
+            if report.converged:
+                assert report.chosen_nest in (1, 2, 3, 4)
+                assert report.solved == (report.chosen_nest in (1, 3))
+
+
+class TestV1V2StatisticalEquivalence:
+    """Convergence-time distributions and success rates must agree."""
+
+    def _sweep(self, algorithm: str, nests: NestConfig, n: int, trials: int, max_rounds: int):
+        base = Scenario(
+            algorithm=algorithm, n=n, nests=nests, seed=42, max_rounds=max_rounds
+        )
+        v2 = run_batch(base.trials(trials), workers=1)
+        v1 = run_batch(
+            [s.replace(params={"matcher": "v1"}) for s in base.trials(trials)],
+            workers=1,
+        )
+        return v1, v2
+
+    @pytest.mark.parametrize(
+        "algorithm,n,trials,max_rounds",
+        [("simple", 96, 30, 8000), ("optimal", 96, 24, 8000)],
+    )
+    def test_convergence_rounds_match(self, algorithm, n, trials, max_rounds):
+        v1, v2 = self._sweep(algorithm, NestConfig.all_good(4), n, trials, max_rounds)
+        assert all(r.converged for r in v1)
+        assert all(r.converged for r in v2)
+        m1 = float(np.median([r.converged_round for r in v1]))
+        m2 = float(np.median([r.converged_round for r in v2]))
+        assert abs(m1 - m2) <= 0.35 * max(m1, m2), (algorithm, m1, m2)
+
+    def test_success_rates_match_on_mixed_nests(self):
+        v1, v2 = self._sweep("simple", NestConfig.binary(4, {1, 3}), 64, 30, 8000)
+        rate1 = np.mean([r.solved for r in v1])
+        rate2 = np.mean([r.solved for r in v2])
+        assert rate1 == 1.0 and rate2 == 1.0
+
+    def test_spread_completion_rounds_match(self):
+        v1, v2 = self._sweep(
+            "spread", NestConfig.single_good(6, good_nest=1), 96, 30, 4000
+        )
+        assert all(r.converged for r in v1)
+        assert all(r.converged for r in v2)
+        m1 = float(np.median([r.converged_round for r in v1]))
+        m2 = float(np.median([r.converged_round for r in v2]))
+        assert abs(m1 - m2) <= 0.35 * max(m1, m2), (m1, m2)
