@@ -9,8 +9,8 @@ exposed.
 This example races the paper's two algorithms on the same emergency:
 Algorithm 2 ("Optimal": count-based competition, provably O(log n)) and
 Algorithm 3 ("Simple": population-proportional recruitment, O(k log n)),
-plus the biologically observed quorum strategy for reference.  It prints
-per-strategy decision timelines and a small comparison table.
+plus the biologically observed quorum strategy for reference — declared as
+one three-case :class:`repro.api.Study` on the agent engine.
 
 Usage::
 
@@ -23,8 +23,17 @@ import argparse
 
 import numpy as np
 
-from repro import NestConfig, Scenario, run_scenario
 from repro.analysis.tables import Table
+from repro.api import Study, Sweep, cases, register_metric, run_study
+from repro.model.nests import NestConfig
+
+
+def _chosen_sites(reports, stats) -> str:
+    sites = sorted({r.chosen_nest for r in reports if r.converged})
+    return ",".join(str(site) for site in sites) or "-"
+
+
+register_metric("example_chosen_sites", _chosen_sites)
 
 
 def main() -> None:
@@ -46,47 +55,59 @@ def main() -> None:
         f"only {sorted(good_sites)} habitable.\n"
     )
 
-    # Each strategy is just a registry name; the registry supplies the right
-    # default convergence criterion (all-final for Optimal, unanimity for
-    # Quorum) and the agent engine runs them on identical workloads.
-    strategies = [
-        ("Optimal (Alg. 2)", "optimal", {}),
-        ("Simple (Alg. 3)", "simple", {}),
-        ("Quorum (Pratt)", "quorum", {"quorum_fraction": 0.35}),
-    ]
+    # Each strategy is one case of the study; the registry supplies the
+    # right default convergence criterion (all-final for Optimal, unanimity
+    # for Quorum) and the agent engine runs them on identical workloads.
+    study = Study(
+        name="example-emergency",
+        description="Optimal vs Simple vs Quorum on one emergency relocation",
+        sweep=Sweep(
+            base={
+                "n": args.n,
+                "nests": {
+                    "qualities": [float(q) for q in nests.qualities],
+                    "good_threshold": float(nests.good_threshold),
+                },
+                "seed": args.seed,
+                "max_rounds": 20_000,
+            },
+            axes=(
+                cases(
+                    {"strategy": "Optimal (Alg. 2)", "algorithm": "optimal"},
+                    {"strategy": "Simple (Alg. 3)", "algorithm": "simple"},
+                    {
+                        "strategy": "Quorum (Pratt)",
+                        "algorithm": "quorum",
+                        "params": {"quorum_fraction": 0.35},
+                    },
+                ),
+            ),
+        ),
+        trials=args.trials,
+        backend="agent",
+        metrics=(
+            "median_rounds_converged",
+            "success_rate_converged",
+            "example_chosen_sites",
+        ),
+    )
+    result = run_study(study).table
 
     table = Table(
         "Relocation race (median over trials)",
         ["strategy", "median rounds", "success", "chosen sites"],
     )
-    for name, algorithm, params in strategies:
-        rounds: list[int] = []
-        chosen: list[int] = []
-        successes = 0
-        for trial in range(args.trials):
-            result = run_scenario(
-                Scenario(
-                    algorithm=algorithm,
-                    n=args.n,
-                    nests=nests,
-                    seed=args.seed + 1000 * trial,
-                    max_rounds=20_000,
-                    params=params,
-                ),
-                backend="agent",
-            )
-            if result.converged:
-                successes += 1
-                rounds.append(result.converged_round)
-                chosen.append(result.chosen_nest)
-        median = float(np.median(rounds)) if rounds else float("nan")
+    for row in result.rows():
         table.add_row(
-            name,
-            median,
-            successes / args.trials,
-            ",".join(str(c) for c in sorted(set(chosen))) or "-",
+            row["strategy"],
+            row["median_rounds_converged"],
+            row["success_rate_converged"],
+            row["example_chosen_sites"],
         )
-        print(f"{name:18s} -> median {median:.0f} rounds, chose {sorted(set(chosen))}")
+        print(
+            f"{row['strategy']:18s} -> median {row['median_rounds_converged']:.0f} "
+            f"rounds, chose {row['example_chosen_sites']}"
+        )
 
     print()
     print(table.render())

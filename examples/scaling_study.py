@@ -1,8 +1,10 @@
 """Scaling study: watch the paper's asymptotics appear in the data.
 
-Runs both algorithms over a geometric range of colony sizes on the fast
-engine, fits the growth models from :mod:`repro.analysis.scaling`, and
-prints which model wins — a miniature of experiments E4/E7 (see
+Declares one :class:`repro.api.Study` — an ``n`` grid crossed with both
+algorithms on the fast engine — runs it through :func:`repro.api.run_study`
+(set ``REPRO_CACHE_DIR`` to make re-runs incremental, ``REPRO_WORKERS`` to
+parallelize), fits the growth models from :mod:`repro.analysis.scaling`,
+and prints which model wins — a miniature of experiments E4/E7 (see
 EXPERIMENTS.md for the full grids).
 
 Usage::
@@ -14,21 +16,9 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
 from repro.analysis.scaling import fit_models, linear_model, log_model, sqrt_model
 from repro.analysis.tables import Table
-from repro.api import Scenario, run_batch
-from repro.model.nests import NestConfig
-
-
-def median_rounds(algorithm: str, n: int, nests, trials: int, seed: int) -> float:
-    scenario = Scenario(
-        algorithm=algorithm, n=n, nests=nests, seed=seed, max_rounds=100_000
-    )
-    reports = run_batch(scenario.trials(trials), backend="fast")
-    rounds = [r.converged_round for r in reports if r.converged]
-    return float(np.median(rounds)) if rounds else float("nan")
+from repro.api import Study, Sweep, cases, expr, grid, nests_spec, run_study
 
 
 def main() -> None:
@@ -45,7 +35,32 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    nests = NestConfig.all_good(args.k)
+    # The whole sweep is one declaration: sizes x algorithms, each cell
+    # keeping the historical seed layout (seed + 2n for Optimal, +2n+1 for
+    # Simple).  run_study flattens it into run_batch and aggregates.
+    study = Study(
+        name="example-scaling",
+        description="Optimal vs Simple convergence rounds across n",
+        sweep=Sweep(
+            base={
+                "nests": nests_spec("all_good", k=args.k),
+                "seed": expr(args.seed, n=2, seed_offset=1, cast="int"),
+                "max_rounds": 100_000,
+            },
+            axes=(
+                grid("n", args.sizes),
+                cases(
+                    {"algorithm": "optimal", "seed_offset": 0},
+                    {"algorithm": "simple", "seed_offset": 1},
+                ),
+            ),
+        ),
+        trials=args.trials,
+        backend="fast",
+        metrics=("median_rounds_converged",),
+    )
+    result = run_study(study).table
+
     table = Table(
         f"Convergence rounds vs n (k={args.k}, median of {args.trials} trials)",
         ["n", "Optimal (Alg. 2)", "Simple (Alg. 3)"],
@@ -53,8 +68,8 @@ def main() -> None:
     optimal_medians: list[float] = []
     simple_medians: list[float] = []
     for n in args.sizes:
-        opt = median_rounds("optimal", n, nests, args.trials, args.seed + 2 * n)
-        sim = median_rounds("simple", n, nests, args.trials, args.seed + 2 * n + 1)
+        opt = result.value("median_rounds_converged", n=n, algorithm="optimal")
+        sim = result.value("median_rounds_converged", n=n, algorithm="simple")
         optimal_medians.append(opt)
         simple_medians.append(sim)
         table.add_row(n, opt, sim)

@@ -6,8 +6,10 @@ entrance width, cavity size.  Section 6 of the paper sketches how Algorithm
 Pratt & Sumpter (2006) showed real colonies tune exactly this trade-off:
 recruit more carefully → better choices, slower moves.
 
-This example sweeps the quality weight on a three-site scenario (one clearly
-best site, one mediocre, one poor) and prints the accuracy/speed frontier.
+This example declares the quality-weight sweep as one
+:class:`repro.api.Study` over a three-site scenario (one clearly best
+site, one mediocre, one poor) and prints the accuracy/speed frontier the
+E10 metric records.
 
 Usage::
 
@@ -18,10 +20,8 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
-from repro import NestConfig, Scenario, run_scenario
 from repro.analysis.tables import Table
+from repro.api import Study, Sweep, grid, nests_spec, ref, run_study
 
 
 def main() -> None:
@@ -39,41 +39,46 @@ def main() -> None:
     args = parser.parse_args()
 
     qualities = [0.9, 0.6, 0.3]  # site 1 is the right answer
-    nests = NestConfig.graded(qualities)
     print(
         f"sites: {[f'n{i+1}: q={q}' for i, q in enumerate(qualities)]}; "
         f"colony n={args.n}\n"
     )
 
+    # One declaration: the weight grid over a graded three-site world.  The
+    # e10_outcomes metric (registered by the E10 experiment) records wins,
+    # agreements and the agreed-round median per cell.
+    import repro.experiments.e10_nonbinary  # noqa: F401  (registers the metric)
+
+    study = Study(
+        name="example-speed-accuracy",
+        description="quality-weight frontier on a graded three-site world",
+        sweep=Sweep(
+            base={
+                "algorithm": "quality_weighted",
+                "n": args.n,
+                "nests": nests_spec("graded", qualities=qualities),
+                "seed": args.seed,
+                "max_rounds": 30_000,
+                "params": {"quality_weight": ref("weight")},
+                "criterion": "unanimous",
+            },
+            axes=(grid("weight", args.weights),),
+        ),
+        trials=args.trials,
+        metrics=("n_trials", "e10_outcomes"),
+    )
+    result = run_study(study).table
+
     table = Table(
         "Speed/accuracy frontier (quality-weighted Algorithm 3)",
         ["quality weight", "P(best site)", "P(agreed)", "median rounds"],
     )
-    for weight in args.weights:
-        best = 0
-        agreed = 0
-        rounds: list[int] = []
-        for trial in range(args.trials):
-            result = run_scenario(
-                Scenario(
-                    algorithm="quality_weighted",
-                    n=args.n,
-                    nests=nests,
-                    seed=args.seed + 997 * trial,
-                    max_rounds=30_000,
-                    params={"quality_weight": weight},
-                    criterion="unanimous",
-                )
-            )
-            if result.converged:
-                agreed += 1
-                rounds.append(result.converged_round)
-                best += int(result.chosen_nest == 1)
+    for row in result.rows():
         table.add_row(
-            weight,
-            best / max(agreed, 1),
-            agreed / args.trials,
-            float(np.median(rounds)) if rounds else float("nan"),
+            row["weight"],
+            row["n_best_wins"] / max(row["n_agreed"], 1),
+            row["n_agreed"] / row["n_trials"],
+            row["median_rounds_agreed"],
         )
     print(table.render())
     print(

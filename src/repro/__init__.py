@@ -21,14 +21,19 @@ Quickstart::
 
 from repro.api import (
     REGISTRY,
+    STUDIES,
     AlgorithmRegistry,
+    ResultTable,
     RunReport,
     Scenario,
+    Study,
+    Sweep,
     aggregate,
     resolve_backend,
     run_batch,
     run_scenario,
     run_stats,
+    run_study,
 )
 from repro.core import (
     IgnorantPolicy,
@@ -91,15 +96,19 @@ __all__ = [
     "OptimalAnt",
     "ProtocolError",
     "REGISTRY",
+    "ResultTable",
     "RandomSource",
     "ReproError",
     "RunReport",
+    "STUDIES",
     "Scenario",
     "SimpleAnt",
     "Simulation",
     "SimulationError",
     "SimulationResult",
     "SolutionStatus",
+    "Study",
+    "Sweep",
     "TrialStats",
     "__version__",
     "aggregate",
@@ -109,6 +118,7 @@ __all__ = [
     "run_batch",
     "run_scenario",
     "run_stats",
+    "run_study",
     "run_trial",
     "run_trials",
     "simple_factory",

@@ -30,6 +30,7 @@ Quickstart::
 """
 
 from repro.api.algorithms import register_builtin_algorithms
+from repro.api.cache import CACHE_FORMAT_VERSION, ResultCache, default_cache
 from repro.api.registry import (
     CRITERIA,
     REGISTRY,
@@ -38,15 +39,32 @@ from repro.api.registry import (
     criterion_factory,
 )
 from repro.api.report import RunReport
+from repro.api.results import ResultTable
 from repro.api.runner import (
     BACKENDS,
     aggregate,
+    default_workers,
     resolve_backend,
     run,
     run_batch,
     run_stats,
 )
 from repro.api.scenario import CRITERION_NAMES, Scenario
+from repro.api.sweep import (
+    METRICS,
+    STUDIES,
+    Study,
+    StudyResult,
+    Sweep,
+    cases,
+    expr,
+    grid,
+    nests_spec,
+    ref,
+    register_metric,
+    run_study,
+    zipped,
+)
 
 register_builtin_algorithms()
 
@@ -58,17 +76,35 @@ __all__ = [
     "AlgorithmEntry",
     "AlgorithmRegistry",
     "BACKENDS",
+    "CACHE_FORMAT_VERSION",
     "CRITERIA",
     "CRITERION_NAMES",
+    "METRICS",
     "REGISTRY",
+    "ResultCache",
+    "ResultTable",
     "RunReport",
+    "STUDIES",
     "Scenario",
+    "Study",
+    "StudyResult",
+    "Sweep",
     "aggregate",
+    "cases",
     "criterion_factory",
+    "default_cache",
+    "default_workers",
+    "expr",
+    "grid",
+    "nests_spec",
+    "ref",
     "register_builtin_algorithms",
+    "register_metric",
     "resolve_backend",
     "run",
     "run_batch",
     "run_scenario",
     "run_stats",
+    "run_study",
+    "zipped",
 ]

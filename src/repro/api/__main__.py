@@ -1,11 +1,14 @@
-"""Scenario API command line: run any registered algorithm on any backend.
+"""Scenario API command line: run algorithms, studies, and sweeps.
 
 Usage::
 
     python -m repro.api --list
+    python -m repro.api --list-studies
     python -m repro.api --algorithm simple --n 256 --k 4 --good 1,3
     python -m repro.api --algorithm optimal --backend agent --trials 5
     python -m repro.api --algorithm simple --trials 40 --workers 4 --json
+    python -m repro.api sweep my_study.json --workers 4
+    python -m repro.api sweep E7 --quick --no-cache --csv
 """
 
 from __future__ import annotations
@@ -14,8 +17,19 @@ import argparse
 import json
 import statistics
 import sys
+from pathlib import Path
 
-from repro.api import REGISTRY, Scenario, aggregate, resolve_backend, run_batch
+from repro.api import (
+    REGISTRY,
+    STUDIES,
+    Scenario,
+    Study,
+    aggregate,
+    default_workers,
+    resolve_backend,
+    run_batch,
+    run_study,
+)
 from repro.exceptions import ReproError
 from repro.model.nests import NestConfig
 
@@ -32,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run a registered house-hunting algorithm via the Scenario API.",
     )
     parser.add_argument("--list", action="store_true", help="list registered algorithms")
+    parser.add_argument(
+        "--list-studies",
+        action="store_true",
+        help="list the registered experiment studies (run with `sweep NAME`)",
+    )
     parser.add_argument("--algorithm", help="registry name (see --list)")
     parser.add_argument(
         "--backend",
@@ -52,7 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=1, help="independent trials (default 1)"
     )
     parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes for --trials > 1"
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --trials > 1 (default: $REPRO_WORKERS or 1)",
     )
     parser.add_argument(
         "--matcher",
@@ -96,13 +118,136 @@ def _parse_params(pairs: list[str]) -> dict:
     return params
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api sweep",
+        description="Run a declarative study: a registered name or a JSON file.",
+    )
+    parser.add_argument(
+        "study",
+        help="registered study name (see --list-studies) or path to a "
+        "Study JSON file",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced grids for registered studies"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed for registered studies"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR, else no cache)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "agent", "fast"),
+        default=None,
+        help="force one engine for every cell (default: per-cell)",
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="emit the result table as CSV"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    return parser
+
+
+def _load_study(spec: str, quick: bool, seed: int) -> Study:
+    # Registered studies and their metric functions live in the experiment
+    # modules; import lazily (only for `sweep`) so plain scenario runs
+    # never pay for them.  Study files may reference those metrics too.
+    import repro.experiments  # noqa: F401
+
+    # A registered name wins over a same-named stray file in the cwd; an
+    # explicit .json suffix (or any path separator) always means a file.
+    path = Path(spec)
+    looks_like_path = path.suffix == ".json" or len(path.parts) > 1
+    if looks_like_path or (spec not in STUDIES and path.is_file()):
+        return Study.from_json(path.read_text(encoding="utf-8"))
+    return STUDIES.build(spec, quick=quick, base_seed=seed)
+
+
+def sweep_main(argv: list[str]) -> int:
+    args = build_sweep_parser().parse_args(argv)
+    try:
+        study = _load_study(args.study, args.quick, args.seed)
+        cache = "auto"
+        if args.no_cache:
+            cache = None
+        elif args.cache_dir is not None:
+            cache = args.cache_dir
+        result = run_study(
+            study,
+            backend=args.backend,
+            workers=args.workers,
+            cache=cache,
+        )
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "study": study.to_dict(),
+                    "table": result.table.to_dict(),
+                    "cells": len(result.cells),
+                    "cache_hits": result.cache_hits,
+                    "cache_misses": result.cache_misses,
+                    "simulated_trials": result.simulated_trials,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    if args.csv:
+        sys.stdout.write(result.table.to_csv())
+        return 0
+    print(f"study {study.name}: {len(result.cells)} cells, ", end="")
+    if result.cache_hits or result.cache_misses:
+        print(
+            f"{result.cache_hits} cached / {result.cache_misses} computed "
+            f"({result.simulated_trials} trials simulated)"
+        )
+    else:
+        print(f"{result.simulated_trials} trials simulated (cache disabled)")
+    sys.stdout.write(result.table.to_csv())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list:
         for name, backends, summary in REGISTRY.describe():
             print(f"{name:18s} [{backends:10s}] {summary}")
+        return 0
+
+    if args.list_studies:
+        import repro.experiments  # noqa: F401  (registers the studies)
+
+        for name, description in STUDIES.describe():
+            print(f"{name:6s} {description}")
         return 0
 
     if not args.algorithm:
@@ -128,7 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         reports = run_batch(
             scenarios,
-            workers=args.workers,
+            workers=args.workers if args.workers is not None else default_workers(),
             backend=args.backend,
             batch_chunk=args.batch_chunk,
         )

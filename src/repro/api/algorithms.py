@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.processes import register_measurement_processes
 from repro.api.registry import REGISTRY, criterion_factory, scenario_matcher
 from repro.api.report import RunReport
 from repro.api.scenario import Scenario
@@ -616,3 +617,4 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         "non-binary qualities: quality-weighted recruitment (E10)",
         agent_builder=_quality_weighted_agent,
     )
+    register_measurement_processes(registry)

@@ -1,0 +1,168 @@
+"""Content-addressed on-disk cache for sweep cells.
+
+Every sweep cell — one scenario family, ``trials`` seeded trials, a metric
+set, a resolved backend — is a pure function of its declaration, so its
+aggregate result can be cached by content address: the SHA-256 of the
+cell's canonical JSON payload (which leans on :meth:`Scenario.to_dict`
+being canonical — sorted params, normalized scalars).  A re-run of a study
+then only simulates the cells it has never seen, and an interrupted sweep
+resumes from the cells that already finished.
+
+Entries store the cell's :class:`~repro.sim.run.TrialStats` plus the
+evaluated metric columns (never the raw reports — histories would dwarf
+the results).  The payload is stored alongside and verified on load, so a
+truncated or corrupted file is treated as a miss and recomputed, never
+trusted.  ``CACHE_FORMAT_VERSION`` is part of every key: changing the
+entry schema invalidates old entries instead of misreading them.
+
+The default location is ``$REPRO_CACHE_DIR`` when set; otherwise caching
+is off unless a cache (or path) is passed explicitly — test suites and
+one-off scripts shouldn't silently grow a cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.sim.run import TrialStats
+
+#: Bump when the entry schema or key payload layout changes; old entries
+#: become unreachable (different key) rather than misread.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def stats_to_dict(stats: TrialStats) -> dict[str, Any]:
+    """JSON-safe form of a :class:`TrialStats`; inverse of :func:`stats_from_dict`."""
+    return {
+        "n_trials": int(stats.n_trials),
+        "n_converged": int(stats.n_converged),
+        "rounds": [int(r) for r in stats.rounds],
+        "censored_at": int(stats.censored_at),
+        "chosen_nests": {
+            str(nest): int(count) for nest, count in sorted(stats.chosen_nests.items())
+        },
+    }
+
+
+def stats_from_dict(data: Mapping[str, Any]) -> TrialStats:
+    """Rebuild a :class:`TrialStats` from :func:`stats_to_dict` output."""
+    return TrialStats(
+        n_trials=int(data["n_trials"]),
+        n_converged=int(data["n_converged"]),
+        rounds=np.asarray(data["rounds"], dtype=np.int64),
+        censored_at=int(data["censored_at"]),
+        chosen_nests={int(nest): int(count) for nest, count in data["chosen_nests"].items()},
+    )
+
+
+def content_key(payload: Mapping[str, Any]) -> str:
+    """The content address of a cell payload: SHA-256 of canonical JSON."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of per-cell JSON entries addressed by payload hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small on big studies.
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[TrialStats, dict[str, Any]] | None:
+        """The cached (stats, metrics) for a payload, or ``None`` on a miss.
+
+        Any defect — missing file, truncated/unparseable JSON, schema
+        mismatch, or a payload that doesn't round-trip to the same content
+        (hash collision paranoia) — counts as a miss; the caller recomputes
+        and overwrites.
+        """
+        key = content_key(payload)
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            if entry["version"] != CACHE_FORMAT_VERSION:
+                raise ValueError("cache format version mismatch")
+            # Normalize through JSON so tuples/lists compare equal; dict
+            # equality is order-insensitive, so sort_keys storage is fine.
+            if entry["payload"] != json.loads(json.dumps(payload)):
+                raise ValueError("payload mismatch")
+            stats = stats_from_dict(entry["stats"])
+            metrics = dict(entry["metrics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats, metrics
+
+    def store(
+        self,
+        payload: Mapping[str, Any],
+        stats: TrialStats,
+        metrics: Mapping[str, Any],
+    ) -> Path:
+        """Persist one cell result atomically (write temp file, rename)."""
+        key = content_key(payload)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_FORMAT_VERSION,
+            "payload": payload,
+            "stats": stats_to_dict(stats),
+            "metrics": dict(metrics),
+        }
+        # No sort_keys here: the *metrics* dict's insertion order is the
+        # result-table column order, and must survive a warm read.
+        text = json.dumps(entry)
+        fd, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def default_cache() -> ResultCache | None:
+    """The cache named by ``$REPRO_CACHE_DIR``, or ``None`` (caching off)."""
+    root = os.environ.get(CACHE_DIR_ENV)
+    return ResultCache(root) if root else None
+
+
+def resolve_cache(cache: "ResultCache | str | Path | None") -> ResultCache | None:
+    """Normalize a ``cache=`` argument: 'auto' -> env default, path -> cache."""
+    if cache is None or cache is False:
+        return None
+    if cache == "auto":
+        return default_cache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -1,0 +1,272 @@
+"""Columnar study results: a small dict-of-numpy-columns table.
+
+:func:`repro.api.sweep.run_study` streams one row per sweep cell into a
+:class:`ResultTable` — cell bindings (the swept variables) on the left,
+metric values on the right.  The table is deliberately tiny: named columns
+backed by numpy arrays, equality that is *bit*-exact (the cold-vs-warm
+cache contract), ``group_by``/``mean``/``quantile`` for the common
+post-processing, and CSV/JSON export so results travel as data the same
+way :class:`~repro.api.scenario.Scenario` and
+:class:`~repro.api.sweep.Study` do.
+
+No pandas: the environment is numpy-only and the access patterns here
+(column math, group-by on a handful of keys) don't need more.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Scalar cell types a column may hold (None marks a missing value).
+Scalar = Any
+
+
+def _column_array(values: Sequence[Scalar]) -> np.ndarray:
+    """The tightest dtype that holds ``values`` losslessly.
+
+    All-int -> int64, numeric (with NaN for missing) -> float64, everything
+    else (strings, mixed, None) -> object.  Booleans stay object so they
+    render as True/False rather than 1/0.
+    """
+    if all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+        return np.asarray(values, dtype=np.int64)
+    if all(
+        v is None
+        or (isinstance(v, (int, float)) and not isinstance(v, bool))
+        for v in values
+    ):
+        return np.asarray(
+            [float("nan") if v is None else float(v) for v in values],
+            dtype=np.float64,
+        )
+    out = np.empty(len(values), dtype=object)
+    out[:] = values
+    return out
+
+
+class ResultTable:
+    """An ordered mapping of column name -> numpy array, equal lengths."""
+
+    def __init__(self, columns: Mapping[str, Sequence[Scalar]]) -> None:
+        if not columns:
+            raise ConfigurationError("a result table needs at least one column")
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name, values in columns.items():
+            array = (
+                values
+                if isinstance(values, np.ndarray)
+                else _column_array(list(values))
+            )
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise ConfigurationError(
+                    f"column {name!r} has {len(array)} rows, expected {length}"
+                )
+            self._columns[str(name)] = array
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, Scalar]]) -> "ResultTable":
+        """Build from per-row dicts; columns = union of keys, first-seen order.
+
+        Keys missing from a row become ``None`` (NaN in numeric columns).
+        """
+        if not rows:
+            raise ConfigurationError("a result table needs at least one row")
+        names: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return cls(
+            {name: [row.get(name) for row in rows] for name in names}
+        )
+
+    # -- shape and access --------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    @property
+    def n_rows(self) -> int:
+        return len(next(iter(self._columns.values())))
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no column {name!r}; have: {', '.join(self._columns)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def row(self, index: int) -> dict[str, Scalar]:
+        """One row as a plain dict of Python scalars."""
+        return {
+            name: _python_scalar(array[index])
+            for name, array in self._columns.items()
+        }
+
+    def rows(self) -> Iterator[dict[str, Scalar]]:
+        for index in range(self.n_rows):
+            yield self.row(index)
+
+    # -- relational helpers ------------------------------------------------
+
+    def mask(self, mask: np.ndarray) -> "ResultTable":
+        """The sub-table of rows where ``mask`` is True."""
+        return ResultTable(
+            {name: array[mask] for name, array in self._columns.items()}
+        )
+
+    def select(self, **filters: Scalar) -> "ResultTable":
+        """Rows matching every ``column == value`` filter (may be empty-ish).
+
+        Raises if the selection is empty — a silent empty table hides typos
+        in sweep variable values.
+        """
+        mask = np.ones(self.n_rows, dtype=bool)
+        for name, value in filters.items():
+            mask &= _equals(self.column(name), value)
+        if not mask.any():
+            raise ConfigurationError(
+                f"select({filters!r}) matched no rows"
+            )
+        return self.mask(mask)
+
+    def value(self, column: str, **filters: Scalar) -> Scalar:
+        """The single value of ``column`` in the unique row matching filters."""
+        sub = self.select(**filters)
+        if sub.n_rows != 1:
+            raise ConfigurationError(
+                f"select({filters!r}) matched {sub.n_rows} rows, expected 1"
+            )
+        return _python_scalar(sub.column(column)[0])
+
+    def group_by(self, *keys: str) -> list[tuple[tuple[Scalar, ...], "ResultTable"]]:
+        """(key values, sub-table) pairs, in first-appearance order."""
+        if not keys:
+            raise ConfigurationError("group_by needs at least one key column")
+        arrays = [self.column(key) for key in keys]
+        seen: dict[tuple, np.ndarray] = {}
+        for index in range(self.n_rows):
+            key = tuple(_python_scalar(array[index]) for array in arrays)
+            if key not in seen:
+                seen[key] = np.zeros(self.n_rows, dtype=bool)
+            seen[key][index] = True
+        return [(key, self.mask(mask)) for key, mask in seen.items()]
+
+    # -- column statistics -------------------------------------------------
+
+    def mean(self, name: str) -> float:
+        """NaN-ignoring mean of a numeric column."""
+        return float(np.nanmean(self.column(name).astype(float)))
+
+    def quantile(self, name: str, q: float) -> float:
+        """NaN-ignoring quantile (``q`` in [0, 1]) of a numeric column."""
+        return float(np.nanquantile(self.column(name).astype(float), q))
+
+    # -- equality ----------------------------------------------------------
+
+    def equals(self, other: "ResultTable") -> bool:
+        """Bit-exact equality: same columns, dtypes kinds, and cell values.
+
+        NaNs compare equal to NaNs in the same position (a warm cache read
+        must reproduce a cold run exactly, NaN medians included).
+        """
+        if self.column_names != other.column_names:
+            return False
+        for name in self.column_names:
+            a, b = self.column(name), other.column(name)
+            if len(a) != len(b) or a.dtype.kind != b.dtype.kind:
+                return False
+            if a.dtype.kind == "f":
+                if not np.array_equal(a, b, equal_nan=True):
+                    return False
+            elif a.dtype.kind == "O":
+                if any(not _cell_equal(x, y) for x, y in zip(a, b)):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        return True
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, list]:
+        """Column name -> list of Python scalars (JSON-safe)."""
+        return {
+            name: [_python_scalar(v) for v in array]
+            for name, array in self._columns.items()
+        }
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """JSON object of columns; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        return cls(json.loads(text))
+
+    def to_csv(self) -> str:
+        """RFC-4180-ish CSV text (header row + one line per row)."""
+        buffer = io.StringIO()
+        buffer.write(",".join(_csv_cell(name) for name in self._columns) + "\n")
+        for row in self.rows():
+            buffer.write(
+                ",".join(_csv_cell(row[name]) for name in self._columns) + "\n"
+            )
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultTable({self.n_rows} rows x {len(self._columns)} cols: "
+            f"{', '.join(self._columns)})"
+        )
+
+
+def _python_scalar(value: Any) -> Scalar:
+    """numpy scalar -> Python scalar (None preserved)."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _equals(array: np.ndarray, value: Scalar) -> np.ndarray:
+    if array.dtype.kind == "O":
+        return np.asarray([_cell_equal(item, value) for item in array], dtype=bool)
+    return array == value
+
+
+def _cell_equal(a: Scalar, b: Scalar) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return a == b
+
+
+def _csv_cell(value: Scalar) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return repr(value)
+    text = str(value)
+    if any(ch in text for ch in ',"\n'):
+        text = '"' + text.replace('"', '""') + '"'
+    return text

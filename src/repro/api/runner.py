@@ -25,6 +25,8 @@ Backend selection (``backend="auto"``):
 
 from __future__ import annotations
 
+import json
+import os
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
@@ -39,6 +41,23 @@ from repro.sim.engine import RoundHook
 from repro.sim.run import TrialStats, run_trial
 
 BACKENDS = ("auto", "agent", "fast")
+
+#: Environment variable choosing the default worker-process count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker processes from ``$REPRO_WORKERS`` (default 1, floor 1).
+
+    The one shared parser for every entry point (experiment runners, the
+    ``repro.api`` CLI, :func:`repro.api.run_study`): unparseable or
+    non-positive values fall back to serial execution rather than erroring
+    — a bad environment variable should never break a reproduction run.
+    """
+    try:
+        return max(1, int(os.environ.get(WORKERS_ENV, "1")))
+    except ValueError:
+        return 1
 
 
 def resolve_backend(
@@ -140,8 +159,14 @@ def _batch_group_key(scenario: Scenario) -> str:
     Two scenarios share a key iff they differ only in ``seed`` /
     ``trial_index`` — the definition of a homogeneous batch.  The JSON form
     has a fixed key order, so string equality is scenario equality.
+    (Zeroing the randomness fields on the dict, not via ``replace()``,
+    skips re-running dataclass validation per scenario — this key is
+    computed for every element of every batch.)
     """
-    return scenario.replace(seed=0, trial_index=None).to_json()
+    data = scenario.to_dict()
+    data["seed"] = 0
+    data["trial_index"] = None
+    return json.dumps(data)
 
 
 def _run_task(task: _Task) -> list[RunReport]:

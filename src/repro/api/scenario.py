@@ -20,6 +20,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+import numpy as np
+
 from repro.api.registry import CRITERIA
 from repro.exceptions import ConfigurationError
 from repro.extensions.estimation import EncounterNoise, EncounterRateEstimator
@@ -119,18 +121,27 @@ class Scenario:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """A JSON-safe plain-dict form; inverse of :meth:`from_dict`."""
+        """A JSON-safe plain-dict form; inverse of :meth:`from_dict`.
+
+        The form is **canonical**: ``params`` keys come out sorted and numpy
+        scalars are normalized to plain Python ints/floats/bools, so two
+        equal scenarios always serialize to the same JSON text — the
+        property the sweep cache's content addressing relies on (equal
+        scenarios must hash equal).
+        """
         return {
             "algorithm": self.algorithm,
-            "n": self.n,
+            "n": int(self.n),
             "nests": {
                 "qualities": [float(q) for q in self.nests.qualities],
                 "good_threshold": float(self.nests.good_threshold),
             },
-            "seed": self.seed,
-            "trial_index": self.trial_index,
-            "max_rounds": self.max_rounds,
-            "params": dict(self.params),
+            "seed": int(self.seed),
+            "trial_index": (
+                None if self.trial_index is None else int(self.trial_index)
+            ),
+            "max_rounds": int(self.max_rounds),
+            "params": _canonical_value(self.params),
             "noise": _noise_to_dict(self.noise),
             "fault_plan": _fault_plan_to_dict(self.fault_plan),
             "delay_model": (
@@ -179,6 +190,26 @@ class Scenario:
     def from_json(cls, text: str) -> "Scenario":
         """Rebuild a scenario from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalize a JSON-bound value: sorted dict keys, no numpy scalars.
+
+    Guarantees that scenarios which compare equal produce byte-identical
+    ``to_json`` output regardless of dict insertion order or whether a
+    value arrived as ``np.int64(4)`` or ``4``.
+    """
+    if isinstance(value, Mapping):
+        return {str(key): _canonical_value(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item) for item in value]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    return value
 
 
 # -- perturbation-layer (de)serialization -----------------------------------

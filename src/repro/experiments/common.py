@@ -1,30 +1,36 @@
 """Shared helpers for the experiment runners.
 
-All runners describe their workloads as :class:`repro.api.Scenario` values
-and execute them through :func:`repro.api.run_batch` — the single
-entrypoint over both engines.  ``REPRO_WORKERS`` (environment variable)
-optionally fans batches out over worker processes; results are identical
-for any worker count, so the tables never depend on the machine.
+Since the Sweep/Study redesign every runner is a declarative
+:class:`repro.api.Study` (registered in :data:`repro.api.STUDIES`) executed
+through :func:`repro.api.run_study`; the modules here only *format* the
+resulting :class:`~repro.api.results.ResultTable` into the historical
+ASCII tables.  ``REPRO_WORKERS`` (parsed by the shared
+:func:`repro.api.default_workers`) fans cells' trial batches over worker
+processes, and ``REPRO_CACHE_DIR`` enables the content-addressed result
+cache — results are bit-identical for any worker count or cache state, so
+the tables never depend on the machine.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Sequence
 
 import numpy as np
 
-from repro.api import RunReport, Scenario, run_batch
-from repro.model.nests import NestConfig
+from repro.api import Study, StudyResult, default_cache, default_workers, run_study
 from repro.sim.rng import RandomSource
 
+__all__ = [
+    "censored_median",
+    "default_workers",
+    "execute_study",
+    "trial_seeds",
+]
 
-def default_workers() -> int:
-    """Worker processes for experiment batches (``REPRO_WORKERS``, default 1)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
-    except ValueError:
-        return 1
+
+def execute_study(study: Study) -> StudyResult:
+    """Run one experiment study with the environment's workers and cache."""
+    return run_study(study, workers=default_workers(), cache=default_cache())
 
 
 def trial_seeds(base_seed: int, count: int) -> list[RandomSource]:
@@ -33,57 +39,7 @@ def trial_seeds(base_seed: int, count: int) -> list[RandomSource]:
     return [root.trial(index) for index in range(count)]
 
 
-def trial_scenarios(
-    algorithm: str,
-    n: int,
-    nests: NestConfig,
-    base_seed: int,
-    trials: int,
-    **scenario_kwargs,
-) -> list[Scenario]:
-    """``trials`` per-trial scenarios of one configuration.
-
-    Trial ``t`` draws from ``RandomSource(base_seed).trial(t)`` — the same
-    streams :func:`trial_seeds` always produced, so ported experiments
-    regenerate their historical numbers exactly.
-    """
-    base = Scenario(
-        algorithm=algorithm, n=n, nests=nests, seed=base_seed, **scenario_kwargs
-    )
-    return base.trials(trials)
-
-
-def run_trial_batch(
-    algorithm: str,
-    n: int,
-    nests: NestConfig,
-    base_seed: int,
-    trials: int,
-    backend: str = "auto",
-    **scenario_kwargs,
-) -> list[RunReport]:
-    """Run ``trials`` seeded trials of one configuration through the API."""
-    scenarios = trial_scenarios(
-        algorithm, n, nests, base_seed, trials, **scenario_kwargs
-    )
-    return run_batch(scenarios, workers=default_workers(), backend=backend)
-
-
 def censored_median(rounds: Sequence[float], fallback: float) -> float:
     """Median of converged rounds, or ``fallback`` when nothing converged."""
     values = [value for value in rounds if value is not None]
     return float(np.median(values)) if values else float(fallback)
-
-
-def summarize_runs(
-    results: Sequence[RunReport],
-) -> tuple[float, float, int]:
-    """(median converged round, success rate, n converged) for reports."""
-    converged = [r.converged_round for r in results if r.converged]
-    median = float(np.median(converged)) if converged else float("nan")
-    return median, len(converged) / len(results), len(converged)
-
-
-#: Backward-compatible alias (the helper long predates :class:`RunReport`;
-#: it never inspected anything beyond ``converged``/``converged_round``).
-summarize_fast_runs = summarize_runs

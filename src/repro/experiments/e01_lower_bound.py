@@ -9,18 +9,62 @@ measured completion time exceeds the theorem's threshold
 ``(log₄ n)/2 − log₄ 12`` — i.e. not even the best-case process beats the
 lower bound.  The classic push-gossip process is shown alongside as the
 reference the paper's proof parallels.
+
+The workload is one :class:`~repro.api.Study`: an ``n`` grid crossed with
+three process variants (wait-policy spread, mixed-policy spread, push
+gossip), each variant keeping its historical per-cell seed stream.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.scaling import fit_models, linear_model, log_model, sqrt_model
 from repro.analysis.tables import Table
 from repro.analysis.theory import lower_bound_rounds
+from repro.api import STUDIES, Study, Sweep, cases, expr, grid, nests_spec
 from repro.core.lower_bound import IgnorantPolicy
-from repro.experiments.common import run_trial_batch
-from repro.model.nests import NestConfig
+from repro.experiments.common import execute_study
+
+
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    k: int = 8,
+    sizes: tuple[int, ...] | None = None,
+    trials: int | None = None,
+) -> Study:
+    """The E1 sweep: n grid x {wait, mixed, gossip}, historical seeds."""
+    if sizes is None:
+        sizes = (128, 256, 512, 1024) if quick else (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+    if trials is None:
+        trials = 10 if quick else 40
+    variants = cases(
+        {
+            "variant": "wait",
+            "algorithm": "spread",
+            "params": {"policy": IgnorantPolicy.WAIT.value},
+            "seed_offset": 0,
+        },
+        {
+            "variant": "mixed",
+            "algorithm": "spread",
+            "params": {"policy": IgnorantPolicy.MIXED.value},
+            "seed_offset": 500_009,
+        },
+        {"variant": "gossip", "algorithm": "rumor", "seed_offset": 1_000_003},
+    )
+    return Study(
+        name="E1",
+        description="Theorem 3.2 lower bound: best-case spread time vs n",
+        sweep=Sweep(
+            base={
+                "nests": nests_spec("single_good", k=k, good_nest=1),
+                "seed": expr(base_seed, n=1, seed_offset=1, cast="int"),
+            },
+            axes=(grid("n", sizes), variants),
+        ),
+        trials=trials,
+        metrics=("median_rounds_all", "min_rounds_all"),
+    )
 
 
 def run(
@@ -31,10 +75,8 @@ def run(
     trials: int | None = None,
 ) -> Table:
     """Sweep ``n``; report spread completion rounds vs the theory threshold."""
-    if sizes is None:
-        sizes = (128, 256, 512, 1024) if quick else (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
-    if trials is None:
-        trials = 10 if quick else 40
+    declared = study(quick, base_seed, k, sizes, trials)
+    result = execute_study(declared).table
 
     table = Table(
         f"E1  Lower bound (Theorem 3.2): best-case spread time, k={k}",
@@ -48,46 +90,31 @@ def run(
             "above threshold",
         ],
     )
-
-    nests = NestConfig.single_good(k, good_nest=1)
+    swept_sizes = [key[0] for key, _ in result.group_by("n")]
     medians_wait: list[float] = []
-    for n in sizes:
-        wait = [
-            report.rounds_to_convergence
-            for report in run_trial_batch(
-                "spread", n, nests, base_seed + n, trials,
-                params={"policy": IgnorantPolicy.WAIT.value},
-            )
-        ]
-        mixed = [
-            report.rounds_to_convergence
-            for report in run_trial_batch(
-                "spread", n, nests, base_seed + n + 500_009, trials,
-                params={"policy": IgnorantPolicy.MIXED.value},
-            )
-        ]
-        gossip = [
-            report.rounds_to_convergence
-            for report in run_trial_batch(
-                "rumor", n, nests, base_seed + n + 1_000_003, trials
-            )
-        ]
+    for n in swept_sizes:
+        wait_median = result.value("median_rounds_all", n=n, variant="wait")
+        mixed_median = result.value("median_rounds_all", n=n, variant="mixed")
+        gossip_median = result.value("median_rounds_all", n=n, variant="gossip")
+        minimum = min(
+            result.value("min_rounds_all", n=n, variant="wait"),
+            result.value("min_rounds_all", n=n, variant="mixed"),
+        )
         threshold = lower_bound_rounds(n, c=1.0)
-        minimum = min(min(wait), min(mixed))
-        medians_wait.append(float(np.median(wait)))
+        medians_wait.append(wait_median)
         table.add_row(
             n,
-            float(np.median(wait)),
-            float(np.median(mixed)),
-            float(np.median(gossip)),
+            wait_median,
+            mixed_median,
+            gossip_median,
             threshold,
             minimum,
             minimum > threshold,
         )
 
-    if len(sizes) >= 3:
+    if len(swept_sizes) >= 3:
         fits = fit_models(
-            [log_model(), linear_model(), sqrt_model()], list(sizes), medians_wait
+            [log_model(), linear_model(), sqrt_model()], swept_sizes, medians_wait
         )
         table.add_note(f"best growth model for wait-policy medians: {fits[0]}")
         table.add_note(f"runner-up: {fits[1]}")
@@ -96,3 +123,6 @@ def run(
         "guarantees >= 6*sqrt(n) ignorant ants remain at that round w.h.p."
     )
     return table
+
+
+STUDIES.register("E1", study, "Theorem 3.2: best-case spread time vs the log lower bound")

@@ -1,51 +1,56 @@
 """E2 — Lemma 2.1: an active recruiter succeeds with probability ≥ 1/16.
 
-Runs the recruitment pairing process (Algorithm 1) directly over a grid of
-home-nest sizes and active-recruiter fractions, tagging one active ant and
-estimating its success probability.  The lemma asserts ≥ 1/16 whenever the
-home nest holds ≥ 2 ants, *regardless* of what everyone else does, so the
+Runs the recruitment pairing process (Algorithm 1) over a grid of
+home-nest sizes and active-recruiter fractions via the registered
+``tagged_recruitment`` measurement process (one trial = one pairing round,
+success = the tagged ant recruited *another* ant — see
+:mod:`repro.api.processes`).  The lemma asserts ≥ 1/16 whenever the home
+nest holds ≥ 2 ants, *regardless* of what everyone else does, so the
 reproduction check is that the Wilson lower confidence bound of every grid
 cell clears 1/16.
+
+Since the Sweep/Study port every grid cell draws from its own seeded trial
+streams (seed ``base + 1000·m + 100·fraction``) instead of one shared
+sequential generator, so cells are independently reproducible and
+cacheable; the estimates are statistically unchanged.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.stats import wilson_interval
 from repro.analysis.tables import Table
 from repro.analysis.theory import LEMMA_2_1_SUCCESS_LOWER_BOUND
-from repro.model.recruitment import match_arrays
+from repro.api import STUDIES, Study, Sweep, expr, grid, nests_spec, ref
+from repro.experiments.common import execute_study
 
 
-def tagged_success_probability(
-    m: int,
-    active_fraction: float,
-    trials: int,
-    rng: np.random.Generator,
-) -> tuple[int, int]:
-    """(successes, trials) for a tagged active recruiter among ``m`` ants.
-
-    The tagged ant is slot 0 and always recruits actively; of the remaining
-    ``m − 1`` slots, ``round(active_fraction · (m − 1))`` also recruit.
-    Targets are arbitrary distinct labels (success depends only on the
-    pairing, not on nest identities).
-
-    Lemma 2.1 counts "recruiting *another* ant", so a self-pair (the model's
-    forced self-recruitment) is **not** a success here.
-    """
-    active = np.zeros(m, dtype=bool)
-    active[0] = True
-    n_other_active = int(round(active_fraction * (m - 1)))
-    if n_other_active:
-        active[1 : 1 + n_other_active] = True
-    targets = np.arange(m, dtype=np.int64)
-    successes = 0
-    for _ in range(trials):
-        _, recruiter_of, is_recruiter = match_arrays(active, targets, rng)
-        recruited_another = bool(is_recruiter[0]) and recruiter_of[0] != 0
-        successes += int(recruited_another)
-    return successes, trials
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    sizes: tuple[int, ...] | None = None,
+    fractions: tuple[float, ...] = (0.1, 0.5, 1.0),
+    trials: int | None = None,
+) -> Study:
+    """The E2 sweep: (home population, active fraction) sampling grid."""
+    if sizes is None:
+        sizes = (2, 4, 16, 64) if quick else (2, 4, 8, 16, 64, 256, 1024)
+    if trials is None:
+        trials = 400 if quick else 4000
+    return Study(
+        name="E2",
+        description="Lemma 2.1: tagged-recruiter success probability grid",
+        sweep=Sweep(
+            base={
+                "algorithm": "tagged_recruitment",
+                "nests": nests_spec("all_good", k=1),
+                "params": {"active_fraction": ref("active_fraction")},
+                "seed": expr(base_seed, n=1000, active_fraction=100, cast="int"),
+            },
+            axes=(grid("n", sizes), grid("active_fraction", fractions)),
+        ),
+        trials=trials,
+        metrics=("n_trials", "n_converged"),
+    )
 
 
 def run(
@@ -56,10 +61,7 @@ def run(
     trials: int | None = None,
 ) -> Table:
     """Grid over (home population, recruiting fraction); check the 1/16 bound."""
-    if sizes is None:
-        sizes = (2, 4, 16, 64) if quick else (2, 4, 8, 16, 64, 256, 1024)
-    if trials is None:
-        trials = 400 if quick else 4000
+    result = execute_study(study(quick, base_seed, sizes, fractions, trials)).table
 
     table = Table(
         "E2  Recruitment success (Lemma 2.1): tagged recruiter, bound 1/16",
@@ -72,25 +74,25 @@ def run(
             "holds",
         ],
     )
-    rng = np.random.default_rng(base_seed)
     worst = 1.0
-    for m in sizes:
-        for fraction in fractions:
-            successes, total = tagged_success_probability(m, fraction, trials, rng)
-            p_hat = successes / total
-            lo, _ = wilson_interval(successes, total)
-            worst = min(worst, p_hat)
-            table.add_row(
-                m,
-                fraction,
-                p_hat,
-                lo,
-                LEMMA_2_1_SUCCESS_LOWER_BOUND,
-                lo >= LEMMA_2_1_SUCCESS_LOWER_BOUND,
-            )
+    for row in result.rows():
+        p_hat = row["n_converged"] / row["n_trials"]
+        lo, _ = wilson_interval(row["n_converged"], row["n_trials"])
+        worst = min(worst, p_hat)
+        table.add_row(
+            row["n"],
+            row["active_fraction"],
+            p_hat,
+            lo,
+            LEMMA_2_1_SUCCESS_LOWER_BOUND,
+            lo >= LEMMA_2_1_SUCCESS_LOWER_BOUND,
+        )
     table.add_note(
         f"worst observed success probability {worst:.4f} vs bound "
         f"{LEMMA_2_1_SUCCESS_LOWER_BOUND:.4f} (the paper's 1/16 is loose; "
         "the true worst case is ~0.25 when everyone recruits)"
     )
     return table
+
+
+STUDIES.register("E2", study, "Lemma 2.1: tagged-recruiter success grid (>= 1/16)")

@@ -10,6 +10,9 @@ while at least two nests compete:
 - **E3b (Lemma 4.2, drop-out rate):** ``P[Y<0] ≥ 1/66`` per block (a
   decrease makes the whole cohort abandon the nest), so the surviving-nest
   count decays at least as fast as Theorem 4.3's 65/66-per-block bound.
+
+The sweep is declared as a Study; the per-cell change extraction is the
+registered ``e3_competition`` metric over the recorded histories.
 """
 
 from __future__ import annotations
@@ -19,8 +22,8 @@ import numpy as np
 from repro.analysis.stats import wilson_interval
 from repro.analysis.tables import Table
 from repro.analysis.theory import LEMMA_4_2_DROPOUT_LOWER_BOUND
-from repro.experiments.common import run_trial_batch
-from repro.model.nests import NestConfig
+from repro.api import STUDIES, Study, Sweep, cases, expr, nests_spec, register_metric, ref
+from repro.experiments.common import execute_study
 
 
 def competition_changes(history: np.ndarray) -> list[int]:
@@ -45,6 +48,53 @@ def competition_changes(history: np.ndarray) -> list[int]:
     return changes
 
 
+def _competition_metric(reports, stats) -> dict[str, int]:
+    changes: list[int] = []
+    for report in reports:
+        if report.population_history is not None:
+            changes.extend(competition_changes(report.population_history))
+    array = np.asarray(changes)
+    return {
+        "samples": len(array),
+        "n_neg": int((array < 0).sum()),
+        "n_pos": int((array > 0).sum()),
+        "n_zero": int((array == 0).sum()),
+    }
+
+
+register_metric("e3_competition", _competition_metric)
+
+
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    configs: tuple[tuple[int, int], ...] | None = None,
+    trials: int | None = None,
+) -> Study:
+    """The E3 sweep: (n, k) configurations with recorded histories."""
+    if configs is None:
+        configs = ((256, 4), (512, 8)) if quick else ((256, 4), (512, 8), (2048, 8), (4096, 16))
+    if trials is None:
+        trials = 15 if quick else 60
+    return Study(
+        name="E3",
+        description="Lemmas 4.1/4.2: per-block cohort change Y statistics",
+        sweep=Sweep(
+            base={
+                "algorithm": "optimal",
+                "nests": nests_spec("all_good", k=ref("k")),
+                "seed": expr(base_seed, n=31, k=1, cast="int"),
+                "max_rounds": 20_000,
+                "record_history": True,
+            },
+            axes=(cases(*({"n": n, "k": k} for n, k in configs)),),
+        ),
+        trials=trials,
+        backend="fast",
+        metrics=("e3_competition",),
+    )
+
+
 def run(
     quick: bool = False,
     base_seed: int = 0,
@@ -52,10 +102,7 @@ def run(
     trials: int | None = None,
 ) -> Table:
     """Aggregate Y statistics across (n, k) configurations."""
-    if configs is None:
-        configs = ((256, 4), (512, 8)) if quick else ((256, 4), (512, 8), (2048, 8), (4096, 16))
-    if trials is None:
-        trials = 15 if quick else 60
+    result = execute_study(study(quick, base_seed, configs, trials)).table
 
     table = Table(
         "E3  Competition blocks (Lemmas 4.1/4.2): cohort change Y per block",
@@ -71,30 +118,18 @@ def run(
             "holds",
         ],
     )
-    for n, k in configs:
-        nests = NestConfig.all_good(k)
-        changes: list[int] = []
-        reports = run_trial_batch(
-            "optimal", n, nests, base_seed + n * 31 + k, trials,
-            backend="fast", max_rounds=20_000, record_history=True,
-        )
-        for report in reports:
-            changes.extend(competition_changes(report.population_history))
-        array = np.asarray(changes)
-        negative = int((array < 0).sum())
-        positive = int((array > 0).sum())
-        zero = int((array == 0).sum())
-        total = len(array)
-        p_neg = negative / total
-        p_pos = positive / total
-        lo, _ = wilson_interval(negative, total)
+    for row in result.rows():
+        total = row["samples"]
+        p_neg = row["n_neg"] / total
+        p_pos = row["n_pos"] / total
+        lo, _ = wilson_interval(row["n_neg"], total)
         table.add_row(
-            n,
-            k,
+            row["n"],
+            row["k"],
             total,
             p_neg,
             p_pos,
-            zero / total,
+            row["n_zero"] / total,
             abs(p_neg - p_pos),
             LEMMA_4_2_DROPOUT_LOWER_BOUND,
             lo >= LEMMA_4_2_DROPOUT_LOWER_BOUND,
@@ -105,3 +140,6 @@ def run(
         "far higher, confirming the bound is very conservative."
     )
     return table
+
+
+STUDIES.register("E3", study, "Lemmas 4.1/4.2: competition-block change statistics")

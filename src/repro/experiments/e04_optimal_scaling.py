@@ -1,6 +1,6 @@
 """E4 — Theorem 4.3: Algorithm 2 solves HouseHunting in O(log n) w.h.p.
 
-Two sweeps with the fast engine:
+Two sweep segments in one Study (the fast engine throughout):
 
 - ``n`` at fixed ``k``: convergence rounds should fit ``a + b·log n`` and
   beat the linear/sqrt alternatives;
@@ -16,13 +16,52 @@ justifies our reading.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.scaling import fit_models, linear_model, log_model, sqrt_model
 from repro.analysis.tables import Table
 from repro.analysis.theory import optimal_k_bound
-from repro.experiments.common import run_trial_batch, summarize_runs
-from repro.model.nests import NestConfig
+from repro.api import STUDIES, Study, Sweep, cases, nests_spec, ref
+from repro.experiments.common import execute_study
+
+
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    k_fixed: int = 4,
+    n_fixed: int | None = None,
+    sizes: tuple[int, ...] | None = None,
+    k_values: tuple[int, ...] | None = None,
+    trials: int | None = None,
+) -> Study:
+    """The E4 sweep: an n-segment and a k-segment, historical seeds."""
+    if sizes is None:
+        sizes = (128, 256, 512, 1024) if quick else (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+    if k_values is None:
+        k_values = (2, 4, 8) if quick else (2, 4, 8, 16, 32)
+    if n_fixed is None:
+        n_fixed = 1024 if quick else 4096
+    if trials is None:
+        trials = 10 if quick else 40
+    cells = [
+        {"sweep": "n", "n": n, "k": k_fixed, "seed": base_seed + n} for n in sizes
+    ] + [
+        {"sweep": "k", "n": n_fixed, "k": k, "seed": base_seed + 7919 * k}
+        for k in k_values
+    ]
+    return Study(
+        name="E4",
+        description="Theorem 4.3: Algorithm 2 rounds-to-all-final scaling",
+        sweep=Sweep(
+            base={
+                "algorithm": "optimal",
+                "nests": nests_spec("all_good", k=ref("k")),
+                "max_rounds": 50_000,
+            },
+            axes=(cases(*cells),),
+        ),
+        trials=trials,
+        backend="fast",
+        metrics=("median_rounds_converged", "success_rate_converged"),
+    )
 
 
 def run(
@@ -35,54 +74,90 @@ def run(
     trials: int | None = None,
 ) -> Table:
     """n-sweep and k-sweep of Algorithm 2 with growth-model fits."""
-    if sizes is None:
-        sizes = (128, 256, 512, 1024) if quick else (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
-    if k_values is None:
-        k_values = (2, 4, 8) if quick else (2, 4, 8, 16, 32)
-    if n_fixed is None:
-        n_fixed = 1024 if quick else 4096
-    if trials is None:
-        trials = 10 if quick else 40
+    result = execute_study(
+        study(quick, base_seed, k_fixed, n_fixed, sizes, k_values, trials)
+    ).table
 
     table = Table(
-        f"E4  Algorithm 2 scaling (Theorem 4.3): rounds to all-final",
+        "E4  Algorithm 2 scaling (Theorem 4.3): rounds to all-final",
         ["sweep", "n", "k", "median rounds", "success", "k bound (c=1)"],
     )
-    n_medians: list[float] = []
-    for n in sizes:
-        nests = NestConfig.all_good(k_fixed)
-        results = run_trial_batch(
-            "optimal", n, nests, base_seed + n, trials,
-            backend="fast", max_rounds=50_000,
+    for row in result.rows():
+        table.add_row(
+            row["sweep"],
+            row["n"],
+            row["k"],
+            row["median_rounds_converged"],
+            row["success_rate_converged"],
+            optimal_k_bound(row["n"]),
         )
-        median, success, _ = summarize_runs(results)
-        n_medians.append(median)
-        table.add_row("n", n, k_fixed, median, success, optimal_k_bound(n))
 
-    k_medians: list[float] = []
-    for k in k_values:
-        nests = NestConfig.all_good(k)
-        results = run_trial_batch(
-            "optimal", n_fixed, nests, base_seed + 7919 * k, trials,
-            backend="fast", max_rounds=50_000,
-        )
-        median, success, _ = summarize_runs(results)
-        k_medians.append(median)
-        table.add_row("k", n_fixed, k, median, success, optimal_k_bound(n_fixed))
-
+    n_segment = result.select(sweep="n")
+    n_sizes = [int(v) for v in n_segment["n"]]
+    n_medians = [float(v) for v in n_segment["median_rounds_converged"]]
     n_fits = fit_models(
-        [log_model(), linear_model(), sqrt_model()], list(sizes), n_medians
+        [log_model(), linear_model(), sqrt_model()], n_sizes, n_medians
     )
     table.add_note(f"n-sweep best model: {n_fits[0]}")
     table.add_note(f"n-sweep runner-up:  {n_fits[1]}")
-    if len(k_values) >= 3:
-        k_fits = fit_models([log_model(), linear_model()], list(k_values), k_medians)
+    k_segment = result.select(sweep="k")
+    if k_segment.n_rows >= 3:
+        k_fits = fit_models(
+            [log_model(), linear_model()],
+            [int(v) for v in k_segment["k"]],
+            [float(v) for v in k_segment["median_rounds_converged"]],
+        )
         table.add_note(f"k-sweep best model: {k_fits[0]}")
     table.add_note(
         "Theorem 4.3 predicts O(log n) rounds and success 1 - 1/n^c for "
         "k <= n/(12(c+1) ln n)."
     )
     return table
+
+
+def study_strict_ablation(
+    quick: bool = False,
+    base_seed: int = 0,
+    configs: tuple[tuple[int, int], ...] | None = None,
+    trials: int | None = None,
+) -> Study:
+    """The E4b sweep: (n, k) grid x {clarified, strict} with shared seeds."""
+    if configs is None:
+        configs = ((256, 4),) if quick else ((256, 4), (1024, 8), (4096, 8))
+    if trials is None:
+        trials = 10 if quick else 40
+    variants = cases(
+        {"variant": "clarified"},
+        {"variant": "strict", "params": {"strict_pseudocode": True}},
+    )
+    return Study(
+        name="E4b",
+        description="OptimalAnt case-3 count-update ablation (DESIGN.md §3.2)",
+        sweep=Sweep(
+            base={
+                "algorithm": "optimal",
+                "nests": nests_spec("all_good", k=ref("k")),
+                "seed": ref("seed_base"),
+                # Strict mode mostly fails to settle, so a 50k cap would
+                # spend almost all its time censoring; 4k rounds is an order
+                # of magnitude above the clarified mode's worst case and
+                # bounds the ablation's runtime.
+                "max_rounds": 4_000,
+            },
+            axes=(
+                cases(
+                    *(
+                        {"n": n, "k": k, "seed_base": base_seed + n + k}
+                        for n, k in configs
+                    )
+                ),
+                variants,
+            ),
+        ),
+        trials=trials,
+        backend="fast",
+        metrics=("median_rounds_converged", "success_rate_converged"),
+    )
 
 
 def run_strict_ablation(
@@ -92,10 +167,9 @@ def run_strict_ablation(
     trials: int | None = None,
 ) -> Table:
     """E4b: literal pseudocode vs the clarified case-3 count update."""
-    if configs is None:
-        configs = ((256, 4),) if quick else ((256, 4), (1024, 8), (4096, 8))
-    if trials is None:
-        trials = 10 if quick else 40
+    result = execute_study(
+        study_strict_ablation(quick, base_seed, configs, trials)
+    ).table
 
     table = Table(
         "E4b  OptimalAnt case-3 count update ablation (DESIGN.md §3.2)",
@@ -108,27 +182,24 @@ def run_strict_ablation(
             "success (strict)",
         ],
     )
-    # Strict mode mostly fails to settle, so a 50k cap would spend almost
-    # all its time censoring; 4k rounds is an order of magnitude above the
-    # clarified mode's worst case and bounds the ablation's runtime.
-    max_rounds = 4_000
-    for n, k in configs:
-        nests = NestConfig.all_good(k)
-        clarified = run_trial_batch(
-            "optimal", n, nests, base_seed + n + k, trials,
-            backend="fast", max_rounds=max_rounds,
+    for (n, k), _ in result.group_by("n", "k"):
+        table.add_row(
+            n,
+            k,
+            result.value("median_rounds_converged", n=n, k=k, variant="clarified"),
+            result.value("success_rate_converged", n=n, k=k, variant="clarified"),
+            result.value("median_rounds_converged", n=n, k=k, variant="strict"),
+            result.value("success_rate_converged", n=n, k=k, variant="strict"),
         )
-        strict = run_trial_batch(
-            "optimal", n, nests, base_seed + n + k, trials,
-            backend="fast", max_rounds=max_rounds,
-            params={"strict_pseudocode": True},
-        )
-        c_median, c_success, _ = summarize_runs(clarified)
-        s_median, s_success, _ = summarize_runs(strict)
-        table.add_row(n, k, c_median, c_success, s_median, s_success)
     table.add_note(
         "strict mode keeps the stale `count` after a case-3 recruitment; the "
         "clarified mode stores the reassessed value, preserving the "
         "cohort-count invariant the paper's analysis uses."
     )
     return table
+
+
+STUDIES.register("E4", study, "Theorem 4.3: Algorithm 2 scaling (n- and k-sweeps)")
+STUDIES.register(
+    "E4b", study_strict_ablation, "Algorithm 2 strict-pseudocode ablation"
+)

@@ -1,12 +1,18 @@
 """E5 — Lemma 5.4: the initial population gap, E[ε(i,j,1)] ≥ 1/(3(n−1)).
 
 Round 1 assigns each ant a uniform nest, so the joint nest populations are
-multinomial.  We sample that directly and measure the relative gap
-``ε(i,j,1) = max(c_i, c_j)/min(c_i, c_j) − 1`` for a fixed nest pair, plus
-``P[ε = 0]`` (the tie probability the lemma's proof bounds by 2/3 via
-Stirling).  Ties with an empty smaller nest make ε infinite — which only
-helps the lower bound; we report the finite-sample mean excluding those
-(rare for n ≫ k) and their frequency.
+multinomial.  The registered ``initial_split`` measurement process samples
+that directly (one trial = one multinomial draw, the gap of nest pair
+(1, 2) recorded in the report extras) and this study measures the relative
+gap ``ε(i,j,1) = max(c_i, c_j)/min(c_i, c_j) − 1``, plus ``P[ε = 0]`` (the
+tie probability the lemma's proof bounds by 2/3 via Stirling).  Ties with
+an empty smaller nest make ε infinite — which only helps the lower bound;
+we report the finite-sample mean excluding those (rare for n ≫ k) and
+their frequency.
+
+Since the Sweep/Study port each (n, k) cell draws per-trial seeded streams
+instead of one shared vectorized generator; estimates are statistically
+unchanged and cells cache independently.
 """
 
 from __future__ import annotations
@@ -15,31 +21,33 @@ import numpy as np
 
 from repro.analysis.tables import Table
 from repro.analysis.theory import lemma_5_4_initial_gap
+from repro.api import STUDIES, Study, Sweep, cases, expr, nests_spec, register_metric, ref
+from repro.experiments.common import execute_study
 
 
-def sample_initial_gaps(
-    n: int, k: int, trials: int, rng: np.random.Generator
-) -> tuple[np.ndarray, int, int]:
-    """(finite ε samples, ties, zero-denominator events) for nest pair (1, 2)."""
-    counts = rng.multinomial(n, np.full(k, 1.0 / k), size=trials)
-    first = counts[:, 0].astype(float)
-    second = counts[:, 1].astype(float)
-    high = np.maximum(first, second)
-    low = np.minimum(first, second)
-    ties = int((high == low).sum())
-    zero_low = low == 0
-    n_zero = int(zero_low.sum())
-    finite = high[~zero_low] / low[~zero_low] - 1.0
-    return finite, ties, n_zero
+def _gap_metric(reports, stats) -> dict[str, float]:
+    gaps = [
+        report.extras["gap"]
+        for report in reports
+        if report.extras.get("gap") is not None
+    ]
+    return {
+        "mean_gap": float(np.mean(gaps)) if gaps else float("nan"),
+        "n_ties": sum(1 for r in reports if r.extras.get("tie")),
+        "n_empty": sum(1 for r in reports if r.extras.get("empty_pair_nest")),
+    }
 
 
-def run(
+register_metric("e5_gap", _gap_metric)
+
+
+def study(
     quick: bool = False,
     base_seed: int = 0,
     configs: tuple[tuple[int, int], ...] | None = None,
     trials: int | None = None,
-) -> Table:
-    """Estimate E[ε(i,j,1)] across (n, k) and compare to 1/(3(n−1))."""
+) -> Study:
+    """The E5 sweep: multinomial round-1 splits across (n, k)."""
     if configs is None:
         configs = ((64, 2), (256, 4)) if quick else (
             (64, 2),
@@ -51,6 +59,30 @@ def run(
         )
     if trials is None:
         trials = 2_000 if quick else 20_000
+    return Study(
+        name="E5",
+        description="Lemma 5.4: initial search gap eps(i,j,1) vs 1/(3(n-1))",
+        sweep=Sweep(
+            base={
+                "algorithm": "initial_split",
+                "nests": nests_spec("all_good", k=ref("k")),
+                "seed": expr(base_seed, n=1, k=1000, cast="int"),
+            },
+            axes=(cases(*({"n": n, "k": k} for n, k in configs)),),
+        ),
+        trials=trials,
+        metrics=("n_trials", "e5_gap"),
+    )
+
+
+def run(
+    quick: bool = False,
+    base_seed: int = 0,
+    configs: tuple[tuple[int, int], ...] | None = None,
+    trials: int | None = None,
+) -> Table:
+    """Estimate E[ε(i,j,1)] across (n, k) and compare to 1/(3(n−1))."""
+    result = execute_study(study(quick, base_seed, configs, trials)).table
 
     table = Table(
         "E5  Initial search gap (Lemma 5.4): E[eps(i,j,1)] vs 1/(3(n-1))",
@@ -65,17 +97,15 @@ def run(
             "holds",
         ],
     )
-    rng = np.random.default_rng(base_seed)
-    for n, k in configs:
-        finite, ties, n_zero = sample_initial_gaps(n, k, trials, rng)
-        mean_gap = float(finite.mean())
-        bound = lemma_5_4_initial_gap(n)
+    for row in result.rows():
+        bound = lemma_5_4_initial_gap(row["n"])
+        mean_gap = row["mean_gap"]
         table.add_row(
-            n,
-            k,
+            row["n"],
+            row["k"],
             mean_gap,
-            ties / trials,
-            n_zero / trials,
+            row["n_ties"] / row["n_trials"],
+            row["n_empty"] / row["n_trials"],
             bound,
             mean_gap / bound,
             mean_gap >= bound,
@@ -89,3 +119,6 @@ def run(
         "measured tie probabilities are far smaller."
     )
     return table
+
+
+STUDIES.register("E5", study, "Lemma 5.4: multinomial initial-gap sampling")

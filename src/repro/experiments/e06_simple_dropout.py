@@ -7,6 +7,9 @@ below the smallness threshold ``n/(dk)`` (d = 64), measures
   w.h.p., over an O(k log n) horizon), and
 - how many rounds pass from first crossing to complete emptiness, compared
   to Lemma 5.9's ``64(c+4)·k·log n`` horizon (a deliberately loose bound).
+
+The sweep is a Study; the per-cell lifetime extraction is the registered
+``e6_dropout`` metric over the recorded histories.
 """
 
 from __future__ import annotations
@@ -15,8 +18,8 @@ import numpy as np
 
 from repro.analysis.tables import Table
 from repro.analysis.theory import SECTION_5_D, simple_dropout_horizon, small_nest_threshold
-from repro.experiments.common import run_trial_batch
-from repro.model.nests import NestConfig
+from repro.api import STUDIES, Study, Sweep, cases, expr, nests_spec, register_metric, ref
+from repro.experiments.common import execute_study
 
 
 def dropout_times(history: np.ndarray, threshold: float) -> tuple[list[int], int]:
@@ -44,6 +47,59 @@ def dropout_times(history: np.ndarray, threshold: float) -> tuple[list[int], int
     return times, resurfaced
 
 
+def _dropout_metric(reports, stats) -> dict[str, float]:
+    n = reports[0].n
+    k = reports[0].k
+    threshold = small_nest_threshold(n, k, SECTION_5_D)
+    all_times: list[int] = []
+    resurfacings = 0
+    for report in reports:
+        times, resurfaced = dropout_times(report.population_history, threshold)
+        all_times.extend(times)
+        resurfacings += resurfaced
+    return {
+        "crossings": len(all_times),
+        "resurfaced": resurfacings,
+        "median_rounds_to_empty": (
+            float(np.median(all_times)) if all_times else float("nan")
+        ),
+        "max_rounds_to_empty": max(all_times) if all_times else 0,
+    }
+
+
+register_metric("e6_dropout", _dropout_metric)
+
+
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    configs: tuple[tuple[int, int], ...] | None = None,
+    trials: int | None = None,
+) -> Study:
+    """The E6 sweep: (n, k) configurations with recorded histories."""
+    if configs is None:
+        configs = ((512, 4),) if quick else ((512, 4), (2048, 8), (8192, 8), (8192, 16))
+    if trials is None:
+        trials = 10 if quick else 40
+    return Study(
+        name="E6",
+        description="Lemmas 5.8/5.9: sub-threshold nest lifetimes",
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "nests": nests_spec("all_good", k=ref("k")),
+                "seed": expr(base_seed, n=13, k=1, cast="int"),
+                "max_rounds": 100_000,
+                "record_history": True,
+            },
+            axes=(cases(*({"n": n, "k": k} for n, k in configs)),),
+        ),
+        trials=trials,
+        backend="fast",
+        metrics=("e6_dropout",),
+    )
+
+
 def run(
     quick: bool = False,
     base_seed: int = 0,
@@ -51,10 +107,7 @@ def run(
     trials: int | None = None,
 ) -> Table:
     """Measure sub-threshold nest lifetimes across (n, k)."""
-    if configs is None:
-        configs = ((512, 4),) if quick else ((512, 4), (2048, 8), (8192, 8), (8192, 16))
-    if trials is None:
-        trials = 10 if quick else 40
+    result = execute_study(study(quick, base_seed, configs, trials)).table
 
     table = Table(
         "E6  Small-nest extinction (Lemmas 5.8/5.9): threshold n/(64k)",
@@ -70,33 +123,19 @@ def run(
             "within horizon",
         ],
     )
-    for n, k in configs:
-        nests = NestConfig.all_good(k)
-        threshold = small_nest_threshold(n, k, SECTION_5_D)
+    for row in result.rows():
+        n, k = row["n"], row["k"]
         horizon = simple_dropout_horizon(n, k, c=1.0)
-        all_times: list[int] = []
-        resurfacings = 0
-        crossings = 0
-        for report in run_trial_batch(
-            "simple", n, nests, base_seed + n * 13 + k, trials,
-            backend="fast", max_rounds=100_000, record_history=True,
-        ):
-            times, resurfaced = dropout_times(report.population_history, threshold)
-            all_times.extend(times)
-            resurfacings += resurfaced
-            crossings += len(times)
-        median_time = float(np.median(all_times)) if all_times else float("nan")
-        max_time = max(all_times) if all_times else 0
         table.add_row(
             n,
             k,
-            threshold,
-            crossings,
-            resurfacings,
-            median_time,
-            max_time,
+            small_nest_threshold(n, k, SECTION_5_D),
+            row["crossings"],
+            row["resurfaced"],
+            row["median_rounds_to_empty"],
+            row["max_rounds_to_empty"],
             horizon,
-            max_time <= horizon,
+            row["max_rounds_to_empty"] <= horizon,
         )
     table.add_note(
         "Lemma 5.8 predicts no resurfacing above n/(dk) w.h.p.; Lemma 5.9 "
@@ -105,3 +144,6 @@ def run(
         "loose by design)."
     )
     return table
+
+
+STUDIES.register("E6", study, "Lemmas 5.8/5.9: small-nest extinction lifetimes")

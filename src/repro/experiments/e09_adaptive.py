@@ -9,19 +9,101 @@ Compares plain Algorithm 3 against the two adaptive instantiations
 plus the approximate-``n`` robustness variant (the ants' recruit
 probability uses a per-ant misestimate ñ).  The fast engine's
 ``rate_multiplier`` hook runs the schedule variant at scale; the agent
-engine runs the others.
+engine runs the others.  One Study: a ``k`` grid crossed with four
+per-variant cases keeping their historical seeds and engines.
 """
 
 from __future__ import annotations
 
-from repro.api import Scenario, run_stats
 from repro.analysis.tables import Table
-from repro.experiments.common import (
-    default_workers,
-    run_trial_batch,
-    summarize_runs,
-)
-from repro.model.nests import NestConfig
+from repro.api import STUDIES, Study, Sweep, cases, nests_spec, ref
+from repro.experiments.common import execute_study
+
+
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    n: int | None = None,
+    k_values: tuple[int, ...] | None = None,
+    trials: int | None = None,
+    agent_trials: int | None = None,
+) -> Study:
+    """The E9 sweep: k grid x {plain, k-tilde, power, approximate-n}."""
+    if n is None:
+        n = 256 if quick else 2048
+    if k_values is None:
+        k_values = (8,) if quick else (8, 16, 32)
+    if trials is None:
+        trials = 10 if quick else 40
+    if agent_trials is None:
+        agent_trials = 5 if quick else 20
+
+    agent_n = n if n <= 512 else 512
+    variant_cases = []
+    for k in k_values:
+        variant_cases.extend(
+            [
+                {
+                    "k": k,
+                    "variant": "plain Simple",
+                    "kind": "fast",
+                    "algorithm": "simple",
+                    "n": n,
+                    "seed": base_seed + k,
+                    "backend": "fast",
+                    "trials": trials,
+                },
+                {
+                    "k": k,
+                    "variant": "k-tilde schedule (hl=k/4)",
+                    "kind": "fast",
+                    "algorithm": "adaptive",
+                    "n": n,
+                    "seed": base_seed + k,
+                    "params": {"k_initial": k, "half_life": max(1.0, k / 4.0)},
+                    "backend": "fast",
+                    "trials": trials,
+                },
+                {
+                    "k": k,
+                    "variant": "power feedback (beta=0.5, agent)",
+                    "kind": "stats",
+                    "algorithm": "power_feedback",
+                    "n": agent_n,
+                    "seed": base_seed + 13 * k,
+                    "params": {"beta": 0.5},
+                    "trials": agent_trials,
+                },
+                {
+                    "k": k,
+                    "variant": "approximate n (x2 misestimate, agent)",
+                    "kind": "stats",
+                    "algorithm": "approximate_n",
+                    "n": agent_n,
+                    "seed": base_seed + 17 * k,
+                    "params": {"max_factor": 2.0},
+                    "trials": agent_trials,
+                },
+            ]
+        )
+    return Study(
+        name="E9",
+        description="Section 6 adaptive recruitment-rate comparison",
+        sweep=Sweep(
+            base={
+                "nests": nests_spec("all_good", k=ref("k")),
+                "max_rounds": 100_000,
+            },
+            axes=(cases(*variant_cases),),
+        ),
+        trials=trials,
+        metrics=(
+            "success_rate",
+            "median_rounds",
+            "success_rate_converged",
+            "median_rounds_converged",
+        ),
+    )
 
 
 def run(
@@ -35,72 +117,23 @@ def run(
     """Adaptive-rate comparison across k at fixed n."""
     if n is None:
         n = 256 if quick else 2048
-    if k_values is None:
-        k_values = (8,) if quick else (8, 16, 32)
-    if trials is None:
-        trials = 10 if quick else 40
-    if agent_trials is None:
-        agent_trials = 5 if quick else 20
+    result = execute_study(
+        study(quick, base_seed, n, k_values, trials, agent_trials)
+    ).table
 
     table = Table(
         f"E9  Adaptive recruitment rates at n={n}",
         ["k", "variant", "median rounds", "success"],
     )
-    for k in k_values:
-        nests = NestConfig.all_good(k)
-
-        plain = run_trial_batch(
-            "simple", n, nests, base_seed + k, trials,
-            backend="fast", max_rounds=100_000,
-        )
-        median, success, _ = summarize_runs(plain)
-        table.add_row(k, "plain Simple", median, success)
-
-        adaptive = run_trial_batch(
-            "adaptive", n, nests, base_seed + k, trials,
-            backend="fast", max_rounds=100_000,
-            params={"k_initial": k, "half_life": max(1.0, k / 4.0)},
-        )
-        median, success, _ = summarize_runs(adaptive)
-        table.add_row(k, "k-tilde schedule (hl=k/4)", median, success)
-
-        power_stats = run_stats(
-            Scenario(
-                algorithm="power_feedback",
-                n=n if n <= 512 else 512,
-                nests=nests,
-                seed=base_seed + 13 * k,
-                max_rounds=100_000,
-                params={"beta": 0.5},
-            ),
-            n_trials=agent_trials,
-            workers=default_workers(),
-        )
-        table.add_row(
-            k,
-            "power feedback (beta=0.5, agent)",
-            power_stats.median_rounds,
-            power_stats.success_rate,
-        )
-
-        approx_stats = run_stats(
-            Scenario(
-                algorithm="approximate_n",
-                n=n if n <= 512 else 512,
-                nests=nests,
-                seed=base_seed + 17 * k,
-                max_rounds=100_000,
-                params={"max_factor": 2.0},
-            ),
-            n_trials=agent_trials,
-            workers=default_workers(),
-        )
-        table.add_row(
-            k,
-            "approximate n (x2 misestimate, agent)",
-            approx_stats.median_rounds,
-            approx_stats.success_rate,
-        )
+    for row in result.rows():
+        if row["kind"] == "fast":
+            median, success = (
+                row["median_rounds_converged"],
+                row["success_rate_converged"],
+            )
+        else:
+            median, success = row["median_rounds"], row["success_rate"]
+        table.add_row(row["k"], row["variant"], median, success)
     table.add_note(
         "agent-engine rows use n=min(n, 512) for runtime; the comparison of "
         "interest (plain vs k-tilde) is measured at full n on the fast engine."
@@ -110,3 +143,6 @@ def run(
         "6's conjecture that round-indexed rates remove the O(k) factor."
     )
     return table
+
+
+STUDIES.register("E9", study, "Section 6: adaptive recruitment-rate variants across k")

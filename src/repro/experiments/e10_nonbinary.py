@@ -7,15 +7,81 @@ the gap and the quality weight (the speed/accuracy dial of Pratt & Sumpter
 that the paper cites).  Expected shape: accuracy increases with both the
 gap and the weight; a weight of 0 reduces to quality-blind Algorithm 3
 (accuracy tracks only the initial population split, ≈ 50%).
+
+The historical trial-stream layout — one shared base seed with trial
+indices running across the whole (gap, weight) grid in order — is
+preserved declaratively via the per-cell ``trial_start`` binding.
 """
 
 from __future__ import annotations
 
-from repro.api import Scenario, run_batch
 from repro.analysis.stats import wilson_interval
 from repro.analysis.tables import Table
-from repro.experiments.common import default_workers
-from repro.model.nests import NestConfig
+from repro.api import STUDIES, Study, Sweep, expr, grid, nests_spec, ref, register_metric
+from repro.experiments.common import execute_study
+
+
+def _outcomes_metric(reports, stats) -> dict[str, float]:
+    rounds = [r.converged_round for r in reports if r.converged]
+    best_wins = sum(
+        1 for r in reports if r.converged and r.chosen_nest == 1
+    )
+    # Historical estimator: the upper median of the agreed rounds.
+    median = float(sorted(rounds)[len(rounds) // 2]) if rounds else float("nan")
+    return {
+        "n_agreed": len(rounds),
+        "n_best_wins": best_wins,
+        "median_rounds_agreed": median,
+    }
+
+
+register_metric("e10_outcomes", _outcomes_metric)
+
+
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    n: int | None = None,
+    gaps: tuple[float, ...] | None = None,
+    weights: tuple[float, ...] | None = None,
+    trials: int | None = None,
+) -> Study:
+    """The E10 sweep: quality gap x quality weight at k=2."""
+    if n is None:
+        n = 128 if quick else 256
+    if gaps is None:
+        gaps = (0.1, 0.4) if quick else (0.05, 0.1, 0.2, 0.4)
+    if weights is None:
+        weights = (1.0,) if quick else (0.0, 1.0, 2.0, 4.0)
+    if trials is None:
+        trials = 10 if quick else 60
+    return Study(
+        name="E10",
+        description="Section 6 non-binary qualities: accuracy/speed grid",
+        sweep=Sweep(
+            base={
+                "algorithm": "quality_weighted",
+                "n": n,
+                "nests": nests_spec(
+                    "graded",
+                    qualities=[
+                        expr(0.5, gap=1),
+                        expr(0.5, gap=-1),
+                    ],
+                ),
+                "seed": base_seed,
+                "max_rounds": 50_000,
+                "params": {"quality_weight": ref("weight")},
+                "criterion": "unanimous",
+                # Preserve the historical stream assignment: one shared base
+                # seed, trial indices running across the whole grid in order.
+                "trial_start": expr(0, cell_index=trials, cast="int"),
+            },
+            axes=(grid("gap", gaps), grid("weight", weights)),
+        ),
+        trials=trials,
+        metrics=("n_trials", "e10_outcomes"),
+    )
 
 
 def run(
@@ -29,12 +95,7 @@ def run(
     """Sweep quality gap × quality weight; report accuracy and speed."""
     if n is None:
         n = 128 if quick else 256
-    if gaps is None:
-        gaps = (0.1, 0.4) if quick else (0.05, 0.1, 0.2, 0.4)
-    if weights is None:
-        weights = (1.0,) if quick else (0.0, 1.0, 2.0, 4.0)
-    if trials is None:
-        trials = 10 if quick else 60
+    result = execute_study(study(quick, base_seed, n, gaps, weights, trials)).table
 
     table = Table(
         f"E10  Non-binary qualities at n={n}, k=2: does the better nest win?",
@@ -47,46 +108,17 @@ def run(
             "median rounds",
         ],
     )
-    index = 0
-    for gap in gaps:
-        nests = NestConfig.graded([0.5 + gap, 0.5 - gap])
-        for weight in weights:
-            # Preserve the historical stream assignment: one shared base
-            # seed, trial indices running across the whole (gap, weight)
-            # grid in order.
-            scenarios = [
-                Scenario(
-                    algorithm="quality_weighted",
-                    n=n,
-                    nests=nests,
-                    seed=base_seed,
-                    trial_index=index + offset,
-                    max_rounds=50_000,
-                    params={"quality_weight": weight},
-                    criterion="unanimous",
-                )
-                for offset in range(trials)
-            ]
-            index += trials
-            best_wins = 0
-            agreed = 0
-            rounds: list[int] = []
-            for report in run_batch(scenarios, workers=default_workers()):
-                if report.converged:
-                    agreed += 1
-                    rounds.append(report.converged_round)
-                    if report.chosen_nest == 1:
-                        best_wins += 1
-            lo, _ = wilson_interval(best_wins, max(agreed, 1))
-            median = float(sorted(rounds)[len(rounds) // 2]) if rounds else float("nan")
-            table.add_row(
-                gap,
-                weight,
-                best_wins / max(agreed, 1),
-                lo,
-                agreed / trials,
-                median,
-            )
+    for row in result.rows():
+        agreed = max(row["n_agreed"], 1)
+        lo, _ = wilson_interval(row["n_best_wins"], agreed)
+        table.add_row(
+            row["gap"],
+            row["weight"],
+            row["n_best_wins"] / agreed,
+            lo,
+            row["n_agreed"] / row["n_trials"],
+            row["median_rounds_agreed"],
+        )
     table.add_note(
         "weight 0 removes quality from the *recruitment* rate but the "
         "stochastic acceptance (accept w.p. q) still tilts the initial "
@@ -96,3 +128,6 @@ def run(
         "(2006) that Section 6 anticipates."
     )
     return table
+
+
+STUDIES.register("E10", study, "Section 6: quality-weighted accuracy/speed frontier")

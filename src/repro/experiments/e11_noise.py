@@ -1,7 +1,7 @@
 """E11 — Section 6 "Approximate counting": tolerance to measurement noise.
 
 Runs Algorithm 3 under increasingly noisy population readings, in two
-flavors:
+flavors within one Study:
 
 - parametric unbiased Gaussian noise (relative σ sweep) on the fast engine;
 - the mechanistic encounter-rate estimator (Pratt 2005) on the agent
@@ -14,16 +14,77 @@ measures exactly that curve.
 
 from __future__ import annotations
 
-from repro.api import Scenario, run_stats
 from repro.analysis.tables import Table
-from repro.experiments.common import (
-    default_workers,
-    run_trial_batch,
-    summarize_runs,
-)
-from repro.extensions.estimation import EncounterNoise, EncounterRateEstimator
-from repro.model.nests import NestConfig
-from repro.sim.noise import CountNoise
+from repro.api import STUDIES, Study, Sweep, cases, nests_spec
+from repro.experiments.common import execute_study
+
+
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    n: int | None = None,
+    k: int = 4,
+    sigmas: tuple[float, ...] | None = None,
+    encounter_trials: tuple[int, ...] | None = None,
+    trials: int | None = None,
+    agent_trials: int | None = None,
+) -> Study:
+    """The E11 sweep: Gaussian σ rows (fast) + encounter-budget rows (agent)."""
+    if n is None:
+        n = 256 if quick else 1024
+    if sigmas is None:
+        sigmas = (0.0, 0.5) if quick else (0.0, 0.25, 0.5, 1.0, 2.0)
+    if encounter_trials is None:
+        encounter_trials = (16,) if quick else (8, 32, 128)
+    if trials is None:
+        trials = 10 if quick else 40
+    if agent_trials is None:
+        agent_trials = 5 if quick else 20
+
+    agent_n = min(n, 256)
+    rows = [
+        {
+            "model": "gaussian relative",
+            "level": sigma,
+            "kind": "fast",
+            "n": n,
+            "seed": base_seed + int(sigma * 100),
+            "noise": {"kind": "count", "relative_sigma": sigma},
+            "backend": "fast",
+            "trials": trials,
+        }
+        for sigma in sigmas
+    ] + [
+        {
+            "model": f"encounter-rate (agent, n={agent_n})",
+            "level": f"{budget} samples",
+            "kind": "stats",
+            "n": agent_n,
+            "seed": base_seed + budget,
+            "noise": {"kind": "encounter", "trials": budget, "capacity": 2 * agent_n},
+            "trials": agent_trials,
+        }
+        for budget in encounter_trials
+    ]
+    return Study(
+        name="E11",
+        description="Section 6 approximate counting: noise tolerance curve",
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "nests": nests_spec("all_good", k=k),
+                "max_rounds": 100_000,
+            },
+            axes=(cases(*rows),),
+        ),
+        trials=trials,
+        metrics=(
+            "success_rate",
+            "median_rounds",
+            "success_rate_converged",
+            "median_rounds_converged",
+        ),
+    )
 
 
 def run(
@@ -39,54 +100,28 @@ def run(
     """Noise sweep: Gaussian (fast engine) and encounter-rate (agent)."""
     if n is None:
         n = 256 if quick else 1024
-    if sigmas is None:
-        sigmas = (0.0, 0.5) if quick else (0.0, 0.25, 0.5, 1.0, 2.0)
-    if encounter_trials is None:
-        encounter_trials = (16,) if quick else (8, 32, 128)
-    if trials is None:
-        trials = 10 if quick else 40
-    if agent_trials is None:
-        agent_trials = 5 if quick else 20
+    result = execute_study(
+        study(quick, base_seed, n, k, sigmas, encounter_trials, trials, agent_trials)
+    ).table
 
-    nests = NestConfig.all_good(k)
     table = Table(
         f"E11  Noisy counting at n={n}, k={k} (Algorithm 3)",
         ["noise model", "level", "median rounds", "success"],
     )
-    for sigma in sigmas:
-        noise = CountNoise(relative_sigma=sigma)
-        results = run_trial_batch(
-            "simple", n, nests, base_seed + int(sigma * 100), trials,
-            backend="fast", max_rounds=100_000, noise=noise,
-        )
-        median, success, _ = summarize_runs(results)
-        table.add_row("gaussian relative", sigma, median, success)
-
-    agent_n = min(n, 256)
-    for budget in encounter_trials:
-        noise = EncounterNoise(
-            estimator=EncounterRateEstimator(trials=budget, capacity=2 * agent_n)
-        )
-        stats = run_stats(
-            Scenario(
-                algorithm="simple",
-                n=agent_n,
-                nests=nests,
-                seed=base_seed + budget,
-                max_rounds=100_000,
-                noise=noise,
-            ),
-            n_trials=agent_trials,
-            workers=default_workers(),
-        )
-        table.add_row(
-            f"encounter-rate (agent, n={agent_n})",
-            f"{budget} samples",
-            stats.median_rounds,
-            stats.success_rate,
-        )
+    for row in result.rows():
+        if row["kind"] == "fast":
+            median, success = (
+                row["median_rounds_converged"],
+                row["success_rate_converged"],
+            )
+        else:
+            median, success = row["median_rounds"], row["success_rate"]
+        table.add_row(row["model"], row["level"], median, success)
     table.add_note(
         "unbiased noise leaves success at 1 and costs rounds roughly "
         "monotonically in the noise level — the Section 6 conjecture."
     )
     return table
+
+
+STUDIES.register("E11", study, "Section 6: noisy-counting tolerance (Gaussian + encounter)")

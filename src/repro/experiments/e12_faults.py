@@ -6,22 +6,105 @@ count toward agreement):
 
 - crash faults in both zombie modes — corpses idling at home soak up
   recruitment attempts; corpses parked at a nest inflate its counts;
-- Byzantine ants that perpetually recruit to a bad nest at full rate.
+- Byzantine ants that perpetually recruit to a bad nest at full rate;
+- the Byzantine × asynchrony cliff (delays weaken honest proportional
+  feedback while full-rate adversarial recruiters are unaffected).
 
 The paper conjectures "a small number of ants suffering from crash-faults
 or even malicious faults should not affect the overall populations ... and
 the algorithm's performance"; the sweep locates where that stops being
-true.
+true.  Declared as one Study whose cases carry the fault plans and delay
+models as data.
 """
 
 from __future__ import annotations
 
-from repro.api import Scenario, run_stats
 from repro.analysis.tables import Table
-from repro.experiments.common import default_workers
-from repro.model.nests import NestConfig
-from repro.sim.asynchrony import DelayModel
-from repro.sim.faults import CrashMode, FaultPlan
+from repro.api import STUDIES, Study, Sweep, cases, nests_spec
+from repro.experiments.common import execute_study
+from repro.sim.faults import CrashMode
+
+
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    n: int | None = None,
+    k: int = 4,
+    crash_fractions: tuple[float, ...] | None = None,
+    byzantine_fractions: tuple[float, ...] | None = None,
+    trials: int | None = None,
+) -> Study:
+    """The E12 sweep: crash modes x fractions, Byzantine, and the cliff."""
+    if n is None:
+        n = 128 if quick else 256
+    if crash_fractions is None:
+        crash_fractions = (0.0, 0.2) if quick else (0.0, 0.1, 0.25, 0.5)
+    if byzantine_fractions is None:
+        byzantine_fractions = (0.05,) if quick else (0.02, 0.05, 0.1, 0.2)
+    if trials is None:
+        trials = 5 if quick else 25
+
+    rows = []
+    for fraction in crash_fractions:
+        for offset, mode in enumerate((CrashMode.AT_HOME, CrashMode.AT_NEST)):
+            if fraction == 0.0 and mode is CrashMode.AT_NEST:
+                continue  # identical to the AT_HOME zero row
+            rows.append(
+                {
+                    "fault_type": (
+                        "none" if fraction == 0.0 else f"crash ({mode.value})"
+                    ),
+                    "fraction": fraction,
+                    "seed": base_seed + int(fraction * 1000) + offset,
+                    "fault_plan": {
+                        "crash_fraction": fraction,
+                        "crash_mode": mode.value,
+                        "crash_round_range": [1, 20],
+                    },
+                }
+            )
+    for fraction in byzantine_fractions:
+        # Heavy Byzantine pressure can stall the colony indefinitely; the
+        # 5k-round cap (>10x the attacked median) bounds censored trials.
+        rows.append(
+            {
+                "fault_type": "byzantine (push bad nest)",
+                "fraction": fraction,
+                "seed": base_seed + 7 + int(fraction * 1000),
+                "fault_plan": {"byzantine_fraction": fraction, "seek_bad": True},
+            }
+        )
+    # The Byzantine x asynchrony cliff: a Byzantine fraction the synchronous
+    # colony shrugs off can capture the delayed colony completely.
+    cliff_byz = (0.005, 0.02) if quick else (0.005, 0.01, 0.02)
+    for fraction in cliff_byz:
+        rows.append(
+            {
+                "fault_type": "byzantine + 10% delays",
+                "fraction": fraction,
+                "seed": base_seed + 13 + int(fraction * 1000),
+                "fault_plan": {"byzantine_fraction": fraction, "seek_bad": True},
+                "delay_model": {"delay_probability": 0.1},
+            }
+        )
+
+    return Study(
+        name="E12",
+        description="Section 6 fault tolerance: crash/Byzantine/delay sweeps",
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "n": n,
+                # One bad nest for Byzantine ants to push; the rest good.
+                "nests": nests_spec("binary", k=k, good=list(range(1, k))),
+                "max_rounds": 5_000,
+                "criterion": "good_healthy",
+            },
+            axes=(cases(*rows),),
+        ),
+        trials=trials,
+        metrics=("success_rate", "median_rounds"),
+    )
 
 
 def run(
@@ -36,71 +119,20 @@ def run(
     """Fault sweeps for Algorithm 3 (healthy-colony convergence)."""
     if n is None:
         n = 128 if quick else 256
-    if crash_fractions is None:
-        crash_fractions = (0.0, 0.2) if quick else (0.0, 0.1, 0.25, 0.5)
-    if byzantine_fractions is None:
-        byzantine_fractions = (0.05,) if quick else (0.02, 0.05, 0.1, 0.2)
-    if trials is None:
-        trials = 5 if quick else 25
+    result = execute_study(
+        study(quick, base_seed, n, k, crash_fractions, byzantine_fractions, trials)
+    ).table
 
-    # One bad nest for Byzantine ants to push; the rest good.
-    nests = NestConfig.binary(k, set(range(1, k)))
     table = Table(
         f"E12  Fault tolerance at n={n}, k={k} (Algorithm 3, healthy ants)",
         ["fault type", "fraction", "median rounds", "success"],
     )
-
-    def faulted_stats(plan: FaultPlan, seed: int, delay: DelayModel | None = None):
-        return run_stats(
-            Scenario(
-                algorithm="simple",
-                n=n,
-                nests=nests,
-                seed=seed,
-                max_rounds=5_000,
-                fault_plan=plan,
-                delay_model=delay,
-                criterion="good_healthy",
-            ),
-            n_trials=trials,
-            workers=default_workers(),
-        )
-
-    for fraction in crash_fractions:
-        for mode in (CrashMode.AT_HOME, CrashMode.AT_NEST):
-            if fraction == 0.0 and mode is CrashMode.AT_NEST:
-                continue  # identical to the AT_HOME zero row
-            plan = FaultPlan(
-                crash_fraction=fraction,
-                crash_mode=mode,
-                crash_round_range=(1, 20),
-            )
-            stats = faulted_stats(
-                plan,
-                base_seed + int(fraction * 1000) + (0 if mode is CrashMode.AT_HOME else 1),
-            )
-            label = "none" if fraction == 0.0 else f"crash ({mode.value})"
-            table.add_row(label, fraction, stats.median_rounds, stats.success_rate)
-
-    for fraction in byzantine_fractions:
-        plan = FaultPlan(byzantine_fraction=fraction, seek_bad=True)
-        # Heavy Byzantine pressure can stall the colony indefinitely; the
-        # 5k-round cap (>10x the attacked median) bounds censored trials.
-        stats = faulted_stats(plan, base_seed + 7 + int(fraction * 1000))
-        table.add_row("byzantine (push bad nest)", fraction, stats.median_rounds, stats.success_rate)
-
-    # The Byzantine x asynchrony cliff: delays weaken honest proportional
-    # feedback while full-rate adversarial recruiters are unaffected, so a
-    # Byzantine fraction the synchronous colony shrugs off can capture the
-    # delayed colony completely (it converges on the *bad* nest).
-    cliff_byz = (0.005, 0.02) if quick else (0.005, 0.01, 0.02)
-    for fraction in cliff_byz:
-        plan = FaultPlan(byzantine_fraction=fraction, seek_bad=True)
-        stats = faulted_stats(
-            plan, base_seed + 13 + int(fraction * 1000), delay=DelayModel(0.1)
-        )
+    for row in result.rows():
         table.add_row(
-            "byzantine + 10% delays", fraction, stats.median_rounds, stats.success_rate
+            row["fault_type"],
+            row["fraction"],
+            row["median_rounds"],
+            row["success_rate"],
         )
 
     table.add_note(
@@ -119,3 +151,6 @@ def run(
         "quality re-assessment (see the quality-weighted extension)."
     )
     return table
+
+
+STUDIES.register("E12", study, "Section 6: crash/Byzantine/asynchrony fault sweeps")

@@ -7,15 +7,54 @@ conjectures the algorithm extends to partially synchronous executions "as
 long as the distribution of ants in candidate nests throughout time stays
 close to the distribution in the synchronous model, potentially at the cost
 of some extra running time"; the sweep measures that cost curve.
+
+One Study: a zip axis pairing each display delay probability with its
+delay-model field (``None`` for the synchronous baseline row).
 """
 
 from __future__ import annotations
 
-from repro.api import Scenario, run_stats
 from repro.analysis.tables import Table
-from repro.experiments.common import default_workers
-from repro.model.nests import NestConfig
-from repro.sim.asynchrony import DelayModel
+from repro.api import STUDIES, Study, Sweep, expr, nests_spec, zipped
+from repro.experiments.common import execute_study
+
+
+def study(
+    quick: bool = False,
+    base_seed: int = 0,
+    n: int | None = None,
+    k: int = 4,
+    delays: tuple[float, ...] | None = None,
+    trials: int | None = None,
+) -> Study:
+    """The E13 sweep: delay probabilities on the agent engine."""
+    if n is None:
+        n = 128 if quick else 256
+    if delays is None:
+        delays = (0.0, 0.3) if quick else (0.0, 0.1, 0.2, 0.3, 0.5)
+    if trials is None:
+        trials = 5 if quick else 25
+    rows = [
+        [delay, None if delay == 0 else {"delay_probability": delay}]
+        for delay in delays
+    ]
+    return Study(
+        name="E13",
+        description="Section 6 asynchrony: per-ant delay tolerance curve",
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "n": n,
+                "nests": nests_spec("all_good", k=k),
+                "seed": expr(base_seed, delay=100, cast="int"),
+                "max_rounds": 100_000,
+            },
+            axes=(zipped(("delay", "delay_model"), rows),),
+        ),
+        trials=trials,
+        backend="agent",
+        metrics=("success_rate", "median_rounds"),
+    )
 
 
 def run(
@@ -29,38 +68,26 @@ def run(
     """Delay-probability sweep for Algorithm 3."""
     if n is None:
         n = 128 if quick else 256
-    if delays is None:
-        delays = (0.0, 0.3) if quick else (0.0, 0.1, 0.2, 0.3, 0.5)
-    if trials is None:
-        trials = 5 if quick else 25
+    result = execute_study(study(quick, base_seed, n, k, delays, trials)).table
 
-    nests = NestConfig.all_good(k)
     table = Table(
         f"E13  Partial asynchrony at n={n}, k={k} (Algorithm 3)",
         ["delay prob", "median rounds", "success", "slowdown vs sync"],
     )
     baseline: float | None = None
-    for delay in delays:
-        stats = run_stats(
-            Scenario(
-                algorithm="simple",
-                n=n,
-                nests=nests,
-                seed=base_seed + int(delay * 100),
-                max_rounds=100_000,
-                delay_model=DelayModel(delay) if delay > 0 else None,
-            ),
-            n_trials=trials,
-            workers=default_workers(),
-            backend="agent",
-        )
+    for row in result.rows():
         if baseline is None:
-            baseline = stats.median_rounds
-        slowdown = stats.median_rounds / baseline if baseline else float("nan")
-        table.add_row(delay, stats.median_rounds, stats.success_rate, slowdown)
+            baseline = row["median_rounds"]
+        slowdown = row["median_rounds"] / baseline if baseline else float("nan")
+        table.add_row(
+            row["delay"], row["median_rounds"], row["success_rate"], slowdown
+        )
     table.add_note(
         "a stalled ant holds position and acts on stale counts when it "
         "resumes; success stays at 1 while rounds grow smoothly with the "
         "delay rate — the Section 6 conjecture."
     )
     return table
+
+
+STUDIES.register("E13", study, "Section 6: partial-asynchrony slowdown curve")

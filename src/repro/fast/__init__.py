@@ -15,27 +15,53 @@ Two layers coexist:
   whole sweeps as ``(trials, ants)`` arrays under the data-independent v2
   matcher schedule (:mod:`repro.fast.batch_matcher`) and back
   :func:`repro.api.run_batch`'s homogeneous-sweep dispatch.
+
+.. deprecated::
+    Importing the ``simulate_*`` kernels from this package namespace is
+    deprecated (and now emits :class:`DeprecationWarning`): experiment and
+    application code should go through the Scenario API
+    (:func:`repro.api.run` / :func:`repro.api.run_batch`), which dispatches
+    to these kernels via the algorithm registry.  The registered kernels
+    themselves import from the concrete submodules
+    (:mod:`repro.fast.simple_fast`, :mod:`repro.fast.batch`, ...), which
+    stay importable without a warning — they are the execution substrate.
 """
 
+import warnings
+
 from repro.fast.results import FastRunResult
-from repro.fast.batch import (
-    simulate_optimal_batch,
-    simulate_quorum_batch,
-    simulate_simple_batch,
-    simulate_spread_batch,
-)
-from repro.fast.optimal_fast import simulate_optimal
-from repro.fast.simple_fast import simulate_simple
-from repro.fast.spread_fast import SpreadResult, simulate_spread
+from repro.fast.spread_fast import SpreadResult
+
+#: Deprecated package-level kernel exports -> (module, attribute).
+_DEPRECATED_KERNELS = {
+    "simulate_optimal": ("repro.fast.optimal_fast", "simulate_optimal"),
+    "simulate_optimal_batch": ("repro.fast.batch", "simulate_optimal_batch"),
+    "simulate_quorum_batch": ("repro.fast.batch", "simulate_quorum_batch"),
+    "simulate_simple": ("repro.fast.simple_fast", "simulate_simple"),
+    "simulate_simple_batch": ("repro.fast.batch", "simulate_simple_batch"),
+    "simulate_spread": ("repro.fast.spread_fast", "simulate_spread"),
+    "simulate_spread_batch": ("repro.fast.batch", "simulate_spread_batch"),
+}
 
 __all__ = [
     "FastRunResult",
     "SpreadResult",
-    "simulate_optimal",
-    "simulate_optimal_batch",
-    "simulate_quorum_batch",
-    "simulate_simple",
-    "simulate_simple_batch",
-    "simulate_spread",
-    "simulate_spread_batch",
+    *sorted(_DEPRECATED_KERNELS),
 ]
+
+
+def __getattr__(name: str):
+    """Serve (and warn on) the deprecated package-level kernel names."""
+    if name in _DEPRECATED_KERNELS:
+        module_name, attribute = _DEPRECATED_KERNELS[name]
+        warnings.warn(
+            f"importing {name} from repro.fast is deprecated; run scenarios "
+            "through repro.api (run/run_batch/run_study) instead — "
+            f"registered kernels import from {module_name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro.fast' has no attribute {name!r}")

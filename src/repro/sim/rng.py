@@ -28,6 +28,11 @@ STREAM_NOISE = "noise"  # measurement-noise draws
 STREAM_DELAYS = "delays"  # asynchrony delays
 
 
+#: Memoized stream-name digests (name -> spawn-key integer); values are a
+#: pure function of the name, so the cache never changes any stream.
+_STREAM_KEYS: dict[str, int] = {}
+
+
 class RandomSource:
     """A tree of named, independent random generators under one seed."""
 
@@ -53,9 +58,14 @@ class RandomSource:
             # Derive a child seed from a stable cryptographic hash of the
             # name, so stream identity depends only on (root seed, name) —
             # not on request order, the process hash seed, or anagram
-            # collisions a weaker digest would allow.
-            digest = hashlib.sha256(name.encode("utf-8")).digest()
-            key = int.from_bytes(digest[:8], "big")
+            # collisions a weaker digest would allow.  The digest is
+            # memoized per name: trial-parallel sweeps build one source per
+            # trial, and rehashing the same handful of stream names
+            # millions of times is pure overhead.
+            key = _STREAM_KEYS.get(name)
+            if key is None:
+                digest = hashlib.sha256(name.encode("utf-8")).digest()
+                key = _STREAM_KEYS[name] = int.from_bytes(digest[:8], "big")
             child = np.random.SeedSequence(
                 entropy=self._seed_seq.entropy,
                 spawn_key=(*self._seed_seq.spawn_key, key),

@@ -20,6 +20,8 @@ percentiles, chosen-nest histogram).
 
 from __future__ import annotations
 
+import sys
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -48,6 +50,32 @@ def build_colony(factory: AntFactory, n: int, rng: np.random.Generator) -> list[
     return [factory(ant_id, n, rng) for ant_id in range(n)]
 
 
+#: Caller-module prefixes that may use the trial runners without a warning:
+#: the Scenario API executes *on* them, and repro.sim owns them.
+_INTERNAL_CALLER_PREFIXES = ("repro.sim", "repro.api")
+
+
+def _warn_external_caller(name: str) -> None:
+    """Emit the PR-1 deprecation timeline's warning for outside callers.
+
+    ``run_trial``/``run_trials`` stay indefinitely as the agent-engine
+    substrate (and for unregistered ad-hoc ant factories), but experiment
+    and application code should go through the Scenario API.  The test
+    suite exercises them directly on purpose and filters this warning.
+    """
+    caller = sys._getframe(2).f_globals.get("__name__", "")
+    if caller.startswith(_INTERNAL_CALLER_PREFIXES):
+        return
+    warnings.warn(
+        f"calling {name} directly is deprecated for experiment/example "
+        "code; describe the run as a repro.api.Scenario and use "
+        "repro.api.run / run_batch / run_stats (see CHANGES.md for the "
+        "deprecation timeline)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_trial(
     factory: AntFactory,
     n: int,
@@ -62,6 +90,7 @@ def run_trial(
     keep_history: bool = False,
 ) -> SimulationResult:
     """Run one fully-assembled simulation and return its result."""
+    _warn_external_caller("run_trial")
     source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
     colony = build_colony(factory, n, source.colony)
     if fault_plan is not None:
@@ -147,6 +176,7 @@ def run_trials(
     (:class:`~repro.sim.convergence.UnanimousCommitment`) can stop on a bad
     nest; such trials are agreement without success.
     """
+    _warn_external_caller("run_trials")
     root = RandomSource(base_seed)
     rounds: list[int] = []
     n_converged = 0

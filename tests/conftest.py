@@ -5,6 +5,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config: pytest.Config) -> None:
+    # The suite exercises the deprecated direct entry points
+    # (run_trial/run_trials, repro.fast simulate_* imports) on purpose —
+    # they are the substrate under test.  Filter the deprecation timeline's
+    # warnings here; tests/test_deprecations.py asserts they still fire.
+    config.addinivalue_line(
+        "filterwarnings",
+        "ignore:calling run_trial:DeprecationWarning",
+    )
+    config.addinivalue_line(
+        "filterwarnings",
+        "ignore:importing simulate_:DeprecationWarning",
+    )
+
 from repro.model.environment import Environment
 from repro.model.nests import NestConfig
 from repro.sim.rng import RandomSource

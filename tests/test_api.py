@@ -98,6 +98,56 @@ class TestScenario:
         )
         assert pickle.loads(pickle.dumps(scenario)) == scenario
 
+    def test_serialization_is_canonical_across_param_key_order(self):
+        # Shuffled-key params must serialize (and therefore hash) identically
+        # — the sweep cache's content addressing depends on it.
+        nests = NestConfig.all_good(2)
+        a = Scenario(
+            algorithm="simple", n=8, nests=nests,
+            params={"zeta": 1, "alpha": 2, "mid": {"b": 1, "a": 2}},
+        )
+        b = Scenario(
+            algorithm="simple", n=8, nests=nests,
+            params={"mid": {"a": 2, "b": 1}, "alpha": 2, "zeta": 1},
+        )
+        assert a == b
+        assert a.to_json() == b.to_json()
+        assert list(a.to_dict()["params"]) == ["alpha", "mid", "zeta"]
+
+    def test_serialization_normalizes_numpy_scalars(self):
+        import json
+
+        import numpy as np
+
+        scenario = Scenario(
+            algorithm="simple",
+            n=8,
+            nests=NestConfig.all_good(2),
+            params={
+                "count": np.int64(4),
+                "rate": np.float64(0.5),
+                "flag": np.bool_(True),
+                "values": [np.int32(1), np.float32(2.0)],
+            },
+        )
+        params = scenario.to_dict()["params"]
+        assert params == {
+            "count": 4,
+            "flag": True,
+            "rate": 0.5,
+            "values": [1, 2.0],
+        }
+        assert all(
+            type(value) in (int, float, bool, list)
+            for value in params.values()
+        )
+        # And the numpy form serializes byte-identically to the plain form.
+        plain = scenario.replace(
+            params={"count": 4, "rate": 0.5, "flag": True, "values": [1, 2.0]}
+        )
+        assert scenario.to_json() == plain.to_json()
+        json.loads(scenario.to_json())  # genuinely JSON-safe
+
 
 class TestRegistry:
     def test_every_entry_runs_on_every_supported_backend(self):

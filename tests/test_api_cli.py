@@ -63,3 +63,68 @@ class TestApiCli:
     def test_unsupported_backend_combination_is_an_error(self, capsys):
         assert main(["--algorithm", "rumor", "--backend", "agent"]) == 2
         assert "no agent-engine" in capsys.readouterr().err
+
+
+class TestSweepCli:
+    def study_json(self, tmp_path) -> str:
+        from repro.api import Study, Sweep, grid, nests_spec
+
+        study = Study(
+            name="cli-study",
+            sweep=Sweep(
+                base={
+                    "algorithm": "simple",
+                    "nests": nests_spec("all_good", k=2),
+                    "seed": 3,
+                    "max_rounds": 5_000,
+                },
+                axes=(grid("n", (16, 32)),),
+            ),
+            trials=2,
+            metrics=("n_trials", "success_rate"),
+        )
+        path = tmp_path / "study.json"
+        path.write_text(study.to_json(), encoding="utf-8")
+        return str(path)
+
+    def test_list_studies(self, capsys):
+        assert main(["--list-studies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("E1", "E7", "E14"):
+            assert name in out
+
+    def test_sweep_study_file_csv(self, tmp_path, capsys):
+        assert main(["sweep", self.study_json(tmp_path), "--no-cache", "--csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "n,n_trials,success_rate"
+        assert len(lines) == 3
+
+    def test_sweep_uses_and_reports_cache(self, tmp_path, capsys):
+        spec = self.study_json(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", spec, "--cache-dir", cache_dir]) == 0
+        assert "2 computed" in capsys.readouterr().out
+        assert main(["sweep", spec, "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 cached" in out
+        assert "0 trials simulated" in out
+
+    def test_sweep_registered_study_json_output(self, capsys):
+        assert main(
+            ["sweep", "E13", "--quick", "--no-cache", "--workers", "1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["study"]["name"] == "E13"
+        assert payload["cells"] == 2
+        assert payload["simulated_trials"] > 0
+
+    def test_sweep_unknown_study_is_an_error(self, capsys):
+        assert main(["sweep", "E99", "--no-cache"]) == 2
+        assert "unknown study" in capsys.readouterr().err
+
+    def test_registered_name_beats_stray_file(self, tmp_path, monkeypatch, capsys):
+        # A stray cwd file named like a study must not shadow the registry.
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "E13").write_text("not json", encoding="utf-8")
+        assert main(["sweep", "E13", "--quick", "--no-cache", "--csv"]) == 0
+        assert "delay" in capsys.readouterr().out

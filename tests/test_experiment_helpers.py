@@ -3,12 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.experiments.common import censored_median, summarize_fast_runs, trial_seeds
-from repro.experiments.e02_recruitment import tagged_success_probability
+from repro.api.processes import tagged_recruitment_trial
+from repro.experiments.common import censored_median, trial_seeds
 from repro.experiments.e03_optimal_dropout import competition_changes
-from repro.experiments.e05_simple_gap import sample_initial_gaps
 from repro.experiments.e06_simple_dropout import dropout_times
-from repro.fast.results import FastRunResult
 
 
 class TestCommon:
@@ -24,35 +22,20 @@ class TestCommon:
         assert censored_median([10, None, 30], fallback=99) == 20.0
         assert censored_median([None, None], fallback=99) == 99.0
 
-    def test_summarize_fast_runs(self):
-        def result(converged, rounds):
-            return FastRunResult(
-                converged=converged,
-                converged_round=rounds if converged else None,
-                rounds_executed=rounds or 100,
-                chosen_nest=1 if converged else None,
-                final_counts=np.array([0, 4]),
-            )
-
-        median, success, count = summarize_fast_runs(
-            [result(True, 10), result(True, 30), result(False, None)]
-        )
-        assert median == 20.0
-        assert success == pytest.approx(2 / 3)
-        assert count == 2
-
 
 class TestTaggedSuccess:
-    def test_returns_trial_count(self, rng):
-        successes, trials = tagged_success_probability(8, 0.5, 50, rng)
-        assert trials == 50
-        assert 0 <= successes <= 50
+    def test_returns_bool_outcomes(self, rng):
+        outcomes = [tagged_recruitment_trial(8, 0.5, rng) for _ in range(50)]
+        assert all(isinstance(o, bool) for o in outcomes)
+        assert 0 <= sum(outcomes) <= 50
 
     def test_solo_recruiter_with_two_ants(self, rng):
-        successes, trials = tagged_success_probability(2, 0.0, 400, rng)
-        # Fails only by drawing itself: p(success) = 1/2... actually the
-        # tagged ant picks uniformly between itself and the other ant.
-        assert 0.35 < successes / trials < 0.65
+        successes = sum(
+            tagged_recruitment_trial(2, 0.0, rng) for _ in range(400)
+        )
+        # Fails only by drawing itself: the tagged ant picks uniformly
+        # between itself and the other ant.
+        assert 0.35 < successes / 400 < 0.65
 
 
 class TestCompetitionChanges:
@@ -81,12 +64,12 @@ class TestCompetitionChanges:
         # nest 1 (nest 2's emptying transition is excluded by design).
         assert sorted(changes) == [-2, 2, 2]
 
-    def test_stops_when_single_nest_remains(self):
+    def test_stops_when_competition_ends(self):
         history = np.array(
             [
-                [0, 10, 0],
+                [0, 5, 5],
                 [10, 0, 0],
-                [0, 10, 0],  # B2: only one competing nest -> no samples
+                [0, 10, 0],  # only one nest occupied: competition over
                 [0, 10, 0],
                 [10, 0, 0],
                 [10, 0, 0],
@@ -99,18 +82,47 @@ class TestCompetitionChanges:
 
 
 class TestInitialGaps:
-    def test_shapes_and_ranges(self, rng):
-        finite, ties, zeros = sample_initial_gaps(100, 4, 500, rng)
-        assert len(finite) + zeros <= 500
-        assert (finite >= 0).all()
-        assert ties >= 0
+    def test_split_process_shapes(self):
+        # The E5 sampler is the registered initial_split process now; check
+        # its per-trial extras directly through the API.
+        from repro.api import Scenario, run_batch
+        from repro.model.nests import NestConfig
 
-    def test_two_ants_two_nests(self, rng):
+        reports = run_batch(
+            Scenario(
+                algorithm="initial_split",
+                n=100,
+                nests=NestConfig.all_good(4),
+                seed=3,
+            ).trials(50)
+        )
+        for report in reports:
+            assert report.converged
+            extras = report.extras
+            if extras["gap"] is not None:
+                assert extras["gap"] >= 0.0
+                assert extras["tie"] == (extras["gap"] == 0.0)
+            assert int(report.final_counts.sum()) == 100
+
+    def test_two_ants_two_nests(self):
         # With n=2, k=2: either both land together (zero-denominator) or
         # split evenly (tie, eps=0).
-        finite, ties, zeros = sample_initial_gaps(2, 2, 300, rng)
-        assert (finite == 0).all()
-        assert ties + zeros == 300
+        from repro.api import Scenario, run_batch
+        from repro.model.nests import NestConfig
+
+        reports = run_batch(
+            Scenario(
+                algorithm="initial_split",
+                n=2,
+                nests=NestConfig.all_good(2),
+                seed=5,
+            ).trials(100)
+        )
+        for report in reports:
+            extras = report.extras
+            assert extras["tie"] or extras["empty_pair_nest"]
+            if extras["gap"] is not None:
+                assert extras["gap"] == 0.0
 
 
 class TestDropoutTimes:

@@ -1,0 +1,203 @@
+"""The content-addressed result cache: hits, misses, corruption, identity."""
+
+import json
+
+import pytest
+
+import repro.api.sweep as sweep_module
+from repro.api import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    Scenario,
+    Study,
+    Sweep,
+    default_cache,
+    grid,
+    nests_spec,
+    run_study,
+)
+from repro.api.cache import content_key, stats_from_dict, stats_to_dict
+from repro.sim.run import TrialStats
+
+import numpy as np
+
+
+def study(trials: int = 4, metrics=("n_trials", "success_rate", "median_rounds")) -> Study:
+    return Study(
+        name="cache-study",
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "nests": nests_spec("all_good", k=2),
+                "seed": 11,
+                "max_rounds": 10_000,
+            },
+            axes=(grid("n", (16, 32, 64)),),
+        ),
+        trials=trials,
+        metrics=tuple(metrics),
+    )
+
+
+def cache_files(cache: ResultCache):
+    return sorted(cache.root.glob("*/*.json"))
+
+
+class TestHitMissAccounting:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_study(study(), cache=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 3)
+        assert cold.simulated_trials == 12
+        assert len(cache_files(cache)) == 3
+
+        warm = run_study(study(), cache=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (3, 0)
+        assert warm.simulated_trials == 0
+        assert all(cell.cached for cell in warm.cells)
+
+    def test_warm_run_never_touches_run_batch(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_study(study(), cache=cache)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("warm run must execute zero simulations")
+
+        monkeypatch.setattr(sweep_module, "run_batch", boom)
+        warm = run_study(study(), cache=cache)
+        assert warm.simulated_trials == 0
+
+    def test_partial_warm_resume(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_study(study(), cache=cache)
+        # A grown sweep re-runs only the new cell (interrupted-sweep resume
+        # is the same mechanism: completed cells persist individually).
+        bigger = Study(
+            name="cache-study",
+            sweep=Sweep(
+                base=study().sweep.base,
+                axes=(grid("n", (16, 32, 64, 128)),),
+            ),
+            trials=4,
+            metrics=study().metrics,
+        )
+        grown = run_study(bigger, cache=cache)
+        assert (grown.cache_hits, grown.cache_misses) == (3, 1)
+        assert grown.simulated_trials == 4
+
+    def test_key_includes_trials_metrics_and_backend(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_study(study(), cache=cache)
+        assert run_study(study(trials=5), cache=cache).cache_misses == 3
+        assert (
+            run_study(study(metrics=("n_trials",)), cache=cache).cache_misses == 3
+        )
+        assert run_study(study(), cache=cache, backend="agent").cache_misses == 3
+
+    def test_equal_scenarios_hash_equal(self):
+        from repro.model.nests import NestConfig
+
+        a = Scenario(
+            algorithm="simple",
+            n=8,
+            nests=NestConfig.all_good(2),
+            params={"matcher": "v2", "x": 1},
+        )
+        b = a.replace(params={"x": 1, "matcher": "v2"})
+        assert content_key({"scenario": a.to_dict()}) == content_key(
+            {"scenario": b.to_dict()}
+        )
+
+
+class TestCorruptionTolerance:
+    def test_truncated_entry_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_study(study(), cache=cache)
+        victim = cache_files(cache)[0]
+        victim.write_text(victim.read_text()[: 40], encoding="utf-8")
+
+        recovered = run_study(study(), cache=cache)
+        assert (recovered.cache_hits, recovered.cache_misses) == (2, 1)
+        # The recompute overwrote the corrupt entry; next run is fully warm.
+        healed = run_study(study(), cache=cache)
+        assert (healed.cache_hits, healed.cache_misses) == (3, 0)
+
+    def test_payload_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = TrialStats(
+            n_trials=1, n_converged=1, rounds=np.array([3]), censored_at=10
+        )
+        cache.store({"a": 1}, stats, {"m": 1.0})
+        # Different payload hashing to a different key: plain miss.
+        assert cache.load({"a": 2}) is None
+        # Entry whose recorded payload disagrees with the request (as after
+        # a forged/bit-rotted file) is also a miss.
+        key_path = cache_files(cache)[0]
+        entry = json.loads(key_path.read_text())
+        entry["payload"] = {"a": 99}
+        key_path.write_text(json.dumps(entry), encoding="utf-8")
+        cache.misses = 0
+        assert cache.load({"a": 1}) is None
+        assert cache.misses == 1
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = TrialStats(
+            n_trials=1, n_converged=0, rounds=np.array([], dtype=np.int64), censored_at=5
+        )
+        cache.store({"b": 1}, stats, {})
+        path = cache_files(cache)[0]
+        entry = json.loads(path.read_text())
+        entry["version"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load({"b": 1}) is None
+
+    def test_stats_round_trip(self):
+        stats = TrialStats(
+            n_trials=7,
+            n_converged=5,
+            rounds=np.array([4, 6, 6, 9, 12]),
+            censored_at=100,
+            chosen_nests={2: 3, 1: 2},
+        )
+        clone = stats_from_dict(stats_to_dict(stats))
+        assert clone.n_trials == stats.n_trials
+        assert clone.n_converged == stats.n_converged
+        assert np.array_equal(clone.rounds, stats.rounds)
+        assert clone.rounds.dtype == np.int64
+        assert clone.chosen_nests == stats.chosen_nests
+
+
+class TestBitIdenticalTables:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_cold_vs_warm_identical(self, tmp_path, workers):
+        cold_cache = ResultCache(tmp_path / "cold")
+        cold = run_study(study(), cache=cold_cache, workers=workers)
+        warm = run_study(study(), cache=cold_cache, workers=workers)
+        assert warm.simulated_trials == 0
+        assert cold.table.equals(warm.table)
+
+    def test_cross_worker_cross_cache_identical(self, tmp_path):
+        serial = run_study(study(), cache=ResultCache(tmp_path / "w1"), workers=1)
+        parallel = run_study(study(), cache=ResultCache(tmp_path / "w4"), workers=4)
+        # Warm read from the serial run's cache under workers=4.
+        mixed = run_study(study(), cache=ResultCache(tmp_path / "w1"), workers=4)
+        assert serial.table.equals(parallel.table)
+        assert serial.table.equals(mixed.table)
+        assert mixed.simulated_trials == 0
+
+
+class TestDefaultCache:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache() is None
+        result = run_study(study(trials=1), cache="auto")
+        assert result.cache_hits == result.cache_misses == 0
+
+    def test_env_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        cache = default_cache()
+        assert cache is not None
+        result = run_study(study(trials=1), cache="auto")
+        assert result.cache_misses == 3
+        assert run_study(study(trials=1), cache="auto").cache_hits == 3
