@@ -55,6 +55,7 @@ def update_bench_json(
     profile: str,
     config: dict[str, Any],
     metrics: dict[str, float],
+    machine_dependent: list[str] | None = None,
 ) -> Path:
     """Merge ``metrics`` into ``BENCH_<name>.json`` (read-modify-write).
 
@@ -79,6 +80,9 @@ def update_bench_json(
         data = {}
     merged = dict(data.get("metrics", {}))
     merged.update({key: round(float(value), 3) for key, value in metrics.items()})
+    sensitive = sorted(
+        set(data.get("machine_dependent", [])) | set(machine_dependent or [])
+    )
     payload = {
         "benchmark": name,
         "profile": profile,
@@ -86,5 +90,11 @@ def update_bench_json(
         "machine": machine,
         "metrics": merged,
     }
+    if sensitive:
+        # Ratio metrics whose two sides scale differently with hardware
+        # (e.g. a python-loop engine vs a vectorized one): the regression
+        # checker compares them only on a matching machine fingerprint,
+        # like the absolute *_per_sec metrics.
+        payload["machine_dependent"] = sensitive
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path

@@ -33,10 +33,13 @@ from repro.api.algorithms import register_builtin_algorithms
 from repro.api.cache import CACHE_FORMAT_VERSION, ResultCache, default_cache
 from repro.api.registry import (
     CRITERIA,
+    FEATURE_TAGS,
     REGISTRY,
     AlgorithmEntry,
     AlgorithmRegistry,
     criterion_factory,
+    criterion_feature,
+    scenario_features,
 )
 from repro.api.report import RunReport
 from repro.api.results import ResultTable
@@ -79,6 +82,7 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "CRITERIA",
     "CRITERION_NAMES",
+    "FEATURE_TAGS",
     "METRICS",
     "REGISTRY",
     "ResultCache",
@@ -92,6 +96,7 @@ __all__ = [
     "aggregate",
     "cases",
     "criterion_factory",
+    "criterion_feature",
     "default_cache",
     "default_workers",
     "expr",
@@ -106,5 +111,6 @@ __all__ = [
     "run_scenario",
     "run_stats",
     "run_study",
+    "scenario_features",
     "zipped",
 ]

@@ -4,9 +4,14 @@ Registers the paper's algorithms (Algorithm 2 "optimal", Algorithm 3
 "simple"), the lower-bound information-spreading process, all four
 baselines (quorum sensing, the uniform-rate ablation, rumor spreading, the
 Pólya urn) and the Section 6 extension variants.  Each entry supplies an
-agent-engine builder and/or a vectorized kernel; the ``fast_supports``
-predicates encode which scenario features each kernel can honor, which is
-exactly the information ``backend="auto"`` dispatch needs.
+agent-engine builder and/or a vectorized kernel and declares, feature tag
+by feature tag (``fast_features``), which scenario dimensions that kernel
+honors — the simple family covers the full perturbation surface (fault
+plans, every noise kind, delay models), while structural limits beyond
+tags (the spread process's hard-coded good nest, v1-matcher-only
+restrictions) live in small ``fast_supports`` predicates.  That is exactly
+the information ``backend="auto"`` dispatch and its recorded fallback
+reasons need.
 
 Fast kernels accept a ``matcher`` param ("v2" default, "v1" for the
 sequential-scan reference schedule — see docs/PERFORMANCE.md); under v2
@@ -26,7 +31,20 @@ from typing import Sequence
 import numpy as np
 
 from repro.api.processes import register_measurement_processes
-from repro.api.registry import REGISTRY, criterion_factory, scenario_matcher
+from repro.api.registry import (
+    FEATURE_DELAY,
+    FEATURE_FAULT_BYZANTINE,
+    FEATURE_FAULT_CRASH,
+    FEATURE_NOISE_COUNT,
+    FEATURE_NOISE_ENCOUNTER,
+    FEATURE_NOISE_QUALITY_FLIP,
+    FEATURE_RECORD_HISTORY,
+    REGISTRY,
+    criterion_factory,
+    criterion_feature,
+    scenario_features,
+    scenario_matcher,
+)
 from repro.api.report import RunReport
 from repro.api.scenario import Scenario
 from repro.baselines.polya import PolyaUrn
@@ -56,7 +74,6 @@ from repro.fast.batch import (
 from repro.fast.optimal_fast import simulate_optimal
 from repro.fast.simple_fast import simulate_simple
 from repro.fast.spread_fast import SpreadResult, simulate_spread
-from repro.sim.noise import CountNoise
 from repro.sim.rng import RandomSource
 
 
@@ -73,11 +90,6 @@ def _params(scenario: Scenario, **defaults):
     return merged
 
 
-def _unperturbed(scenario: Scenario) -> bool:
-    """No agent-engine-only perturbation layers requested."""
-    return scenario.fault_plan is None and scenario.delay_model is None
-
-
 def _sources(scenarios: Sequence[Scenario]) -> list[RandomSource]:
     """Per-trial stream bundles for one homogeneous batch chunk."""
     return [scenario.source() for scenario in scenarios]
@@ -92,12 +104,33 @@ def _fast_extras(matcher: str) -> dict:
     return {"matcher": matcher}
 
 
-def _gaussian_noise_only(scenario: Scenario) -> bool:
-    """Noise absent, or expressible by the fast engine's Gaussian model."""
-    noise = scenario.noise
-    if noise is None:
-        return True
-    return isinstance(noise, CountNoise) and noise.quality_flip_prob == 0.0
+#: Feature tags the simple-family kernels (simple/adaptive/uniform) honor
+#: under the v2 schedule — the full perturbation surface.
+SIMPLE_FAST_FEATURES = frozenset(
+    {
+        FEATURE_NOISE_COUNT,
+        FEATURE_NOISE_QUALITY_FLIP,
+        FEATURE_NOISE_ENCOUNTER,
+        FEATURE_FAULT_CRASH,
+        FEATURE_FAULT_BYZANTINE,
+        FEATURE_DELAY,
+        FEATURE_RECORD_HISTORY,
+        criterion_feature("good"),
+        criterion_feature("good_healthy"),
+    }
+)
+
+#: The subset the sequential v1 reference kernel still covers.
+_SIMPLE_V1_FEATURES = frozenset(
+    {FEATURE_NOISE_COUNT, FEATURE_RECORD_HISTORY, criterion_feature("good")}
+)
+
+
+def _simple_structure(scenario: Scenario) -> bool:
+    """v1-matcher requests drop back to the pre-perturbation feature set."""
+    if scenario_matcher(scenario) == "v1":
+        return scenario_features(scenario) <= _SIMPLE_V1_FEATURES
+    return True
 
 
 def _kernel_pair(single_kernel, batch_kernel, kernel_kwargs):
@@ -106,13 +139,28 @@ def _kernel_pair(single_kernel, batch_kernel, kernel_kwargs):
     Both adapters share one contract: ``kernel_kwargs(scenario)`` validates
     the params and returns the kernel keyword arguments; the single-trial
     v2 path is literally a batch of one, so the two adapters cannot drift
-    apart; ``matcher="v1"`` routes to the sequential single-trial kernel.
+    apart; ``matcher="v1"`` routes to the sequential single-trial kernel
+    (which rejects the batch-only perturbation layers).
     """
 
     def fast(scenario: Scenario, source: RandomSource) -> RunReport:
         kwargs = kernel_kwargs(scenario)
         matcher = scenario_matcher(scenario)
         if matcher == "v1":
+            kwargs = dict(kwargs)
+            if kwargs.pop("criterion", None) not in (None, "good"):
+                raise ConfigurationError(
+                    f"the sequential v1 kernel for {scenario.algorithm!r} "
+                    "only evaluates the default 'good' criterion; use the "
+                    "v2 matcher schedule or backend='agent'"
+                )
+            for key in ("fault_plan", "delay_model"):
+                if kwargs.pop(key, None) is not None:
+                    raise ConfigurationError(
+                        f"the sequential v1 kernel for {scenario.algorithm!r} "
+                        f"does not support {key}; use the v2 matcher schedule "
+                        "or backend='agent'"
+                    )
             result = single_kernel(
                 scenario.n,
                 scenario.nests,
@@ -160,22 +208,24 @@ def _simple_agent(scenario: Scenario):
     return simple_factory(good_threshold=scenario.nests.good_threshold), None
 
 
+def _perturbation_kwargs(scenario: Scenario) -> dict:
+    """The perturbation-layer kwargs every simple-family kernel accepts."""
+    return {
+        "noise": scenario.noise,
+        "fault_plan": scenario.fault_plan,
+        "delay_model": scenario.delay_model,
+        "criterion": scenario.criterion,
+    }
+
+
 def _simple_kwargs(scenario: Scenario) -> dict:
     _params(scenario, matcher=None)
-    return {"noise": scenario.noise}
+    return _perturbation_kwargs(scenario)
 
 
 _simple_fast, _simple_batch = _kernel_pair(
     simulate_simple, simulate_simple_batch, _simple_kwargs
 )
-
-
-def _simple_fast_supports(scenario: Scenario) -> bool:
-    return (
-        _unperturbed(scenario)
-        and _gaussian_noise_only(scenario)
-        and scenario.criterion in (None, "good")
-    )
 
 
 def _adaptive_schedule(scenario: Scenario):
@@ -205,7 +255,7 @@ def _adaptive_kwargs(scenario: Scenario) -> dict:
     k_initial, half_life = _adaptive_schedule(scenario)
     return {
         "rate_multiplier": ktilde_schedule(k_initial, half_life),
-        "noise": scenario.noise,
+        **_perturbation_kwargs(scenario),
     }
 
 
@@ -238,12 +288,11 @@ _optimal_fast, _optimal_batch = _kernel_pair(
 )
 
 
-def _optimal_fast_supports(scenario: Scenario) -> bool:
-    return (
-        _unperturbed(scenario)
-        and scenario.noise is None
-        and scenario.criterion in (None, "good_settled")
-    )
+#: Algorithm 2's kernel predates the perturbation layers: histories and its
+#: settled-state criterion only.
+OPTIMAL_FAST_FEATURES = frozenset(
+    {FEATURE_RECORD_HISTORY, criterion_feature("good_settled")}
+)
 
 
 # -- the lower-bound spread process ------------------------------------------
@@ -319,15 +368,10 @@ def _spread_batch(scenarios: Sequence[Scenario]) -> list[RunReport]:
     ]
 
 
-def _spread_fast_supports(scenario: Scenario) -> bool:
-    # The vectorized process hard-codes the good nest as nest 1.
-    return (
-        _unperturbed(scenario)
-        and scenario.noise is None
-        and scenario.criterion is None
-        and not scenario.record_history
-        and scenario.nests.good_nests == (1,)
-    )
+def _spread_structure(scenario: Scenario) -> bool:
+    # The vectorized process hard-codes the good nest as nest 1; everything
+    # else (no perturbations, no criteria, no histories) is feature-gated.
+    return scenario.nests.good_nests == (1,)
 
 
 # -- the quorum and uniform baselines (agent + fast since the batch engine) --
@@ -390,13 +434,14 @@ def _quorum_batch(scenarios: Sequence[Scenario]) -> list[RunReport]:
     ]
 
 
-def _quorum_fast_supports(scenario: Scenario) -> bool:
-    return (
-        _unperturbed(scenario)
-        and scenario.noise is None
-        and scenario.criterion in (None, "unanimous")
-        and scenario_matcher(scenario) == "v2"
-    )
+#: Quorum's kernel: histories and its unanimity criterion, v2 only.
+QUORUM_FAST_FEATURES = frozenset(
+    {FEATURE_RECORD_HISTORY, criterion_feature("unanimous")}
+)
+
+
+def _quorum_structure(scenario: Scenario) -> bool:
+    return scenario_matcher(scenario) == "v2"
 
 
 def _uniform_agent(scenario: Scenario):
@@ -411,8 +456,8 @@ def _uniform_agent(scenario: Scenario):
 def _uniform_kwargs(scenario: Scenario) -> dict:
     params = _params(scenario, recruit_probability=0.5, matcher=None)
     return {
-        "noise": scenario.noise,
         "recruit_probability": float(params["recruit_probability"]),
+        **_perturbation_kwargs(scenario),
     }
 
 
@@ -530,12 +575,9 @@ def _polya_fast(scenario: Scenario, source: RandomSource) -> RunReport:
     )
 
 
-def _standalone_supports(scenario: Scenario) -> bool:
-    return (
-        _unperturbed(scenario)
-        and scenario.noise is None
-        and scenario.criterion is None
-    )
+#: The standalone reference processes ignore colony perturbations entirely;
+#: they only know how to keep (or skip) their own trajectory histories.
+STANDALONE_FAST_FEATURES = frozenset({FEATURE_RECORD_HISTORY})
 
 
 def register_builtin_algorithms(registry=REGISTRY) -> None:
@@ -547,7 +589,8 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         "Algorithm 3: population-proportional recruitment, O(k log n)",
         agent_builder=_simple_agent,
         fast_kernel=_simple_fast,
-        fast_supports=_simple_fast_supports,
+        fast_supports=_simple_structure,
+        fast_features=SIMPLE_FAST_FEATURES,
         batch_kernel=_simple_batch,
     )
     registry.register(
@@ -555,7 +598,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         "Algorithm 2: count-based competition, O(log n)",
         agent_builder=_optimal_agent,
         fast_kernel=_optimal_fast,
-        fast_supports=_optimal_fast_supports,
+        fast_features=OPTIMAL_FAST_FEATURES,
         batch_kernel=_optimal_batch,
     )
     registry.register(
@@ -563,7 +606,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         "Theorem 3.2 lower-bound process: best-case information spreading",
         agent_builder=_spread_agent,
         fast_kernel=_spread_fast,
-        fast_supports=_spread_fast_supports,
+        fast_supports=_spread_structure,
         batch_kernel=_spread_batch,
     )
     registry.register(
@@ -571,7 +614,8 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         "Pratt-style quorum sensing (the biological baseline)",
         agent_builder=_quorum_agent,
         fast_kernel=_quorum_fast,
-        fast_supports=_quorum_fast_supports,
+        fast_supports=_quorum_structure,
+        fast_features=QUORUM_FAST_FEATURES,
         batch_kernel=_quorum_batch,
     )
     registry.register(
@@ -579,27 +623,29 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         "Algorithm 3 ablation: constant recruit probability (no feedback)",
         agent_builder=_uniform_agent,
         fast_kernel=_uniform_fast,
-        fast_supports=_simple_fast_supports,
+        fast_supports=_simple_structure,
+        fast_features=SIMPLE_FAST_FEATURES,
         batch_kernel=_uniform_batch,
     )
     registry.register(
         "rumor",
         "push/pull rumor spreading on the complete graph (reference)",
         fast_kernel=_rumor_fast,
-        fast_supports=_standalone_supports,
+        fast_features=STANDALONE_FAST_FEATURES,
     )
     registry.register(
         "polya",
         "generalized Pólya urn, the Section 5 reinforcement reference",
         fast_kernel=_polya_fast,
-        fast_supports=_standalone_supports,
+        fast_features=STANDALONE_FAST_FEATURES,
     )
     registry.register(
         "adaptive",
         "Algorithm 3 with the round-indexed k-tilde rate schedule (E9)",
         agent_builder=_adaptive_agent,
         fast_kernel=_adaptive_fast,
-        fast_supports=_simple_fast_supports,
+        fast_supports=_simple_structure,
+        fast_features=SIMPLE_FAST_FEATURES,
         batch_kernel=_adaptive_batch,
     )
     registry.register(

@@ -38,16 +38,6 @@ from repro.model.recruitment import match_arrays
 from repro.sim.rng import RandomSource
 
 
-def _supports(scenario: Scenario) -> bool:
-    return (
-        scenario.fault_plan is None
-        and scenario.delay_model is None
-        and scenario.noise is None
-        and scenario.criterion is None
-        and not scenario.record_history
-    )
-
-
 def _report(
     scenario: Scenario,
     converged: bool,
@@ -168,13 +158,11 @@ def register_measurement_processes(registry) -> None:
         "tagged_recruitment",
         "Lemma 2.1 sampler: one Algorithm 1 round, tagged-recruiter success",
         fast_kernel=_tagged_fast,
-        fast_supports=_supports,
         batch_kernel=_tagged_batch,
     )
     registry.register(
         "initial_split",
         "Lemma 5.4 sampler: uniform round-1 multinomial nest split",
         fast_kernel=_split_fast,
-        fast_supports=_supports,
         batch_kernel=_split_batch,
     )

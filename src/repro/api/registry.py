@@ -5,27 +5,36 @@ Each :class:`AlgorithmEntry` binds a registry name to
 - an **agent builder**: ``(scenario) -> (AntFactory, default CriterionFactory
   or None)`` — how to assemble a colony for the reference engine, and
 - a **fast kernel**: ``(scenario, source) -> RunReport`` — the vectorized
-  implementation, when one exists, plus a ``fast_supports`` predicate
-  declaring which scenario features the kernel can honor (fault plans and
-  delay models, for example, exist only on the agent engine).
+  implementation, when one exists.
 
-:func:`repro.api.run` consults the entry to dispatch; ``backend="auto"``
-prefers the fast kernel whenever it supports the scenario and falls back to
-the agent engine otherwise.  New protocol variants register in one line —
-see :mod:`repro.api.algorithms` for the built-in population.
+Which scenarios a fast kernel can honor is declared **feature-granularly**:
+:func:`scenario_features` maps a scenario to the set of feature tags it
+requests (fault-plan layers, noise kinds, delay models, non-default
+criteria, recorded histories) and each entry lists the tags its kernel
+implements in ``fast_features``.  ``backend="auto"`` prefers the fast
+kernel whenever the requested set is covered (plus the entry's optional
+structural ``fast_supports`` predicate) and falls back to the agent engine
+otherwise; :meth:`AlgorithmEntry.missing_fast_features` names exactly which
+features forced a fallback — the runner records them on the report and the
+explicit-``backend="fast"`` error message lists them.
+
+New protocol variants register in one line — see
+:mod:`repro.api.algorithms` for the built-in population.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.extensions.estimation import EncounterNoise
 from repro.sim.convergence import (
     CommittedToSingleGoodNest,
     ConvergenceCriterion,
     UnanimousCommitment,
 )
+from repro.sim.noise import CountNoise
 from repro.sim.rng import RandomSource
 from repro.sim.run import AntFactory, CriterionFactory
 
@@ -53,13 +62,93 @@ def criterion_factory(name: str) -> CriterionFactory:
         ) from None
 
 
+# -- scenario feature tags ---------------------------------------------------
+#
+# The vocabulary ``backend="auto"`` dispatch speaks: a scenario *requests* a
+# set of tags and a fast kernel *implements* a set of tags.  Tags are
+# deliberately fine-grained (crash faults separate from Byzantine rows,
+# Gaussian count noise separate from quality flips) so a kernel can grow
+# support one perturbation at a time and fallback reasons stay precise.
+
+FEATURE_FAULT_CRASH = "fault_plan.crash"
+FEATURE_FAULT_BYZANTINE = "fault_plan.byzantine"
+FEATURE_DELAY = "delay_model"
+FEATURE_NOISE_COUNT = "noise.count"
+FEATURE_NOISE_QUALITY_FLIP = "noise.quality_flip"
+FEATURE_NOISE_ENCOUNTER = "noise.encounter"
+#: An unrecognized duck-typed noise model (anything that is neither a
+#: CountNoise nor an EncounterNoise).  No kernel declares this tag: only
+#: the agent engine's NoisyAnt wrapper can honor arbitrary models.
+FEATURE_NOISE_CUSTOM = "noise.custom"
+FEATURE_RECORD_HISTORY = "record_history"
+
+
+def criterion_feature(name: str) -> str:
+    """The feature tag of a non-default convergence criterion."""
+    return f"criterion.{name}"
+
+
+#: Every feature tag a scenario can request (criterion tags are derived).
+FEATURE_TAGS = (
+    FEATURE_FAULT_CRASH,
+    FEATURE_FAULT_BYZANTINE,
+    FEATURE_DELAY,
+    FEATURE_NOISE_COUNT,
+    FEATURE_NOISE_QUALITY_FLIP,
+    FEATURE_NOISE_ENCOUNTER,
+    FEATURE_NOISE_CUSTOM,
+    FEATURE_RECORD_HISTORY,
+) + tuple(criterion_feature(name) for name in CRITERIA)
+
+
+def scenario_features(scenario: "Scenario") -> frozenset[str]:
+    """The feature tags a scenario requests beyond a plain run.
+
+    No-op layers request nothing: a ``FaultPlan`` whose fractions round to
+    zero faulty ants *at this scenario's* ``n``, a null ``CountNoise`` and
+    a zero-probability ``DelayModel`` leave the run unperturbed, so they
+    never force an engine.
+    """
+    features: set[str] = set()
+    plan = scenario.fault_plan
+    if plan is not None:
+        if plan.n_crashed(scenario.n) > 0:
+            features.add(FEATURE_FAULT_CRASH)
+        if plan.n_byzantine(scenario.n) > 0:
+            features.add(FEATURE_FAULT_BYZANTINE)
+    delay = scenario.delay_model
+    if delay is not None and not delay.is_null:
+        features.add(FEATURE_DELAY)
+    noise = scenario.noise
+    if isinstance(noise, EncounterNoise):
+        features.add(FEATURE_NOISE_ENCOUNTER)
+        if noise.quality_flip_prob > 0.0:
+            features.add(FEATURE_NOISE_QUALITY_FLIP)
+    elif isinstance(noise, CountNoise):
+        if noise.relative_sigma > 0.0 or noise.absolute_sigma > 0.0:
+            features.add(FEATURE_NOISE_COUNT)
+        if noise.quality_flip_prob > 0.0:
+            features.add(FEATURE_NOISE_QUALITY_FLIP)
+    elif noise is not None:
+        # An unrecognized noise model can only be honored by the agent
+        # engine's duck-typed wrapper; no fast kernel declares this tag.
+        features.add(FEATURE_NOISE_CUSTOM)
+    if scenario.criterion is not None:
+        features.add(criterion_feature(scenario.criterion))
+    if scenario.record_history:
+        features.add(FEATURE_RECORD_HISTORY)
+    return frozenset(features)
+
+
 #: Builds the agent-engine ingredients for a scenario.
 AgentBuilder = Callable[
     ["Scenario"], tuple[AntFactory, "CriterionFactory | None"]
 ]
 #: Runs the vectorized implementation of a scenario.
 FastKernel = Callable[["Scenario", RandomSource], "RunReport"]
-#: Decides whether the fast kernel can honor every feature of a scenario.
+#: Structural constraints beyond the feature tags (e.g. the spread process
+#: hard-coding the good nest as nest 1, or a kernel existing only under the
+#: v2 matcher schedule).  Feature coverage is declared via ``fast_features``.
 FastSupport = Callable[["Scenario"], bool]
 #: Runs one homogeneous chunk of scenarios trial-parallel (the batched fast
 #: engine); must return one report per scenario, in order, bit-identical to
@@ -94,11 +183,20 @@ class AlgorithmEntry:
     fast_kernel: FastKernel | None = None
     fast_supports: FastSupport | None = None
     batch_kernel: BatchKernel | None = None
+    #: Feature tags the fast kernel implements (see :func:`scenario_features`).
+    fast_features: frozenset[str] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
         if self.agent_builder is None and self.fast_kernel is None:
             raise ConfigurationError(
                 f"algorithm {self.name!r} registers neither engine"
+            )
+        object.__setattr__(self, "fast_features", frozenset(self.fast_features))
+        unknown = self.fast_features - set(FEATURE_TAGS)
+        if unknown:
+            raise ConfigurationError(
+                f"algorithm {self.name!r} declares unknown fast feature(s) "
+                f"{sorted(unknown)}; known: {', '.join(FEATURE_TAGS)}"
             )
 
     @property
@@ -123,11 +221,33 @@ class AlgorithmEntry:
 
     def supports_fast(self, scenario: "Scenario") -> bool:
         """Whether the fast kernel exists *and* covers this scenario."""
+        return self.fast_kernel is not None and not self.missing_fast_features(
+            scenario
+        )
+
+    #: Pseudo-tag reported when the structural predicate (not a declared
+    #: feature) rules the fast kernel out — e.g. a spread scenario whose
+    #: good nest is not nest 1, or a v1-matcher request on a v2-only kernel.
+    STRUCTURAL_LIMIT = "scenario-structure"
+
+    def missing_fast_features(self, scenario: "Scenario") -> tuple[str, ...]:
+        """Why the fast kernel cannot honor this scenario (empty = it can).
+
+        Returns the sorted requested-but-unimplemented feature tags; when
+        the tags are all covered but the structural ``fast_supports``
+        predicate still says no, returns ``(STRUCTURAL_LIMIT,)``.  This is
+        the single source of truth behind :meth:`supports_fast`, the
+        ``backend="fast"`` error message, and the ``agent_fallback`` extra
+        :func:`repro.api.run` records under ``backend="auto"``.
+        """
         if self.fast_kernel is None:
-            return False
-        if self.fast_supports is None:
-            return True
-        return self.fast_supports(scenario)
+            return ("no-fast-kernel",)
+        missing = tuple(sorted(scenario_features(scenario) - self.fast_features))
+        if missing:
+            return missing
+        if self.fast_supports is not None and not self.fast_supports(scenario):
+            return (self.STRUCTURAL_LIMIT,)
+        return ()
 
     @property
     def has_batch(self) -> bool:
@@ -162,6 +282,7 @@ class AlgorithmRegistry:
         fast_kernel: FastKernel | None = None,
         fast_supports: FastSupport | None = None,
         batch_kernel: BatchKernel | None = None,
+        fast_features: frozenset[str] | Sequence[str] = (),
         replace: bool = False,
     ) -> AlgorithmEntry:
         """Register an algorithm; returns the stored entry."""
@@ -174,6 +295,7 @@ class AlgorithmRegistry:
             fast_kernel=fast_kernel,
             fast_supports=fast_supports,
             batch_kernel=batch_kernel,
+            fast_features=frozenset(fast_features),
         )
         self._entries[name] = entry
         return entry

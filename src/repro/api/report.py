@@ -95,12 +95,23 @@ class RunReport:
 
     @classmethod
     def from_simulation(
-        cls, scenario: "Scenario", result: "SimulationResult"
+        cls,
+        scenario: "Scenario",
+        result: "SimulationResult",
+        extras: dict[str, Any] | None = None,
     ) -> "RunReport":
-        """Normalize an agent-engine :class:`SimulationResult`."""
+        """Normalize an agent-engine :class:`SimulationResult`.
+
+        ``extras`` merges runner-level detail (e.g. the ``agent_fallback``
+        feature list recorded under ``backend="auto"``) into the standard
+        agent extras.
+        """
         history = None
         if result.history:
             history = np.vstack([record.snapshot.counts for record in result.history])
+        merged = {"status": result.status.value}
+        if extras:
+            merged.update(extras)
         return cls(
             algorithm=scenario.algorithm,
             backend="agent",
@@ -116,7 +127,7 @@ class RunReport:
             chose_good_nest=_is_good(scenario, result.chosen_nest),
             final_counts=result.final_counts,
             population_history=history,
-            extras={"status": result.status.value},
+            extras=merged,
         )
 
     @classmethod

@@ -14,13 +14,16 @@ a semantics change.
 
 Backend selection (``backend="auto"``):
 
-1. use the registered fast kernel if it exists and supports every feature
-   the scenario requests (fault plans, delay models, non-Gaussian noise and
-   custom criteria are agent-engine-only);
-2. otherwise fall back to the agent engine;
+1. use the registered fast kernel if it exists and implements every
+   feature tag the scenario requests (see
+   :func:`repro.api.registry.scenario_features` — fault plans, delay
+   models, the noise kinds, non-default criteria and histories are all
+   declared feature-granularly per kernel);
+2. otherwise fall back to the agent engine, recording the missing feature
+   tags in the report's ``extras["agent_fallback"]``;
 3. raise :class:`~repro.exceptions.ConfigurationError` if neither engine
    can honor the scenario (an explicit ``backend=`` likewise raises rather
-   than silently substituting).
+   than silently substituting, naming the unsupported features).
 """
 
 from __future__ import annotations
@@ -85,11 +88,12 @@ def resolve_backend(
             raise ConfigurationError(
                 f"algorithm {scenario.algorithm!r} has no fast kernel"
             )
-        if not entry.supports_fast(scenario):
+        missing = entry.missing_fast_features(scenario)
+        if missing:
             raise ConfigurationError(
-                f"the fast kernel for {scenario.algorithm!r} does not support "
-                "this scenario (fault plans, delay models, quality-flip or "
-                "encounter noise, and custom criteria need backend='agent')"
+                f"the fast kernel for {scenario.algorithm!r} does not "
+                f"support this scenario's {', '.join(missing)}; use "
+                "backend='agent'"
             )
         return "fast"
     if not entry.has_agent:
@@ -110,7 +114,13 @@ def run(
 
     ``hooks`` (per-round callbacks) exist only on the agent engine; passing
     any forces agent execution under ``backend="auto"``.
+
+    When ``backend="auto"`` falls back to the agent engine even though a
+    fast kernel is registered, the report's ``extras["agent_fallback"]``
+    names the feature tags (or ``"hooks"``) that forced the fallback — the
+    observable answer to "why was this run slow?".
     """
+    requested_auto = backend == "auto"
     if hooks and backend == "auto":
         backend = "agent"
     resolved = resolve_backend(scenario, backend, registry)
@@ -121,6 +131,9 @@ def run(
         return entry.fast_kernel(scenario, scenario.source())
 
     entry = registry.get(scenario.algorithm)
+    fallback: tuple[str, ...] = ()
+    if requested_auto and entry.has_fast:
+        fallback = ("hooks",) if hooks else entry.missing_fast_features(scenario)
     factory, default_criterion = entry.agent_builder(scenario)
     if scenario.criterion is not None:
         criterion = criterion_factory(scenario.criterion)
@@ -139,7 +152,8 @@ def run(
         hooks=hooks,
         keep_history=scenario.record_history,
     )
-    return RunReport.from_simulation(scenario, result)
+    extras = {"agent_fallback": list(fallback)} if fallback else None
+    return RunReport.from_simulation(scenario, result, extras=extras)
 
 
 #: Default number of trials one batch-kernel invocation simulates at once.
@@ -222,7 +236,11 @@ def run_batch(
         if resolved == "fast" and entry.supports_batch(scenario):
             groups.setdefault(_batch_group_key(scenario), []).append(index)
         else:
-            tasks.append(("single", scenario, resolved))
+            # Singles re-run under the *requested* backend (already resolved
+            # above, so no new errors can surface): an "auto" request that
+            # fell back to the agent engine then records its fallback
+            # reason on the report, exactly as a lone run() call would.
+            tasks.append(("single", scenario, backend))
             task_indices.append([index])
     for indices in groups.values():
         for start in range(0, len(indices), batch_chunk):

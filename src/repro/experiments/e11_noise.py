@@ -3,9 +3,14 @@
 Runs Algorithm 3 under increasingly noisy population readings, in two
 flavors within one Study:
 
-- parametric unbiased Gaussian noise (relative σ sweep) on the fast engine;
-- the mechanistic encounter-rate estimator (Pratt 2005) on the agent
-  engine, sweeping the sampling budget (fewer encounter trials = noisier).
+- parametric unbiased Gaussian noise (relative σ sweep);
+- the mechanistic encounter-rate estimator (Pratt 2005), sweeping the
+  sampling budget (fewer encounter trials = noisier).
+
+Both flavors ride the trial-parallel batch engine under ``backend="auto"``
+since the perturbation-aware kernels — the encounter rows historically ran
+on the agent engine at a reduced ``n``, and now sweep the same colony size
+and trial count as the Gaussian rows.
 
 The paper conjectures that unbiased estimators preserve correctness "perhaps
 with some runtime cost dependent on estimator variance" — the table
@@ -29,7 +34,11 @@ def study(
     trials: int | None = None,
     agent_trials: int | None = None,
 ) -> Study:
-    """The E11 sweep: Gaussian σ rows (fast) + encounter-budget rows (agent)."""
+    """The E11 sweep: Gaussian σ rows + encounter-budget rows, both batched.
+
+    ``agent_trials`` (historically the reduced trial count of the
+    agent-engine encounter rows) now defaults to the full ``trials``.
+    """
     if n is None:
         n = 256 if quick else 1024
     if sigmas is None:
@@ -39,29 +48,25 @@ def study(
     if trials is None:
         trials = 10 if quick else 40
     if agent_trials is None:
-        agent_trials = 5 if quick else 20
+        agent_trials = trials
 
-    agent_n = min(n, 256)
     rows = [
         {
             "model": "gaussian relative",
             "level": sigma,
-            "kind": "fast",
             "n": n,
             "seed": base_seed + int(sigma * 100),
             "noise": {"kind": "count", "relative_sigma": sigma},
-            "backend": "fast",
             "trials": trials,
         }
         for sigma in sigmas
     ] + [
         {
-            "model": f"encounter-rate (agent, n={agent_n})",
+            "model": "encounter-rate",
             "level": f"{budget} samples",
-            "kind": "stats",
-            "n": agent_n,
+            "n": n,
             "seed": base_seed + budget,
-            "noise": {"kind": "encounter", "trials": budget, "capacity": 2 * agent_n},
+            "noise": {"kind": "encounter", "trials": budget, "capacity": 2 * n},
             "trials": agent_trials,
         }
         for budget in encounter_trials
@@ -97,7 +102,7 @@ def run(
     trials: int | None = None,
     agent_trials: int | None = None,
 ) -> Table:
-    """Noise sweep: Gaussian (fast engine) and encounter-rate (agent)."""
+    """Noise sweep: Gaussian and encounter-rate, both on the batch engine."""
     if n is None:
         n = 256 if quick else 1024
     result = execute_study(
@@ -109,14 +114,12 @@ def run(
         ["noise model", "level", "median rounds", "success"],
     )
     for row in result.rows():
-        if row["kind"] == "fast":
-            median, success = (
-                row["median_rounds_converged"],
-                row["success_rate_converged"],
-            )
-        else:
-            median, success = row["median_rounds"], row["success_rate"]
-        table.add_row(row["model"], row["level"], median, success)
+        table.add_row(
+            row["model"],
+            row["level"],
+            row["median_rounds_converged"],
+            row["success_rate_converged"],
+        )
     table.add_note(
         "unbiased noise leaves success at 1 and costs rounds roughly "
         "monotonically in the noise level — the Section 6 conjecture."

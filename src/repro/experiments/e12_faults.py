@@ -41,8 +41,12 @@ def study(
         crash_fractions = (0.0, 0.2) if quick else (0.0, 0.1, 0.25, 0.5)
     if byzantine_fractions is None:
         byzantine_fractions = (0.05,) if quick else (0.02, 0.05, 0.1, 0.2)
+    # Fault plans and delay models are declared fast features since the
+    # perturbation-aware batch kernels, so backend="auto" resolves every
+    # cell to the trial-parallel engine — the full profile affords double
+    # the trials the agent-engine sweep used to.
     if trials is None:
-        trials = 5 if quick else 25
+        trials = 5 if quick else 50
 
     rows = []
     for fraction in crash_fractions:

@@ -30,12 +30,20 @@ import numpy as np
 
 from repro.core.lower_bound import IgnorantPolicy
 from repro.exceptions import ConfigurationError
+from repro.extensions.estimation import EncounterNoise
 from repro.fast.batch_matcher import match_pairs_batch, match_positions_batch
 from repro.fast.results import FastRunResult
 from repro.fast.spread_fast import SpreadResult
 from repro.model.nests import NestConfig
+from repro.sim.asynchrony import DelayModel
+from repro.sim.faults import (
+    BYZANTINE_MAX_SEARCH_ROUNDS,
+    CrashMode,
+    FaultPlan,
+)
 from repro.sim.noise import CountNoise
 from repro.sim.rng import RandomSource
+from repro.types import GOOD_THRESHOLD
 
 RateMultiplier = Callable[[int], float]
 
@@ -101,23 +109,55 @@ def _filter_lists(keep: np.ndarray, *lists: list) -> tuple[list, ...]:
 
 
 class _NoisePerturber:
-    """Per-trial Gaussian count noise, mirroring ``simulate_simple``'s
-    ``perturb`` draw-for-draw on each trial's own noise stream."""
+    """Per-trial measurement noise covering the full ``CountNoise`` and
+    ``EncounterNoise`` models (Gaussian count error, mechanistic
+    encounter-rate estimates, and binary quality flips).
 
-    def __init__(self, noise: CountNoise | None, sources: Sequence[RandomSource], n: int):
-        self.active = noise is not None and not noise.is_null
+    The Gaussian path mirrors ``simulate_simple``'s ``perturb``
+    draw-for-draw on each trial's own noise stream, so pre-existing
+    Gaussian-noise batches stay bit-identical; the flip and encounter draws
+    are new schedules, consumed strictly per trial in trajectory order so
+    batching composition stays invisible to the bits.
+    """
+
+    def __init__(
+        self,
+        noise: CountNoise | EncounterNoise | None,
+        sources: Sequence[RandomSource],
+        n: int,
+    ):
+        null = noise is None or noise.is_null
         self.noise = noise
         self.n = n
-        self.rngs = [s.noise for s in sources] if self.active else []
+        self.flip_prob = 0.0 if null else float(noise.quality_flip_prob)
+        self.estimator = None if null else getattr(noise, "estimator", None)
+        gaussian = (
+            not null
+            and self.estimator is None
+            and (noise.relative_sigma > 0.0 or noise.absolute_sigma > 0.0)
+        )
+        #: Whether count readings are perturbed at all.
+        self.active = gaussian or self.estimator is not None
+        draws = self.active or self.flip_prob > 0.0
+        self.rngs = [s.noise for s in sources] if draws else []
 
     def filter(self, keep: np.ndarray) -> None:
-        if self.active:
+        if self.rngs:
             (self.rngs,) = _filter_lists(keep, self.rngs)
 
     def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Perturbed (rounded, clamped) copies of per-ant count readings."""
         if not self.active:
             return values
-        noise, n = self.noise, self.n
+        n = self.n
+        if self.estimator is not None:
+            trials, capacity = self.estimator.trials, self.estimator.capacity
+            rate = np.minimum(1.0, values / capacity)
+            noisy = np.empty_like(values, dtype=float)
+            for row, rng in enumerate(self.rngs):
+                noisy[row] = rng.binomial(trials, rate[row]) / trials * capacity
+            return np.clip(np.rint(noisy), 0, n).astype(np.int64)
+        noise = self.noise
         noisy = values.astype(float)
         for row, rng in enumerate(self.rngs):
             row_vals = noisy[row]
@@ -127,6 +167,21 @@ class _NoisePerturber:
                 row_vals = row_vals + noise.absolute_sigma * rng.standard_normal(n)
             noisy[row] = row_vals
         return np.clip(np.rint(noisy), 0, n).astype(np.int64)
+
+    def flip_rows(self) -> np.ndarray | None:
+        """Per-ant quality-flip mask for one full ``(L, n)`` observation."""
+        if self.flip_prob == 0.0:
+            return None
+        flips = np.empty((len(self.rngs), self.n), dtype=bool)
+        for row, rng in enumerate(self.rngs):
+            flips[row] = rng.random(self.n) < self.flip_prob
+        return flips
+
+    def flip_draws(self, row: int, size: int) -> np.ndarray:
+        """Quality-flip coins for ``size`` observations of one trial."""
+        if self.flip_prob == 0.0 or size == 0:
+            return np.zeros(size, dtype=bool)
+        return self.rngs[row].random(size) < self.flip_prob
 
 
 # ---------------------------------------------------------------------------
@@ -141,9 +196,12 @@ def simulate_simple_batch(
     max_rounds: int = 100_000,
     rate_multiplier: RateMultiplier | None = None,
     quality_weighted: bool = False,
-    noise: CountNoise | None = None,
+    noise: CountNoise | EncounterNoise | None = None,
     recruit_probability: float | None = None,
     record_history: bool = False,
+    fault_plan: FaultPlan | None = None,
+    delay_model: DelayModel | None = None,
+    criterion: str | None = None,
 ) -> list[FastRunResult]:
     """Batched Algorithm 3 (plus the E9/E10 variants and the E8 ablation).
 
@@ -152,8 +210,42 @@ def simulate_simple_batch(
     schedule; ``recruit_probability`` switches in the constant-rate
     ``uniform`` baseline.  Returns one :class:`FastRunResult` per source,
     in order.
+
+    ``noise`` covers the full :class:`~repro.sim.noise.CountNoise` model
+    (Gaussian count error *and* quality flips) plus the mechanistic
+    :class:`~repro.extensions.estimation.EncounterNoise` estimator.
+    ``fault_plan`` (crash and Byzantine rows) and ``delay_model``
+    (per-ant stalls) route the batch through the general per-round kernel
+    (:func:`_simulate_simple_perturbed`), which tracks each ant's drifting
+    action phase exactly as the agent-engine wrappers do; unperturbed
+    batches keep the two-sub-rounds-per-iteration fast path bit-for-bit.
+    ``criterion`` selects the convergence notion (``None``/"good" or the
+    fault experiments' "good_healthy").
     """
     _check_batch(n, sources)
+    if criterion not in (None, "good", "good_healthy"):
+        raise ConfigurationError(
+            f"the simple batch kernel cannot evaluate criterion {criterion!r}"
+        )
+    faulted = fault_plan is not None and (
+        fault_plan.n_crashed(n) + fault_plan.n_byzantine(n) > 0
+    )
+    delayed = delay_model is not None and not delay_model.is_null
+    if faulted or delayed:
+        return _simulate_simple_perturbed(
+            n,
+            nests,
+            sources,
+            max_rounds=max_rounds,
+            rate_multiplier=rate_multiplier,
+            quality_weighted=quality_weighted,
+            noise=noise,
+            recruit_probability=recruit_probability,
+            record_history=record_history,
+            fault_plan=fault_plan if faulted else None,
+            delay_model=delay_model if delayed else None,
+            criterion=criterion,
+        )
     n_trials = len(sources)
     env_rngs = [s.environment for s in sources]
     mat_rngs = [s.matcher for s in sources]
@@ -163,7 +255,7 @@ def simulate_simple_batch(
     k = nests.k
     qualities = np.concatenate([[0.0], nests.quality_array()])
     good = qualities > nests.good_threshold
-    acceptable = qualities > 0.0 if quality_weighted else good
+    accept_threshold = 0.0 if quality_weighted else nests.good_threshold
 
     out: list[FastRunResult | None] = [None] * n_trials
     histories: list[list[np.ndarray]] = [[] for _ in range(n_trials)]
@@ -171,12 +263,18 @@ def simulate_simple_batch(
     offsets = _row_offsets(n_trials, k)
     coin_buffer = np.empty((n_trials, n), dtype=np.float64)
 
-    # Round 1: search.
+    # Round 1: search.  Quality readings may flip (drawn before the count
+    # perturbation, mirroring the agent wrapper's quality-then-count order);
+    # a flipped reading inverts the ant's initial active/passive call.
     nest = np.stack([rng.integers(1, k + 1, size=n) for rng in env_rngs])
     counts, count, flat_ids = _assess(nest, k, offsets)
     countsf = counts.ravel()
+    perceived = qualities[nest]
+    flips = perturb.flip_rows()
+    if flips is not None:
+        perceived = np.where(flips, 1.0 - perceived, perceived)
     count = perturb(count)
-    active = acceptable[nest]
+    active = perceived > accept_threshold
     rounds = 1
     if record_history:
         for row, gid in enumerate(live):
@@ -263,6 +361,358 @@ def simulate_simple_batch(
             offsets = _row_offsets(len(live), k)
             countsf = counts.ravel()
             flat_ids = nest + offsets
+
+    for row, gid in enumerate(live):
+        finalize(row, gid, None)
+    return out  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3 under fault and asynchrony layers (general per-round loop)
+# ---------------------------------------------------------------------------
+
+# An ant's next pending action in the general loop (the SimpleAnt phase).
+_NEXT_RECRUIT, _NEXT_ASSESS = np.int8(0), np.int8(1)
+
+#: Sentinel crash round for ants that never crash.
+_NEVER = np.iinfo(np.int64).max
+
+
+def compile_fault_masks(
+    fault_plan: FaultPlan | None, n: int, sources: Sequence[RandomSource]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(crash_mask, crash_round, byzantine_mask)`` per trial.
+
+    Consumes each trial's ``faults`` stream draw-for-draw as
+    :meth:`~repro.sim.faults.FaultPlan.apply` does (one ``choice`` for the
+    faulty set, then crash rounds drawn while walking ants in id order), so
+    the *same trial* gets the same faulty ants and crash times on either
+    engine — the fault schedule itself is never a source of divergence in
+    the agent-vs-fast equivalence tests.
+    """
+    n_trials = len(sources)
+    crash_mask = np.zeros((n_trials, n), dtype=bool)
+    byz_mask = np.zeros((n_trials, n), dtype=bool)
+    crash_round = np.full((n_trials, n), _NEVER, dtype=np.int64)
+    if fault_plan is None:
+        return crash_mask, crash_round, byz_mask
+    n_crashed = fault_plan.n_crashed(n)
+    n_byzantine = fault_plan.n_byzantine(n)
+    if n_crashed + n_byzantine == 0:
+        return crash_mask, crash_round, byz_mask
+    lo, hi = fault_plan.crash_round_range
+    for row, source in enumerate(sources):
+        rng = source.faults
+        chosen = rng.choice(n, size=n_crashed + n_byzantine, replace=False)
+        crashed = sorted(int(ant) for ant in chosen[:n_crashed])
+        crash_mask[row, crashed] = True
+        byz_mask[row, [int(ant) for ant in chosen[n_crashed:]]] = True
+        for ant in crashed:
+            crash_round[row, ant] = int(rng.integers(lo, hi + 1))
+    return crash_mask, crash_round, byz_mask
+
+
+def _simulate_simple_perturbed(
+    n: int,
+    nests: NestConfig,
+    sources: Sequence[RandomSource],
+    max_rounds: int,
+    rate_multiplier: RateMultiplier | None,
+    quality_weighted: bool,
+    noise: CountNoise | EncounterNoise | None,
+    recruit_probability: float | None,
+    record_history: bool,
+    fault_plan: FaultPlan | None,
+    delay_model: DelayModel | None,
+    criterion: str | None,
+) -> list[FastRunResult]:
+    """Algorithm 3 with crash/Byzantine rows and per-ant stalls, vectorized.
+
+    Unlike the synchronous fast path (which exploits the rigid
+    recruit/assess alternation to advance two rounds per iteration), this
+    kernel executes **one engine round per iteration** and tracks each
+    ant's own pending action — because that is what the agent-engine
+    wrappers actually do:
+
+    - a stalled ant (:class:`~repro.sim.asynchrony.DelayedAnt`) holds its
+      position and carries its already-decided action (recruit coin
+      included) to its next unstalled round, so ants drift out of phase
+      with the global round parity, recruit into mixed home-nest pools,
+      and act on stale counts;
+    - a crashed ant (:class:`~repro.sim.faults.CrashedAnt`) freezes: the
+      ``at_home`` zombie squats in every matching as an unrecruiting,
+      unrecruitable-in-effect body, the ``at_nest`` zombie inflates its
+      frozen nest's population forever;
+    - a Byzantine ant (:class:`~repro.sim.faults.ByzantineAnt`) searches
+      (through the trial's quality-flip noise, if any) until it finds a bad
+      nest — perturbing assessed counts as it wanders — then recruits to it
+      at full rate in every round it is not stalled.
+
+    Per-trial draws (coins, stalls, searches, noise, matcher choices) are
+    strictly trajectory-ordered on each trial's own streams, so results are
+    bit-identical for any batch composition, chunking, or worker count.
+    Convergence is evaluated every round: ``criterion="good_healthy"``
+    demands unanimity of the currently-healthy ants on a good nest (the
+    E12 notion), the default "good" demands it of every ant's commitment
+    (Byzantine ants commit to their push target).
+    """
+    n_trials = len(sources)
+    env_rngs = [s.environment for s in sources]
+    mat_rngs = [s.matcher for s in sources]
+    col_rngs = [s.colony for s in sources]
+    delayed = delay_model is not None
+    delay_rngs = [s.delays for s in sources] if delayed else []
+    delay_prob = delay_model.delay_probability if delayed else 0.0
+    perturb = _NoisePerturber(noise, sources, n)
+    crash_mask, crash_round, byz_mask = compile_fault_masks(
+        fault_plan, n, sources
+    )
+    crash_at_home = (
+        fault_plan is None or fault_plan.crash_mode is CrashMode.AT_HOME
+    )
+    seek_bad = fault_plan.seek_bad if fault_plan is not None else True
+    healthy_only = criterion == "good_healthy"
+
+    k = nests.k
+    qualities = np.concatenate([[0.0], nests.quality_array()])
+    good = qualities > nests.good_threshold
+    accept_threshold = 0.0 if quality_weighted else nests.good_threshold
+
+    out: list[FastRunResult | None] = [None] * n_trials
+    histories: list[list[np.ndarray]] = [[] for _ in range(n_trials)]
+    live = np.arange(n_trials)
+    coin_buffer = np.empty((n_trials, n), dtype=np.float64)
+    stall_buffer = np.empty((n_trials, n), dtype=np.float64)
+
+    # Round 1: everyone searches — the healthy commit (through flipped
+    # quality readings, if any), Byzantine seekers take their first sample.
+    nest = np.stack([rng.integers(1, k + 1, size=n) for rng in env_rngs])
+    position = nest.copy()
+    counts = _row_bincount(position, k)
+    perceived = qualities[nest]
+    flips = perturb.flip_rows()
+    if flips is not None:
+        perceived = np.where(flips, 1.0 - perceived, perceived)
+    count = perturb(_gather_counts(counts, nest, _row_offsets(n_trials, k)))
+    active = (perceived > accept_threshold) & ~byz_mask
+    phase = np.full((n_trials, n), _NEXT_RECRUIT, dtype=np.int8)
+    pending_bit = np.zeros((n_trials, n), dtype=bool)
+    latched = np.zeros((n_trials, n), dtype=bool)
+    # Per-ant recruitment-phase counter for the rate schedule: the agent
+    # engine's AdaptiveSimpleAnt advances its schedule once per *its own*
+    # recruit decision, so under delays a stalled ant's schedule lags the
+    # global round — indexing the multiplier by the global round would
+    # decay the boost too fast for delayed ants (a measurable law change).
+    ant_phase = np.zeros((n_trials, n), dtype=np.int64)
+    mult_table: list[float] = [1.0]  # mult_table[p] = rate_multiplier(p)
+    byz_target = np.zeros((n_trials, n), dtype=np.int64)
+    byz_searches = np.zeros((n_trials, n), dtype=np.int64)
+    if byz_mask.any():
+        byz_searches[byz_mask] = 1
+        bad = perceived <= GOOD_THRESHOLD
+        grab = byz_mask & (bad if seek_bad else np.ones_like(bad))
+        byz_target[grab] = nest[grab]
+    rounds = 1
+    if record_history:
+        for row, gid in enumerate(live):
+            histories[gid].append(counts[row].copy())
+
+    def finalize(row: int, gid: int, converged_round: int | None) -> None:
+        zombie_end = crash_mask[row] & (crash_round[row] <= rounds)
+        committed = np.where(byz_mask[row], byz_target[row], nest[row])
+        healthy_end = ~byz_mask[row] & ~zombie_end
+        votes = committed[healthy_end] if healthy_end.any() else committed
+        chosen = (
+            int(votes[0])
+            if votes.size and votes[0] > 0 and np.all(votes == votes[0])
+            else None
+        )
+        out[gid] = FastRunResult(
+            converged=converged_round is not None,
+            converged_round=converged_round,
+            rounds_executed=rounds,
+            chosen_nest=chosen,
+            final_counts=counts[row].copy(),
+            population_history=(
+                np.vstack(histories[gid]) if record_history else None
+            ),
+        )
+
+    def converged_rows(zombie: np.ndarray) -> np.ndarray:
+        """Rows whose criterion holds at the end of the current round."""
+        if healthy_only:
+            consider = ~byz_mask & ~zombie
+            nonempty = consider.any(axis=1)
+            first = np.argmax(consider, axis=1)
+            ref = nest[np.arange(len(nest)), first]
+            same = np.logical_and.reduce(
+                ~consider | (nest == ref[:, None]), axis=1
+            )
+            return nonempty & same & good[ref]
+        committed = np.where(byz_mask, byz_target, nest)
+        ref = committed[:, 0]
+        same = np.logical_and.reduce(committed == ref[:, None], axis=1)
+        return same & (ref > 0) & good[ref]
+
+    def compress(keep: np.ndarray) -> None:
+        nonlocal nest, active, count, phase, pending_bit, latched, position
+        nonlocal counts, byz_target, byz_searches, crash_mask, crash_round
+        nonlocal byz_mask, live, env_rngs, mat_rngs, col_rngs, delay_rngs
+        nonlocal ant_phase
+        (
+            nest,
+            active,
+            count,
+            phase,
+            pending_bit,
+            latched,
+            position,
+            counts,
+            byz_target,
+            byz_searches,
+            crash_mask,
+            crash_round,
+            byz_mask,
+            ant_phase,
+            live,
+        ) = _compress(
+            keep,
+            nest,
+            active,
+            count,
+            phase,
+            pending_bit,
+            latched,
+            position,
+            counts,
+            byz_target,
+            byz_searches,
+            crash_mask,
+            crash_round,
+            byz_mask,
+            ant_phase,
+            live,
+        )
+        env_rngs, mat_rngs, col_rngs = _filter_lists(
+            keep, env_rngs, mat_rngs, col_rngs
+        )
+        if delay_rngs:
+            (delay_rngs,) = _filter_lists(keep, delay_rngs)
+        perturb.filter(keep)
+
+    done = converged_rows(crash_mask & (crash_round <= 1))
+    if done.any():
+        for row in np.flatnonzero(done):
+            finalize(row, live[row], 1)
+        compress(~done)
+
+    while live.size and rounds < max_rounds:
+        r = rounds + 1
+        zombie = crash_mask & (crash_round <= r)
+        healthy_now = ~byz_mask & ~zombie
+        rows = np.arange(len(live))
+
+        # -- latch pending actions (the DelayedAnt decide step) -------------
+        coins = _fill_rows(coin_buffer, col_rngs)
+        if recruit_probability is not None:
+            probability = np.full(nest.shape, float(recruit_probability))
+        else:
+            probability = count / n
+        if quality_weighted:
+            probability = probability * qualities[nest]
+        latch_recruit = healthy_now & ~latched & (phase == _NEXT_RECRUIT)
+        if rate_multiplier is not None:
+            # Advance each latching ant's own schedule index (pre-increment,
+            # as AdaptiveSimpleAnt.decide does) and boost per ant.
+            ant_phase = ant_phase + latch_recruit
+            while len(mult_table) <= int(ant_phase.max(initial=0)):
+                mult_table.append(float(rate_multiplier(len(mult_table))))
+            probability = probability * np.asarray(mult_table)[ant_phase]
+        if quality_weighted or rate_multiplier is not None:
+            np.clip(probability, 0.0, 1.0, out=probability)
+        pending_bit = np.where(
+            latch_recruit, active & (coins < probability), pending_bit
+        )
+        latched = latched | healthy_now
+
+        # -- stall draws -----------------------------------------------------
+        if delayed:
+            stall = _fill_rows(stall_buffer, delay_rngs) < delay_prob
+        else:
+            stall = np.zeros_like(healthy_now)
+
+        execute = healthy_now & ~stall
+        exec_recruit = execute & (phase == _NEXT_RECRUIT)
+        exec_go = execute & (phase == _NEXT_ASSESS)
+        byz_searching = byz_mask & (byz_target == 0) & ~stall
+        byz_recruiting = byz_mask & (byz_target != 0) & ~stall
+
+        # -- movement --------------------------------------------------------
+        position = np.where(exec_recruit | byz_recruiting, 0, position)
+        position = np.where(exec_go, nest, position)
+        position = np.where(
+            zombie, 0 if crash_at_home else nest, position
+        )
+        n_byz_search = np.count_nonzero(byz_searching, axis=1)
+        if n_byz_search.any():
+            rows_b, ants_b = np.nonzero(byz_searching)
+            landing = np.concatenate(
+                [
+                    rng.integers(1, k + 1, size=int(c))
+                    for rng, c in zip(env_rngs, n_byz_search)
+                    if c
+                ]
+            )
+            position[rows_b, ants_b] = landing
+            perceived_b = qualities[landing]
+            if perturb.flip_prob > 0.0:
+                flip_parts = [
+                    perturb.flip_draws(row, int(c))
+                    for row, c in enumerate(n_byz_search)
+                    if c
+                ]
+                flip_b = np.concatenate(flip_parts)
+                perceived_b = np.where(flip_b, 1.0 - perceived_b, perceived_b)
+            byz_searches[rows_b, ants_b] += 1
+            give_up = byz_searches[rows_b, ants_b] >= BYZANTINE_MAX_SEARCH_ROUNDS
+            take = give_up | (
+                (perceived_b <= GOOD_THRESHOLD)
+                if seek_bad
+                else np.ones_like(give_up)
+            )
+            byz_target[rows_b[take], ants_b[take]] = landing[take]
+
+        # -- Algorithm 1 matching over the home nest -------------------------
+        participants = position == 0
+        attempting = (exec_recruit & pending_bit) | byz_recruiting
+        targets = np.where(byz_mask, byz_target, nest)
+        results, recruited = match_positions_batch(
+            participants, attempting, targets, mat_rngs
+        )
+        got = exec_recruit & recruited
+        woke = got & ~active & (results != nest)
+        adopt = (got & active) | woke
+        nest = np.where(adopt, results, nest)
+        active = active | woke
+
+        # -- observation and phase advance ------------------------------------
+        counts = _row_bincount(position, k)
+        fresh = perturb(counts[rows[:, None], nest])
+        count = np.where(exec_go, fresh, count)
+        phase = np.where(exec_recruit, _NEXT_ASSESS, phase)
+        phase = np.where(exec_go, _NEXT_RECRUIT, phase)
+        latched = latched & ~execute
+
+        rounds += 1
+        if record_history:
+            for row, gid in enumerate(live):
+                histories[gid].append(counts[row].copy())
+
+        done = converged_rows(zombie)
+        if done.any():
+            for row in np.flatnonzero(done):
+                finalize(row, live[row], rounds)
+            compress(~done)
 
     for row, gid in enumerate(live):
         finalize(row, gid, None)

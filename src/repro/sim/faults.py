@@ -116,6 +116,13 @@ class CrashedAnt(Ant):
         return "crashed" if self.crashed else self.inner.state_label()
 
 
+#: Default search budget before a bad-nest seeker gives up and pushes its
+#: last find.  Shared with the vectorized fault layer
+#: (:mod:`repro.fast.batch`) so the two engines' Byzantine ants always
+#: commit their targets on the same schedule.
+BYZANTINE_MAX_SEARCH_ROUNDS = 64
+
+
 class ByzantineAnt(Ant):
     """Adversarial ant: recruits to a fixed nest at full rate, forever.
 
@@ -132,7 +139,7 @@ class ByzantineAnt(Ant):
         n: int,
         rng: np.random.Generator,
         seek_bad: bool = True,
-        max_search_rounds: int = 64,
+        max_search_rounds: int = BYZANTINE_MAX_SEARCH_ROUNDS,
     ) -> None:
         super().__init__(ant_id, n, rng)
         self.seek_bad = seek_bad

@@ -1,0 +1,1 @@
+"""Shared test utilities (not collected as tests)."""

@@ -206,7 +206,9 @@ class TestBackendSelection:
         scenario = Scenario(algorithm="simple", n=16, nests=NestConfig.all_good(2))
         assert resolve_backend(scenario) == "fast"
 
-    def test_auto_falls_back_to_agent_for_faults_and_delays(self):
+    def test_auto_keeps_perturbed_simple_scenarios_on_the_fast_path(self):
+        # Since the perturbation-aware batch kernels, faults, delays and
+        # quality flips no longer force the simple family off the fast path.
         nests = NestConfig.all_good(2)
         faulted = Scenario(
             algorithm="simple", n=16, nests=nests,
@@ -219,18 +221,33 @@ class TestBackendSelection:
             algorithm="simple", n=16, nests=nests,
             noise=CountNoise(quality_flip_prob=0.5),
         )
-        assert resolve_backend(faulted) == "agent"
-        assert resolve_backend(delayed) == "agent"
-        assert resolve_backend(flipping) == "agent"
+        assert resolve_backend(faulted) == "fast"
+        assert resolve_backend(delayed) == "fast"
+        assert resolve_backend(flipping) == "fast"
+
+    def test_auto_falls_back_to_agent_for_unimplemented_features(self):
+        # Algorithm 2's kernel declares no perturbation features, so the
+        # same layers still fall back — and the report says why.
+        scenario = Scenario(
+            algorithm="optimal",
+            n=16,
+            nests=NestConfig.all_good(2),
+            fault_plan=FaultPlan(crash_fraction=0.1),
+            max_rounds=40,
+        )
+        assert resolve_backend(scenario) == "agent"
+        report = run(scenario)
+        assert report.backend == "agent"
+        assert report.extras["agent_fallback"] == ["fault_plan.crash"]
 
     def test_explicit_fast_with_unsupported_feature_raises(self):
         scenario = Scenario(
-            algorithm="simple",
+            algorithm="optimal",
             n=16,
             nests=NestConfig.all_good(2),
             fault_plan=FaultPlan(crash_fraction=0.1),
         )
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="fault_plan.crash"):
             run(scenario, backend="fast")
 
     def test_agent_backend_missing_raises(self):

@@ -23,24 +23,13 @@ import pytest
 from repro.api import REGISTRY, Scenario, run, run_batch, run_stats
 from repro.exceptions import ConfigurationError
 from repro.model.nests import NestConfig
-
-
-def _reports_equal(a, b) -> bool:
-    if (
-        a.converged != b.converged
-        or a.converged_round != b.converged_round
-        or a.rounds_executed != b.rounds_executed
-        or a.chosen_nest != b.chosen_nest
-        or a.extras.get("matcher") != b.extras.get("matcher")
-    ):
-        return False
-    if (a.final_counts is None) != (b.final_counts is None):
-        return False
-    if a.final_counts is not None and not np.array_equal(
-        a.final_counts, b.final_counts
-    ):
-        return False
-    return True
+from tests.helpers.equivalence import (
+    assert_batteries_equivalent,
+    assert_medians_close,
+    assert_reports_bit_identical,
+    collect_battery,
+    reports_bit_identical,
+)
 
 
 BATCHED_ALGORITHMS = [
@@ -61,8 +50,7 @@ class TestBitwiseReproducibility:
         )
         batched = run_batch(scenario.trials(6), workers=1)
         singles = [run(scenario.trial(t), backend="fast") for t in range(6)]
-        for got, expect in zip(batched, singles):
-            assert _reports_equal(got, expect), algorithm
+        assert_reports_bit_identical(batched, singles, label=algorithm)
 
     @pytest.mark.parametrize("chunk", [1, 2, 3, 5, 64])
     def test_chunk_size_never_changes_results(self, chunk):
@@ -75,8 +63,7 @@ class TestBitwiseReproducibility:
         )
         reference = run_batch(scenario.trials(7), workers=1, batch_chunk=7)
         chunked = run_batch(scenario.trials(7), workers=1, batch_chunk=chunk)
-        for got, expect in zip(chunked, reference):
-            assert _reports_equal(got, expect)
+        assert_reports_bit_identical(chunked, reference, label=f"chunk={chunk}")
 
     def test_workers_never_change_results(self):
         scenario = Scenario(
@@ -88,8 +75,7 @@ class TestBitwiseReproducibility:
         )
         serial = run_batch(scenario.trials(8), workers=1, batch_chunk=3)
         parallel = run_batch(scenario.trials(8), workers=4, batch_chunk=3)
-        for got, expect in zip(parallel, serial):
-            assert _reports_equal(got, expect)
+        assert_reports_bit_identical(parallel, serial, label="workers")
 
     def test_mixed_seeds_and_trial_indices_group_together(self):
         # A homogeneous group is "same everything but randomness": mixing
@@ -105,8 +91,7 @@ class TestBitwiseReproducibility:
         ]
         batched = run_batch(scenarios, workers=1)
         singles = [run(s, backend="fast") for s in scenarios]
-        for got, expect in zip(batched, singles):
-            assert _reports_equal(got, expect)
+        assert_reports_bit_identical(batched, singles, label="mixed seeds")
 
     def test_batched_history_matches_single(self):
         scenario = Scenario(
@@ -154,8 +139,8 @@ class TestDispatch:
         assert not entry.supports_batch(scenario)
         batched = run_batch(scenario.trials(3), workers=1)
         singles = [run(scenario.trial(t), backend="fast") for t in range(3)]
-        for got, expect in zip(batched, singles):
-            assert _reports_equal(got, expect)
+        assert_reports_bit_identical(batched, singles, label="v1 singles")
+        for got in batched:
             assert got.extras["matcher"] == "v1"
 
     def test_heterogeneous_batches_fold_into_one_ordered_list(self):
@@ -225,15 +210,11 @@ class TestBaselineKernels:
         scenario = Scenario(
             algorithm="quorum", n=64, nests=nests, seed=17, max_rounds=8000
         )
-        fast = run_batch(scenario.trials(12), workers=1)
-        agent = [run(scenario.trial(t), backend="agent") for t in range(6)]
-        assert all(r.converged for r in fast)
-        assert all(r.converged for r in agent)
-        fast_median = float(np.median([r.converged_round for r in fast]))
-        agent_median = float(np.median([r.converged_round for r in agent]))
-        assert abs(fast_median - agent_median) <= 0.6 * max(
-            fast_median, agent_median
-        )
+        fast = collect_battery(scenario, 12, backend="fast")
+        agent = collect_battery(scenario, 6, backend="agent")
+        assert fast.converged.all()
+        assert agent.converged.all()
+        assert_medians_close(fast.rounds, agent.rounds, rel=0.6, label="quorum")
 
     def test_uniform_fast_agrees_with_agent_statistically(self):
         nests = NestConfig.all_good(4)
@@ -281,16 +262,21 @@ class TestBaselineKernels:
 
 
 class TestV1V2StatisticalEquivalence:
-    """Convergence-time distributions and success rates must agree."""
+    """Convergence-time distributions and success rates must agree.
+
+    Runs through the shared harness (:mod:`tests.helpers.equivalence`): the
+    composite battery check (binomial success-rate compatibility + KS over
+    censoring-included round distributions) plus the historical relative-
+    median tripwire.
+    """
 
     def _sweep(self, algorithm: str, nests: NestConfig, n: int, trials: int, max_rounds: int):
         base = Scenario(
             algorithm=algorithm, n=n, nests=nests, seed=42, max_rounds=max_rounds
         )
-        v2 = run_batch(base.trials(trials), workers=1)
-        v1 = run_batch(
-            [s.replace(params={"matcher": "v1"}) for s in base.trials(trials)],
-            workers=1,
+        v2 = collect_battery(base, trials, backend="fast")
+        v1 = collect_battery(
+            base.replace(params={"matcher": "v1"}), trials, backend="fast"
         )
         return v1, v2
 
@@ -300,24 +286,21 @@ class TestV1V2StatisticalEquivalence:
     )
     def test_convergence_rounds_match(self, algorithm, n, trials, max_rounds):
         v1, v2 = self._sweep(algorithm, NestConfig.all_good(4), n, trials, max_rounds)
-        assert all(r.converged for r in v1)
-        assert all(r.converged for r in v2)
-        m1 = float(np.median([r.converged_round for r in v1]))
-        m2 = float(np.median([r.converged_round for r in v2]))
-        assert abs(m1 - m2) <= 0.35 * max(m1, m2), (algorithm, m1, m2)
+        assert v1.converged.all()
+        assert v2.converged.all()
+        assert_batteries_equivalent(v1, v2, label=f"{algorithm} v1-vs-v2")
+        assert_medians_close(v1.rounds, v2.rounds, label=algorithm)
 
     def test_success_rates_match_on_mixed_nests(self):
         v1, v2 = self._sweep("simple", NestConfig.binary(4, {1, 3}), 64, 30, 8000)
-        rate1 = np.mean([r.solved for r in v1])
-        rate2 = np.mean([r.solved for r in v2])
-        assert rate1 == 1.0 and rate2 == 1.0
+        assert v1.solved.all() and v2.solved.all()
+        assert_batteries_equivalent(v1, v2, label="simple mixed nests")
 
     def test_spread_completion_rounds_match(self):
         v1, v2 = self._sweep(
             "spread", NestConfig.single_good(6, good_nest=1), 96, 30, 4000
         )
-        assert all(r.converged for r in v1)
-        assert all(r.converged for r in v2)
-        m1 = float(np.median([r.converged_round for r in v1]))
-        m2 = float(np.median([r.converged_round for r in v2]))
-        assert abs(m1 - m2) <= 0.35 * max(m1, m2), (m1, m2)
+        assert v1.converged.all()
+        assert v2.converged.all()
+        assert_batteries_equivalent(v1, v2, label="spread v1-vs-v2")
+        assert_medians_close(v1.rounds, v2.rounds, label="spread")

@@ -25,6 +25,7 @@ from repro.fast.batch_matcher import (
     resolve_greedy_matching,
 )
 from repro.model.recruitment import match_arrays, match_arrays_v2
+from tests.helpers.equivalence import assert_means_close
 
 
 def _rngs(seed: int, count: int) -> list[np.random.Generator]:
@@ -199,7 +200,12 @@ class TestBatchedResolverMatchesSpec:
 
 
 class TestV1V2StatisticalEquivalence:
-    """Same pairing law: aggregate matching statistics must agree."""
+    """Same pairing law: aggregate matching statistics must agree.
+
+    The comparisons run through the shared harness
+    (:mod:`tests.helpers.equivalence`), the same tolerances the batch-engine
+    and perturbation-parity suites use.
+    """
 
     def test_pair_count_distributions_close(self):
         m, reps = 128, 400
@@ -213,9 +219,7 @@ class TestV1V2StatisticalEquivalence:
             _, rof2, _ = match_arrays_v2(wants, targets, np.random.default_rng([2, rep]))
             v1_pairs.append(int((rof1 != -1).sum()))
             v2_pairs.append(int((rof2 != -1).sum()))
-        mean1, mean2 = np.mean(v1_pairs), np.mean(v2_pairs)
-        pooled_sd = np.sqrt((np.var(v1_pairs) + np.var(v2_pairs)) / reps)
-        assert abs(mean1 - mean2) < 4 * pooled_sd, (mean1, mean2)
+        assert_means_close(v1_pairs, v2_pairs, label="pair counts")
 
     def test_cross_nest_movement_distribution_close(self):
         """The multiset-level claim: over exchangeable state assignments,
@@ -235,6 +239,4 @@ class TestV1V2StatisticalEquivalence:
             )
             moved_v1.append(int((res1 != targets).sum()))
             moved_v2.append(int((res2 != targets).sum()))
-        mean1, mean2 = np.mean(moved_v1), np.mean(moved_v2)
-        pooled_sd = np.sqrt((np.var(moved_v1) + np.var(moved_v2)) / reps)
-        assert abs(mean1 - mean2) < 4 * pooled_sd, (mean1, mean2)
+        assert_means_close(moved_v1, moved_v2, label="cross-nest moves")

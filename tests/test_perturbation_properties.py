@@ -1,0 +1,142 @@
+"""Property-based round-trips for the perturbation layers.
+
+Perturbed scenarios are sweep- and cache-currency: a ``FaultPlan``,
+``CountNoise``/``EncounterNoise`` or ``DelayModel`` must survive
+``Scenario.to_dict``/``from_dict`` unchanged, serialize canonically
+(equal scenarios → byte-identical JSON), and hash to a stable
+content-address — otherwise the result cache would alias or miss across
+processes.  Hypothesis drives the whole parameter space instead of a few
+hand-picked values.
+
+``hypothesis`` is an optional test dependency; the module skips cleanly
+where it is absent.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.api import Scenario, scenario_features  # noqa: E402
+from repro.api.cache import content_key  # noqa: E402
+from repro.extensions.estimation import (  # noqa: E402
+    EncounterNoise,
+    EncounterRateEstimator,
+)
+from repro.model.nests import NestConfig  # noqa: E402
+from repro.sim.asynchrony import DelayModel  # noqa: E402
+from repro.sim.faults import CrashMode, FaultPlan  # noqa: E402
+from repro.sim.noise import CountNoise  # noqa: E402
+
+NESTS = NestConfig.binary(3, {1, 2})
+
+#: Bounded, non-NaN probability/σ values (the layers validate ranges).
+_prob = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_sigma = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+
+
+@st.composite
+def fault_plans(draw) -> FaultPlan:
+    crash = draw(st.floats(min_value=0.0, max_value=0.6))
+    byzantine = draw(st.floats(min_value=0.0, max_value=0.4))
+    lo = draw(st.integers(min_value=1, max_value=50))
+    hi = draw(st.integers(min_value=lo, max_value=lo + 100))
+    return FaultPlan(
+        crash_fraction=crash,
+        byzantine_fraction=byzantine,
+        crash_round_range=(lo, hi),
+        crash_mode=draw(st.sampled_from(list(CrashMode))),
+        seek_bad=draw(st.booleans()),
+    )
+
+
+@st.composite
+def count_noises(draw) -> CountNoise:
+    return CountNoise(
+        relative_sigma=draw(_sigma),
+        absolute_sigma=draw(_sigma),
+        quality_flip_prob=draw(_prob),
+    )
+
+
+@st.composite
+def encounter_noises(draw) -> EncounterNoise:
+    return EncounterNoise(
+        estimator=EncounterRateEstimator(
+            trials=draw(st.integers(min_value=1, max_value=512)),
+            capacity=draw(st.integers(min_value=1, max_value=4096)),
+        ),
+        quality_flip_prob=draw(_prob),
+    )
+
+
+@st.composite
+def delay_models(draw) -> DelayModel:
+    return DelayModel(
+        draw(st.floats(min_value=0.0, max_value=0.95))
+    )
+
+
+@st.composite
+def perturbed_scenarios(draw) -> Scenario:
+    return Scenario(
+        algorithm=draw(st.sampled_from(("simple", "optimal", "uniform"))),
+        n=draw(st.integers(min_value=1, max_value=512)),
+        nests=NESTS,
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        trial_index=draw(st.one_of(st.none(), st.integers(0, 1000))),
+        max_rounds=draw(st.integers(min_value=1, max_value=10**6)),
+        noise=draw(st.one_of(st.none(), count_noises(), encounter_noises())),
+        fault_plan=draw(st.one_of(st.none(), fault_plans())),
+        delay_model=draw(st.one_of(st.none(), delay_models())),
+        criterion=draw(
+            st.sampled_from((None, "good", "good_healthy", "unanimous"))
+        ),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario=perturbed_scenarios())
+def test_scenario_round_trips_through_dict(scenario):
+    rebuilt = Scenario.from_dict(scenario.to_dict())
+    assert rebuilt == scenario
+    # A second hop is a fixed point.
+    assert Scenario.from_dict(rebuilt.to_dict()) == rebuilt
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario=perturbed_scenarios())
+def test_serialization_is_canonical_and_cache_key_stable(scenario):
+    direct = scenario.to_json(sort_keys=True)
+    rebuilt = Scenario.from_json(scenario.to_json())
+    assert rebuilt.to_json(sort_keys=True) == direct
+    # The sweep cache's content address is a pure function of the scenario:
+    # a dict→scenario→dict lap must never move a perturbed cell's key.
+    assert content_key(scenario.to_dict()) == content_key(rebuilt.to_dict())
+    # And the JSON text itself round-trips value-stably.
+    assert json.loads(direct) == json.loads(rebuilt.to_json(sort_keys=True))
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario=perturbed_scenarios())
+def test_scenario_features_are_trip_invariant(scenario):
+    """Feature extraction (hence backend dispatch and fallback reasons)
+    agrees before and after serialization — a cached cell replayed from
+    JSON resolves to the same engine as the original declaration."""
+    rebuilt = Scenario.from_dict(scenario.to_dict())
+    assert scenario_features(rebuilt) == scenario_features(scenario)
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=fault_plans(), n=st.integers(min_value=1, max_value=2048))
+def test_fault_plan_counts_are_consistent(plan, n):
+    total = plan.n_crashed(n) + plan.n_byzantine(n)
+    assert 0 <= total <= n + 1  # independent rounding can overshoot by one
+    if plan.crash_fraction == 0.0:
+        assert plan.n_crashed(n) == 0
+    if plan.byzantine_fraction == 0.0:
+        assert plan.n_byzantine(n) == 0

@@ -1,0 +1,425 @@
+"""Agent-vs-fast parity across the perturbation matrix.
+
+The vectorized perturbation layers (fault masks, noise models, delay
+schedules — :mod:`repro.fast.batch`) re-implement the agent engine's
+wrapper semantics (:mod:`repro.sim.faults`, :mod:`repro.sim.noise`,
+:mod:`repro.sim.asynchrony`) under the v2 matcher schedule.  This module
+pins the three guarantees that make ``backend="auto"`` safe to hand them:
+
+1. **Statistical equivalence** — for every algorithm whose kernel declares
+   a perturbation feature, agent and fast trial batteries agree through the
+   shared harness (:mod:`tests.helpers.equivalence`);
+2. **Dispatch honesty** — for every registered algorithm × perturbation
+   combination the resolver either serves the fast path or falls back with
+   the missing feature tags recorded on the report;
+3. **Bit-exact batching** — perturbed batches are identical for any chunk
+   size and worker count, and identical to running each trial alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    REGISTRY,
+    Scenario,
+    resolve_backend,
+    run,
+    run_batch,
+    scenario_features,
+)
+from repro.exceptions import ConfigurationError
+from repro.extensions.estimation import EncounterNoise, EncounterRateEstimator
+from repro.model.nests import NestConfig
+from repro.sim.asynchrony import DelayModel
+from repro.sim.faults import CrashMode, FaultPlan
+from repro.sim.noise import CountNoise
+from tests.helpers.equivalence import (
+    assert_batteries_equivalent,
+    assert_means_close,
+    assert_reports_bit_identical,
+    collect_battery,
+)
+
+#: One small, convergence-friendly world: three good nests plus one bad
+#: nest for Byzantine ants to push.
+NESTS = NestConfig.binary(4, {1, 2, 3})
+
+#: The perturbation dimensions of the matrix.  Fault cells use the E12
+#: healthy-colony criterion (zombie commitments can never join a consensus).
+PERTURBATIONS: dict[str, dict] = {
+    "crash_home": dict(
+        fault_plan=FaultPlan(crash_fraction=0.2, crash_mode=CrashMode.AT_HOME),
+        criterion="good_healthy",
+    ),
+    "crash_nest": dict(
+        fault_plan=FaultPlan(crash_fraction=0.2, crash_mode=CrashMode.AT_NEST),
+        criterion="good_healthy",
+    ),
+    "byzantine": dict(
+        fault_plan=FaultPlan(byzantine_fraction=0.06),
+        criterion="good_healthy",
+    ),
+    "count_noise": dict(noise=CountNoise(relative_sigma=0.75)),
+    "quality_flip": dict(noise=CountNoise(quality_flip_prob=0.15)),
+    "encounter": dict(
+        noise=EncounterNoise(
+            estimator=EncounterRateEstimator(trials=24, capacity=96)
+        )
+    ),
+    "delay": dict(delay_model=DelayModel(0.25)),
+}
+
+#: Statistical-equivalence cells: the full row for Algorithm 3, plus a
+#: representative (and non-degenerate) spread over the two kernel-sharing
+#: variants.  Byzantine cells get a tighter cap — heavy adversarial
+#: pressure censors some trials on *both* engines, and the battery check
+#: compares the censored atoms too.
+EQUIVALENCE_CELLS = [
+    ("simple", name) for name in PERTURBATIONS
+] + [
+    ("adaptive", "crash_home"),
+    ("adaptive", "encounter"),
+    ("adaptive", "delay"),
+    ("uniform", "crash_nest"),
+    ("uniform", "delay"),
+]
+
+FAST_TRIALS = 48
+AGENT_TRIALS = 20
+
+
+def _cell_scenario(algorithm: str, perturbation: str, n: int = 48) -> Scenario:
+    max_rounds = 1000 if "byz" in perturbation else 2500
+    if algorithm == "uniform" and perturbation == "delay":
+        max_rounds = 6000  # the feedback-free walk is slow even unperturbed
+    return Scenario(
+        algorithm=algorithm,
+        n=n,
+        nests=NESTS,
+        seed=97,
+        max_rounds=max_rounds,
+        **PERTURBATIONS[perturbation],
+    )
+
+
+class TestStatisticalEquivalence:
+    @pytest.mark.parametrize("algorithm,perturbation", EQUIVALENCE_CELLS)
+    def test_agent_and_fast_sample_the_same_law(self, algorithm, perturbation):
+        scenario = _cell_scenario(algorithm, perturbation)
+        assert resolve_backend(scenario) == "fast", (algorithm, perturbation)
+        fast = collect_battery(scenario, FAST_TRIALS, backend="fast")
+        agent = collect_battery(scenario, AGENT_TRIALS, backend="agent")
+        assert_batteries_equivalent(
+            fast, agent, label=f"{algorithm}/{perturbation}"
+        )
+
+    def test_adaptive_schedule_under_heavy_delay(self):
+        """Regression: the rate schedule must be indexed by each ant's own
+        recruitment-phase counter, not the global round.  Under heavy
+        delays stalled ants lag the global round, so global indexing
+        decays an aggressive k-tilde boost too fast and measurably slows
+        the fast engine relative to the agent engine."""
+        scenario = Scenario(
+            algorithm="adaptive",
+            n=48,
+            nests=NestConfig.all_good(4),
+            seed=7,
+            max_rounds=8000,
+            params={"k_initial": 16, "half_life": 2},
+            delay_model=DelayModel(0.5),
+        )
+        fast = collect_battery(scenario, 150, backend="fast")
+        agent = collect_battery(scenario, 50, backend="agent")
+        assert fast.solved.all() and agent.solved.all()
+        assert_batteries_equivalent(fast, agent, label="adaptive heavy delay")
+        assert_means_close(
+            fast.rounds, agent.rounds, label="adaptive heavy delay rounds"
+        )
+
+    def test_byzantine_delay_cliff_composite(self):
+        """The E12 cliff combination exercises every layer at once.
+
+        The cap is tight on purpose: under this pressure a fair share of
+        trials censor on *both* engines, and the battery check compares
+        those censored atoms alongside the solved rounds.
+        """
+        scenario = Scenario(
+            algorithm="simple",
+            n=48,
+            nests=NESTS,
+            seed=31,
+            max_rounds=700,
+            fault_plan=FaultPlan(byzantine_fraction=0.04),
+            delay_model=DelayModel(0.15),
+            criterion="good_healthy",
+        )
+        fast = collect_battery(scenario, FAST_TRIALS, backend="fast")
+        agent = collect_battery(scenario, 12, backend="agent")
+        assert_batteries_equivalent(fast, agent, label="byzantine+delay")
+
+
+class TestDispatchMatrix:
+    """Every registered algorithm × perturbation resolves honestly."""
+
+    @pytest.mark.parametrize("perturbation", sorted(PERTURBATIONS))
+    @pytest.mark.parametrize("algorithm", REGISTRY.names())
+    def test_resolution_matches_declared_features(self, algorithm, perturbation):
+        entry = REGISTRY.get(algorithm)
+        kwargs = dict(PERTURBATIONS[perturbation])
+        if not entry.has_agent:
+            # Criterion defaults differ per standalone process; drop the
+            # fault criterion so only the perturbation itself is probed.
+            kwargs.pop("criterion", None)
+        scenario = Scenario(
+            algorithm=algorithm, n=16, nests=NESTS, max_rounds=8, **kwargs
+        )
+        requested = scenario_features(scenario)
+        supported = requested <= entry.fast_features
+        if entry.has_fast and supported and entry.supports_fast(scenario):
+            assert resolve_backend(scenario) == "fast"
+        elif entry.has_agent:
+            assert resolve_backend(scenario) == "agent"
+            missing = entry.missing_fast_features(scenario)
+            if entry.has_fast:
+                assert missing, (algorithm, perturbation)
+                assert set(missing) <= requested
+        else:
+            with pytest.raises(ConfigurationError):
+                resolve_backend(scenario)
+
+    def test_fallback_reason_reaches_the_report(self):
+        scenario = Scenario(
+            algorithm="quorum",
+            n=16,
+            nests=NESTS,
+            max_rounds=8,
+            delay_model=DelayModel(0.2),
+            noise=CountNoise(quality_flip_prob=0.1),
+        )
+        report = run(scenario)
+        assert report.backend == "agent"
+        assert report.extras["agent_fallback"] == [
+            "delay_model",
+            "noise.quality_flip",
+        ]
+
+    def test_fallback_reason_survives_run_batch(self):
+        scenario = Scenario(
+            algorithm="optimal",
+            n=16,
+            nests=NestConfig.all_good(2),
+            max_rounds=8,
+            fault_plan=FaultPlan(crash_fraction=0.2),
+        )
+        reports = run_batch(scenario.trials(2), workers=1)
+        for report in reports:
+            assert report.backend == "agent"
+            assert report.extras["agent_fallback"] == ["fault_plan.crash"]
+
+    def test_hooks_fallback_reason(self):
+        records = []
+        scenario = Scenario(algorithm="simple", n=16, nests=NESTS, max_rounds=8)
+        report = run(scenario, hooks=[records.append])
+        assert report.backend == "agent"
+        assert report.extras["agent_fallback"] == ["hooks"]
+        assert records
+
+    def test_explicit_fast_error_names_the_features(self):
+        scenario = Scenario(
+            algorithm="spread",
+            n=16,
+            nests=NestConfig.single_good(4, good_nest=1),
+            fault_plan=FaultPlan(byzantine_fraction=0.2),
+        )
+        with pytest.raises(ConfigurationError, match="fault_plan.byzantine"):
+            resolve_backend(scenario, backend="fast")
+
+    def test_custom_duck_typed_noise_stays_on_the_agent_engine(self):
+        """An unrecognized noise model requests the `noise.custom` tag,
+        which no fast kernel declares — only the agent engine's duck-typed
+        NoisyAnt wrapper can honor arbitrary models."""
+
+        class HalvingNoise:
+            is_null = False
+            quality_flip_prob = 0.0
+
+            def perturb_count(self, count, n, rng):
+                return count // 2
+
+            def perturb_quality(self, quality, rng):
+                return quality
+
+        scenario = Scenario(
+            algorithm="simple",
+            n=24,
+            nests=NestConfig.all_good(2),
+            max_rounds=400,
+            noise=HalvingNoise(),
+        )
+        assert scenario_features(scenario) == {"noise.custom"}
+        report = run(scenario)
+        assert report.backend == "agent"
+        assert report.extras["agent_fallback"] == ["noise.custom"]
+
+    def test_noop_perturbation_layers_request_nothing(self):
+        scenario = Scenario(
+            algorithm="simple",
+            n=16,
+            nests=NESTS,
+            fault_plan=FaultPlan(),
+            delay_model=DelayModel(0.0),
+            noise=CountNoise(),
+        )
+        assert scenario_features(scenario) == frozenset()
+        assert resolve_backend(scenario) == "fast"
+
+
+class TestPerturbedBatchDeterminism:
+    """Bit-exact reports for any chunking, worker count, or batch size."""
+
+    @pytest.mark.parametrize("perturbation", sorted(PERTURBATIONS))
+    def test_chunks_and_singles_agree(self, perturbation):
+        scenario = _cell_scenario("simple", perturbation).replace(
+            seed=11, max_rounds=1200
+        )
+        whole = run_batch(scenario.trials(6), workers=1, batch_chunk=6)
+        chunked = run_batch(scenario.trials(6), workers=1, batch_chunk=2)
+        singles = [run(scenario.trial(t), backend="fast") for t in range(6)]
+        assert_reports_bit_identical(chunked, whole, label=perturbation)
+        assert_reports_bit_identical(singles, whole, label=perturbation)
+
+    def test_workers_one_vs_four(self):
+        scenario = Scenario(
+            algorithm="simple",
+            n=48,
+            nests=NESTS,
+            seed=13,
+            max_rounds=1500,
+            fault_plan=FaultPlan(crash_fraction=0.15, byzantine_fraction=0.04),
+            delay_model=DelayModel(0.2),
+            criterion="good_healthy",
+        )
+        serial = run_batch(scenario.trials(8), workers=1, batch_chunk=3)
+        parallel = run_batch(scenario.trials(8), workers=4, batch_chunk=3)
+        assert_reports_bit_identical(parallel, serial, label="workers")
+
+    def test_perturbed_history_batch_matches_single(self):
+        scenario = Scenario(
+            algorithm="simple",
+            n=24,
+            nests=NESTS,
+            seed=2,
+            max_rounds=1200,
+            record_history=True,
+            fault_plan=FaultPlan(crash_fraction=0.2),
+            criterion="good_healthy",
+        )
+        batched = run_batch(scenario.trials(3), workers=1)
+        singles = [run(scenario.trial(t), backend="fast") for t in range(3)]
+        assert_reports_bit_identical(batched, singles, label="history")
+        for report in batched:
+            history = report.population_history
+            assert history is not None
+            assert history.shape[0] == report.rounds_executed
+            # Physical conservation: every round's row sums to the colony.
+            assert set(history.sum(axis=1).tolist()) == {24}
+
+
+class TestPerturbedKernelSemantics:
+    """Targeted checks of the layer semantics beyond distribution shape."""
+
+    def test_at_nest_zombies_block_full_unanimity_but_not_healthy(self):
+        scenario = Scenario(
+            algorithm="simple",
+            n=32,
+            nests=NESTS,
+            seed=5,
+            max_rounds=3000,
+            fault_plan=FaultPlan(
+                crash_fraction=0.25, crash_mode=CrashMode.AT_NEST
+            ),
+            criterion="good_healthy",
+        )
+        reports = run_batch(scenario.trials(10), workers=1, backend="fast")
+        solved = [r for r in reports if r.solved]
+        assert solved, "healthy consensus should still form"
+        split_snapshots = 0
+        for report in solved:
+            counts = report.final_counts
+            assert counts is not None and counts.sum() == 32
+            # The frozen corpses keep standing at their nests, so the final
+            # snapshot spreads over several candidate bins even though the
+            # healthy colony converged on one nest.
+            if np.count_nonzero(counts[1:]) > 1:
+                split_snapshots += 1
+            assert counts.max() < 32
+        assert split_snapshots, "zombies should pin non-winning bins"
+
+    def test_byzantine_seek_bad_pushes_the_bad_nest(self):
+        # With seek_bad Byzantine ants and heavy pressure, captured trials
+        # end with the colony on the single bad nest (nest 4).
+        scenario = Scenario(
+            algorithm="simple",
+            n=48,
+            nests=NESTS,
+            seed=7,
+            max_rounds=4000,
+            fault_plan=FaultPlan(byzantine_fraction=0.15),
+            criterion="good_healthy",
+        )
+        reports = run_batch(scenario.trials(12), workers=1, backend="fast")
+        captured = [
+            r for r in reports if not r.solved and r.chosen_nest is not None
+        ]
+        assert any(r.chosen_nest == 4 for r in captured)
+
+    def test_delay_slows_convergence_monotonically(self):
+        nests = NestConfig.all_good(4)
+        medians = []
+        for probability in (0.0, 0.3, 0.5):
+            scenario = Scenario(
+                algorithm="simple",
+                n=64,
+                nests=nests,
+                seed=19,
+                max_rounds=20_000,
+                delay_model=(
+                    DelayModel(probability) if probability else None
+                ),
+            )
+            battery = collect_battery(scenario, 24, backend="fast")
+            assert battery.solved.all()
+            medians.append(float(np.median(battery.rounds)))
+        assert medians[0] < medians[1] < medians[2]
+
+    def test_fault_schedule_matches_agent_engine_exactly(self):
+        """Both engines pick the same faulty ants and crash times — the
+        fault stream is consumed draw-for-draw (compile_fault_masks)."""
+        from repro.fast.batch import compile_fault_masks
+        from repro.sim.faults import CrashedAnt
+        from repro.sim.run import build_colony
+        from repro.core.colony import simple_factory
+
+        plan = FaultPlan(crash_fraction=0.2, byzantine_fraction=0.1)
+        scenario = Scenario(
+            algorithm="simple", n=20, nests=NESTS, seed=23, trial_index=3
+        )
+        source = scenario.source()
+        crash_mask, crash_round, byz_mask = compile_fault_masks(
+            plan, 20, [scenario.source()]
+        )
+        colony = build_colony(
+            simple_factory(), 20, source.colony
+        )
+        colony = plan.apply(colony, source.faults)
+        for ant_id, ant in enumerate(colony):
+            if isinstance(ant, CrashedAnt):
+                assert crash_mask[0, ant_id]
+                assert crash_round[0, ant_id] == ant.crash_round
+            elif ant.state_label() == "byzantine":
+                assert byz_mask[0, ant_id]
+            else:
+                assert not crash_mask[0, ant_id]
+                assert not byz_mask[0, ant_id]

@@ -70,13 +70,19 @@ def check_record(path: Path, tolerance: float) -> list[str]:
     same_machine = fresh.get("machine") == baseline.get("machine")
     failures: list[str] = []
     fresh_metrics = fresh.get("metrics", {})
+    # Records may flag ratio metrics whose two sides scale differently
+    # with hardware (e.g. an interpreter-bound engine vs a vectorized
+    # one); those compare like the machine-absolute *_per_sec metrics.
+    machine_dependent = set(baseline.get("machine_dependent", [])) | set(
+        fresh.get("machine_dependent", [])
+    )
     for key, base_value in baseline.get("metrics", {}).items():
         if key not in fresh_metrics:
             print(f"{name}: metric {key!r} missing from fresh run; skipping")
             continue
-        if key.endswith("_per_sec") and not same_machine:
+        if (key.endswith("_per_sec") or key in machine_dependent) and not same_machine:
             print(
-                f"{name}: {key} is machine-absolute and the machine "
+                f"{name}: {key} is machine-dependent and the machine "
                 "fingerprint changed; skipping"
             )
             continue
