@@ -45,7 +45,10 @@ from repro.api.report import RunReport
 from repro.api.results import ResultTable
 from repro.api.runner import (
     BACKENDS,
+    TRANSPORTS,
+    WorkerPool,
     aggregate,
+    default_batch_chunk,
     default_workers,
     resolve_backend,
     run,
@@ -93,8 +96,11 @@ __all__ = [
     "Study",
     "StudyResult",
     "Sweep",
+    "TRANSPORTS",
+    "WorkerPool",
     "aggregate",
     "cases",
+    "default_batch_chunk",
     "criterion_factory",
     "criterion_feature",
     "default_cache",

@@ -32,6 +32,7 @@ import json
 import os
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -156,10 +157,73 @@ def run(
     return RunReport.from_simulation(scenario, result, extras=extras)
 
 
-#: Default number of trials one batch-kernel invocation simulates at once.
-#: Larger chunks amortize more Python overhead per round but hold
-#: ``O(chunk * n)`` state; results never depend on the choice.
+#: Classic default chunk (the ``n = 4096`` operating point of the
+#: size-aware policy below); kept as the fallback for degenerate ``n``.
 DEFAULT_BATCH_CHUNK = 64
+
+#: Target per-chunk state volume: a chunk holds ``O(chunk * n)`` elements
+#: per state plane, so the default chunk is sized to keep one plane around
+#: this many elements (~2 MB of float64) — small enough to stay
+#: cache-friendly and bound worker memory, large enough to amortize the
+#: per-chunk round-loop overhead the arena doesn't absorb.  Results never
+#: depend on the choice.
+BATCH_CHUNK_TARGET_ELEMS = 262_144
+
+#: Bounds of the size-aware default (an explicit ``batch_chunk`` is never
+#: clamped).
+MIN_DEFAULT_CHUNK, MAX_DEFAULT_CHUNK = 16, 512
+
+
+def default_batch_chunk(n: int) -> int:
+    """The default trials-per-chunk for colonies of ``n`` ants."""
+    if n < 1:
+        return DEFAULT_BATCH_CHUNK
+    return max(
+        MIN_DEFAULT_CHUNK, min(MAX_DEFAULT_CHUNK, BATCH_CHUNK_TARGET_ELEMS // n)
+    )
+
+
+class WorkerPool:
+    """A persistent process pool reused across ``run_batch`` calls.
+
+    ``run_study`` used to fork a fresh :class:`ProcessPoolExecutor` per
+    cache-missing cell; at study scale that re-pays worker startup (and
+    registry import) hundreds of times.  A :class:`WorkerPool` owns one
+    executor, created lazily on the first parallel dispatch and reused
+    until :meth:`close` — pass it to :func:`run_batch`/
+    :func:`repro.api.run_study` via ``pool=``, or use it as a context
+    manager.  Results are bit-identical with and without a pool (pinned
+    by the golden-digest and pool-determinism suites).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The lazily-created executor (spawns workers on first use)."""
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes exist yet."""
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 #: One unit of batch work: ``("single", scenario, backend)`` runs one
 #: scenario through :func:`run`; ``("batch", [scenarios])`` runs one
@@ -193,35 +257,124 @@ def _run_task(task: _Task) -> list[RunReport]:
     return entry.batch_kernel(chunk)
 
 
+def _run_task_packed(task: _Task, shm: bool = False) -> object:
+    """Worker-side target: batch chunks return packed numpy columns.
+
+    Packing drops the per-report Python object graph from the result pipe
+    (the parent rebuilds reports from the scenarios it already holds);
+    with ``shm`` the columns of large chunks move through a named
+    ``multiprocessing.shared_memory`` segment instead of the pickle
+    stream.  Singles still return their reports directly — they can carry
+    agent-engine payloads the packer doesn't speak.
+    """
+    from repro.api.transport import maybe_to_shm, pack_reports
+
+    reports = _run_task(task)
+    if task[0] != "batch":
+        return reports
+    packed = pack_reports(reports)
+    if shm:
+        packed = maybe_to_shm(packed)
+    return packed
+
+
+def _resolve_task_result(result: object, task: _Task) -> list[RunReport]:
+    """Parent-side inverse of :func:`_run_task_packed`."""
+    from repro.api.transport import from_shm, is_shm_descriptor, unpack_reports
+
+    if isinstance(result, list):
+        return result
+    if is_shm_descriptor(result):
+        result = from_shm(result)
+    return unpack_reports(result, task[1])
+
+
+def _collect_results(executor, runner, tasks: list[_Task]) -> list[object]:
+    """Gather worker results, releasing orphaned shm segments on failure.
+
+    A failing task must not leak the shared-memory segments of chunks
+    that already completed: their ownership transferred to this process
+    the moment the workers returned descriptors, so on error every
+    finished sibling's segment is unlinked before the exception
+    propagates.
+    """
+    from concurrent.futures import wait
+    from repro.api.transport import discard_shm, is_shm_descriptor
+
+    futures = [executor.submit(runner, task) for task in tasks]
+    try:
+        return [future.result() for future in futures]
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        wait(futures)
+        for future in futures:
+            if future.cancelled() or future.exception() is not None:
+                continue
+            result = future.result()
+            if is_shm_descriptor(result):
+                discard_shm(result)
+        raise
+
+
+#: Result transports for worker processes.  ``pickle`` is always correct;
+#: ``shm`` routes large packed chunks through shared memory.
+TRANSPORTS = ("pickle", "shm")
+
+#: Environment variable opting into the shared-memory transport by default.
+SHM_TRANSPORT_ENV = "REPRO_SHM_TRANSPORT"
+
+
+def _resolve_transport(transport: str | None) -> str:
+    if transport is None:
+        transport = (
+            "shm" if os.environ.get(SHM_TRANSPORT_ENV) == "1" else "pickle"
+        )
+    if transport not in TRANSPORTS:
+        raise ConfigurationError(
+            f"unknown transport {transport!r}; known: {', '.join(TRANSPORTS)}"
+        )
+    return transport
+
+
 def run_batch(
     scenarios: Iterable[Scenario],
     workers: int = 1,
     backend: str = "auto",
     batch_chunk: int | None = None,
+    pool: "WorkerPool | None" = None,
+    transport: str | None = None,
 ) -> list[RunReport]:
     """Run many scenarios; reports come back in input order.
 
     Homogeneous runs of scenarios — same algorithm and workload, differing
     only in ``seed``/``trial_index`` — are detected and dispatched to the
-    algorithm's trial-parallel batch kernel in chunks of ``batch_chunk``
-    (when the registry entry has one, the resolved backend is ``fast`` and
-    the scenario uses the default v2 matcher schedule); everything else
-    runs scenario-by-scenario as before.  ``workers > 1`` fans the chunks
-    and the leftover singles out over a process pool.
+    algorithm's trial-parallel batch kernel in chunks (when the registry
+    entry has one, the resolved backend is ``fast`` and the scenario uses
+    the default v2 matcher schedule); everything else runs
+    scenario-by-scenario as before.  ``workers > 1`` fans the chunks and
+    the leftover singles out over a process pool; pass a
+    :class:`WorkerPool` via ``pool=`` to reuse worker processes across
+    calls (``pool`` takes precedence over ``workers``).  ``batch_chunk``
+    defaults to the size-aware :func:`default_batch_chunk` policy per
+    group.  ``transport`` selects how workers ship results back
+    (:data:`TRANSPORTS`; ``None`` reads ``$REPRO_SHM_TRANSPORT``).
 
     Each trial derives its randomness from its own ``(seed, trial_index)``
     and the batch kernels consume those streams per trial, so the reports
-    are **bit-identical for every** ``workers`` **and** ``batch_chunk``
-    value, and identical to running each scenario alone —
-    :mod:`tests.test_batch_engine` pins this down.
+    are **bit-identical for every** ``workers``, ``batch_chunk``, ``pool``
+    and ``transport`` value, and identical to running each scenario alone
+    — :mod:`tests.test_batch_engine` and the golden-digest suite pin this
+    down.
     """
     batch = list(scenarios)
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    if batch_chunk is None:
-        batch_chunk = DEFAULT_BATCH_CHUNK
-    if batch_chunk < 1:
+    if batch_chunk is not None and batch_chunk < 1:
         raise ConfigurationError(f"batch_chunk must be >= 1, got {batch_chunk}")
+    # Validate eagerly so configuration errors surface identically whether
+    # or not the dispatch ends up parallel.
+    shm = _resolve_transport(transport) == "shm"
     # Resolve backends up front so configuration errors surface immediately
     # (and identically) regardless of worker count.
     payloads = [(s, resolve_backend(s, backend)) for s in batch]
@@ -243,16 +396,32 @@ def run_batch(
             tasks.append(("single", scenario, backend))
             task_indices.append([index])
     for indices in groups.values():
-        for start in range(0, len(indices), batch_chunk):
-            chunk_indices = indices[start : start + batch_chunk]
+        chunk_size = (
+            batch_chunk
+            if batch_chunk is not None
+            else default_batch_chunk(batch[indices[0]].n)
+        )
+        for start in range(0, len(indices), chunk_size):
+            chunk_indices = indices[start : start + chunk_size]
             tasks.append(("batch", [batch[i] for i in chunk_indices]))
             task_indices.append(chunk_indices)
 
-    if workers == 1 or len(tasks) <= 1:
+    effective_workers = pool.workers if pool is not None else workers
+    if effective_workers == 1 or len(tasks) <= 1:
         task_reports = [_run_task(task) for task in tasks]
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            task_reports = list(pool.map(_run_task, tasks))
+        runner = partial(_run_task_packed, shm=shm)
+        if pool is not None:
+            results = _collect_results(pool.executor(), runner, tasks)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(effective_workers, len(tasks))
+            ) as executor:
+                results = _collect_results(executor, runner, tasks)
+        task_reports = [
+            _resolve_task_result(result, task)
+            for result, task in zip(results, tasks)
+        ]
 
     reports: list[RunReport | None] = [None] * len(batch)
     for indices, chunk_reports in zip(task_indices, task_reports):

@@ -64,7 +64,13 @@ from repro.api.cache import (
 )
 from repro.api.report import RunReport
 from repro.api.results import ResultTable
-from repro.api.runner import aggregate, default_workers, resolve_backend, run_batch
+from repro.api.runner import (
+    WorkerPool,
+    aggregate,
+    default_workers,
+    resolve_backend,
+    run_batch,
+)
 from repro.api.scenario import Scenario
 from repro.exceptions import ConfigurationError
 from repro.model.nests import NestConfig
@@ -603,14 +609,22 @@ def run_study(
     workers: int | None = None,
     cache: "ResultCache | str | None" = "auto",
     batch_chunk: int | None = None,
+    pool: "WorkerPool | None" = None,
+    transport: str | None = None,
 ) -> StudyResult:
     """Execute a study cell by cell, serving repeats from the cache.
 
     Every cache miss expands into ``trials`` per-trial scenarios and runs
     through :func:`repro.api.run_batch` (so homogeneous cells ride the
     trial-parallel batch kernels, and ``workers`` fans trials out over
-    processes).  Results are deterministic for any ``workers`` /
-    ``batch_chunk`` / cache state: a warm re-run returns a bit-identical
+    processes).  When ``workers > 1`` a single persistent
+    :class:`~repro.api.runner.WorkerPool` serves **every** cell of the
+    study — worker processes fork once per study, not once per cell; pass
+    your own via ``pool=`` to share it across studies (callers owning the
+    pool also own its shutdown).  ``transport`` selects the worker result
+    transport (see :func:`repro.api.run_batch`).  Results are
+    deterministic for any ``workers`` / ``batch_chunk`` / ``pool`` /
+    ``transport`` / cache state: a warm re-run returns a bit-identical
     :class:`~repro.api.results.ResultTable` while simulating nothing.
 
     ``cache="auto"`` uses ``$REPRO_CACHE_DIR`` when set (else no cache);
@@ -620,39 +634,51 @@ def run_study(
     cache_obj = resolve_cache(cache)
     if workers is None:
         workers = default_workers()
+    own_pool: WorkerPool | None = None
+    if pool is None and workers > 1:
+        own_pool = pool = WorkerPool(workers)
     results: list[CellResult] = []
     simulated = 0
     hits = misses = 0
-    for cell in expand_study(study):
-        if backend is not None:
-            cell = replace(cell, backend=backend)
-        # Resolve eagerly so configuration errors surface identically with
-        # and without a cache, and record the *resolved* engine in the key
-        # (auto-dispatch changing engines must invalidate, not alias).
-        resolved_backend = resolve_backend(cell.scenario, cell.backend)
-        cell = replace(cell, backend=resolved_backend)
-        payload = cell.payload(study.metrics)
-        entry = cache_obj.load(payload) if cache_obj is not None else None
-        if entry is not None:
-            stats, metric_values = entry
-            hits += 1
-            results.append(CellResult(cell, stats, metric_values, cached=True))
-            continue
-        if cache_obj is not None:
-            misses += 1
-        scenarios = cell.scenario.trials(cell.trials, start=cell.trial_start)
-        reports = run_batch(
-            scenarios,
-            workers=workers,
-            backend=cell.backend,
-            batch_chunk=batch_chunk,
-        )
-        simulated += len(reports)
-        stats = aggregate(reports)
-        metric_values = evaluate_metrics(study.metrics, reports, stats)
-        if cache_obj is not None:
-            cache_obj.store(payload, stats, metric_values)
-        results.append(CellResult(cell, stats, metric_values, cached=False))
+    try:
+        for cell in expand_study(study):
+            if backend is not None:
+                cell = replace(cell, backend=backend)
+            # Resolve eagerly so configuration errors surface identically
+            # with and without a cache, and record the *resolved* engine in
+            # the key (auto-dispatch changing engines must invalidate, not
+            # alias).
+            resolved_backend = resolve_backend(cell.scenario, cell.backend)
+            cell = replace(cell, backend=resolved_backend)
+            payload = cell.payload(study.metrics)
+            entry = cache_obj.load(payload) if cache_obj is not None else None
+            if entry is not None:
+                stats, metric_values = entry
+                hits += 1
+                results.append(
+                    CellResult(cell, stats, metric_values, cached=True)
+                )
+                continue
+            if cache_obj is not None:
+                misses += 1
+            scenarios = cell.scenario.trials(cell.trials, start=cell.trial_start)
+            reports = run_batch(
+                scenarios,
+                workers=workers,
+                backend=cell.backend,
+                batch_chunk=batch_chunk,
+                pool=pool,
+                transport=transport,
+            )
+            simulated += len(reports)
+            stats = aggregate(reports)
+            metric_values = evaluate_metrics(study.metrics, reports, stats)
+            if cache_obj is not None:
+                cache_obj.store(payload, stats, metric_values)
+            results.append(CellResult(cell, stats, metric_values, cached=False))
+    finally:
+        if own_pool is not None:
+            own_pool.close()
     table = ResultTable.from_rows(
         [_table_row(result.cell, result.metrics) for result in results]
     )

@@ -1,0 +1,259 @@
+"""Worker-to-parent result transport: packed columns and shared memory.
+
+A batch chunk's reports used to travel back from worker processes as a
+pickled ``list[RunReport]`` — one Python object graph per trial, with the
+scenario identity fields duplicated into every report even though the
+parent already holds the chunk's scenarios.  This module packs a chunk
+into a handful of numpy columns (:func:`pack_reports`) that pickle as
+flat buffers, and reconstructs bit-identical reports on the parent side
+(:func:`unpack_reports`) from the columns plus the scenarios it already
+has.
+
+For large payloads an opt-in ``multiprocessing.shared_memory`` transport
+(:func:`maybe_to_shm` / :func:`from_shm`) moves the packed arrays through
+a named segment instead of the result pipe: the worker copies the columns
+into the segment and unregisters it from its resource tracker, the parent
+copies them out and unlinks.  Enable it with
+``run_batch(..., transport="shm")`` or ``$REPRO_SHM_TRANSPORT=1``; the
+pickle fallback is always correct, the segment is an optimization for
+batches whose columns exceed :data:`SHM_MIN_BYTES` (histories, very wide
+``final_counts`` matrices).
+
+Everything here is invisible to the bits: ``unpack_reports(pack_reports(
+reports), scenarios)`` reproduces every field exactly, pinned by the
+golden-digest suite running across the pool boundary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from repro.api.report import RunReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scenario import Scenario
+
+#: Sentinel for ``None`` in the integer columns.
+_NONE = -1
+
+#: Payloads smaller than this travel as ordinary pickles — a shared-memory
+#: segment (two syscalls + two copies) only pays for itself on big columns.
+SHM_MIN_BYTES = 1 << 20
+
+#: The keys of :func:`pack_reports` output holding numpy arrays.
+_ARRAY_KEYS = (
+    "converged",
+    "converged_round",
+    "rounds_executed",
+    "chosen_nest",
+    "chose_good_nest",
+    "final_counts",
+    "history_rows",
+    "history_splits",
+)
+
+
+def pack_reports(reports: Sequence[RunReport]) -> dict[str, Any]:
+    """Pack one homogeneous chunk's reports into columnar form.
+
+    Scenario identity fields are dropped (the parent reconstructs them
+    from the scenarios it dispatched); arrays are stacked; ``extras``
+    dicts ride along as-is (for batch kernels they are tiny — the matcher
+    tag, or the spread process's informed history).
+    """
+    n = len(reports)
+    converged = np.fromiter(
+        (r.converged for r in reports), dtype=np.bool_, count=n
+    )
+    converged_round = np.fromiter(
+        (
+            _NONE if r.converged_round is None else r.converged_round
+            for r in reports
+        ),
+        dtype=np.int64,
+        count=n,
+    )
+    rounds_executed = np.fromiter(
+        (r.rounds_executed for r in reports), dtype=np.int64, count=n
+    )
+    chosen_nest = np.fromiter(
+        (_NONE if r.chosen_nest is None else r.chosen_nest for r in reports),
+        dtype=np.int64,
+        count=n,
+    )
+    chose_good = np.fromiter(
+        (r.chose_good_nest for r in reports), dtype=np.bool_, count=n
+    )
+    if all(r.final_counts is not None for r in reports):
+        final_counts = np.stack(
+            [np.asarray(r.final_counts, dtype=np.int64) for r in reports]
+        )
+    else:
+        # Per-chunk algorithms either all report counts or none do.
+        final_counts = None
+    history_rows = history_splits = None
+    if any(r.population_history is not None for r in reports):
+        parts = [
+            np.asarray(r.population_history, dtype=np.int64)
+            for r in reports
+        ]
+        history_rows = np.concatenate(parts, axis=0)
+        history_splits = np.cumsum(
+            np.asarray([p.shape[0] for p in parts], dtype=np.int64)
+        )[:-1]
+    return {
+        "n": n,
+        "converged": converged,
+        "converged_round": converged_round,
+        "rounds_executed": rounds_executed,
+        "chosen_nest": chosen_nest,
+        "chose_good_nest": chose_good,
+        "final_counts": final_counts,
+        "history_rows": history_rows,
+        "history_splits": history_splits,
+        "extras": [dict(r.extras) for r in reports],
+    }
+
+
+def unpack_reports(
+    packed: dict[str, Any], scenarios: Sequence["Scenario"]
+) -> list[RunReport]:
+    """Rebuild the chunk's reports, bit-identical to the direct path."""
+    n = packed["n"]
+    if n != len(scenarios):
+        raise ValueError(
+            f"packed chunk carries {n} reports for {len(scenarios)} scenarios"
+        )
+    histories: list[np.ndarray | None] = [None] * n
+    if packed["history_rows"] is not None:
+        histories = list(
+            np.split(packed["history_rows"], packed["history_splits"])
+        )
+    final_counts = packed["final_counts"]
+    reports = []
+    for i, scenario in enumerate(scenarios):
+        converged_round = int(packed["converged_round"][i])
+        chosen = int(packed["chosen_nest"][i])
+        reports.append(
+            RunReport(
+                algorithm=scenario.algorithm,
+                backend="fast",
+                n=scenario.n,
+                k=scenario.nests.k,
+                seed=scenario.seed,
+                trial_index=scenario.trial_index,
+                max_rounds=scenario.max_rounds,
+                converged=bool(packed["converged"][i]),
+                converged_round=(
+                    None if converged_round == _NONE else converged_round
+                ),
+                rounds_executed=int(packed["rounds_executed"][i]),
+                chosen_nest=None if chosen == _NONE else chosen,
+                chose_good_nest=bool(packed["chose_good_nest"][i]),
+                final_counts=(
+                    None if final_counts is None else final_counts[i]
+                ),
+                population_history=histories[i],
+                extras=packed["extras"][i],
+            )
+        )
+    return reports
+
+
+def packed_nbytes(packed: dict[str, Any]) -> int:
+    """Total array bytes in a packed chunk (the shm sizing decision)."""
+    return sum(
+        packed[key].nbytes
+        for key in _ARRAY_KEYS
+        if packed.get(key) is not None
+    )
+
+
+def maybe_to_shm(packed: dict[str, Any], min_bytes: int | None = None) -> dict[str, Any]:
+    """Move the packed arrays into a shared-memory segment if large enough.
+
+    Returns either ``packed`` unchanged (small payloads) or a descriptor
+    ``{"shm": name, "fields": ..., "rest": ...}``.  The segment is created
+    here (in the worker) and unregistered from this process's resource
+    tracker — ownership transfers to the parent, which unlinks it in
+    :func:`from_shm`.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    threshold = SHM_MIN_BYTES if min_bytes is None else min_bytes
+    total = packed_nbytes(packed)
+    if total < threshold:
+        return packed
+    segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    fields = []
+    offset = 0
+    for key in _ARRAY_KEYS:
+        array = packed.get(key)
+        if array is None:
+            continue
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf, offset=offset)
+        view[...] = array
+        fields.append((key, array.dtype.str, array.shape, offset))
+        offset += array.nbytes
+    rest = {
+        key: value
+        for key, value in packed.items()
+        if key not in _ARRAY_KEYS
+    }
+    name = segment.name
+    segment.close()
+    # Hand ownership to the parent: without this, the worker's resource
+    # tracker would unlink the segment a second time at exit and warn.
+    try:  # pragma: no cover - tracker registration is platform-dependent
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+    return {"shm": name, "fields": fields, "rest": rest}
+
+
+def from_shm(descriptor: dict[str, Any]) -> dict[str, Any]:
+    """Rehydrate a packed chunk from its shared-memory descriptor.
+
+    The arrays are copied out so the segment can be closed and unlinked
+    immediately — no lifetime coupling between reports and the segment.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=descriptor["shm"])
+    try:
+        packed = dict(descriptor["rest"])
+        for key, dtype_str, shape, offset in descriptor["fields"]:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=segment.buf, offset=offset
+            )
+            packed[key] = view.copy()
+        for key in _ARRAY_KEYS:
+            packed.setdefault(key, None)
+    finally:
+        segment.close()
+        segment.unlink()
+    return packed
+
+
+def is_shm_descriptor(obj: Any) -> bool:
+    """Whether a worker result is a shared-memory descriptor."""
+    return isinstance(obj, dict) and "shm" in obj
+
+
+def discard_shm(descriptor: dict[str, Any]) -> None:
+    """Unlink a descriptor's segment without reading it (error cleanup).
+
+    Ownership transferred to the parent in :func:`maybe_to_shm`; when a
+    sibling task fails before the parent consumes this result, the
+    segment must still be released or it outlives the process.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=descriptor["shm"])
+    except FileNotFoundError:  # already consumed or never materialized
+        return
+    segment.close()
+    segment.unlink()

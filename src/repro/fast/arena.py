@@ -1,0 +1,102 @@
+"""Reusable buffer arenas for the batch kernels.
+
+Every round of a batch kernel needs the same handful of temporaries —
+coin/stall draws, boolean scratch masks, probability rows, gathered
+counts.  Allocating them per round puts the allocator (and the memset
+behind ``np.zeros``/``np.where``) on the hot path thousands of times per
+batch; at chunked dispatch the same cost repeats per chunk.  An
+:class:`Arena` preallocates each named buffer once at full batch size,
+hands out row-sliced views as trials compact out, and survives across
+kernel invocations through the process-local :func:`shared_arena`, so a
+worker processing many chunks of one sweep allocates its state once.
+
+Rules of use (the kernels' discipline, not enforced machinery):
+
+- a buffer name is owned by exactly one call site per kernel; two live
+  uses must use two names;
+- views are only valid until the next ``buf()`` call for the same name
+  (which may reallocate on growth);
+- nothing is zeroed for you — callers fill or overwrite entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+
+class Arena:
+    """Named buffer pool: grow-only rows, exact trailing shape and dtype."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def buf(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialized view of ``shape``, recycled when compatible.
+
+        The backing allocation is reused whenever the dtype and trailing
+        dimensions match and it has at least ``shape[0]`` rows; otherwise
+        it is replaced (grow-only in rows, exact in everything else).
+        """
+        buffer = self._buffers.get(name)
+        if (
+            buffer is None
+            or buffer.dtype != dtype
+            or buffer.shape[1:] != shape[1:]
+            or buffer.shape[0] < shape[0]
+        ):
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer[: shape[0]]
+
+    def full(self, name: str, shape: tuple[int, ...], dtype, fill) -> np.ndarray:
+        """Like :meth:`buf` but filled with ``fill`` (the ``np.full`` shape)."""
+        view = self.buf(name, shape, dtype)
+        view.fill(fill)
+        return view
+
+    def clear(self) -> None:
+        """Drop every buffer (used by tests and memory-sensitive callers)."""
+        self._buffers.clear()
+
+    def nbytes(self) -> int:
+        """Total bytes currently retained."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+
+_SHARED = threading.local()
+
+
+def shared_arena() -> Arena:
+    """The thread-local arena the batch kernels share.
+
+    One kernel runs at a time per thread (``run_batch`` executes chunks
+    serially per worker process), so a per-thread pool is safe and lets
+    consecutive chunks of a sweep reuse each other's allocations.  The
+    pool is thread-*local* precisely so that threaded callers driving
+    ``run_batch`` concurrently in one process cannot alias each other's
+    state buffers.
+    """
+    arena = getattr(_SHARED, "arena", None)
+    if arena is None:
+        arena = _SHARED.arena = Arena()
+    return arena
+
+
+def compact_rows(keep_index: np.ndarray, *views: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Compact surviving rows to the front of each view, allocation-free.
+
+    ``keep_index`` is the sorted array of surviving row indices.  Because
+    it is strictly increasing, every row moves to an index ``<=`` its own,
+    so copying front-to-back within the same backing buffer never reads a
+    clobbered row.  Returns the shortened views.  The Python loop runs
+    once per surviving row per compaction *event* (trials converging),
+    not per round — a few dozen vectorized row copies per batch.
+    """
+    m = len(keep_index)
+    for view in views:
+        for dst, src in enumerate(keep_index):
+            if dst != src:
+                view[dst] = view[src]
+    return tuple(view[:m] for view in views)

@@ -20,10 +20,23 @@ round semantics otherwise mirror the single-trial kernels
 :mod:`repro.fast.spread_fast`) and, for the two baselines with no prior
 fast path, the agent implementations (:class:`repro.baselines.quorum.
 QuorumAnt`, :class:`repro.baselines.uniform.UniformRecruitAnt`).
+
+**Allocation discipline** (PR 5; see docs/PERFORMANCE.md §5): per-round
+temporaries come from the process-local :func:`~repro.fast.arena.
+shared_arena` and are written with ``out=`` ufunc forms, so a round loop
+steady-state allocates (almost) nothing; per-ant state is dtype-tightened
+(``int32``/``bool_``/``int8`` — every value is bounded by ``n < 2**31``);
+compaction recycles the live arrays in place
+(:func:`~repro.fast.arena.compact_rows`) instead of reallocating.
+Outputs are converted back to ``int64`` at finalize time, and the RNG
+draw schedule is untouched, so results are **bit-identical** to the
+pre-arena kernels — ``tests/test_golden_digests.py`` pins this against
+fixed-seed digests captured from PR-4 HEAD.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
@@ -31,7 +44,13 @@ import numpy as np
 from repro.core.lower_bound import IgnorantPolicy
 from repro.exceptions import ConfigurationError
 from repro.extensions.estimation import EncounterNoise
-from repro.fast.batch_matcher import match_pairs_batch, match_positions_batch
+from repro.fast import profiling
+from repro.fast.arena import compact_rows, shared_arena
+from repro.fast.batch_matcher import (
+    match_pairs_batch,
+    match_positions_batch,
+    match_positions_sparse,
+)
 from repro.fast.results import FastRunResult
 from repro.fast.spread_fast import SpreadResult
 from repro.model.nests import NestConfig
@@ -99,13 +118,36 @@ def _fill_rows(
     return view
 
 
-def _compress(keep: np.ndarray, *arrays: np.ndarray) -> tuple[np.ndarray, ...]:
-    return tuple(a[keep] for a in arrays)
-
-
 def _filter_lists(keep: np.ndarray, *lists: list) -> tuple[list, ...]:
     kept = np.flatnonzero(keep)
     return tuple([lst[i] for i in kept] for lst in lists)
+
+
+def _draw_initial_nests(
+    view: np.ndarray, env_rngs: Sequence[np.random.Generator], k: int
+) -> np.ndarray:
+    """Round-1 search destinations drawn row by row into ``view``.
+
+    Consumes each trial's environment stream exactly like the historical
+    ``np.stack([rng.integers(1, k + 1, size=n) for ...])`` while reusing
+    the (dtype-tightened) state buffer.
+    """
+    n = view.shape[1]
+    for row, rng in enumerate(env_rngs):
+        view[row] = rng.integers(1, k + 1, size=n)
+    return view
+
+
+def _unanimous_choice(nest_rows: np.ndarray) -> np.ndarray:
+    """Batched ``chosen_nest``: each row's first nest if unanimous, else 0.
+
+    The vectorized replacement for the historical per-row
+    ``int(nest[row, 0]) if np.all(nest[row] == nest[row, 0]) else None``
+    finalize scan, shared by the simple/optimal/quorum kernels.
+    """
+    ref = nest_rows[:, 0]
+    same = np.logical_and.reduce(nest_rows == ref[:, None], axis=1)
+    return np.where(same, ref, 0)
 
 
 class _NoisePerturber:
@@ -145,28 +187,56 @@ class _NoisePerturber:
         if self.rngs:
             (self.rngs,) = _filter_lists(keep, self.rngs)
 
-    def __call__(self, values: np.ndarray) -> np.ndarray:
-        """Perturbed (rounded, clamped) copies of per-ant count readings."""
+    def __call__(
+        self, values: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Perturbed (rounded, clamped) per-ant count readings.
+
+        With ``out`` given (an integer array of ``values.shape``), the
+        result is written there and the only steady-state allocations left
+        are the estimator path's per-row binomial draws (``Generator.
+        binomial`` has no ``out=`` form).  The Gaussian path consumes each
+        trial's noise stream draw-for-draw as before (``standard_normal``
+        into a scratch row is the same stream as ``standard_normal(n)``),
+        so pre-existing Gaussian-noise batches stay bit-identical.
+        """
         if not self.active:
+            if out is not None and out is not values:
+                out[...] = values
+                return out
             return values
         n = self.n
+        arena = shared_arena()
+        noisy = arena.buf("noise.vals", values.shape, np.float64)
         if self.estimator is not None:
             trials, capacity = self.estimator.trials, self.estimator.capacity
             rate = np.minimum(1.0, values / capacity)
-            noisy = np.empty_like(values, dtype=float)
             for row, rng in enumerate(self.rngs):
                 noisy[row] = rng.binomial(trials, rate[row]) / trials * capacity
-            return np.clip(np.rint(noisy), 0, n).astype(np.int64)
-        noise = self.noise
-        noisy = values.astype(float)
-        for row, rng in enumerate(self.rngs):
-            row_vals = noisy[row]
-            if noise.relative_sigma > 0.0:
-                row_vals = row_vals * (1.0 + noise.relative_sigma * rng.standard_normal(n))
-            if noise.absolute_sigma > 0.0:
-                row_vals = row_vals + noise.absolute_sigma * rng.standard_normal(n)
-            noisy[row] = row_vals
-        return np.clip(np.rint(noisy), 0, n).astype(np.int64)
+        else:
+            noise = self.noise
+            noisy[...] = values  # the float working copy
+            g = arena.buf("noise.g", (self.n,), np.float64)
+            for row in range(len(self.rngs)):
+                rng = self.rngs[row]
+                row_vals = noisy[row]
+                if noise.relative_sigma > 0.0:
+                    rng.standard_normal(out=g)
+                    np.multiply(g, noise.relative_sigma, out=g)
+                    g += 1.0
+                    row_vals *= g
+                if noise.absolute_sigma > 0.0:
+                    rng.standard_normal(out=g)
+                    np.multiply(g, noise.absolute_sigma, out=g)
+                    row_vals += g
+        np.rint(noisy, out=noisy)
+        np.clip(noisy, 0, n, out=noisy)
+        if out is None:
+            return noisy.astype(np.int64)
+        # noisy is integral after rint, so the cast-on-assign truncation
+        # equals the historical astype(np.int64) exactly.
+        out[...] = noisy
+        return out
 
     def flip_rows(self) -> np.ndarray | None:
         """Per-ant quality-flip mask for one full ``(L, n)`` observation."""
@@ -246,6 +316,9 @@ def simulate_simple_batch(
             delay_model=delay_model if delayed else None,
             criterion=criterion,
         )
+    prof = profiling.active()
+    if prof is not None:
+        prof.batches += 1
     n_trials = len(sources)
     env_rngs = [s.environment for s in sources]
     mat_rngs = [s.matcher for s in sources]
@@ -260,110 +333,166 @@ def simulate_simple_batch(
     out: list[FastRunResult | None] = [None] * n_trials
     histories: list[list[np.ndarray]] = [[] for _ in range(n_trials)]
     live = np.arange(n_trials)
-    offsets = _row_offsets(n_trials, k)
-    coin_buffer = np.empty((n_trials, n), dtype=np.float64)
+    arena = shared_arena()
+    shape = (n_trials, n)
+    # State (arena-recycled, compacted in place; every value < n+1 so the
+    # working dtype is int32 — outputs go back to int64 at finalize).
+    nest = _draw_initial_nests(arena.buf("s.nest", shape, np.int32), env_rngs, k)
+    count = arena.buf("s.count", shape, np.int32)
+    active = arena.buf("s.active", shape, np.bool_)
+    flat_ids = arena.buf("s.flat", shape, np.int32)
+    # Per-round scratch, shared across kernels through the arena.
+    coins = arena.buf("coins", shape, np.float64)
+    prob = arena.buf("prob", shape, np.float64)
+    wants = arena.buf("b.wants", shape, np.bool_)
+    qmul = arena.buf("qmul", shape, np.float64) if quality_weighted else None
+
+    offsets32 = (np.arange(n_trials, dtype=np.int32) * (k + 1))[:, None]
 
     # Round 1: search.  Quality readings may flip (drawn before the count
     # perturbation, mirroring the agent wrapper's quality-then-count order);
     # a flipped reading inverts the ant's initial active/passive call.
-    nest = np.stack([rng.integers(1, k + 1, size=n) for rng in env_rngs])
-    counts, count, flat_ids = _assess(nest, k, offsets)
-    countsf = counts.ravel()
+    np.add(nest, offsets32, out=flat_ids)
+    countsf = np.bincount(
+        flat_ids.ravel(), minlength=n_trials * (k + 1)
+    ).astype(np.int32)
+    counts = countsf.reshape(n_trials, k + 1)
+    np.take(countsf, flat_ids, out=count, mode="clip")
     perceived = qualities[nest]
     flips = perturb.flip_rows()
     if flips is not None:
         perceived = np.where(flips, 1.0 - perceived, perceived)
-    count = perturb(count)
-    active = perceived > accept_threshold
+    perturb(count, out=count)
+    np.greater(perceived, accept_threshold, out=active)
     rounds = 1
     if record_history:
         for row, gid in enumerate(live):
-            histories[gid].append(counts[row].copy())
+            histories[gid].append(counts[row].astype(np.int64))
 
     home_row = np.concatenate([[n], np.zeros(k, dtype=np.int64)])
 
-    def finalize(row: int, gid: int, converged_round: int | None) -> None:
-        chosen = int(nest[row, 0]) if np.all(nest[row] == nest[row, 0]) else None
-        out[gid] = FastRunResult(
-            converged=converged_round is not None,
-            converged_round=converged_round,
-            rounds_executed=rounds,
-            chosen_nest=chosen,
-            final_counts=counts[row].copy(),
-            population_history=(
-                np.vstack(histories[gid]) if record_history else None
-            ),
-        )
+    def finalize_rows(row_idx: np.ndarray, conv_round: int | None) -> None:
+        """Batched report construction for every finishing row at once."""
+        if not len(row_idx):
+            return
+        chosen_arr = _unanimous_choice(nest[row_idx])
+        counts_rows = counts[row_idx].astype(np.int64)
+        for j, row in enumerate(row_idx):
+            gid = live[row]
+            chosen = int(chosen_arr[j])
+            out[gid] = FastRunResult(
+                converged=conv_round is not None,
+                converged_round=conv_round,
+                rounds_executed=rounds,
+                chosen_nest=chosen if chosen > 0 else None,
+                final_counts=counts_rows[j],
+                population_history=(
+                    np.vstack(histories[gid]) if record_history else None
+                ),
+            )
+
+    # The uniform baseline's constant rate never changes: fill once.
+    prob_static = (
+        recruit_probability is not None
+        and not quality_weighted
+        and rate_multiplier is None
+    )
+    if recruit_probability is not None:
+        prob.fill(float(recruit_probability))
 
     phase = 0
     while live.size and rounds + 2 <= max_rounds:
         phase += 1
-        # Recruitment round (everyone at home).
-        if recruit_probability is not None:
-            probability = np.full(nest.shape, float(recruit_probability))
-        else:
-            probability = count / n  # already in [0, 1]
-        if quality_weighted:
-            probability = probability * qualities[nest]
-        if rate_multiplier is not None:
-            probability = probability * rate_multiplier(phase)
-        if quality_weighted or rate_multiplier is not None:
-            np.clip(probability, 0.0, 1.0, out=probability)
-        coins = _fill_rows(coin_buffer, col_rngs)
-        wants = active & (coins < probability)
+        if prof is not None:
+            prof.rounds += 2
+            t0 = perf_counter()
+        # Recruitment round (everyone at home): decide the per-ant rates.
+        if not prob_static:
+            if recruit_probability is not None:
+                prob.fill(float(recruit_probability))
+            else:
+                np.divide(count, n, out=prob)  # already in [0, 1]
+            if quality_weighted:
+                np.take(qualities, nest, out=qmul, mode="clip")
+                prob *= qmul
+            if rate_multiplier is not None:
+                prob *= rate_multiplier(phase)
+            if quality_weighted or rate_multiplier is not None:
+                np.clip(prob, 0.0, 1.0, out=prob)
+        if prof is not None:
+            t0 = prof.tick("move", t0)
+        _fill_rows(coins, col_rngs)
+        if prof is not None:
+            t0 = prof.tick("draw", t0)
+        np.less(coins, prob, out=wants)
+        wants &= active
+        if prof is not None:
+            t0 = prof.tick("move", t0)
         sel_src, sel_dst = match_pairs_batch(wants, mat_rngs)
+        if prof is not None:
+            t0 = prof.tick("match", t0)
 
         # Only recruited slots can change state: they adopt the recruiter's
         # nest (a no-op for same-nest pairs) and wake if actually moved.
         nest_flat = nest.ravel()
-        new_nests = nest_flat.take(sel_src)
-        old_nests = nest_flat.take(sel_dst)
+        new_nests = nest_flat.take(sel_src, mode="clip")
+        old_nests = nest_flat.take(sel_dst, mode="clip")
         changed = np.flatnonzero(new_nests != old_nests)
-        moved = sel_dst.take(changed)
-        moved_new = new_nests.take(changed)
-        moved_old = old_nests.take(changed)
+        moved = sel_dst.take(changed, mode="clip")
+        moved_new = new_nests.take(changed, mode="clip")
+        moved_old = old_nests.take(changed, mode="clip")
         nest_flat[sel_dst] = new_nests
         active.ravel()[moved] = True
         # Population counts change only at the moved ants' old/new bins.
         flat_ids_flat = flat_ids.ravel()
-        old_bins = flat_ids_flat.take(moved)
+        old_bins = flat_ids_flat.take(moved, mode="clip")
         new_bins = old_bins - moved_old + moved_new
         np.subtract.at(countsf, old_bins, 1)
         np.add.at(countsf, new_bins, 1)
         flat_ids_flat[moved] = new_bins
         rounds += 1
+        if prof is not None:
+            t0 = prof.tick("move", t0)
         if record_history:
             for gid in live:
                 histories[gid].append(home_row)
         # Unanimity on a good nest, read off the O(L*k) counts matrix:
         # everyone sits in ant 0's nest iff that nest holds all n ants.
         first = nest[:, 0]
-        converged = (countsf.take(flat_ids[:, 0]) == n) & good[first]
+        converged = (countsf.take(flat_ids[:, 0], mode="clip") == n) & good[first]
 
         # Assessment round (everyone at its nest).
-        count = perturb(countsf.take(flat_ids))
+        np.take(countsf, flat_ids, out=count, mode="clip")
+        perturb(count, out=count)
         rounds += 1
         if record_history:
             for row, gid in enumerate(live):
-                histories[gid].append(counts[row].copy())
+                histories[gid].append(counts[row].astype(np.int64))
+        if prof is not None:
+            t0 = prof.tick("bookkeep", t0)
 
         if converged.any():
-            for row in np.flatnonzero(converged):
-                finalize(row, live[row], rounds - 1)
-            keep = ~converged
-            nest, count, active, counts, live = _compress(
-                keep, nest, count, active, counts, live
+            finalize_rows(np.flatnonzero(converged), rounds - 1)
+            keep_idx = np.flatnonzero(~converged)
+            nest, count, active, counts, live = compact_rows(
+                keep_idx, nest, count, active, counts, live
             )
+            keep = ~converged
             env_rngs, mat_rngs, col_rngs = _filter_lists(
                 keep, env_rngs, mat_rngs, col_rngs
             )
             perturb.filter(keep)
-            offsets = _row_offsets(len(live), k)
+            m = len(live)
+            coins, prob, wants = coins[:m], prob[:m], wants[:m]
+            if qmul is not None:
+                qmul = qmul[:m]
             countsf = counts.ravel()
-            flat_ids = nest + offsets
+            flat_ids = flat_ids[:m]
+            np.add(nest, offsets32[:m], out=flat_ids)
+            if prof is not None:
+                t0 = prof.tick("compact", t0)
 
-    for row, gid in enumerate(live):
-        finalize(row, gid, None)
+    finalize_rows(np.arange(len(live)), None)
     return out  # type: ignore[return-value]
 
 
@@ -455,7 +584,20 @@ def _simulate_simple_perturbed(
     demands unanimity of the currently-healthy ants on a good nest (the
     E12 notion), the default "good" demands it of every ant's commitment
     (Byzantine ants commit to their push target).
+
+    Performance structure (PR 5): all per-round temporaries live in the
+    shared arena and are written in place; the fault machinery is gated —
+    zombie/healthy masks are only recomputed while crashes can still land
+    (they are static after the last scheduled crash round), Byzantine
+    bookkeeping is skipped entirely for fault-free batches and its search
+    block stops once every Byzantine ant holds a push target; matching
+    consumes the sparse pair form and scatter-updates exactly the
+    recruited ants.  None of this touches a draw: the stream schedule is
+    the PR-4 one, golden-digest-pinned.
     """
+    prof = profiling.active()
+    if prof is not None:
+        prof.batches += 1
     n_trials = len(sources)
     env_rngs = [s.environment for s in sources]
     mat_rngs = [s.matcher for s in sources]
@@ -464,7 +606,7 @@ def _simulate_simple_perturbed(
     delay_rngs = [s.delays for s in sources] if delayed else []
     delay_prob = delay_model.delay_probability if delayed else 0.0
     perturb = _NoisePerturber(noise, sources, n)
-    crash_mask, crash_round, byz_mask = compile_fault_masks(
+    crash_mask, crash_round_raw, byz_mask = compile_fault_masks(
         fault_plan, n, sources
     )
     crash_at_home = (
@@ -472,6 +614,13 @@ def _simulate_simple_perturbed(
     )
     seek_bad = fault_plan.seek_bad if fault_plan is not None else True
     healthy_only = criterion == "good_healthy"
+    has_crash = bool(crash_mask.any())
+    has_byz = bool(byz_mask.any())
+    # After the last scheduled crash lands, the zombie set is frozen and
+    # the per-round zombie/healthy recomputation is skipped.
+    max_crash_round = (
+        int(crash_round_raw[crash_mask].max()) if has_crash else 0
+    )
 
     k = nests.k
     qualities = np.concatenate([[0.0], nests.quality_array()])
@@ -481,241 +630,544 @@ def _simulate_simple_perturbed(
     out: list[FastRunResult | None] = [None] * n_trials
     histories: list[list[np.ndarray]] = [[] for _ in range(n_trials)]
     live = np.arange(n_trials)
-    coin_buffer = np.empty((n_trials, n), dtype=np.float64)
-    stall_buffer = np.empty((n_trials, n), dtype=np.float64)
+    arena = shared_arena()
+    shape = (n_trials, n)
+    row_idx = np.arange(n_trials)
+    offsets32 = (np.arange(n_trials, dtype=np.int32) * (k + 1))[:, None]
+
+    # Per-ant state (arena-recycled, dtype-tightened, compacted in place).
+    nest = _draw_initial_nests(arena.buf("p.nest", shape, np.int32), env_rngs, k)
+    position = arena.buf("p.pos", shape, np.int32)
+    np.copyto(position, nest)
+    count = arena.buf("p.count", shape, np.int64)
+    active = arena.buf("p.active", shape, np.bool_)
+    # The SimpleAnt phase is binary, so it lives as a bool plane (True =
+    # next action is the assessment trip) and advances with logical ops —
+    # masked integer writes are ~20x slower than bool passes at this shape.
+    phase_assess = arena.buf("p.phase", shape, np.bool_)
+    phase_assess.fill(False)
+    pending_bit = arena.buf("p.pend", shape, np.bool_)
+    pending_bit.fill(False)
+    latched = arena.buf("p.latch", shape, np.bool_)
+    latched.fill(False)
+    zombie = arena.buf("p.zombie", shape, np.bool_)
+    healthy = arena.buf("p.healthy", shape, np.bool_)
+    unhealthy = arena.buf("p.unhealthy", shape, np.bool_)
+    # Crash rounds fit int32 (the sentinel saturates to int32 max).
+    crash_round = arena.buf("p.crash_round", shape, np.int32)
+    np.minimum(
+        crash_round_raw,
+        np.iinfo(np.int32).max,
+        out=crash_round,
+        casting="unsafe",
+    )
+    if rate_multiplier is not None:
+        # Per-ant recruitment-phase counter for the rate schedule: the
+        # agent engine's AdaptiveSimpleAnt advances its schedule once per
+        # *its own* recruit decision, so under delays a stalled ant's
+        # schedule lags the global round — indexing the multiplier by the
+        # global round would decay the boost too fast for delayed ants (a
+        # measurable law change).
+        ant_phase = arena.buf("p.antphase", shape, np.int32)
+        ant_phase.fill(0)
+        mult_list: list[float] = [1.0]  # mult_list[p] = rate_multiplier(p)
+        mult_arr = np.asarray(mult_list)
+    else:
+        ant_phase = None
+    if has_byz:
+        byz_target = arena.buf("p.byzt", shape, np.int32)
+        byz_target.fill(0)
+        byz_searches = arena.buf("p.byzs", shape, np.int32)
+        byz_searches.fill(0)
+    else:
+        byz_target = byz_searches = None
+
+    # Per-round scratch (arena names shared across kernels where shapes
+    # coincide; every buffer below is fully overwritten before it is read).
+    coins = arena.buf("coins", shape, np.float64)
+    prob = arena.buf("prob", shape, np.float64)
+    is_rec = arena.buf("b.isrec", shape, np.bool_)
+    latch = arena.buf("b.latch", shape, np.bool_)
+    want = arena.buf("b.want", shape, np.bool_)
+    exec_rec = arena.buf("b.execrec", shape, np.bool_)
+    exec_go = arena.buf("b.execgo", shape, np.bool_)
+    part = arena.buf("b.part", shape, np.bool_)
+    att = arena.buf("b.att", shape, np.bool_)
+    scr1 = arena.buf("b.scr1", shape, np.bool_)
+    scr2 = arena.buf("b.scr2", shape, np.bool_)
+    eqb = arena.buf("b.eq", shape, np.bool_)
+    notb = arena.buf("b.not", shape, np.bool_)
+    ibuf = arena.buf("p.ibuf", shape, np.int32)
+    gath = arena.buf("p.gath", shape, np.int64)
+    itmp = arena.buf("p.itmp", shape, np.int64)
+    postmp = arena.buf("p.postmp", shape, np.int32)
+    if delayed:
+        stalls = arena.buf("stalls", shape, np.float64)
+        stall = arena.buf("b.stall", shape, np.bool_)
+        execb = arena.buf("b.exec", shape, np.bool_)
+    else:
+        stalls = stall = execb = None
+    fresh = arena.buf("p.fresh", shape, np.int64) if perturb.active else None
+    qmul = (
+        arena.buf("qmul", shape, np.float64)
+        if quality_weighted or rate_multiplier is not None
+        else None
+    )
+    cbuf = (
+        arena.buf("p.comm", shape, np.int32)
+        if has_byz and not healthy_only
+        else None
+    )
 
     # Round 1: everyone searches — the healthy commit (through flipped
     # quality readings, if any), Byzantine seekers take their first sample.
-    nest = np.stack([rng.integers(1, k + 1, size=n) for rng in env_rngs])
-    position = nest.copy()
-    counts = _row_bincount(position, k)
+    np.add(position, offsets32, out=ibuf)
+    counts2d = np.bincount(
+        ibuf.ravel(), minlength=n_trials * (k + 1)
+    ).reshape(n_trials, k + 1)
     perceived = qualities[nest]
     flips = perturb.flip_rows()
     if flips is not None:
         perceived = np.where(flips, 1.0 - perceived, perceived)
-    count = perturb(_gather_counts(counts, nest, _row_offsets(n_trials, k)))
-    active = (perceived > accept_threshold) & ~byz_mask
-    phase = np.full((n_trials, n), _NEXT_RECRUIT, dtype=np.int8)
-    pending_bit = np.zeros((n_trials, n), dtype=bool)
-    latched = np.zeros((n_trials, n), dtype=bool)
-    # Per-ant recruitment-phase counter for the rate schedule: the agent
-    # engine's AdaptiveSimpleAnt advances its schedule once per *its own*
-    # recruit decision, so under delays a stalled ant's schedule lags the
-    # global round — indexing the multiplier by the global round would
-    # decay the boost too fast for delayed ants (a measurable law change).
-    ant_phase = np.zeros((n_trials, n), dtype=np.int64)
-    mult_table: list[float] = [1.0]  # mult_table[p] = rate_multiplier(p)
-    byz_target = np.zeros((n_trials, n), dtype=np.int64)
-    byz_searches = np.zeros((n_trials, n), dtype=np.int64)
-    if byz_mask.any():
+    np.add(nest, offsets32, out=ibuf)
+    np.take(counts2d.ravel(), ibuf, out=gath, mode="clip")
+    perturb(gath, out=count)
+    np.greater(perceived, accept_threshold, out=active)
+    if has_byz:
+        np.logical_not(byz_mask, out=scr1)
+        active &= scr1
         byz_searches[byz_mask] = 1
         bad = perceived <= GOOD_THRESHOLD
         grab = byz_mask & (bad if seek_bad else np.ones_like(bad))
         byz_target[grab] = nest[grab]
     rounds = 1
+    counts_stale = False
     if record_history:
         for row, gid in enumerate(live):
-            histories[gid].append(counts[row].copy())
+            histories[gid].append(counts2d[row].copy())
 
-    def finalize(row: int, gid: int, converged_round: int | None) -> None:
-        zombie_end = crash_mask[row] & (crash_round[row] <= rounds)
-        committed = np.where(byz_mask[row], byz_target[row], nest[row])
-        healthy_end = ~byz_mask[row] & ~zombie_end
-        votes = committed[healthy_end] if healthy_end.any() else committed
-        chosen = (
-            int(votes[0])
-            if votes.size and votes[0] > 0 and np.all(votes == votes[0])
-            else None
-        )
-        out[gid] = FastRunResult(
-            converged=converged_round is not None,
-            converged_round=converged_round,
-            rounds_executed=rounds,
-            chosen_nest=chosen,
-            final_counts=counts[row].copy(),
-            population_history=(
-                np.vstack(histories[gid]) if record_history else None
-            ),
-        )
+    def refresh_counts() -> None:
+        """Recompute the census after observer-free rounds skipped it."""
+        nonlocal counts2d, counts_stale
+        rows_now = len(live)
+        np.add(position, offsets32[:rows_now], out=ibuf)
+        counts2d = np.bincount(
+            ibuf.ravel(), minlength=rows_now * (k + 1)
+        ).reshape(rows_now, k + 1)
+        counts_stale = False
 
-    def converged_rows(zombie: np.ndarray) -> np.ndarray:
-        """Rows whose criterion holds at the end of the current round."""
-        if healthy_only:
-            consider = ~byz_mask & ~zombie
-            nonempty = consider.any(axis=1)
-            first = np.argmax(consider, axis=1)
-            ref = nest[np.arange(len(nest)), first]
-            same = np.logical_and.reduce(
-                ~consider | (nest == ref[:, None]), axis=1
+    def finalize_rows(row_sel: np.ndarray, conv_round: int | None) -> None:
+        """Batched report construction for every finishing row at once."""
+        if not len(row_sel):
+            return
+        if counts_stale:
+            refresh_counts()
+        sub_byz = byz_mask[row_sel]
+        zombie_end = crash_mask[row_sel] & (crash_round[row_sel] <= rounds)
+        sub_nest = nest[row_sel]
+        committed = (
+            np.where(sub_byz, byz_target[row_sel], sub_nest)
+            if has_byz
+            else sub_nest
+        )
+        healthy_end = ~sub_byz & ~zombie_end
+        has_healthy = healthy_end.any(axis=1)
+        # The vote reference: the first healthy ant's commitment, or ant 0's
+        # when no healthy ants remain (then every ant votes).
+        first = np.where(has_healthy, np.argmax(healthy_end, axis=1), 0)
+        ref = committed[np.arange(len(row_sel)), first]
+        eq = committed == ref[:, None]
+        unanimous = np.logical_and.reduce(
+            np.where(has_healthy[:, None], eq | ~healthy_end, eq), axis=1
+        )
+        chosen_arr = np.where(unanimous & (ref > 0), ref, 0)
+        counts_rows = counts2d[row_sel].copy()
+        for j, row in enumerate(row_sel):
+            gid = live[row]
+            chosen = int(chosen_arr[j])
+            out[gid] = FastRunResult(
+                converged=conv_round is not None,
+                converged_round=conv_round,
+                rounds_executed=rounds,
+                chosen_nest=chosen if chosen > 0 else None,
+                final_counts=counts_rows[j],
+                population_history=(
+                    np.vstack(histories[gid]) if record_history else None
+                ),
             )
-            return nonempty & same & good[ref]
-        committed = np.where(byz_mask, byz_target, nest)
+
+    # Static per-row convergence ingredients under "good_healthy": the
+    # healthy set only changes while crashes land (and on compaction).
+    h_nonempty = h_first = None
+
+    def refresh_healthy_stats() -> None:
+        nonlocal h_nonempty, h_first
+        if healthy_only:
+            h_nonempty = healthy.any(axis=1)
+            h_first = np.argmax(healthy, axis=1)
+
+    def converged_rows() -> np.ndarray:
+        """Rows whose criterion holds at the end of the current round."""
+        m = len(live)
+        if healthy_only:
+            ref = nest[row_idx[:m], h_first]
+            np.equal(nest, ref[:, None], out=eqb)
+            np.logical_or(eqb, unhealthy, out=eqb)  # ~consider | same-nest
+            same = np.logical_and.reduce(eqb, axis=1)
+            return h_nonempty & same & good[ref]
+        if has_byz:
+            np.copyto(cbuf, nest)
+            np.copyto(cbuf, byz_target, where=byz_mask)
+            committed = cbuf
+        else:
+            committed = nest
         ref = committed[:, 0]
-        same = np.logical_and.reduce(committed == ref[:, None], axis=1)
+        np.equal(committed, ref[:, None], out=eqb)
+        same = np.logical_and.reduce(eqb, axis=1)
         return same & (ref > 0) & good[ref]
 
     def compress(keep: np.ndarray) -> None:
-        nonlocal nest, active, count, phase, pending_bit, latched, position
-        nonlocal counts, byz_target, byz_searches, crash_mask, crash_round
-        nonlocal byz_mask, live, env_rngs, mat_rngs, col_rngs, delay_rngs
-        nonlocal ant_phase
+        nonlocal nest, position, count, active, phase_assess, pending_bit
+        nonlocal latched, zombie, healthy, unhealthy, crash_mask, crash_round
+        nonlocal byz_mask, byz_target, byz_searches, ant_phase, live, counts2d
+        nonlocal env_rngs, mat_rngs, col_rngs, delay_rngs
+        nonlocal coins, prob, is_rec, latch, want, exec_rec, exec_go, part
+        nonlocal att, scr1, scr2, eqb, notb, ibuf, gath, itmp, postmp
+        nonlocal stalls, stall, execb, fresh, qmul, cbuf
+        keep_idx = np.flatnonzero(keep)
         (
             nest,
-            active,
+            position,
             count,
-            phase,
+            active,
+            phase_assess,
             pending_bit,
             latched,
-            position,
-            counts,
-            byz_target,
-            byz_searches,
+            zombie,
+            healthy,
+            unhealthy,
             crash_mask,
             crash_round,
             byz_mask,
-            ant_phase,
             live,
-        ) = _compress(
-            keep,
+            counts2d,
+        ) = compact_rows(
+            keep_idx,
             nest,
-            active,
+            position,
             count,
-            phase,
+            active,
+            phase_assess,
             pending_bit,
             latched,
-            position,
-            counts,
-            byz_target,
-            byz_searches,
+            zombie,
+            healthy,
+            unhealthy,
             crash_mask,
             crash_round,
             byz_mask,
-            ant_phase,
             live,
+            counts2d,
         )
+        if ant_phase is not None:
+            (ant_phase,) = compact_rows(keep_idx, ant_phase)
+        if has_byz:
+            byz_target, byz_searches = compact_rows(
+                keep_idx, byz_target, byz_searches
+            )
         env_rngs, mat_rngs, col_rngs = _filter_lists(
             keep, env_rngs, mat_rngs, col_rngs
         )
         if delay_rngs:
             (delay_rngs,) = _filter_lists(keep, delay_rngs)
         perturb.filter(keep)
+        m = len(keep_idx)
+        coins, prob, is_rec, latch, want, exec_rec, exec_go = (
+            coins[:m],
+            prob[:m],
+            is_rec[:m],
+            latch[:m],
+            want[:m],
+            exec_rec[:m],
+            exec_go[:m],
+        )
+        part, att, scr1, scr2, eqb, notb, ibuf, gath, itmp, postmp = (
+            part[:m],
+            att[:m],
+            scr1[:m],
+            scr2[:m],
+            eqb[:m],
+            notb[:m],
+            ibuf[:m],
+            gath[:m],
+            itmp[:m],
+            postmp[:m],
+        )
+        if delayed:
+            stalls, stall, execb = stalls[:m], stall[:m], execb[:m]
+        if fresh is not None:
+            fresh = fresh[:m]
+        if qmul is not None:
+            qmul = qmul[:m]
+        if cbuf is not None:
+            cbuf = cbuf[:m]
+        refresh_healthy_stats()
 
-    done = converged_rows(crash_mask & (crash_round <= 1))
+    # The uniform baseline's constant rate never changes: fill once.
+    prob_static = (
+        recruit_probability is not None
+        and not quality_weighted
+        and rate_multiplier is None
+    )
+    if recruit_probability is not None:
+        prob.fill(float(recruit_probability))
+
+    # Pre-loop convergence check at round 1.
+    if has_crash:
+        np.less_equal(crash_round, 1, out=zombie)
+        zombie &= crash_mask
+    else:
+        zombie.fill(False)
+    np.logical_or(byz_mask, zombie, out=unhealthy)
+    np.logical_not(unhealthy, out=healthy)
+    refresh_healthy_stats()
+    done = converged_rows()
     if done.any():
-        for row in np.flatnonzero(done):
-            finalize(row, live[row], 1)
+        finalize_rows(np.flatnonzero(done), 1)
         compress(~done)
+
+    byz_seeking = has_byz
 
     while live.size and rounds < max_rounds:
         r = rounds + 1
-        zombie = crash_mask & (crash_round <= r)
-        healthy_now = ~byz_mask & ~zombie
-        rows = np.arange(len(live))
+        m = len(live)
+        if prof is not None:
+            prof.rounds += 1
+            t0 = perf_counter()
+        if has_crash and r <= max_crash_round:
+            np.less_equal(crash_round, r, out=zombie)
+            zombie &= crash_mask
+            np.logical_or(byz_mask, zombie, out=unhealthy)
+            np.logical_not(unhealthy, out=healthy)
+            refresh_healthy_stats()
 
         # -- latch pending actions (the DelayedAnt decide step) -------------
-        coins = _fill_rows(coin_buffer, col_rngs)
-        if recruit_probability is not None:
-            probability = np.full(nest.shape, float(recruit_probability))
-        else:
-            probability = count / n
-        if quality_weighted:
-            probability = probability * qualities[nest]
-        latch_recruit = healthy_now & ~latched & (phase == _NEXT_RECRUIT)
+        _fill_rows(coins, col_rngs)
+        if prof is not None:
+            t0 = prof.tick("draw", t0)
+        if not prob_static:
+            if recruit_probability is not None:
+                prob.fill(float(recruit_probability))
+            else:
+                np.divide(count, n, out=prob)
+            if quality_weighted:
+                np.take(qualities, nest, out=qmul, mode="clip")
+                prob *= qmul
+        np.logical_not(phase_assess, out=is_rec)
+        np.logical_and(is_rec, healthy, out=latch)
+        np.greater(latch, latched, out=latch)  # latch & ~latched (bools)
         if rate_multiplier is not None:
             # Advance each latching ant's own schedule index (pre-increment,
             # as AdaptiveSimpleAnt.decide does) and boost per ant.
-            ant_phase = ant_phase + latch_recruit
-            while len(mult_table) <= int(ant_phase.max(initial=0)):
-                mult_table.append(float(rate_multiplier(len(mult_table))))
-            probability = probability * np.asarray(mult_table)[ant_phase]
+            np.add(ant_phase, latch, out=ant_phase, casting="unsafe")
+            top = int(ant_phase.max(initial=0))
+            if top >= len(mult_list):
+                while len(mult_list) <= top:
+                    mult_list.append(float(rate_multiplier(len(mult_list))))
+                mult_arr = np.asarray(mult_list)
+            np.take(mult_arr, ant_phase, out=qmul, mode="clip")
+            prob *= qmul
         if quality_weighted or rate_multiplier is not None:
-            np.clip(probability, 0.0, 1.0, out=probability)
-        pending_bit = np.where(
-            latch_recruit, active & (coins < probability), pending_bit
-        )
-        latched = latched | healthy_now
+            np.clip(prob, 0.0, 1.0, out=prob)
+        np.less(coins, prob, out=want)
+        want &= active
+        # pending = where(latch, want, pending), as three bool passes.
+        np.greater(pending_bit, latch, out=pending_bit)  # pending & ~latch
+        want &= latch
+        pending_bit |= want
+        np.logical_or(latched, healthy, out=latched)
+        if prof is not None:
+            t0 = prof.tick("move", t0)
 
         # -- stall draws -----------------------------------------------------
         if delayed:
-            stall = _fill_rows(stall_buffer, delay_rngs) < delay_prob
+            _fill_rows(stalls, delay_rngs)
+            if prof is not None:
+                t0 = prof.tick("draw", t0)
+            np.less(stalls, delay_prob, out=stall)
+            np.greater(healthy, stall, out=execb)  # healthy & ~stall
+            execute = execb
         else:
-            stall = np.zeros_like(healthy_now)
+            execute = healthy
 
-        execute = healthy_now & ~stall
-        exec_recruit = execute & (phase == _NEXT_RECRUIT)
-        exec_go = execute & (phase == _NEXT_ASSESS)
-        byz_searching = byz_mask & (byz_target == 0) & ~stall
-        byz_recruiting = byz_mask & (byz_target != 0) & ~stall
+        np.logical_and(is_rec, execute, out=exec_rec)
+        np.logical_and(execute, phase_assess, out=exec_go)
+        if has_byz:
+            if byz_seeking:
+                np.equal(byz_target, 0, out=scr1)
+                scr1 &= byz_mask
+                if delayed:
+                    np.greater(scr1, stall, out=scr1)
+                byz_searching = scr1
+            np.not_equal(byz_target, 0, out=scr2)
+            scr2 &= byz_mask
+            if delayed:
+                np.greater(scr2, stall, out=scr2)
+            byz_recruiting = scr2
 
         # -- movement --------------------------------------------------------
-        position = np.where(exec_recruit | byz_recruiting, 0, position)
-        position = np.where(exec_go, nest, position)
-        position = np.where(
-            zombie, 0 if crash_at_home else nest, position
-        )
-        n_byz_search = np.count_nonzero(byz_searching, axis=1)
-        if n_byz_search.any():
-            rows_b, ants_b = np.nonzero(byz_searching)
-            landing = np.concatenate(
-                [
-                    rng.integers(1, k + 1, size=int(c))
-                    for rng, c in zip(env_rngs, n_byz_search)
-                    if c
-                ]
+        # position = 0 where going home, nest where going to the nest,
+        # held elsewhere — written as multiply/add blends (the sets are
+        # disjoint by construction: exec masks exclude zombies and
+        # Byzantine rows).  Masked integer writes are ~20x slower here.
+        gohome = exec_rec
+        gonest = exec_go
+        enforcing_zombies = has_crash and r <= max_crash_round
+        if has_byz or enforcing_zombies:
+            # Zombies freeze in place; nothing below ever moves them, so
+            # the enforcement is only needed while crashes still land.
+            np.logical_or(
+                exec_rec, byz_recruiting if has_byz else False, out=latch
             )
-            position[rows_b, ants_b] = landing
-            perceived_b = qualities[landing]
-            if perturb.flip_prob > 0.0:
-                flip_parts = [
-                    perturb.flip_draws(row, int(c))
-                    for row, c in enumerate(n_byz_search)
-                    if c
-                ]
-                flip_b = np.concatenate(flip_parts)
-                perceived_b = np.where(flip_b, 1.0 - perceived_b, perceived_b)
-            byz_searches[rows_b, ants_b] += 1
-            give_up = byz_searches[rows_b, ants_b] >= BYZANTINE_MAX_SEARCH_ROUNDS
-            take = give_up | (
-                (perceived_b <= GOOD_THRESHOLD)
-                if seek_bad
-                else np.ones_like(give_up)
-            )
-            byz_target[rows_b[take], ants_b[take]] = landing[take]
+            gohome = latch
+            if enforcing_zombies and crash_at_home:
+                gohome |= zombie
+            if enforcing_zombies and not crash_at_home:
+                np.logical_or(exec_go, zombie, out=scr1 if not has_byz else eqb)
+                gonest = scr1 if not has_byz else eqb
+        np.logical_not(gohome, out=notb)
+        position *= notb
+        np.multiply(nest, gonest, out=postmp)
+        np.logical_not(gonest, out=notb)
+        position *= notb
+        position += postmp
+        if prof is not None:
+            t0 = prof.tick("move", t0)
+        if has_byz and byz_seeking:
+            n_byz_search = np.count_nonzero(byz_searching, axis=1)
+            if n_byz_search.any():
+                rows_b, ants_b = np.nonzero(byz_searching)
+                landing = np.concatenate(
+                    [
+                        rng.integers(1, k + 1, size=int(c))
+                        for rng, c in zip(env_rngs, n_byz_search)
+                        if c
+                    ]
+                )
+                position[rows_b, ants_b] = landing
+                perceived_b = qualities[landing]
+                if perturb.flip_prob > 0.0:
+                    flip_parts = [
+                        perturb.flip_draws(row, int(c))
+                        for row, c in enumerate(n_byz_search)
+                        if c
+                    ]
+                    flip_b = np.concatenate(flip_parts)
+                    perceived_b = np.where(
+                        flip_b, 1.0 - perceived_b, perceived_b
+                    )
+                byz_searches[rows_b, ants_b] += 1
+                give_up = (
+                    byz_searches[rows_b, ants_b] >= BYZANTINE_MAX_SEARCH_ROUNDS
+                )
+                take = give_up | (
+                    (perceived_b <= GOOD_THRESHOLD)
+                    if seek_bad
+                    else np.ones_like(give_up)
+                )
+                byz_target[rows_b[take], ants_b[take]] = landing[take]
+                byz_seeking = bool(
+                    np.count_nonzero(byz_mask & (byz_target == 0))
+                )
+            if prof is not None:
+                t0 = prof.tick("draw", t0)
 
         # -- Algorithm 1 matching over the home nest -------------------------
-        participants = position == 0
-        attempting = (exec_recruit & pending_bit) | byz_recruiting
-        targets = np.where(byz_mask, byz_target, nest)
-        results, recruited = match_positions_batch(
-            participants, attempting, targets, mat_rngs
-        )
-        got = exec_recruit & recruited
-        woke = got & ~active & (results != nest)
-        adopt = (got & active) | woke
-        nest = np.where(adopt, results, nest)
-        active = active | woke
+        np.equal(position, 0, out=part)
+        np.logical_and(exec_rec, pending_bit, out=att)
+        if has_byz:
+            att |= byz_recruiting
+        if prof is not None:
+            t0 = prof.tick("move", t0)
+        rows_sel, src_ant, dst_ant = match_positions_sparse(part, att, mat_rngs)
+        if prof is not None:
+            t0 = prof.tick("match", t0)
+
+        # Only recruited, executing ants can change state: they adopt the
+        # recruiter's advertised nest and wake if actually moved.
+        if has_byz:
+            src_is_byz = byz_mask[rows_sel, src_ant]
+            new_vals = np.where(
+                src_is_byz,
+                byz_target[rows_sel, src_ant],
+                nest[rows_sel, src_ant],
+            )
+        else:
+            new_vals = nest[rows_sel, src_ant]
+        got_sel = exec_rec[rows_sel, dst_ant]
+        rows_got = rows_sel[got_sel]
+        dst_got = dst_ant[got_sel]
+        new_got = new_vals[got_sel]
+        moved = new_got != nest[rows_got, dst_got]
+        nest[rows_got, dst_got] = new_got
+        active[rows_got[moved], dst_got[moved]] = True
+        if prof is not None:
+            t0 = prof.tick("move", t0)
 
         # -- observation and phase advance ------------------------------------
-        counts = _row_bincount(position, k)
-        fresh = perturb(counts[rows[:, None], nest])
-        count = np.where(exec_go, fresh, count)
-        phase = np.where(exec_recruit, _NEXT_ASSESS, phase)
-        phase = np.where(exec_go, _NEXT_RECRUIT, phase)
-        latched = latched & ~execute
+        # The population census is only *observable* through assessing
+        # ants (or the noise stream, which draws from it every round, or a
+        # recorded history).  Rounds with no observer skip it; finalize
+        # recomputes a fresh census when one is pending (``counts_stale``).
+        observing = (
+            perturb.active or record_history or bool(exec_go.any())
+        )
+        if observing:
+            np.add(position, offsets32[:m], out=ibuf)
+            counts_flat = np.bincount(ibuf.ravel(), minlength=m * (k + 1))
+            counts2d = counts_flat.reshape(m, k + 1)
+            counts_stale = False
+            np.add(nest, offsets32[:m], out=ibuf)
+            # Indices are in range by construction; "clip" skips the
+            # (slow) bounds check.
+            np.take(counts_flat, ibuf, out=gath, mode="clip")
+        else:
+            counts_stale = True
+        if prof is not None:
+            t0 = prof.tick("bookkeep", t0)
+        if observing:
+            if perturb.active:
+                perturb(gath, out=fresh)
+                if prof is not None:
+                    t0 = prof.tick("draw", t0)
+                observed = fresh
+            else:
+                observed = gath
+            # count = where(exec_go, observed, count), blended in place.
+            np.multiply(observed, exec_go, out=itmp)
+            np.logical_not(exec_go, out=notb)
+            count *= notb
+            count += itmp
+        # phase: recruiters head to assessment, assessors back to recruit.
+        np.logical_or(phase_assess, exec_rec, out=phase_assess)
+        np.greater(phase_assess, exec_go, out=phase_assess)
+        np.greater(latched, execute, out=latched)  # latched & ~execute
 
         rounds += 1
         if record_history:
             for row, gid in enumerate(live):
-                histories[gid].append(counts[row].copy())
+                histories[gid].append(counts2d[row].copy())
 
-        done = converged_rows(zombie)
+        done = converged_rows()
+        if prof is not None:
+            t0 = prof.tick("bookkeep", t0)
         if done.any():
-            for row in np.flatnonzero(done):
-                finalize(row, live[row], rounds)
+            finalize_rows(np.flatnonzero(done), rounds)
             compress(~done)
+            if prof is not None:
+                t0 = prof.tick("compact", t0)
 
-    for row, gid in enumerate(live):
-        finalize(row, gid, None)
+    finalize_rows(np.arange(len(live)), None)
     return out  # type: ignore[return-value]
 
 
@@ -742,9 +1194,21 @@ def simulate_optimal_batch(
     via :func:`~repro.fast.batch_matcher.match_positions_batch`.
     """
     _check_batch(n, sources)
+    prof = profiling.active()
+    if prof is not None:
+        prof.batches += 1
     n_trials = len(sources)
     env_rngs = [s.environment for s in sources]
     mat_rngs = [s.matcher for s in sources]
+
+    def matched(parts, attempting, targets):
+        """Profiling-aware matching (credits the resolver to "match")."""
+        if prof is None:
+            return match_positions_batch(parts, attempting, targets, mat_rngs)
+        t0 = perf_counter()
+        result = match_positions_batch(parts, attempting, targets, mat_rngs)
+        prof.tick("match", t0)
+        return result
 
     k = nests.k
     qualities = np.concatenate([[0.0], nests.quality_array()])
@@ -769,19 +1233,29 @@ def simulate_optimal_batch(
 
     record(nest)
 
-    def finalize(row: int, gid: int, converged_round: int | None) -> None:
-        final_counts = np.bincount(nest[row], minlength=k + 1)
-        chosen = int(nest[row, 0]) if np.all(nest[row] == nest[row, 0]) else None
-        out[gid] = FastRunResult(
-            converged=converged_round is not None,
-            converged_round=converged_round,
-            rounds_executed=rounds,
-            chosen_nest=chosen,
-            final_counts=final_counts,
-            population_history=(
-                np.vstack(histories[gid]) if record_history else None
-            ),
-        )
+    def finalize_rows(
+        row_sel: np.ndarray, conv_rounds: np.ndarray | None
+    ) -> None:
+        """Batched report construction for every finishing row at once."""
+        if not len(row_sel):
+            return
+        final_counts = _row_bincount(nest[row_sel], k)
+        chosen_arr = _unanimous_choice(nest[row_sel])
+        for j, row in enumerate(row_sel):
+            gid = live[row]
+            chosen = int(chosen_arr[j])
+            out[gid] = FastRunResult(
+                converged=conv_rounds is not None,
+                converged_round=(
+                    int(conv_rounds[j]) if conv_rounds is not None else None
+                ),
+                rounds_executed=rounds,
+                chosen_nest=chosen if chosen > 0 else None,
+                final_counts=final_counts[j],
+                population_history=(
+                    np.vstack(histories[gid]) if record_history else None
+                ),
+            )
 
     def unanimous_good(rows_mask: np.ndarray) -> np.ndarray:
         first = nest[:, :1]
@@ -792,6 +1266,10 @@ def simulate_optimal_batch(
         )
 
     while live.size and rounds + 4 <= max_rounds:
+        if prof is not None:
+            prof.rounds += 4
+            t_block = perf_counter()
+            match_at_block_start = prof.phase_seconds.get("match", 0.0)
         active_m = status == _ACTIVE
         passive_m = status == _PASSIVE
         final_m = status == _FINAL
@@ -799,7 +1277,7 @@ def simulate_optimal_batch(
 
         # ---- B1: actives + finals recruit(1, nest); passives go(nest).
         parts1 = active_m | final_m
-        res1, _ = match_positions_batch(parts1, parts1, nest, mat_rngs)
+        res1, _ = matched(parts1, parts1, nest)
         nestt = np.where(active_m, res1, nest)
         nest = np.where(final_m, res1, nest)
         record(np.where(parts1, 0, nest))
@@ -812,7 +1290,7 @@ def simulate_optimal_batch(
         countt = _gather_counts(counts_b2, nestt, offsets)
 
         parts2 = passive_m | final_m
-        res2, _ = match_positions_batch(parts2, final_m, nest, mat_rngs)
+        res2, _ = matched(parts2, final_m, nest)
         new_final = passive_m & (res2 != nest)  # line 15
         nest = np.where(new_final | final_m, res2, nest)
 
@@ -838,7 +1316,7 @@ def simulate_optimal_batch(
         countn = _gather_counts(counts_b3, nest, offsets)
 
         parts3 = case2 | final_m
-        res3, _ = match_positions_batch(parts3, final_m, nest, mat_rngs)
+        res3, _ = matched(parts3, final_m, nest)
         # Case-2 ants discard the result (line 35); finals adopt (line 21).
         nest = np.where(final_m, res3, nest)
 
@@ -853,7 +1331,7 @@ def simulate_optimal_batch(
         counth = case1.sum(axis=1) + final_m.sum(axis=1)
 
         parts4 = case1 | final_m
-        res4, _ = match_positions_batch(parts4, final_m, nest, mat_rngs)
+        res4, _ = matched(parts4, final_m, nest)
         # Case-1 ants discard the returned nest (line 29); finals adopt.
         nest = np.where(final_m, res4, nest)
 
@@ -868,16 +1346,26 @@ def simulate_optimal_batch(
         conv_round[settled_end] = rounds
 
         converged = conv_round >= 0
+        if prof is not None:
+            # Whatever the matchings didn't consume is state movement and
+            # bookkeeping; Algorithm 2's blocks interleave them too finely
+            # to split further.
+            block_match = (
+                prof.phase_seconds.get("match", 0.0) - match_at_block_start
+            )
+            prof.tick("move", t_block)
+            prof.phase_seconds["move"] -= block_match
         if converged.any():
-            for row in np.flatnonzero(converged):
-                finalize(row, live[row], int(conv_round[row]))
+            done_idx = np.flatnonzero(converged)
+            finalize_rows(done_idx, conv_round[done_idx])
             keep = ~converged
-            nest, count, status, live = _compress(keep, nest, count, status, live)
+            nest, count, status, live = compact_rows(
+                np.flatnonzero(keep), nest, count, status, live
+            )
             env_rngs, mat_rngs = _filter_lists(keep, env_rngs, mat_rngs)
             offsets = _row_offsets(len(live), k)
 
-    for row, gid in enumerate(live):
-        finalize(row, gid, None)
+    finalize_rows(np.arange(len(live)), None)
     return out  # type: ignore[return-value]
 
 
@@ -900,6 +1388,9 @@ def simulate_spread_batch(
     ants follow ``policy``.
     """
     _check_batch(n, sources)
+    prof = profiling.active()
+    if prof is not None:
+        prof.batches += 1
     if k < 2:
         raise ConfigurationError("the lower-bound setting requires k >= 2")
     n_trials = len(sources)
@@ -914,28 +1405,38 @@ def simulate_spread_batch(
     # Round 1: search; w.l.o.g. the good nest is nest 1.
     informed = np.stack([rng.integers(1, k + 1, size=n) == 1 for rng in env_rngs])
     rounds = 1
-    for row, gid in enumerate(live):
-        histories[gid].append(int(informed[row].sum()))
 
-    def finalize(row: int, gid: int, done_round: int | None) -> None:
-        out[gid] = SpreadResult(
-            all_informed=done_round is not None,
-            rounds_to_all_informed=done_round,
-            rounds_executed=rounds,
-            informed_history=np.asarray(histories[gid], dtype=np.int64),
-        )
+    def record_informed() -> None:
+        """One batched reduction per round, appended row by row."""
+        informed_counts = informed.sum(axis=1)
+        for row, gid in enumerate(live):
+            histories[gid].append(int(informed_counts[row]))
+
+    record_informed()
+
+    def finalize_rows(row_sel: np.ndarray, done_round: int | None) -> None:
+        for row in row_sel:
+            gid = live[row]
+            out[gid] = SpreadResult(
+                all_informed=done_round is not None,
+                rounds_to_all_informed=done_round,
+                rounds_executed=rounds,
+                informed_history=np.asarray(histories[gid], dtype=np.int64),
+            )
 
     done = np.logical_and.reduce(informed, axis=1)
     if done.any():
-        for row in np.flatnonzero(done):
-            finalize(row, live[row], 1)
+        finalize_rows(np.flatnonzero(done), 1)
         keep = ~done
-        informed, live = _compress(keep, informed, live)
+        informed, live = compact_rows(np.flatnonzero(keep), informed, live)
         env_rngs, mat_rngs, col_rngs = _filter_lists(
             keep, env_rngs, mat_rngs, col_rngs
         )
 
     while live.size and rounds < max_rounds:
+        if prof is not None:
+            prof.rounds += 1
+            t0 = perf_counter()
         if policy is IgnorantPolicy.WAIT:
             searching = np.zeros_like(informed)
         elif policy is IgnorantPolicy.SEARCH:
@@ -955,6 +1456,8 @@ def simulate_spread_batch(
             ]
             found = np.concatenate(found_parts)
             informed[rows_s[found], ants_s[found]] = True
+        if prof is not None:
+            t0 = prof.tick("draw", t0)
 
         # Everyone not searching is at home and participates in matching.
         home = ~searching
@@ -963,23 +1466,26 @@ def simulate_spread_batch(
         results, recruited = match_positions_batch(
             home, attempting, targets, mat_rngs
         )
+        if prof is not None:
+            t0 = prof.tick("match", t0)
         informed |= recruited & (results == 1)
 
         rounds += 1
-        for row, gid in enumerate(live):
-            histories[gid].append(int(informed[row].sum()))
+        if prof is not None:
+            t0 = prof.tick("move", t0)
+        record_informed()
         done = np.logical_and.reduce(informed, axis=1)
+        if prof is not None:
+            t0 = prof.tick("bookkeep", t0)
         if done.any():
-            for row in np.flatnonzero(done):
-                finalize(row, live[row], rounds)
+            finalize_rows(np.flatnonzero(done), rounds)
             keep = ~done
-            informed, live = _compress(keep, informed, live)
+            informed, live = compact_rows(np.flatnonzero(keep), informed, live)
             env_rngs, mat_rngs, col_rngs = _filter_lists(
                 keep, env_rngs, mat_rngs, col_rngs
             )
 
-    for row, gid in enumerate(live):
-        finalize(row, gid, None)
+    finalize_rows(np.arange(len(live)), None)
     return out  # type: ignore[return-value]
 
 
@@ -1007,6 +1513,9 @@ def simulate_quorum_batch(
     so ``converged`` here does not imply a good choice.
     """
     _check_batch(n, sources)
+    prof = profiling.active()
+    if prof is not None:
+        prof.batches += 1
     if not 0.0 < quorum_fraction <= 1.0:
         raise ConfigurationError("quorum_fraction must be in (0, 1]")
     if not 0.0 < tandem_probability <= 1.0:
@@ -1038,24 +1547,31 @@ def simulate_quorum_batch(
 
     home_row = np.concatenate([[n], np.zeros(k, dtype=np.int64)])
 
-    def finalize(row: int, gid: int, converged_round: int | None) -> None:
-        chosen = int(nest[row, 0]) if np.all(nest[row] == nest[row, 0]) else None
-        out[gid] = FastRunResult(
-            converged=converged_round is not None,
-            converged_round=converged_round,
-            rounds_executed=rounds,
-            chosen_nest=chosen,
-            final_counts=counts[row].copy(),
-            population_history=(
-                np.vstack(histories[gid]) if record_history else None
-            ),
-        )
+    def finalize_rows(row_sel: np.ndarray, conv_round: int | None) -> None:
+        """Batched report construction for every finishing row at once."""
+        if not len(row_sel):
+            return
+        chosen_arr = _unanimous_choice(nest[row_sel])
+        counts_rows = counts[row_sel].copy()
+        for j, row in enumerate(row_sel):
+            gid = live[row]
+            chosen = int(chosen_arr[j])
+            out[gid] = FastRunResult(
+                converged=conv_round is not None,
+                converged_round=conv_round,
+                rounds_executed=rounds,
+                chosen_nest=chosen if chosen > 0 else None,
+                final_counts=counts_rows[j],
+                population_history=(
+                    np.vstack(histories[gid]) if record_history else None
+                ),
+            )
 
     def compress_state(keep: np.ndarray):
         nonlocal nest, count, counts, assessing, committed, live, offsets
         nonlocal env_rngs, mat_rngs, col_rngs
-        nest, count, counts, assessing, committed, live = _compress(
-            keep, nest, count, counts, assessing, committed, live
+        nest, count, counts, assessing, committed, live = compact_rows(
+            np.flatnonzero(keep), nest, count, counts, assessing, committed, live
         )
         env_rngs, mat_rngs, col_rngs = _filter_lists(
             keep, env_rngs, mat_rngs, col_rngs
@@ -1065,15 +1581,21 @@ def simulate_quorum_batch(
     # Unanimity can in principle hold right after the search round.
     unanimous = np.logical_and.reduce(nest == nest[:, :1], axis=1)
     if unanimous.any():
-        for row in np.flatnonzero(unanimous):
-            finalize(row, live[row], 1)
+        finalize_rows(np.flatnonzero(unanimous), 1)
         compress_state(~unanimous)
 
     while live.size and rounds + 2 <= max_rounds:
+        if prof is not None:
+            prof.rounds += 2
+            t0 = perf_counter()
         # Recruitment round: transporters always, assessors at tandem rate.
         coins = _fill_rows(coin_buffer, col_rngs)
+        if prof is not None:
+            t0 = prof.tick("draw", t0)
         wants = committed | (assessing & ~committed & (coins < tandem_probability))
         sel_src, sel_dst = match_pairs_batch(wants, mat_rngs)
+        if prof is not None:
+            t0 = prof.tick("match", t0)
 
         # Ants led to a *different* nest adopt it and restart assessment.
         nest_flat = nest.ravel()
@@ -1082,6 +1604,8 @@ def simulate_quorum_batch(
         nest_flat[sel_dst] = new_nests
         assessing.ravel()[pulled] = True
         committed.ravel()[pulled] = False
+        if prof is not None:
+            t0 = prof.tick("move", t0)
         rounds += 1
         if record_history:
             for gid in live:
@@ -1095,12 +1619,14 @@ def simulate_quorum_batch(
         if record_history:
             for row, gid in enumerate(live):
                 histories[gid].append(counts[row].copy())
+        if prof is not None:
+            t0 = prof.tick("bookkeep", t0)
 
         if unanimous.any():
-            for row in np.flatnonzero(unanimous):
-                finalize(row, live[row], rounds - 1)
+            finalize_rows(np.flatnonzero(unanimous), rounds - 1)
             compress_state(~unanimous)
+            if prof is not None:
+                t0 = prof.tick("compact", t0)
 
-    for row, gid in enumerate(live):
-        finalize(row, gid, None)
+    finalize_rows(np.arange(len(live)), None)
     return out  # type: ignore[return-value]

@@ -47,6 +47,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.fast.arena import shared_arena
+
 #: Q-value marking a slot key as consumed (paired); below every live stamp.
 _COVERED = 0
 #: Key spaces up to this size run the resolver in int32 (≥256 stamp rounds
@@ -96,7 +98,9 @@ def resolve_greedy_matching(
         dtype, base0 = np.int64, np.int64(1) << 62
     stride = dtype(n_keys + 1)
     capacity = int((base0 - 2) // stride)  # stamp rounds before a refresh
-    q = np.full(n_keys, base0 + stride, dtype=dtype)
+    # The scratch array is the resolver's one large temporary; recycling it
+    # through the process arena keeps it off the per-round allocation path.
+    q = shared_arena().full("matcher.q", (n_keys,), dtype, base0 + stride)
     e_src = np.asarray(src_key, dtype)
     e_dst = np.asarray(dst_key, dtype)
     sel_src_parts: list[np.ndarray] = []
@@ -113,24 +117,25 @@ def resolve_greedy_matching(
         # Selected: min at both endpoints (a consumed endpoint reads
         # _COVERED and can never win).  flatnonzero + take beats boolean
         # mask indexing by ~4x at these sizes.
-        sel = (q.take(e_src) >= ce) & (q.take(e_dst) >= ce)
+        sel = (q.take(e_src, mode="clip") >= ce) & (q.take(e_dst, mode="clip") >= ce)
         idx_sel = np.flatnonzero(sel)
-        ssrc = e_src.take(idx_sel)
-        sdst = e_dst.take(idx_sel)
+        ssrc = e_src.take(idx_sel, mode="clip")
+        sdst = e_dst.take(idx_sel, mode="clip")
         sel_src_parts.append(ssrc)
         sel_dst_parts.append(sdst)
+        if idx_sel.size == len(e_src):
+            break  # the (common) final round selects every remaining edge
         q[ssrc] = _COVERED
         q[sdst] = _COVERED
         # Survivors: unselected edges with both endpoints still free after
         # this round's selections (re-read q so freshly consumed endpoints
-        # kill their edges immediately).
-        idx_rest = np.flatnonzero(~sel)
-        e_src = e_src.take(idx_rest)
-        e_dst = e_dst.take(idx_rest)
-        alive = (q.take(e_src) > _COVERED) & (q.take(e_dst) > _COVERED)
-        idx_alive = np.flatnonzero(alive)
-        e_src = e_src.take(idx_alive)
-        e_dst = e_dst.take(idx_alive)
+        # kill their edges immediately), filtered in one fused pass.
+        np.logical_not(sel, out=sel)
+        sel &= q.take(e_src, mode="clip") > _COVERED
+        sel &= q.take(e_dst, mode="clip") > _COVERED
+        idx_alive = np.flatnonzero(sel)
+        e_src = e_src.take(idx_alive, mode="clip")
+        e_dst = e_dst.take(idx_alive, mode="clip")
     # Keys come back in the resolver's working dtype (int32 for all but
     # enormous batches); callers only ever use them as indices.
     return np.concatenate(sel_src_parts), np.concatenate(sel_dst_parts)
@@ -216,17 +221,21 @@ def match_slots_batch(
     return results, recruiter_of, is_recruiter
 
 
-def match_positions_batch(
+def match_positions_sparse(
     participants: np.ndarray,
     attempting: np.ndarray,
-    targets: np.ndarray,
     rngs: Sequence[np.random.Generator],
-) -> tuple[np.ndarray, np.ndarray]:
-    """Batched Algorithm 1 over per-trial participant *subsets*.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched Algorithm 1 over participant subsets, as sparse pairs.
 
     Participant slots are each trial's participating ants in ant-id order
     (the v2 slot convention for subset rounds); choices are uniform over
-    ``0..m_b-1`` exactly as the model prescribes.
+    ``0..m_b-1`` exactly as the model prescribes.  This is the lean core:
+    it touches the full ``(B, n)`` space only twice (one ``flatnonzero``
+    over the participant mask, one gather of the attempt flags) and does
+    everything else — per-row attempt counts, slot keys, the resolver, the
+    key-to-ant mapping — on attempt-sized arrays, so round loops can
+    scatter-update exactly the recruited ants.
 
     Parameters
     ----------
@@ -235,40 +244,67 @@ def match_positions_batch(
     attempting:
         ``(B, n)`` bool; subset of ``participants`` that called
         ``recruit(1, ·)``.
-    targets:
-        ``(B, n)`` int; per-ant advertised nest (read only where
-        ``participants``).
     rngs:
         One matcher generator per trial row.
 
     Returns
     -------
-    results, recruited:
-        ``(B, n)``: the nest returned to each participating ant (its own
-        target elsewhere), and the recruited mask.
+    rows_sel, src_ant, dst_ant:
+        Selected pairs as trial-row indices and ant ids (a self-pair has
+        ``src_ant[i] == dst_ant[i]``).
     """
     n_trials, n = participants.shape
-    rows_p, ants_p = np.nonzero(participants)
-    m_per = np.count_nonzero(participants, axis=1)
-    starts = np.concatenate([[0], np.cumsum(m_per)])
-    pos = np.arange(len(rows_p), dtype=np.int64) - starts[rows_p]
-    part_key = rows_p * n + pos
+    if not attempting.any():
+        # No recruiter calls: nothing to resolve and (exactly as in the
+        # sequential schedule) not a single generator draw is consumed.
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    # Flat positions of every participant: ``flat_idx[j] = row*n + ant`` of
+    # the j-th participant in (row, ant-id) order.
+    flat_idx = np.flatnonzero(participants.ravel())
+    # Per-row participant boundaries via binary search (flat_idx is sorted).
+    boundaries = np.searchsorted(flat_idx, np.arange(n_trials + 1) * n)
+    m_per = np.diff(boundaries)
 
-    att_flags = attempting.ravel()[rows_p * n + ants_p]
-    att_rows = rows_p[att_flags]
+    # Attempt subset, in participant-list coordinates.
+    att_flags = attempting.ravel().take(flat_idx, mode="clip")
+    att_idx = np.flatnonzero(att_flags)
+    att_rows = np.searchsorted(boundaries, att_idx, side="right") - 1
     n_attempts = np.bincount(att_rows, minlength=n_trials)
     choices = draw_choices_per_trial(rngs, n_attempts, m_per)
-    src_key = part_key[att_flags]
-    dst_key = att_rows * n + choices
+
+    # Slot key of a participant = row*n + its rank within the row's list.
+    att_row_key = att_rows * n
+    src_key = att_row_key + (att_idx - boundaries.take(att_rows, mode="clip"))
+    dst_key = att_row_key + choices
     sel_src, sel_dst = resolve_greedy_matching(src_key, dst_key, n_trials * n)
 
-    # Map selected position keys back to ant coordinates.
-    ant_of = np.empty(n_trials * n, dtype=np.int64)
-    ant_of[part_key] = ants_p
+    # Map selected slot keys back to ant coordinates through flat_idx.
     rows_sel = sel_src // n
-    src_ant = ant_of[sel_src]
-    dst_ant = ant_of[sel_dst]
+    row_base = rows_sel * n
+    part_base = boundaries.take(rows_sel, mode="clip")
+    src_ant = flat_idx.take(part_base + (sel_src - row_base)) - row_base
+    dst_ant = flat_idx.take(part_base + (sel_dst - row_base)) - row_base
+    return rows_sel, src_ant, dst_ant
 
+
+def match_positions_batch(
+    participants: np.ndarray,
+    attempting: np.ndarray,
+    targets: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense-output wrapper over :func:`match_positions_sparse`.
+
+    Returns the classic ``(B, n)`` pair — the nest returned to each
+    participating ant (its own target elsewhere) and the recruited mask —
+    for callers whose round structure genuinely consumes whole arrays.
+    Hot loops should prefer the sparse form and scatter.
+    """
+    n_trials, n = participants.shape
+    rows_sel, src_ant, dst_ant = match_positions_sparse(
+        participants, attempting, rngs
+    )
     results = np.array(targets, dtype=np.int64, copy=True)
     results[rows_sel, dst_ant] = results[rows_sel, src_ant]
     recruited = np.zeros((n_trials, n), dtype=bool)

@@ -1,0 +1,96 @@
+"""Per-phase wall-clock accounting for the batch kernels.
+
+The batch kernels' round loops are a fixed sequence of array passes; when
+a round is slow the question is always *which phase* — drawing randomness,
+resolving the matching, moving ants, bookkeeping populations/convergence,
+or compacting finished trials.  This module is the measurement hook:
+:func:`phase_timing` installs a process-local :class:`KernelProfile`, the
+kernels feed it section timings while one is installed, and
+``tools/profile_hotpath.py`` renders the breakdown.
+
+The contract with the kernels is *zero overhead when off*: every
+instrumentation site is guarded by an ``if prof is not None`` on a local
+variable, so disabled runs pay one ``None`` check per phase per round and
+no clock reads.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+#: Canonical phase names, in round order.  ``draw`` — RNG consumption
+#: (coins, stalls, search destinations, noise); ``match`` — Algorithm 1
+#: resolution; ``move`` — applying recruitment/movement to state arrays;
+#: ``bookkeep`` — population counts, observations, convergence evaluation,
+#: history capture; ``compact`` — finalizing converged trials and
+#: compacting the live arrays.
+PHASES = ("draw", "match", "move", "bookkeep", "compact")
+
+
+class KernelProfile:
+    """Accumulated per-phase seconds plus round/batch counters."""
+
+    __slots__ = ("phase_seconds", "rounds", "batches")
+
+    def __init__(self) -> None:
+        self.phase_seconds: dict[str, float] = {}
+        self.rounds = 0
+        self.batches = 0
+
+    def tick(self, phase: str, t0: float) -> float:
+        """Credit ``now - t0`` to ``phase``; returns ``now`` for chaining."""
+        now = perf_counter()
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + (
+            now - t0
+        )
+        return now
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (seconds per phase, shares, counters)."""
+        total = self.total_seconds
+        return {
+            "rounds": self.rounds,
+            "batches": self.batches,
+            "total_seconds": total,
+            "phases": {
+                phase: {
+                    "seconds": seconds,
+                    "share": (seconds / total) if total > 0 else 0.0,
+                }
+                for phase, seconds in sorted(
+                    self.phase_seconds.items(), key=lambda kv: -kv[1]
+                )
+            },
+        }
+
+
+_active: KernelProfile | None = None
+
+
+def active() -> KernelProfile | None:
+    """The installed profile, or ``None`` (the hot-path fast answer)."""
+    return _active
+
+
+@contextmanager
+def phase_timing() -> Iterator[KernelProfile]:
+    """Install a fresh :class:`KernelProfile` for the enclosed calls.
+
+    Nested contexts stack (the inner one measures); the kernels read the
+    active profile once per batch, so a context must enclose the whole
+    kernel call.
+    """
+    global _active
+    previous = _active
+    profile = KernelProfile()
+    _active = profile
+    try:
+        yield profile
+    finally:
+        _active = previous

@@ -1,0 +1,55 @@
+"""Bit-identity of every batch kernel against pre-refactor golden digests.
+
+The fixtures in ``tests/golden/digests.json`` were captured from PR-4 HEAD
+(the state the PR-5 zero-allocation refactor started from).  Every case
+must reproduce its digest bit-for-bit — across chunk sizes and worker
+counts — or the refactor changed a draw, a count, or a round number.
+
+If a future PR *intentionally* changes realization (a new RNG schedule, a
+semantic fix), regenerate the fixture in the same commit and document the
+change; silent drift is the failure mode this suite exists to catch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_batch
+from tests.helpers.golden import digest_reports, golden_cases, load_golden
+
+CASES = golden_cases()
+GOLDEN = load_golden()
+
+
+def test_fixture_covers_every_case():
+    assert set(GOLDEN) == set(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_digest(name):
+    reports = run_batch(CASES[name], workers=1)
+    assert digest_reports(reports) == GOLDEN[name], (
+        f"case {name!r} no longer reproduces its pre-refactor golden digest"
+    )
+
+
+#: Representatives of each kernel family for the (slower) invariance runs.
+_INVARIANT_CASES = (
+    "simple_clean",
+    "simple_composite",
+    "optimal_clean",
+    "quorum_clean",
+    "spread_mixed",
+)
+
+
+@pytest.mark.parametrize("name", _INVARIANT_CASES)
+def test_digest_invariant_under_chunking(name):
+    reports = run_batch(CASES[name], workers=1, batch_chunk=2)
+    assert digest_reports(reports) == GOLDEN[name]
+
+
+@pytest.mark.parametrize("name", ("simple_clean", "simple_composite"))
+def test_digest_invariant_under_workers(name):
+    reports = run_batch(CASES[name], workers=2, batch_chunk=2)
+    assert digest_reports(reports) == GOLDEN[name]

@@ -70,9 +70,11 @@ def check_record(path: Path, tolerance: float) -> list[str]:
     same_machine = fresh.get("machine") == baseline.get("machine")
     failures: list[str] = []
     fresh_metrics = fresh.get("metrics", {})
-    # Records may flag ratio metrics whose two sides scale differently
+    # Records may flag metrics whose value only means something on the
+    # measuring machine — ratio metrics whose two sides scale differently
     # with hardware (e.g. an interpreter-bound engine vs a vectorized
-    # one); those compare like the machine-absolute *_per_sec metrics.
+    # one), or allocator-dependent tracemalloc peaks; those compare like
+    # the machine-absolute *_per_sec metrics.
     machine_dependent = set(baseline.get("machine_dependent", [])) | set(
         fresh.get("machine_dependent", [])
     )
@@ -80,22 +82,37 @@ def check_record(path: Path, tolerance: float) -> list[str]:
         if key not in fresh_metrics:
             print(f"{name}: metric {key!r} missing from fresh run; skipping")
             continue
-        if (key.endswith("_per_sec") or key in machine_dependent) and not same_machine:
+        machine_bound = (
+            key.endswith("_per_sec")
+            or "_bytes" in key
+            or key in machine_dependent
+        )
+        if machine_bound and not same_machine:
             print(
                 f"{name}: {key} is machine-dependent and the machine "
                 "fingerprint changed; skipping"
             )
             continue
         new_value = fresh_metrics[key]
-        floor = base_value * (1.0 - tolerance)
-        status = "ok" if new_value >= floor else "REGRESSION"
+        # Memory metrics regress *upward*; everything else is throughput.
+        lower_is_better = "_bytes" in key
+        if lower_is_better:
+            bound = base_value * (1.0 + tolerance)
+            ok = new_value <= bound
+            bound_name = "ceiling"
+        else:
+            bound = base_value * (1.0 - tolerance)
+            ok = new_value >= bound
+            bound_name = "floor"
+        status = "ok" if ok else "REGRESSION"
         print(
             f"{name}: {key} = {new_value:.3f} "
-            f"(baseline {base_value:.3f}, floor {floor:.3f}) {status}"
+            f"(baseline {base_value:.3f}, {bound_name} {bound:.3f}) {status}"
         )
-        if new_value < floor:
+        if not ok:
             failures.append(
-                f"{name}: {key} regressed {new_value:.3f} < {floor:.3f} "
+                f"{name}: {key} regressed {new_value:.3f} "
+                f"{'>' if lower_is_better else '<'} {bound:.3f} "
                 f"(baseline {base_value:.3f}, tolerance {tolerance:.0%})"
             )
     return failures

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Per-kernel, per-phase timing breakdown of the batch engine's hot path.
+
+Runs one representative workload per batch kernel family — the clean
+simple path, the Gaussian+flip noise path, the crash-fault path, the
+delay path, a fault+delay+noise composite, Algorithm 2, quorum sensing
+and the lower-bound spread process — with the
+:mod:`repro.fast.profiling` phase timer installed, and prints where each
+round's wall time goes: ``draw`` (RNG consumption), ``match``
+(Algorithm 1 resolution), ``move`` (state updates), ``bookkeep``
+(censuses, observations, convergence, histories) and ``compact``
+(finalize + live-set compaction).  This is the map the next performance
+PR starts from: optimize the phase that dominates, not the code that
+looks slow.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpath.py            # full profile
+    PYTHONPATH=src python tools/profile_hotpath.py --smoke    # CI-fast
+    PYTHONPATH=src python tools/profile_hotpath.py --json out.json
+
+The ``--smoke`` profile shrinks every workload to seconds-total runtime;
+its numbers are not meaningful for comparison, it exists so CI exercises
+the profiler end to end (an unexercised measurement tool rots).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.api import Scenario, run_batch
+from repro.fast.profiling import PHASES, phase_timing
+from repro.model.nests import NestConfig
+from repro.sim.asynchrony import DelayModel
+from repro.sim.faults import FaultPlan
+from repro.sim.noise import CountNoise
+
+
+def workloads(n: int, k: int, trials: int) -> dict[str, Scenario]:
+    """One scenario per kernel family, at the requested scale."""
+    binary = NestConfig.binary(k, set(range(1, k)))
+    base = dict(n=n, seed=20_26, max_rounds=50_000)
+    return {
+        "simple": Scenario(
+            algorithm="simple", nests=NestConfig.all_good(k), **base
+        ),
+        "simple+noise": Scenario(
+            algorithm="simple",
+            nests=binary,
+            noise=CountNoise(relative_sigma=0.5, quality_flip_prob=0.02),
+            **base,
+        ),
+        "simple+faults": Scenario(
+            algorithm="simple",
+            nests=binary,
+            fault_plan=FaultPlan(crash_fraction=0.1),
+            criterion="good_healthy",
+            **base,
+        ),
+        "simple+delay": Scenario(
+            algorithm="simple", nests=binary, delay_model=DelayModel(0.2), **base
+        ),
+        "simple+composite": Scenario(
+            algorithm="simple",
+            nests=binary,
+            fault_plan=FaultPlan(crash_fraction=0.05),
+            delay_model=DelayModel(0.1),
+            noise=CountNoise(relative_sigma=0.3),
+            criterion="good_healthy",
+            **base,
+        ),
+        "optimal": Scenario(
+            algorithm="optimal", nests=NestConfig.all_good(k), **base
+        ),
+        "quorum": Scenario(
+            algorithm="quorum", nests=NestConfig.all_good(k), **base
+        ),
+        "spread": Scenario(
+            algorithm="spread", nests=NestConfig.single_good(k), **base
+        ),
+    }
+
+
+def profile_workload(scenario: Scenario, trials: int, repeats: int) -> dict:
+    """Best-of-``repeats`` wall time plus the phase breakdown of that run."""
+    scenarios = scenario.trials(trials)
+    best = None
+    for _ in range(repeats):
+        with phase_timing() as profile:
+            start = time.perf_counter()
+            run_batch(scenarios, backend="fast", workers=1)
+            elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, profile)
+    elapsed, profile = best
+    summary = profile.as_dict()
+    summary["wall_seconds"] = elapsed
+    summary["trials_per_sec"] = trials / elapsed
+    summary["instrumented_share"] = (
+        summary["total_seconds"] / elapsed if elapsed > 0 else 0.0
+    )
+    return summary
+
+
+def render_table(results: dict[str, dict]) -> str:
+    header = (
+        f"{'kernel':<18} {'trials/s':>9} {'rounds':>7} "
+        + " ".join(f"{phase:>9}" for phase in PHASES)
+    )
+    lines = [header, "-" * len(header)]
+    for name, summary in results.items():
+        shares = {
+            phase: data["share"]
+            for phase, data in summary["phases"].items()
+        }
+        lines.append(
+            f"{name:<18} {summary['trials_per_sec']:>9.1f} "
+            f"{summary['rounds']:>7d} "
+            + " ".join(f"{shares.get(phase, 0.0):>8.1%}" for phase in PHASES)
+        )
+    lines.append(
+        "(shares are fractions of instrumented kernel time; 'rounds' are "
+        "engine rounds executed by the profiled batch)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=4096, help="colony size")
+    parser.add_argument("--k", type=int, default=8, help="candidate nests")
+    parser.add_argument("--trials", type=int, default=16, help="batch size")
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="best-of repeats per workload"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI profile (exercises the profiler, numbers meaningless)",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None, help="also write the raw profile here"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n, args.k, args.trials, args.repeats = 128, 4, 4, 1
+
+    results: dict[str, dict] = {}
+    for name, scenario in workloads(args.n, args.k, args.trials).items():
+        # Warm numpy/caches off the measured path.
+        run_batch(scenario.replace(n=min(64, args.n), seed=7).trials(2))
+        results[name] = profile_workload(scenario, args.trials, args.repeats)
+        if args.smoke and not results[name]["rounds"]:
+            print(f"{name}: no instrumented rounds recorded", file=sys.stderr)
+            return 1
+
+    print(render_table(results))
+    if args.json:
+        payload = {
+            "config": {
+                "n": args.n,
+                "k": args.k,
+                "trials": args.trials,
+                "smoke": args.smoke,
+            },
+            "kernels": results,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
