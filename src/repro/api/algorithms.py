@@ -592,6 +592,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         fast_supports=_simple_structure,
         fast_features=SIMPLE_FAST_FEATURES,
         batch_kernel=_simple_batch,
+        params=("matcher",),
     )
     registry.register(
         "optimal",
@@ -600,6 +601,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         fast_kernel=_optimal_fast,
         fast_features=OPTIMAL_FAST_FEATURES,
         batch_kernel=_optimal_batch,
+        params=("matcher", "strict_pseudocode"),
     )
     registry.register(
         "spread",
@@ -608,6 +610,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         fast_kernel=_spread_fast,
         fast_supports=_spread_structure,
         batch_kernel=_spread_batch,
+        params=("matcher", "policy"),
     )
     registry.register(
         "quorum",
@@ -617,6 +620,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         fast_supports=_quorum_structure,
         fast_features=QUORUM_FAST_FEATURES,
         batch_kernel=_quorum_batch,
+        params=("matcher", "quorum_fraction", "tandem_probability"),
     )
     registry.register(
         "uniform",
@@ -626,18 +630,21 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         fast_supports=_simple_structure,
         fast_features=SIMPLE_FAST_FEATURES,
         batch_kernel=_uniform_batch,
+        params=("matcher", "recruit_probability"),
     )
     registry.register(
         "rumor",
         "push/pull rumor spreading on the complete graph (reference)",
         fast_kernel=_rumor_fast,
         fast_features=STANDALONE_FAST_FEATURES,
+        params=("initial_informed", "mode"),
     )
     registry.register(
         "polya",
         "generalized Pólya urn, the Section 5 reinforcement reference",
         fast_kernel=_polya_fast,
         fast_features=STANDALONE_FAST_FEATURES,
+        params=("gamma", "initial", "steps"),
     )
     registry.register(
         "adaptive",
@@ -647,20 +654,24 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         fast_supports=_simple_structure,
         fast_features=SIMPLE_FAST_FEATURES,
         batch_kernel=_adaptive_batch,
+        params=("half_life", "k_initial", "matcher"),
     )
     registry.register(
         "power_feedback",
         "Algorithm 3 with (count/n)^beta knowledge-free feedback (E9)",
         agent_builder=_power_feedback_agent,
+        params=("beta",),
     )
     registry.register(
         "approximate_n",
         "Algorithm 3 under per-ant misestimates of n (robustness)",
         agent_builder=_approximate_n_agent,
+        params=("max_factor",),
     )
     registry.register(
         "quality_weighted",
         "non-binary qualities: quality-weighted recruitment (E10)",
         agent_builder=_quality_weighted_agent,
+        params=("acceptance_sharpness", "quality_weight"),
     )
     register_measurement_processes(registry)

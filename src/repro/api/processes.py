@@ -159,6 +159,7 @@ def register_measurement_processes(registry) -> None:
         "Lemma 2.1 sampler: one Algorithm 1 round, tagged-recruiter success",
         fast_kernel=_tagged_fast,
         batch_kernel=_tagged_batch,
+        params=("active_fraction",),
     )
     registry.register(
         "initial_split",

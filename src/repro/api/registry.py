@@ -185,6 +185,10 @@ class AlgorithmEntry:
     batch_kernel: BatchKernel | None = None
     #: Feature tags the fast kernel implements (see :func:`scenario_features`).
     fast_features: frozenset[str] = field(default_factory=frozenset)
+    #: The ``Scenario.params`` keys this entry's builders/kernels accept.
+    #: Declarative contract, cross-checked statically against the
+    #: implementations by reprolint's R301 (``tools/reprolint.py``).
+    param_names: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.agent_builder is None and self.fast_kernel is None:
@@ -192,6 +196,7 @@ class AlgorithmEntry:
                 f"algorithm {self.name!r} registers neither engine"
             )
         object.__setattr__(self, "fast_features", frozenset(self.fast_features))
+        object.__setattr__(self, "param_names", tuple(self.param_names))
         unknown = self.fast_features - set(FEATURE_TAGS)
         if unknown:
             raise ConfigurationError(
@@ -283,9 +288,16 @@ class AlgorithmRegistry:
         fast_supports: FastSupport | None = None,
         batch_kernel: BatchKernel | None = None,
         fast_features: frozenset[str] | Sequence[str] = (),
+        params: Sequence[str] = (),
         replace: bool = False,
     ) -> AlgorithmEntry:
-        """Register an algorithm; returns the stored entry."""
+        """Register an algorithm; returns the stored entry.
+
+        ``params`` declares the ``Scenario.params`` keys the entry's
+        builders and kernels accept (stored as
+        :attr:`AlgorithmEntry.param_names`); reprolint cross-checks the
+        declaration against the implementations.
+        """
         if name in self._entries and not replace:
             raise ConfigurationError(f"algorithm {name!r} already registered")
         entry = AlgorithmEntry(
@@ -296,6 +308,7 @@ class AlgorithmRegistry:
             fast_supports=fast_supports,
             batch_kernel=batch_kernel,
             fast_features=frozenset(fast_features),
+            param_names=tuple(params),
         )
         self._entries[name] = entry
         return entry

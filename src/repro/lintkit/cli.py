@@ -1,0 +1,166 @@
+"""Command-line driver for reprolint.
+
+Pure stdlib (``ast`` + ``json`` + ``argparse``) — no numpy, no repro
+simulation imports — so CI can run the lint job on a bare python without
+installing the scientific stack.  Do not import :mod:`.sanitize` here.
+
+Exit codes: **0** clean, **1** findings reported, **2** usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lintkit.catalog import RULES, explain_rule
+from repro.lintkit.config import BASELINE_NAME, LintConfig, find_repo_root
+from repro.lintkit.engine import lint_paths, write_baseline
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Determinism / kernel-discipline / registry-consistency lint "
+            "for this repository (see docs/LINTING.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print a rule's rationale with bad/good examples, then exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the one-line rule catalog, then exit",
+    )
+    parser.add_argument(
+        "--select",
+        default="D,K,R",
+        help="comma-separated rule-id prefixes to enable (default: D,K,R)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: auto-detected from cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the committed baseline (show accepted debt too)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip the R-rule registry/golden/test cross-checks",
+    )
+    return parser
+
+
+def _resolve_root(arg_root: Path | None) -> Path:
+    if arg_root is not None:
+        return arg_root.resolve()
+    detected = find_repo_root(Path.cwd())
+    return detected if detected is not None else Path.cwd()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.title}")
+        return EXIT_CLEAN
+    if args.explain:
+        rule_id = args.explain.strip().upper()
+        if rule_id not in RULES:
+            print(
+                f"reprolint: unknown rule {rule_id!r} "
+                f"(known: {', '.join(RULES)})",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        print(explain_rule(rule_id))
+        return EXIT_CLEAN
+
+    root = _resolve_root(args.root)
+    select = tuple(s.strip().upper() for s in args.select.split(",") if s.strip())
+    if not select:
+        print("reprolint: --select selected nothing", file=sys.stderr)
+        return EXIT_USAGE
+
+    config = LintConfig(
+        root=root,
+        select=select,
+        baseline_path=args.baseline,
+        registry_checks=not args.no_registry,
+    )
+    if args.no_baseline:
+        config.baseline_path = None
+
+    paths = [Path(p) for p in args.paths] or [root / "src"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"reprolint: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        # Collect unfiltered findings, then accept them all.
+        config.baseline_path = None
+        findings = lint_paths(paths, config)
+        target = args.baseline or root / BASELINE_NAME
+        write_baseline(
+            target,
+            findings,
+            note=(
+                "Accepted pre-existing findings; regenerate with "
+                "`python tools/reprolint.py --write-baseline`."
+            ),
+        )
+        print(f"reprolint: wrote {len(findings)} entries to {target}")
+        return EXIT_CLEAN
+
+    findings = lint_paths(paths, config)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        rules = sorted({f.rule for f in findings})
+        print(
+            f"reprolint: {len(findings)} finding(s) "
+            f"[{', '.join(rules)}] — `--explain RULE` for rationale",
+            file=sys.stderr,
+        )
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

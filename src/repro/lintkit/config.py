@@ -1,0 +1,70 @@
+"""Lint configuration: scopes, rule selection, and the baseline location.
+
+The defaults encode *this repository's* layout — the kernel-discipline
+rules bite only inside ``src/repro/fast/*.py``, the baseline lives at the
+repo root — but every knob is overridable so the linter's own tests can
+point it at fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+#: The committed baseline's file name (repo-root relative).
+BASELINE_NAME = ".reprolint-baseline.json"
+
+#: Markers that identify the repository root when walking upward.
+_ROOT_MARKERS = ("setup.py", "pyproject.toml", ".git")
+
+
+def find_repo_root(start: Path) -> Path | None:
+    """The nearest ancestor of ``start`` that looks like a repo root."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return None
+
+
+@dataclass
+class LintConfig:
+    """Everything the engine needs besides the source text itself."""
+
+    #: Repo root used to relativize paths and locate metadata/baseline.
+    root: Path = field(default_factory=Path.cwd)
+    #: Relative-path globs where the K-rules and D104 apply.
+    kernel_globs: tuple[str, ...] = ("src/repro/fast/*.py",)
+    #: Enabled rule-id prefixes; ("D", "K", "R") means everything.
+    select: tuple[str, ...] = ("D", "K", "R")
+    #: Baseline file path; ``None`` disables baseline filtering.
+    baseline_path: Path | None = None
+    #: Whether to run the R-rule registry cross-checks (auto-skipped when
+    #: the tree under ``root`` has no ``src/repro/api/algorithms.py``).
+    registry_checks: bool = True
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root).resolve()
+        if self.baseline_path is None:
+            default = self.root / BASELINE_NAME
+            if default.is_file():
+                self.baseline_path = default
+
+    def relpath(self, path: Path | str) -> str:
+        """``path`` relative to the root (posix), or absolute if outside."""
+        resolved = Path(path).resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def is_kernel_file(self, path: Path | str) -> bool:
+        """Whether the K-rules / D104 scope covers this file."""
+        rel = self.relpath(path)
+        return any(fnmatch(rel, pattern) for pattern in self.kernel_globs)
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return any(rule_id.startswith(prefix) for prefix in self.select)

@@ -1,0 +1,308 @@
+"""D-rules: determinism discipline for everything under ``src/repro``.
+
+- **D101** — ambient RNG / entropy / wall-clock call (``np.random.*``
+  draw functions, stdlib ``random.*``, ``time.time``/``time_ns``,
+  ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets.*``,
+  ``datetime.now``/``utcnow``).
+- **D102** — seedless generator construction (``default_rng()``,
+  ``SeedSequence()``, ``RandomState()``, ``random.Random()`` with no
+  argument or an explicit ``None``).
+- **D103** — iteration over a set/frozenset (order varies with
+  PYTHONHASHSEED across processes) without a ``sorted()`` wrapper.
+- **D104** — ``==`` / ``!=`` against a float literal, kernel files only.
+
+The analysis is import-aware but deliberately shallow: it resolves
+dotted attribute chains (``np.random.default_rng``) through the module's
+own imports and flags *calls*, never annotations — ``rng:
+np.random.Generator`` is the repo's standard typing idiom and stays
+silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.engine import Finding
+
+#: numpy.random attributes that are *not* ambient draws (types, seeded
+#: constructors, bit generators).  Everything else called as
+#: ``np.random.<x>(...)`` is the legacy global-state API.
+_NP_RANDOM_ALLOWED = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "default_rng",
+    "RandomState",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: numpy.random constructors that take their seed as the first argument —
+#: calling them with no argument (or ``None``) is D102.
+_SEEDED_CONSTRUCTORS = {"default_rng", "SeedSequence", "RandomState"}
+
+#: ``time`` module attributes that read the wall clock.  (perf_counter,
+#: monotonic and process_time are measurement clocks, fine for
+#: profiling; they never feed simulation state.)
+_TIME_BANNED = {"time", "time_ns"}
+
+#: stdlib ``datetime``-class methods that read the wall clock.
+_DATETIME_BANNED = {"now", "utcnow", "today"}
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``, or None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class _ImportTable:
+    """Maps local names to the modules / module members they denote."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: local name -> dotted module it refers to ("np" -> "numpy").
+        self.modules: dict[str, str] = {}
+        #: local name -> (module, member) for ``from m import x [as y]``.
+        self.members: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.members[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+    def resolve(self, chain: tuple[str, ...]) -> tuple[str, ...] | None:
+        """A call chain with its head normalized to the real module path.
+
+        ``("np", "random", "rand")`` -> ``("numpy", "random", "rand")``;
+        ``("shuffle",)`` with ``from random import shuffle`` ->
+        ``("random", "shuffle")``.
+        """
+        head, rest = chain[0], chain[1:]
+        if head in self.members:
+            module, member = self.members[head]
+            return (*module.split("."), member, *rest)
+        if head in self.modules:
+            return (*self.modules[head].split("."), *rest)
+        return None
+
+
+def _is_seedless(call: ast.Call) -> bool:
+    if call.keywords:
+        # default_rng(seed=...) / SeedSequence(entropy=...); an explicit
+        # None is still seedless, and **kwargs gets the benefit of doubt.
+        for kw in call.keywords:
+            if kw.arg is None or kw.arg in ("seed", "entropy"):
+                return isinstance(kw.value, ast.Constant) and kw.value.value is None
+        return not call.args
+    if not call.args:
+        return True
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+def _classify_call(
+    resolved: tuple[str, ...], call: ast.Call
+) -> tuple[str, str] | None:
+    """(rule, message) for a banned call, or None."""
+    if resolved[:2] == ("numpy", "random") and len(resolved) == 3:
+        attr = resolved[2]
+        if attr in _SEEDED_CONSTRUCTORS:
+            if _is_seedless(call):
+                return (
+                    "D102",
+                    f"seedless np.random.{attr}() draws OS entropy; derive "
+                    "the seed from a RandomSource stream",
+                )
+            return None
+        if attr not in _NP_RANDOM_ALLOWED:
+            return (
+                "D101",
+                f"np.random.{attr}() uses the global numpy RNG; draw from "
+                "a per-trial RandomSource stream instead",
+            )
+        return None
+    if resolved[0] == "random" and len(resolved) == 2:
+        attr = resolved[1]
+        if attr == "Random":
+            if _is_seedless(call):
+                return ("D102", "seedless random.Random() draws OS entropy")
+            return None
+        if attr[:1].isupper():  # SystemRandom and friends
+            return ("D101", f"random.{attr}() is an ambient entropy source")
+        return (
+            "D101",
+            f"stdlib random.{attr}() uses hidden global state; use a "
+            "seeded numpy Generator from a RandomSource stream",
+        )
+    if resolved[0] == "time" and len(resolved) == 2 and resolved[1] in _TIME_BANNED:
+        return (
+            "D101",
+            f"time.{resolved[1]}() reads the wall clock; results must not "
+            "depend on when they run",
+        )
+    if resolved == ("os", "urandom"):
+        return ("D101", "os.urandom() is an OS entropy source")
+    if resolved[0] == "uuid" and resolved[-1] in ("uuid1", "uuid4"):
+        return ("D101", f"uuid.{resolved[-1]}() is time/entropy-derived")
+    if resolved[0] == "secrets":
+        return ("D101", f"secrets.{resolved[-1]}() is an OS entropy source")
+    if resolved[0] == "datetime" and resolved[-1] in _DATETIME_BANNED:
+        return (
+            "D101",
+            f"datetime {resolved[-1]}() reads the wall clock; results "
+            "must not depend on when they run",
+        )
+    return None
+
+
+#: Wrappers that preserve (sorted) or launder (list, tuple, iter, ...)
+#: the iteration order of their argument.
+_ORDER_FIXING = {"sorted", "min", "max", "sum", "len", "any", "all", "frozenset", "set"}
+_ORDER_PASSING = {"list", "tuple", "iter", "enumerate", "reversed"}
+
+
+def _set_expr(node: ast.AST) -> ast.AST | None:
+    """The set-typed expression iterated by ``node``, unwrapped, or None."""
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _ORDER_PASSING
+        and node.args
+    ):
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return node
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return node
+    return None
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, imports: _ImportTable, kernel_scope: bool):
+        self.path = path
+        self.imports = imports
+        self.kernel_scope = kernel_scope
+        self.findings: list[Finding] = []
+        self._func_stack: list[str] = []
+        self._lines: list[str] = []
+
+    def emit(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        text = self._lines[line - 1].strip() if line <= len(self._lines) else ""
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                func=self._func_stack[-1] if self._func_stack else "<module>",
+                text=text,
+                end_line=getattr(node, "end_lineno", line) or line,
+            )
+        )
+
+    # -- scope tracking ------------------------------------------------------
+
+    def _visit_func(self, node) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    # -- D101 / D102 ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _dotted(node.func)
+        if chain is not None:
+            resolved = self.imports.resolve(chain)
+            if resolved is not None:
+                hit = _classify_call(resolved, node)
+                if hit is not None:
+                    self.emit(node, *hit)
+        self.generic_visit(node)
+
+    # -- D103 ----------------------------------------------------------------
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        offender = _set_expr(iter_node)
+        if offender is not None:
+            self.emit(
+                iter_node,
+                "D103",
+                "iteration over a set is hash-order dependent (varies with "
+                "PYTHONHASHSEED across worker processes); iterate "
+                "sorted(...) instead",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for generator in node.generators:
+            self._check_iter(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    # -- D104 (kernel scope only) -------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.kernel_scope and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                self.emit(
+                    node,
+                    "D104",
+                    "float == / != comparison in kernel code; values that "
+                    "pass through arithmetic will miss exact equality and "
+                    "change the draw schedule",
+                )
+        self.generic_visit(node)
+
+
+def determinism_findings(
+    tree: ast.Module, path: str, kernel_scope: bool, source: str | None = None
+) -> Iterator[Finding]:
+    """All D-rule findings for one parsed module."""
+    visitor = _DeterminismVisitor(path, _ImportTable(tree), kernel_scope)
+    visitor._lines = source.splitlines() if source is not None else []
+    visitor.visit(tree)
+    return iter(visitor.findings)

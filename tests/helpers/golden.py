@@ -158,6 +158,13 @@ def golden_cases() -> dict[str, list[Scenario]]:
         # -- standalone fast-only processes (report-path guard) -------------
         "rumor": lambda: _simple(125, algorithm="rumor", n=256),
         "polya": lambda: _simple(126, algorithm="polya", n=64, max_rounds=512),
+        # -- measurement processes (Lemma 2.1 / Lemma 5.4 samplers) ---------
+        "tagged_recruitment": lambda: _simple(
+            127,
+            algorithm="tagged_recruitment",
+            params={"active_fraction": 0.5},
+        ),
+        "initial_split": lambda: _simple(128, algorithm="initial_split"),
     }
     return {name: build().trials(_TRIALS) for name, build in cases.items()}
 

@@ -1,0 +1,150 @@
+"""The REPRO_SANITIZE runtime sanitizer: off by default, sharp when on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Scenario, run_batch
+from repro.fast.arena import Arena
+from repro.fast.batch import simulate_simple_batch
+from repro.fast.results import FastRunResult
+from repro.lintkit.sanitize import (
+    SanitizeError,
+    check_arena_aliasing,
+    check_run_result,
+    check_spread_result,
+    sanitize_enabled,
+    sanitized,
+)
+from repro.model.nests import NestConfig
+from repro.sim.rng import RandomSource
+
+
+@pytest.fixture
+def sanitize_on(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+def result(final_counts, history=None, **overrides):
+    base = dict(
+        converged=True,
+        converged_round=3,
+        rounds_executed=3,
+        chosen_nest=1,
+        final_counts=np.asarray(final_counts),
+        population_history=None if history is None else np.asarray(history),
+    )
+    base.update(overrides)
+    return FastRunResult(**base)
+
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not sanitize_enabled()
+    for value in ("0", "false", "off", ""):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert not sanitize_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitize_enabled()
+
+
+def test_wrapper_is_transparent_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+
+    @sanitized
+    def kernel(n):
+        return [result([0, n])]
+
+    # Conservation is violated (sum != n) but nothing checks it.
+    assert kernel(8)[0].final_counts.sum() == 8
+
+
+def test_checks_run_when_enabled(sanitize_on):
+    @sanitized
+    def kernel(n):
+        return [result([0, n - 1])]  # one ant lost
+
+    with pytest.raises(SanitizeError, match="not conserved"):
+        kernel(8)
+
+
+def test_nan_in_kernel_raises(sanitize_on):
+    @sanitized
+    def kernel(n):
+        np.log(np.zeros(2) - 1.0)  # invalid -> NaN
+        return []
+
+    with pytest.raises(FloatingPointError):
+        kernel(4)
+
+
+@pytest.mark.parametrize(
+    "counts, pattern",
+    [
+        ([np.nan, 8.0], "non-finite"),
+        ([-1, 9], "negative"),
+        ([0, 7], "not conserved"),
+    ],
+)
+def test_check_run_result_rejects(counts, pattern):
+    with pytest.raises(SanitizeError, match=pattern):
+        check_run_result(result(counts), n=8, kernel="k")
+
+
+def test_check_run_result_checks_history_rows():
+    ok = result([0, 8], history=[[8, 0], [0, 8]])
+    check_run_result(ok, n=8, kernel="k")
+    bad = result([0, 8], history=[[8, 0], [0, 7]])
+    with pytest.raises(SanitizeError, match="row 1"):
+        check_run_result(bad, n=8, kernel="k")
+
+
+class _Spread:
+    def __init__(self, history):
+        self.informed_history = np.asarray(history)
+
+
+def test_check_spread_result():
+    check_spread_result(_Spread([1, 2, 4, 4, 8]), n=8, kernel="k")
+    with pytest.raises(SanitizeError, match="decreased"):
+        check_spread_result(_Spread([1, 4, 2]), n=8, kernel="k")
+    with pytest.raises(SanitizeError, match="outside"):
+        check_spread_result(_Spread([1, 9]), n=8, kernel="k")
+
+
+def test_check_arena_aliasing():
+    arena = Arena()
+    arena.buf("a", (4,), np.int64)
+    arena.buf("b", (4,), np.int64)
+    check_arena_aliasing(arena)  # distinct buffers: fine
+    arena._buffers["c"] = arena._buffers["a"][:2]  # forced aliasing bug
+    with pytest.raises(SanitizeError, match="alias"):
+        check_arena_aliasing(arena)
+    with pytest.raises(AssertionError):
+        arena.check_aliasing()
+
+
+def test_real_kernel_passes_under_sanitizer(sanitize_on):
+    source = RandomSource(11)
+    reports = simulate_simple_batch(
+        n=32,
+        nests=NestConfig.all_good(3),
+        sources=[source.trial(t) for t in range(3)],
+    )
+    assert len(reports) == 3
+    for report in reports:
+        assert report.final_counts.sum() == 32
+
+
+def test_run_batch_bits_unchanged_under_sanitizer(sanitize_on):
+    """The sanitizer observes; it must never change a draw."""
+    scenarios = Scenario(
+        algorithm="simple", n=64, nests=NestConfig.all_good(3), seed=5
+    ).trials(3)
+    with_checks = [r.to_dict(include_history=True) for r in run_batch(scenarios)]
+    import os
+
+    os.environ.pop("REPRO_SANITIZE")
+    without = [r.to_dict(include_history=True) for r in run_batch(scenarios)]
+    assert with_checks == without
