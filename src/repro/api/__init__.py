@@ -56,9 +56,12 @@ from repro.api.runner import (
     run_stats,
 )
 from repro.api.scenario import CRITERION_NAMES, Scenario
+from repro.api.scheduler import CellScheduler, ExecutionPolicy
 from repro.api.sweep import (
     METRICS,
     STUDIES,
+    CellFailure,
+    CellResult,
     Study,
     StudyResult,
     Sweep,
@@ -85,6 +88,10 @@ __all__ = [
     "CACHE_FORMAT_VERSION",
     "CRITERIA",
     "CRITERION_NAMES",
+    "CellFailure",
+    "CellResult",
+    "CellScheduler",
+    "ExecutionPolicy",
     "FEATURE_TAGS",
     "METRICS",
     "REGISTRY",

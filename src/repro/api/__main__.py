@@ -22,6 +22,7 @@ from pathlib import Path
 from repro.api import (
     REGISTRY,
     STUDIES,
+    ExecutionPolicy,
     Scenario,
     Study,
     aggregate,
@@ -158,12 +159,52 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="force one engine for every cell (default: per-cell)",
     )
     parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk deadline for supervised dispatch (default: none)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="chunk-level retries after a worker death or blown deadline "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first exhausted cell instead of quarantining "
+        "it as a failure row",
+    )
+    parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="disable worker supervision (pre-resilience dispatch)",
+    )
+    parser.add_argument(
         "--csv", action="store_true", help="emit the result table as CSV"
     )
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     return parser
+
+
+def _build_policy(args: argparse.Namespace) -> ExecutionPolicy | None:
+    """An ExecutionPolicy from the CLI flags (None: scheduler default)."""
+    overrides = {}
+    if args.chunk_timeout is not None:
+        overrides["chunk_timeout"] = args.chunk_timeout
+    if args.max_retries is not None:
+        overrides["max_retries"] = args.max_retries
+    if args.fail_fast:
+        overrides["quarantine"] = False
+    if args.no_supervise:
+        overrides["supervise"] = False
+    return ExecutionPolicy(**overrides) if overrides else None
 
 
 def _load_study(spec: str, quick: bool, seed: int) -> Study:
@@ -195,11 +236,14 @@ def sweep_main(argv: list[str]) -> int:
             backend=args.backend,
             workers=args.workers,
             cache=cache,
+            policy=_build_policy(args),
         )
     except (ReproError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    quarantined = result.quarantined
+    degraded = result.degraded
     if args.json:
         print(
             json.dumps(
@@ -210,6 +254,16 @@ def sweep_main(argv: list[str]) -> int:
                     "cache_hits": result.cache_hits,
                     "cache_misses": result.cache_misses,
                     "simulated_trials": result.simulated_trials,
+                    "quarantined": [
+                        {
+                            "cell": c.cell.index,
+                            "kind": c.failure.kind,
+                            "message": c.failure.message,
+                            "attempts": c.failure.attempts,
+                        }
+                        for c in quarantined
+                    ],
+                    "degraded": [c.cell.index for c in degraded],
                 },
                 indent=2,
             )
@@ -226,6 +280,17 @@ def sweep_main(argv: list[str]) -> int:
         )
     else:
         print(f"{result.simulated_trials} trials simulated (cache disabled)")
+    for cell_result in degraded:
+        print(
+            f"  degraded cell {cell_result.cell.index}: served by the "
+            f"agent engine after {', '.join(cell_result.degraded)}"
+        )
+    for cell_result in quarantined:
+        failure = cell_result.failure
+        print(
+            f"  quarantined cell {cell_result.cell.index}: {failure.kind}: "
+            f"{failure.message} (after {failure.attempts} attempt(s))"
+        )
     sys.stdout.write(result.table.to_csv())
     return 0
 

@@ -78,6 +78,10 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: (key, reason) pairs for entries that *existed* but were
+        #: unreadable — corruption observability (a plain missing file is
+        #: a cold miss, not a defect).  Every defect is also a miss.
+        self.defects: list[tuple[str, str]] = []
 
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directories small on big studies.
@@ -88,15 +92,26 @@ class ResultCache:
     ) -> tuple[TrialStats, dict[str, Any]] | None:
         """The cached (stats, metrics) for a payload, or ``None`` on a miss.
 
-        Any defect — missing file, truncated/unparseable JSON, schema
-        mismatch, or a payload that doesn't round-trip to the same content
-        (hash collision paranoia) — counts as a miss; the caller recomputes
-        and overwrites.
+        Any defect — missing file, truncated/unparseable JSON, garbage
+        bytes, schema mismatch, or a payload that doesn't round-trip to
+        the same content (hash collision paranoia) — counts as a miss;
+        the caller recomputes and overwrites.  Defects in entries that
+        *existed* are additionally recorded in :attr:`defects` so
+        corruption is observable, not silently healed.
         """
         key = content_key(payload)
         path = self._path(key)
         try:
-            entry = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, UnicodeDecodeError) as error:
+            self.misses += 1
+            self.defects.append((key, f"unreadable: {error}"))
+            return None
+        try:
+            entry = json.loads(text)
             if entry["version"] != CACHE_FORMAT_VERSION:
                 raise ValueError("cache format version mismatch")
             # Normalize through JSON so tuples/lists compare equal; dict
@@ -105,8 +120,9 @@ class ResultCache:
                 raise ValueError("payload mismatch")
             stats = stats_from_dict(entry["stats"])
             metrics = dict(entry["metrics"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as error:
             self.misses += 1
+            self.defects.append((key, str(error) or type(error).__name__))
             return None
         self.hits += 1
         return stats, metrics

@@ -28,21 +28,30 @@ Backend selection (``backend="auto"``):
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
-from functools import partial
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from repro.api.registry import REGISTRY, AlgorithmRegistry, criterion_factory
 from repro.api.report import RunReport
 from repro.api.scenario import Scenario
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ChunkTimeout,
+    ConfigurationError,
+    ExecutionError,
+    WorkerCrash,
+    is_retryable,
+)
 from repro.sim.engine import RoundHook
 from repro.sim.run import TrialStats, run_trial
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scheduler import ExecutionPolicy
 
 BACKENDS = ("auto", "agent", "fast")
 
@@ -219,6 +228,33 @@ class WorkerPool:
             self._executor.shutdown()
             self._executor = None
 
+    def kill(self) -> None:
+        """Forcibly terminate the workers and reap them (idempotent).
+
+        The supervised dispatcher's recovery primitive: after a chunk
+        deadline or a ``BrokenProcessPool`` the surviving workers cannot
+        be trusted (one may be wedged mid-chunk), so the whole cohort is
+        SIGKILLed and *joined* — the join guarantees no worker can create
+        a shared-memory segment after the parent starts unlinking the
+        failed chunks' segments.  The pool object stays usable: the next
+        :meth:`executor` call respawns a fresh cohort.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        for proc in processes:
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already-reaped worker
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            try:
+                proc.join(5.0)
+            except Exception:  # pragma: no cover - concurrent reap
+                pass
+
     def __enter__(self) -> "WorkerPool":
         return self
 
@@ -257,24 +293,50 @@ def _run_task(task: _Task) -> list[RunReport]:
     return entry.batch_kernel(chunk)
 
 
-def _run_task_packed(task: _Task, shm: bool = False) -> object:
+#: Parent-assigned shared-memory segment names: ``repro<pid>s<seq>``.
+#: Deterministic per-process naming (no ``uuid``) lets the parent unlink
+#: the in-flight segment of a worker that died mid-chunk — the fix for
+#: the "killed worker leaks /dev/shm" hole.
+_SEGMENT_SEQ = itertools.count()
+
+
+def _segment_name() -> str:
+    return f"repro{os.getpid()}s{next(_SEGMENT_SEQ)}"
+
+
+def _run_task_packed(
+    task: _Task,
+    shm: bool = False,
+    shm_name: str | None = None,
+    chaos_scope: str | None = None,
+    chaos_task: int = 0,
+    attempt: int = 0,
+) -> object:
     """Worker-side target: batch chunks return packed numpy columns.
 
     Packing drops the per-report Python object graph from the result pipe
     (the parent rebuilds reports from the scenarios it already holds);
-    with ``shm`` the columns of large chunks move through a named
-    ``multiprocessing.shared_memory`` segment instead of the pickle
-    stream.  Singles still return their reports directly — they can carry
+    with ``shm`` the columns of large chunks move through a
+    ``multiprocessing.shared_memory`` segment — named ``shm_name`` by the
+    parent, so a killed worker's in-flight segment is still unlinkable.
+    Singles still return their reports directly — they can carry
     agent-engine payloads the packer doesn't speak.
+
+    This is also the chaos-injection point (:mod:`repro.api.chaos`): it
+    only ever runs in worker processes, so an injected SIGKILL exercises
+    the supervision path without touching the parent.
     """
+    from repro.api import chaos
     from repro.api.transport import maybe_to_shm, pack_reports
 
+    chaos.maybe_inject(chaos_scope, chaos_task, attempt, task[0], "start")
     reports = _run_task(task)
     if task[0] != "batch":
         return reports
     packed = pack_reports(reports)
     if shm:
-        packed = maybe_to_shm(packed)
+        packed = maybe_to_shm(packed, name=shm_name)
+    chaos.maybe_inject(chaos_scope, chaos_task, attempt, task[0], "result")
     return packed
 
 
@@ -285,36 +347,213 @@ def _resolve_task_result(result: object, task: _Task) -> list[RunReport]:
     if isinstance(result, list):
         return result
     if is_shm_descriptor(result):
-        result = from_shm(result)
+        try:
+            result = from_shm(result)
+        except FileNotFoundError as exc:
+            raise WorkerCrash(
+                f"shared-memory segment {result['shm']!r} vanished before "
+                "the parent could read it"
+            ) from exc
     return unpack_reports(result, task[1])
 
 
-def _collect_results(executor, runner, tasks: list[_Task]) -> list[object]:
+def _reap_if_broken(executor) -> None:
+    """SIGKILL and join a broken executor's workers before shm cleanup.
+
+    When a pool breaks, its futures fail *before* the executor finishes
+    terminating sibling workers — one of them may still be inside
+    ``maybe_to_shm``, about to create a segment the parent is unlinking.
+    Reaping first closes that race.
+    """
+    if not getattr(executor, "_broken", False):
+        return
+    processes = list((getattr(executor, "_processes", None) or {}).values())
+    for proc in processes:
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - already-reaped worker
+            pass
+    for proc in processes:
+        try:
+            proc.join(5.0)
+        except Exception:  # pragma: no cover - concurrent reap
+            pass
+
+
+def _collect_results(
+    executor, tasks: list[_Task], shm: bool, chaos_scope: str | None = None
+) -> list[object]:
     """Gather worker results, releasing orphaned shm segments on failure.
 
-    A failing task must not leak the shared-memory segments of chunks
-    that already completed: their ownership transferred to this process
-    the moment the workers returned descriptors, so on error every
-    finished sibling's segment is unlinked before the exception
-    propagates.
+    A failing task must leak no shared-memory segment — neither from
+    chunks that already completed (their ownership transferred to this
+    process the moment the workers returned descriptors) nor from the
+    in-flight chunk of a crashed worker (its parent-assigned name is
+    unlinked without ever having seen a descriptor).
     """
     from concurrent.futures import wait
-    from repro.api.transport import discard_shm, is_shm_descriptor
+    from repro.api.transport import discard_shm, is_shm_descriptor, unlink_segment
 
-    futures = [executor.submit(runner, task) for task in tasks]
+    names = [_segment_name() if shm else None for _ in tasks]
+    futures = [
+        executor.submit(
+            _run_task_packed,
+            task,
+            shm=shm,
+            shm_name=names[i],
+            chaos_scope=chaos_scope,
+            chaos_task=i,
+        )
+        for i, task in enumerate(tasks)
+    ]
     try:
         return [future.result() for future in futures]
     except BaseException:
         for future in futures:
             future.cancel()
         wait(futures)
-        for future in futures:
+        _reap_if_broken(executor)
+        for i, future in enumerate(futures):
             if future.cancelled() or future.exception() is not None:
+                if names[i] is not None:
+                    unlink_segment(names[i])
                 continue
             result = future.result()
             if is_shm_descriptor(result):
                 discard_shm(result)
         raise
+
+
+def _dispatch_supervised(
+    pool: WorkerPool,
+    tasks: list[_Task],
+    shm: bool,
+    policy: "ExecutionPolicy",
+    chaos_scope: str | None = None,
+) -> list[object]:
+    """Run tasks under supervision: deadlines, pool respawn, chunk retry.
+
+    Each round submits every still-pending chunk, then harvests results
+    with a per-chunk deadline (``policy.chunk_timeout``).  A blown
+    deadline or a dead worker (``BrokenProcessPool``) marks the round's
+    unfinished chunks failed with a *retryable* error, SIGKILLs and
+    respawns the pool, unlinks the failed chunks' parent-assigned shm
+    segments, and — after a deterministic exponential backoff — retries
+    them.  Because a chunk is a pure function of its scenarios'
+    ``(seed, trial_index)`` streams, a retry reproduces the same bits, so
+    recovery is invisible in the results.  A chunk that exhausts
+    ``policy.max_retries`` re-raises its last failure; a *non-retryable*
+    task exception (a deterministic kernel crash) is fatal immediately —
+    retrying a pure function that raised is wasted work.
+    """
+    from concurrent.futures import BrokenExecutor
+    from repro.api.transport import discard_shm, is_shm_descriptor, unlink_segment
+
+    results: list[object] = [None] * len(tasks)
+    done = [False] * len(tasks)
+    attempts = [0] * len(tasks)
+    pending = list(range(len(tasks)))
+
+    def _discard_completed() -> None:
+        for i, result in enumerate(results):
+            if done[i] and is_shm_descriptor(result):
+                discard_shm(result)
+
+    while pending:
+        executor = pool.executor()
+        names = {i: (_segment_name() if shm else None) for i in pending}
+        futures: dict[int, object] = {}
+        try:
+            for i in pending:
+                futures[i] = executor.submit(
+                    _run_task_packed,
+                    tasks[i],
+                    shm=shm,
+                    shm_name=names[i],
+                    chaos_scope=chaos_scope,
+                    chaos_task=i,
+                    attempt=attempts[i],
+                )
+        except BrokenExecutor:
+            pass  # handled below: unsubmitted chunks fail this round
+        pool_dead = len(futures) < len(pending)
+        failures: dict[int, BaseException] = {}
+        for i in pending:
+            future = futures.get(i)
+            if future is None:
+                failures[i] = WorkerCrash(
+                    f"worker pool broke before chunk {i} could be dispatched"
+                )
+                continue
+            if pool_dead:
+                # Salvage chunks that finished cleanly before the pool
+                # died; everything else in this round is retried.
+                if (
+                    future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    results[i] = future.result()
+                    done[i] = True
+                else:
+                    future.cancel()
+                    failures[i] = WorkerCrash(
+                        f"chunk {i} lost when the worker pool died "
+                        f"(attempt {attempts[i]})"
+                    )
+                continue
+            try:
+                results[i] = future.result(timeout=policy.chunk_timeout)
+                done[i] = True
+            except TimeoutError:
+                failures[i] = ChunkTimeout(
+                    f"chunk {i} exceeded its {policy.chunk_timeout}s "
+                    f"deadline (attempt {attempts[i]})",
+                    timeout=policy.chunk_timeout,
+                )
+                pool_dead = True
+            except BrokenExecutor as exc:
+                failures[i] = WorkerCrash(
+                    f"worker died running chunk {i} "
+                    f"(attempt {attempts[i]}): {exc!r}"
+                )
+                pool_dead = True
+            except ExecutionError as exc:
+                if is_retryable(exc):
+                    failures[i] = exc
+                else:
+                    pool.kill()
+                    _discard_completed()
+                    for name in names.values():
+                        if name is not None:
+                            unlink_segment(name)
+                    raise
+            except BaseException:
+                pool.kill()
+                _discard_completed()
+                for name in names.values():
+                    if name is not None:
+                        unlink_segment(name)
+                raise
+        if pool_dead:
+            # Kill *before* unlinking: a surviving worker mid-chunk must
+            # not create its segment after the parent unlinks the name.
+            pool.kill()
+        for i in failures:
+            if names[i] is not None:
+                unlink_segment(names[i])
+        pending = []
+        for i, exc in failures.items():
+            attempts[i] += 1
+            if attempts[i] > policy.max_retries:
+                _discard_completed()
+                raise exc
+            pending.append(i)
+        if pending:
+            delay = policy.backoff_delay(max(attempts[i] for i in pending))
+            if delay > 0:
+                policy.sleep(delay)
+    return results
 
 
 #: Result transports for worker processes.  ``pickle`` is always correct;
@@ -344,6 +583,8 @@ def run_batch(
     batch_chunk: int | None = None,
     pool: "WorkerPool | None" = None,
     transport: str | None = None,
+    policy: "ExecutionPolicy | None" = None,
+    chaos_scope: str | None = None,
 ) -> list[RunReport]:
     """Run many scenarios; reports come back in input order.
 
@@ -360,12 +601,21 @@ def run_batch(
     group.  ``transport`` selects how workers ship results back
     (:data:`TRANSPORTS`; ``None`` reads ``$REPRO_SHM_TRANSPORT``).
 
+    A :class:`~repro.api.scheduler.ExecutionPolicy` via ``policy=`` turns
+    on *supervised* parallel dispatch: per-chunk deadlines, automatic pool
+    respawn after a worker death, and deterministic chunk retry with
+    exponential backoff (see :func:`_dispatch_supervised`).
+    ``chaos_scope`` labels this call for the deterministic fault-injection
+    harness (:mod:`repro.api.chaos`); it has no effect unless a
+    ``$REPRO_CHAOS`` plan targets it.
+
     Each trial derives its randomness from its own ``(seed, trial_index)``
     and the batch kernels consume those streams per trial, so the reports
-    are **bit-identical for every** ``workers``, ``batch_chunk``, ``pool``
-    and ``transport`` value, and identical to running each scenario alone
-    — :mod:`tests.test_batch_engine` and the golden-digest suite pin this
-    down.
+    are **bit-identical for every** ``workers``, ``batch_chunk``, ``pool``,
+    ``transport`` and ``policy`` value — supervised recovery included —
+    and identical to running each scenario alone —
+    :mod:`tests.test_batch_engine`, the golden-digest suite and
+    :mod:`tests.test_chaos` pin this down.
     """
     batch = list(scenarios)
     if workers < 1:
@@ -407,17 +657,31 @@ def run_batch(
             task_indices.append(chunk_indices)
 
     effective_workers = pool.workers if pool is not None else workers
+    supervised = policy is not None and policy.supervise
     if effective_workers == 1 or len(tasks) <= 1:
         task_reports = [_run_task(task) for task in tasks]
     else:
-        runner = partial(_run_task_packed, shm=shm)
-        if pool is not None:
-            results = _collect_results(pool.executor(), runner, tasks)
+        if supervised:
+            if pool is not None:
+                results = _dispatch_supervised(
+                    pool, tasks, shm, policy, chaos_scope
+                )
+            else:
+                with WorkerPool(
+                    min(effective_workers, len(tasks))
+                ) as transient:
+                    results = _dispatch_supervised(
+                        transient, tasks, shm, policy, chaos_scope
+                    )
+        elif pool is not None:
+            results = _collect_results(
+                pool.executor(), tasks, shm, chaos_scope
+            )
         else:
             with ProcessPoolExecutor(
                 max_workers=min(effective_workers, len(tasks))
             ) as executor:
-                results = _collect_results(executor, runner, tasks)
+                results = _collect_results(executor, tasks, shm, chaos_scope)
         task_reports = [
             _resolve_task_result(result, task)
             for result, task in zip(results, tasks)

@@ -52,8 +52,8 @@ from __future__ import annotations
 
 import itertools
 import json
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -64,17 +64,14 @@ from repro.api.cache import (
 )
 from repro.api.report import RunReport
 from repro.api.results import ResultTable
-from repro.api.runner import (
-    WorkerPool,
-    aggregate,
-    default_workers,
-    resolve_backend,
-    run_batch,
-)
+from repro.api.runner import WorkerPool
 from repro.api.scenario import Scenario
 from repro.exceptions import ConfigurationError
 from repro.model.nests import NestConfig
 from repro.sim.run import TrialStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scheduler import ExecutionPolicy
 
 #: Scenario fields a sweep axis or base template may bind (dotted paths —
 #: ``params.beta``, ``noise.relative_sigma`` — address nested keys).
@@ -488,13 +485,40 @@ class Cell:
 
 
 @dataclass(frozen=True)
+class CellFailure:
+    """Structured record of a quarantined cell's terminal failure."""
+
+    #: Exception class name (``"WorkerCrash"``, ``"ChunkTimeout"``, ...).
+    kind: str
+    message: str
+    #: Cell-level attempts made before giving up.
+    attempts: int
+    #: Whether the terminal failure was a retryable substrate fault.
+    retryable: bool
+
+
+@dataclass(frozen=True)
 class CellResult:
-    """One executed (or cache-served) cell."""
+    """One executed (or cache-served, degraded, or quarantined) cell.
+
+    ``stats``/``metrics`` are the classic payload; ``failure`` is set (and
+    ``stats`` is ``None``) for quarantined cells, ``degraded`` names the
+    failure kinds that pushed a fast cell onto the agent engine, and
+    ``simulated`` counts the trials this cell actually ran (0 for cache
+    hits and quarantined cells).
+    """
 
     cell: Cell
-    stats: TrialStats
+    stats: TrialStats | None
     metrics: Mapping[str, Any]
     cached: bool
+    failure: CellFailure | None = None
+    degraded: tuple[str, ...] = ()
+    simulated: int = 0
+
+    @property
+    def quarantined(self) -> bool:
+        return self.failure is not None
 
 
 @dataclass(frozen=True)
@@ -507,6 +531,16 @@ class StudyResult:
     cache_hits: int
     cache_misses: int
     simulated_trials: int
+
+    @property
+    def quarantined(self) -> tuple[CellResult, ...]:
+        """The cells that failed every recovery path (queryable failures)."""
+        return tuple(c for c in self.cells if c.failure is not None)
+
+    @property
+    def degraded(self) -> tuple[CellResult, ...]:
+        """The cells served by the agent engine after fast-kernel failure."""
+        return tuple(c for c in self.cells if c.degraded)
 
 
 def _set_path(config: dict[str, Any], path: str, value: Any) -> None:
@@ -611,85 +645,48 @@ def run_study(
     batch_chunk: int | None = None,
     pool: "WorkerPool | None" = None,
     transport: str | None = None,
+    policy: "ExecutionPolicy | None" = None,
 ) -> StudyResult:
     """Execute a study cell by cell, serving repeats from the cache.
 
-    Every cache miss expands into ``trials`` per-trial scenarios and runs
-    through :func:`repro.api.run_batch` (so homogeneous cells ride the
-    trial-parallel batch kernels, and ``workers`` fans trials out over
-    processes).  When ``workers > 1`` a single persistent
+    A thin frontend over :class:`repro.api.scheduler.CellScheduler` — the
+    CLI today and the study-service daemon tomorrow drive the same
+    executor.  Every cache miss expands into ``trials`` per-trial
+    scenarios and runs through :func:`repro.api.run_batch` (so homogeneous
+    cells ride the trial-parallel batch kernels, and ``workers`` fans
+    trials out over processes).  When ``workers > 1`` a single persistent
     :class:`~repro.api.runner.WorkerPool` serves **every** cell of the
     study — worker processes fork once per study, not once per cell; pass
     your own via ``pool=`` to share it across studies (callers owning the
     pool also own its shutdown).  ``transport`` selects the worker result
     transport (see :func:`repro.api.run_batch`).  Results are
     deterministic for any ``workers`` / ``batch_chunk`` / ``pool`` /
-    ``transport`` / cache state: a warm re-run returns a bit-identical
-    :class:`~repro.api.results.ResultTable` while simulating nothing.
+    ``transport`` / ``policy`` / cache state: a warm re-run returns a
+    bit-identical :class:`~repro.api.results.ResultTable` while simulating
+    nothing.
+
+    ``policy`` (an :class:`~repro.api.scheduler.ExecutionPolicy`) controls
+    supervision, retry/backoff, degradation, and quarantine; the default
+    supervises with quarantine on, so one poisoned cell becomes a
+    structured failure row instead of aborting the sweep.
 
     ``cache="auto"`` uses ``$REPRO_CACHE_DIR`` when set (else no cache);
     pass a path or :class:`~repro.api.cache.ResultCache` to pin one, or
     ``None`` to disable.
     """
-    cache_obj = resolve_cache(cache)
-    if workers is None:
-        workers = default_workers()
-    own_pool: WorkerPool | None = None
-    if pool is None and workers > 1:
-        own_pool = pool = WorkerPool(workers)
-    results: list[CellResult] = []
-    simulated = 0
-    hits = misses = 0
-    try:
-        for cell in expand_study(study):
-            if backend is not None:
-                cell = replace(cell, backend=backend)
-            # Resolve eagerly so configuration errors surface identically
-            # with and without a cache, and record the *resolved* engine in
-            # the key (auto-dispatch changing engines must invalidate, not
-            # alias).
-            resolved_backend = resolve_backend(cell.scenario, cell.backend)
-            cell = replace(cell, backend=resolved_backend)
-            payload = cell.payload(study.metrics)
-            entry = cache_obj.load(payload) if cache_obj is not None else None
-            if entry is not None:
-                stats, metric_values = entry
-                hits += 1
-                results.append(
-                    CellResult(cell, stats, metric_values, cached=True)
-                )
-                continue
-            if cache_obj is not None:
-                misses += 1
-            scenarios = cell.scenario.trials(cell.trials, start=cell.trial_start)
-            reports = run_batch(
-                scenarios,
-                workers=workers,
-                backend=cell.backend,
-                batch_chunk=batch_chunk,
-                pool=pool,
-                transport=transport,
-            )
-            simulated += len(reports)
-            stats = aggregate(reports)
-            metric_values = evaluate_metrics(study.metrics, reports, stats)
-            if cache_obj is not None:
-                cache_obj.store(payload, stats, metric_values)
-            results.append(CellResult(cell, stats, metric_values, cached=False))
-    finally:
-        if own_pool is not None:
-            own_pool.close()
-    table = ResultTable.from_rows(
-        [_table_row(result.cell, result.metrics) for result in results]
-    )
-    return StudyResult(
-        study=study,
-        cells=tuple(results),
-        table=table,
-        cache_hits=hits,
-        cache_misses=misses,
-        simulated_trials=simulated,
-    )
+    from repro.api.scheduler import CellScheduler
+
+    with CellScheduler(
+        study,
+        backend=backend,
+        workers=workers,
+        cache=cache,
+        batch_chunk=batch_chunk,
+        pool=pool,
+        transport=transport,
+        policy=policy,
+    ) as scheduler:
+        return scheduler.run()
 
 
 # -- the study registry ------------------------------------------------------

@@ -171,7 +171,11 @@ def packed_nbytes(packed: dict[str, Any]) -> int:
     )
 
 
-def maybe_to_shm(packed: dict[str, Any], min_bytes: int | None = None) -> dict[str, Any]:
+def maybe_to_shm(
+    packed: dict[str, Any],
+    min_bytes: int | None = None,
+    name: str | None = None,
+) -> dict[str, Any]:
     """Move the packed arrays into a shared-memory segment if large enough.
 
     Returns either ``packed`` unchanged (small payloads) or a descriptor
@@ -179,6 +183,14 @@ def maybe_to_shm(packed: dict[str, Any], min_bytes: int | None = None) -> dict[s
     here (in the worker) and unregistered from this process's resource
     tracker — ownership transfers to the parent, which unlinks it in
     :func:`from_shm`.
+
+    When ``name`` is given the segment is created under that exact name.
+    The supervised dispatcher assigns one per chunk *before* submitting,
+    so the parent can unlink the in-flight segment of a worker that died
+    mid-chunk — a randomly named segment from a killed worker would be
+    unfindable and leak in ``/dev/shm``.  A stale same-named segment (a
+    prior attempt killed between create and result delivery, then cleaned
+    concurrently) is unlinked and the create retried once.
     """
     from multiprocessing import resource_tracker, shared_memory
 
@@ -186,7 +198,18 @@ def maybe_to_shm(packed: dict[str, Any], min_bytes: int | None = None) -> dict[s
     total = packed_nbytes(packed)
     if total < threshold:
         return packed
-    segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    if name is None:
+        segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    else:
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, total)
+            )
+        except FileExistsError:
+            unlink_segment(name)
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, total)
+            )
     fields = []
     offset = 0
     for key in _ARRAY_KEYS:
@@ -242,6 +265,23 @@ def is_shm_descriptor(obj: Any) -> bool:
     return isinstance(obj, dict) and "shm" in obj
 
 
+def unlink_segment(name: str) -> None:
+    """Unlink a named segment if it exists (idempotent error cleanup).
+
+    The parent calls this for every segment name it assigned to a failed
+    or abandoned chunk — whether the worker got as far as creating it or
+    not — so a kill at any point in the chunk's life cannot leak shm.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:  # never materialized or already consumed
+        return
+    segment.close()
+    segment.unlink()
+
+
 def discard_shm(descriptor: dict[str, Any]) -> None:
     """Unlink a descriptor's segment without reading it (error cleanup).
 
@@ -249,11 +289,4 @@ def discard_shm(descriptor: dict[str, Any]) -> None:
     sibling task fails before the parent consumes this result, the
     segment must still be released or it outlives the process.
     """
-    from multiprocessing import shared_memory
-
-    try:
-        segment = shared_memory.SharedMemory(name=descriptor["shm"])
-    except FileNotFoundError:  # already consumed or never materialized
-        return
-    segment.close()
-    segment.unlink()
+    unlink_segment(descriptor["shm"])

@@ -7,6 +7,17 @@ synchronous engine raises it when an ant violates the model of Section 2
 home nest with ``go``/``recruit``).  These indicate bugs in an algorithm
 implementation, never recoverable runtime conditions, which is why they are
 exceptions rather than error returns.
+
+The :class:`ExecutionError` branch is the runtime-failure taxonomy of the
+execution stack (``repro.api.runner`` / ``repro.api.scheduler``): faults of
+the *substrate* — a worker process dying (:class:`WorkerCrash`), a chunk
+blowing its deadline (:class:`ChunkTimeout`) — are **retryable** because
+every chunk is a pure function of its scenarios' ``(seed, trial_index)``
+streams, so re-running it reproduces the same bits.  Faults of the *work*
+(a kernel raising) are not retryable; the scheduler quarantines the cell
+(:class:`CellQuarantined`) instead of replaying a deterministic crash.
+:func:`is_retryable` is the one dispatch predicate; see
+``docs/RESILIENCE.md`` for the full policy.
 """
 
 from __future__ import annotations
@@ -34,3 +45,53 @@ class SimulationError(ReproError):
 
 class NotConvergedError(ReproError):
     """A run was asked for its solution but never satisfied the predicate."""
+
+
+class ExecutionError(ReproError):
+    """Base class for runtime faults of the execution substrate.
+
+    Subclasses declare whether the fault is *retryable* via the
+    ``retryable`` class attribute: substrate faults (dead worker, blown
+    deadline) are, because chunks are pure functions of their seeds;
+    deterministic faults of the work itself are not.
+    """
+
+    retryable = False
+
+
+class WorkerCrash(ExecutionError):
+    """A worker process died (SIGKILL, segfault, ``BrokenProcessPool``)."""
+
+    retryable = True
+
+
+class ChunkTimeout(ExecutionError):
+    """A chunk exceeded its per-chunk deadline and its worker was culled."""
+
+    retryable = True
+
+    def __init__(self, message: str, *, timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+
+
+class CellQuarantined(ExecutionError):
+    """A study cell exhausted its failure budget and was quarantined.
+
+    Raised only under fail-fast policies (``ExecutionPolicy.quarantine``
+    off); the default policy records the failure as a structured row in
+    the :class:`~repro.api.results.ResultTable` instead.
+    """
+
+    def __init__(
+        self, message: str, *, cell_index: int | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.cell_index = cell_index
+        self.cause = cause
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when retrying the failed unit of work can possibly succeed."""
+    return isinstance(exc, ExecutionError) and exc.retryable

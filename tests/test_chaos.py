@@ -1,0 +1,260 @@
+"""Chaos injection: recovery is bit-deterministic, and nothing leaks.
+
+The paper's colonies tolerate crashed and Byzantine ants; these tests
+assert the execution substrate tolerates crashed and Byzantine *workers*.
+Every scenario drives a real multiprocess run under a deterministic
+``$REPRO_CHAOS`` plan (:mod:`tests.helpers.chaos`) and checks the two
+resilience invariants:
+
+1. **bit-determinism** — a study disturbed by SIGKILLed workers, stalled
+   chunks, or transient flakes produces a ``ResultTable`` bit-identical
+   (``equals``) to an undisturbed run, and recovered reports still match
+   the committed golden digests;
+2. **no leaks** — shared-memory segments of in-flight chunks on killed
+   workers are always unlinked by the parent (the ``shm_watch`` fixture
+   scans ``/dev/shm``), on both the supervised and the legacy dispatch
+   paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.api.transport as transport
+from repro.api import (
+    ExecutionPolicy,
+    Study,
+    Sweep,
+    grid,
+    nests_spec,
+    run_batch,
+    run_study,
+)
+from repro.api import chaos
+from repro.api.chaos import ChaosError
+from tests.helpers.chaos import (
+    flake,
+    kill,
+    plan_env,
+    poison,
+    seeded_plan,
+    stall,
+)
+from tests.helpers.golden import digest_reports, golden_cases, load_golden
+
+#: Fast-converging recovery policy: tight backoff so retry rounds don't
+#: dominate test wall-clock; a 1 s chunk deadline for the stall cases.
+POLICY = ExecutionPolicy(
+    chunk_timeout=1.0, backoff_base=0.01, backoff_max=0.05
+)
+
+
+def _study(ns: tuple = (32, 48), trials: int = 6) -> Study:
+    return Study(
+        name="chaos-study",
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "nests": nests_spec("all_good", k=3),
+                "seed": 21,
+                "max_rounds": 20_000,
+            },
+            axes=(grid("n", ns),),
+        ),
+        trials=trials,
+    )
+
+
+class TestPlanParsing:
+    def test_unset_and_switch_values_mean_empty_plan(self):
+        assert chaos.parse_plan(None) == []
+        assert chaos.parse_plan("") == []
+        assert chaos.parse_plan("1") == []
+        assert chaos.parse_plan("on") == []
+        assert chaos.parse_plan("TRUE") == []
+
+    def test_inline_json_list(self):
+        plan = chaos.parse_plan('[{"action": "kill", "task": 2}]')
+        assert plan == [{"action": "kill", "task": 2}]
+
+    def test_entries_object_and_unknown_actions_filtered(self):
+        text = json.dumps(
+            {
+                "entries": [
+                    {"action": "stall", "seconds": 1},
+                    {"action": "reformat-disk"},
+                    "not-a-dict",
+                ]
+            }
+        )
+        assert chaos.parse_plan(text) == [{"action": "stall", "seconds": 1}]
+
+    def test_file_reference(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('[{"action": "flake"}]', encoding="utf-8")
+        assert chaos.parse_plan(f"@{path}") == [{"action": "flake"}]
+        assert chaos.parse_plan(str(path)) == [{"action": "flake"}]
+
+    def test_malformed_values_never_break_a_run(self, tmp_path):
+        assert chaos.parse_plan("{not json") == []
+        assert chaos.parse_plan('{"no": "entries"}') == []
+        assert chaos.parse_plan(str(tmp_path / "missing.json")) == []
+
+    def test_inject_matches_coordinates(self, monkeypatch):
+        plan_env(monkeypatch, poison(scope="cellX", task=2))
+        # Wrong task, wrong scope, wrong attempt: all no-ops.
+        chaos.maybe_inject("cellX", 1, 0, "batch", "start")
+        chaos.maybe_inject("cellY", 2, 0, "batch", "start")
+        chaos.maybe_inject("cellX", 2, 1, "batch", "start")
+        chaos.maybe_inject("cellX", 2, 0, "batch", "result")
+        with pytest.raises(ChaosError):
+            chaos.maybe_inject("cellX", 2, 0, "batch", "start")
+
+    def test_inject_without_plan_is_inert(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        chaos.maybe_inject("cell0", 0, 0, "batch", "start")
+
+
+@pytest.mark.usefixtures("shm_watch")
+class TestRecoveryDeterminism:
+    def test_flake_is_retried_bit_identically(self, monkeypatch):
+        study = _study()
+        undisturbed = run_study(study, cache=None)
+        plan_env(monkeypatch, flake(scope="cell0", task=0))
+        disturbed = run_study(
+            study, workers=2, cache=None, batch_chunk=2, policy=POLICY
+        )
+        assert undisturbed.table.equals(disturbed.table)
+
+    def test_killed_worker_recovers_at_any_worker_count(self, monkeypatch):
+        study = _study()
+        serial = run_study(study, cache=None)
+        parallel = run_study(study, workers=4, cache=None, batch_chunk=2)
+        plan_env(monkeypatch, kill(scope="cell0", task=0))
+        disturbed = run_study(
+            study, workers=4, cache=None, batch_chunk=2, policy=POLICY
+        )
+        assert serial.table.equals(disturbed.table)
+        assert parallel.table.equals(disturbed.table)
+
+    def test_stalled_chunk_times_out_and_recovers(self, monkeypatch):
+        study = _study(ns=(32,))
+        undisturbed = run_study(study, cache=None)
+        plan_env(monkeypatch, stall(30.0, scope="cell0", task=1))
+        disturbed = run_study(
+            study, workers=2, cache=None, batch_chunk=2, policy=POLICY
+        )
+        assert undisturbed.table.equals(disturbed.table)
+
+    def test_seeded_plan_recovers_bit_identically(self, monkeypatch):
+        study = _study(ns=(48,))
+        undisturbed = run_study(study, cache=None)
+        plan = seeded_plan(seed=5, n_tasks=3, scope="cell0")
+        plan_env(monkeypatch, *plan)
+        disturbed = run_study(
+            study, workers=2, cache=None, batch_chunk=2, policy=POLICY
+        )
+        assert undisturbed.table.equals(disturbed.table)
+
+    def test_golden_digests_survive_chaos_recovery(self, monkeypatch):
+        name = "simple_clean"
+        scenarios = golden_cases()[name]
+        plan_env(monkeypatch, kill(task=1))
+        reports = run_batch(
+            scenarios, workers=2, batch_chunk=2, policy=POLICY
+        )
+        assert digest_reports(reports) == load_golden()[name]
+
+
+@pytest.mark.usefixtures("shm_watch")
+class TestAcceptanceScenario:
+    def test_kill_stall_and_poison_in_one_study(self, monkeypatch):
+        """The ISSUE acceptance run: SIGKILL one worker, stall another
+        past the deadline, poison one cell's kernel on every attempt —
+        the study completes, the poisoned cell is quarantined, and every
+        other cell is bit-identical to the undisturbed run."""
+        study = _study(ns=(32, 48, 64))
+        undisturbed = run_study(study, cache=None)
+        plan_env(
+            monkeypatch,
+            kill(scope="cell0", task=0),
+            stall(30.0, scope="cell1", task=1),
+            poison(scope="cell2", attempt="*"),
+        )
+        policy = ExecutionPolicy(
+            chunk_timeout=1.0,
+            backoff_base=0.01,
+            backoff_max=0.05,
+            degrade_to_agent=False,
+        )
+        disturbed = run_study(
+            study, workers=2, cache=None, batch_chunk=2, policy=policy
+        )
+        assert len(disturbed.cells) == 3
+        (bad,) = disturbed.quarantined
+        assert bad.cell.index == 2
+        assert bad.failure.kind == "ChaosError"
+        clean_columns = undisturbed.table.to_dict()
+        got_columns = disturbed.table.to_dict()
+        for name, values in clean_columns.items():
+            assert got_columns[name][:2] == values[:2], name
+        assert got_columns["status"] == [None, None, "quarantined"]
+
+    def test_chaos_smoke_switch_is_inert(self, monkeypatch):
+        """$REPRO_CHAOS=1 (the CI chaos-smoke switch) enables the hooks
+        with an empty plan — results must be untouched."""
+        study = _study(ns=(32,))
+        undisturbed = run_study(study, cache=None)
+        monkeypatch.setenv(chaos.CHAOS_ENV, "1")
+        smoke = run_study(
+            study, workers=2, cache=None, batch_chunk=2, policy=POLICY
+        )
+        assert undisturbed.table.equals(smoke.table)
+
+
+@pytest.mark.usefixtures("shm_watch")
+class TestShmLeakOnWorkerDeath:
+    """Satellite: a killed worker's in-flight segment never outlives the
+    run — the parent assigns segment names up front and unlinks them on
+    every failure path (supervised and legacy)."""
+
+    def _scenarios(self):
+        from repro.api import Scenario
+        from repro.model.nests import NestConfig
+
+        return Scenario(
+            algorithm="simple",
+            n=64,
+            nests=NestConfig.all_good(3),
+            seed=33,
+            max_rounds=20_000,
+        ).trials(6)
+
+    def test_supervised_kill_after_segment_creation(self, monkeypatch):
+        scenarios = self._scenarios()
+        serial = run_batch(scenarios)
+        monkeypatch.setattr(transport, "SHM_MIN_BYTES", 0)
+        # Kill at phase "result": the worker has already created and
+        # populated its parent-named segment when it dies.
+        plan_env(monkeypatch, kill(task=0, phase="result"))
+        recovered = run_batch(
+            scenarios, workers=2, batch_chunk=2, transport="shm",
+            policy=POLICY,
+        )
+        for a, b in zip(serial, recovered):
+            assert a.to_dict(include_history=True) == b.to_dict(
+                include_history=True
+            )
+
+    def test_legacy_dispatch_unlinks_in_flight_segments(self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        scenarios = self._scenarios()
+        monkeypatch.setattr(transport, "SHM_MIN_BYTES", 0)
+        plan_env(monkeypatch, kill(task=0, phase="result"))
+        # Without supervision the failure propagates (legacy semantics),
+        # but the shm_watch fixture proves no segment leaks.
+        with pytest.raises(BrokenProcessPool):
+            run_batch(scenarios, workers=2, batch_chunk=2, transport="shm")

@@ -3,18 +3,32 @@
 import pytest
 
 from repro.exceptions import (
+    CellQuarantined,
+    ChunkTimeout,
     ConfigurationError,
+    ExecutionError,
     NotConvergedError,
     ProtocolError,
     ReproError,
     SimulationError,
+    WorkerCrash,
+    is_retryable,
 )
 
 
 class TestHierarchy:
     @pytest.mark.parametrize(
         "exception_type",
-        [ConfigurationError, NotConvergedError, ProtocolError, SimulationError],
+        [
+            ConfigurationError,
+            NotConvergedError,
+            ProtocolError,
+            SimulationError,
+            ExecutionError,
+            WorkerCrash,
+            ChunkTimeout,
+            CellQuarantined,
+        ],
     )
     def test_all_derive_from_repro_error(self, exception_type):
         assert issubclass(exception_type, ReproError)
@@ -22,6 +36,34 @@ class TestHierarchy:
     def test_configuration_error_is_value_error(self):
         # Callers using plain ValueError handling still catch config issues.
         assert issubclass(ConfigurationError, ValueError)
+
+
+class TestExecutionTaxonomy:
+    def test_substrate_faults_are_retryable(self):
+        assert is_retryable(WorkerCrash("worker died"))
+        assert is_retryable(ChunkTimeout("deadline", timeout=1.5))
+
+    def test_work_faults_are_not_retryable(self):
+        assert not is_retryable(ExecutionError("base"))
+        assert not is_retryable(CellQuarantined("cell 3 gave up"))
+
+    def test_non_execution_errors_are_never_retryable(self):
+        assert not is_retryable(ValueError("kernel bug"))
+        assert not is_retryable(SimulationError("inconsistent state"))
+        assert not is_retryable(KeyboardInterrupt())
+
+    def test_chunk_timeout_carries_deadline(self):
+        assert ChunkTimeout("slow", timeout=2.5).timeout == 2.5
+
+    def test_cell_quarantined_carries_cell_and_cause(self):
+        cause = WorkerCrash("boom")
+        error = CellQuarantined("cell 7 failed", cell_index=7, cause=cause)
+        assert error.cell_index == 7
+        assert error.cause is cause
+
+    def test_execution_errors_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise WorkerCrash("gone")
 
 
 class TestProtocolError:

@@ -49,6 +49,7 @@ def _study(trials: int = 6) -> Study:
     )
 
 
+@pytest.mark.usefixtures("shm_watch")
 class TestWorkerPool:
     def test_pool_reuse_determinism(self):
         """Same study: workers=1, fresh pool, reused pool — one answer."""
@@ -114,6 +115,7 @@ class TestWorkerPool:
             )
 
 
+@pytest.mark.usefixtures("shm_watch")
 class TestTransports:
     def _reports(self, **overrides):
         base = dict(

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-import repro.api.sweep as sweep_module
+import repro.api.scheduler as scheduler_module
 from repro.api import (
     CACHE_FORMAT_VERSION,
     ResultCache,
@@ -63,7 +63,7 @@ class TestHitMissAccounting:
         def boom(*args, **kwargs):
             raise AssertionError("warm run must execute zero simulations")
 
-        monkeypatch.setattr(sweep_module, "run_batch", boom)
+        monkeypatch.setattr(scheduler_module, "run_batch", boom)
         warm = run_study(study(), cache=cache)
         assert warm.simulated_trials == 0
 
@@ -151,6 +151,83 @@ class TestCorruptionTolerance:
         entry["version"] = CACHE_FORMAT_VERSION + 1
         path.write_text(json.dumps(entry), encoding="utf-8")
         assert cache.load({"b": 1}) is None
+
+    def test_garbage_bytes_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_study(study(), cache=cache)
+        victim = cache_files(cache)[0]
+        # Non-UTF-8 binary noise: not even decodable, let alone JSON.
+        victim.write_bytes(bytes(range(256)) * 4)
+
+        recovered = run_study(study(), cache=cache)
+        assert (recovered.cache_hits, recovered.cache_misses) == (2, 1)
+        healed = run_study(study(), cache=cache)
+        assert (healed.cache_hits, healed.cache_misses) == (3, 0)
+
+    def test_defects_record_corruption_but_not_cold_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stats = TrialStats(
+            n_trials=1, n_converged=1, rounds=np.array([3]), censored_at=10
+        )
+        cache.store({"c": 1}, stats, {"m": 1.0})
+        # Cold miss: nothing existed, nothing is defective.
+        assert cache.load({"c": 2}) is None
+        assert cache.defects == []
+        # Corrupt the entry that *does* exist: miss + recorded defect.
+        path = cache_files(cache)[0]
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.load({"c": 1}) is None
+        assert len(cache.defects) == 1
+        key, reason = cache.defects[0]
+        assert key == content_key({"c": 1})
+        assert reason  # human-readable, never empty
+        # A store heals it; the defect log keeps the history.
+        cache.store({"c": 1}, stats, {"m": 1.0})
+        assert cache.load({"c": 1}) is not None
+        assert len(cache.defects) == 1
+
+    def test_concurrent_writers_race_atomically(self, tmp_path):
+        """Two writers storing the same cell hash: both atomic, one wins,
+        and a reader at any point sees a complete valid entry."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        payload = {"cell": "shared"}
+        stats = TrialStats(
+            n_trials=2, n_converged=2, rounds=np.array([3, 5]), censored_at=10
+        )
+        metrics_by_writer = [{"m": 1.0}, {"m": 2.0}]
+        barrier = threading.Barrier(2)
+
+        def writer(metrics):
+            barrier.wait()
+            for _ in range(50):
+                cache.store(payload, stats, metrics)
+
+        threads = [
+            threading.Thread(target=writer, args=(m,))
+            for m in metrics_by_writer
+        ]
+        for t in threads:
+            t.start()
+        # Read concurrently with the race: every load must be valid.
+        reader = ResultCache(tmp_path)
+        observed = set()
+        while any(t.is_alive() for t in threads):
+            loaded = reader.load(payload)
+            if loaded is not None:
+                observed.add(loaded[1]["m"])
+        for t in threads:
+            t.join()
+        assert reader.defects == []  # no torn reads, ever
+        assert observed <= {1.0, 2.0}
+        # One writer won; the surviving entry is fully valid.
+        final = ResultCache(tmp_path).load(payload)
+        assert final is not None
+        assert final[1]["m"] in (1.0, 2.0)
+        # No stray temp files left behind by either writer.
+        stray = [p for p in cache.root.glob("*/*") if p.suffix != ".json"]
+        assert stray == []
 
     def test_stats_round_trip(self):
         stats = TrialStats(

@@ -94,8 +94,9 @@ def check_record(path: Path, tolerance: float) -> list[str]:
             )
             continue
         new_value = fresh_metrics[key]
-        # Memory metrics regress *upward*; everything else is throughput.
-        lower_is_better = "_bytes" in key
+        # Memory and overhead-ratio metrics regress *upward*; everything
+        # else is throughput.
+        lower_is_better = "_bytes" in key or key.endswith("_overhead")
         if lower_is_better:
             bound = base_value * (1.0 + tolerance)
             ok = new_value <= bound
