@@ -1,0 +1,102 @@
+"""Study-service overhead: submit-to-first-cell latency, warm dedupe ratio.
+
+Boots a real daemon (in-process :class:`StudyService` behind the HTTP
+frontend on an ephemeral port, SQLite store) and measures the two numbers
+an operator cares about:
+
+- ``submit_to_first_cell_seconds`` — wall time from ``POST /jobs`` to the
+  first NDJSON cell event on a cold cache: the queue + scheduler + HTTP
+  overhead riding on top of the first cell's simulation (machine-absolute
+  and lower-is-better; the regression checker compares it only on a
+  matching machine fingerprint);
+- ``warm_dedupe_ratio`` — fraction of a second client's cells served from
+  the shared cache after an identical first submission (machine-portable;
+  contractually 1.0 — the 30% gate tolerance still catches a dedupe
+  collapse).
+
+Run with::
+
+    REPRO_BENCH_PROFILE=quick pytest benchmarks/bench_service.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from bench_json import update_bench_json
+
+from repro.api import ResultCache, SQLiteStore, Study, Sweep, expr, grid, nests_spec
+from repro.service import StudyService
+from repro.service.client import ServiceClient
+from repro.service.http import serve
+
+
+def _study(quick_mode: bool) -> Study:
+    sizes = (256, 512, 1024) if quick_mode else (512, 1024, 2048, 4096)
+    trials = 16 if quick_mode else 32
+    return Study(
+        name="bench-service",
+        description="simple-algorithm n grid submitted through the daemon",
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "nests": nests_spec("all_good", k=4),
+                "seed": expr(2015, n=1, cast="int"),
+                "max_rounds": 50_000,
+            },
+            axes=(grid("n", sizes),),
+        ),
+        trials=trials,
+        backend="fast",
+        metrics=("n_trials", "success_rate", "median_rounds"),
+    )
+
+
+def _serve_and_measure(study: Study, cache_root) -> tuple[float, float, int]:
+    cache = ResultCache(cache_root, store=SQLiteStore(cache_root, shards=2))
+    service = StudyService(cache=cache, workers=1, executors=2)
+    server = serve(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(server.url)
+        start = time.perf_counter()
+        job_id = client.submit(study)["job"]
+        stream = client.iter_cells(job_id)
+        next(stream)  # blocks until the first completed cell arrives
+        first_cell_seconds = time.perf_counter() - start
+        for _ in stream:  # drain so the job is terminal
+            pass
+        client.wait(job_id, timeout=300)
+        # Second client, identical study: the dedupe path.
+        warm = client.run_study(study, timeout=300)
+        n_cells = len(warm.cells)
+        dedupe_ratio = warm.cache_hits / n_cells
+        assert warm.simulated_trials == 0
+        return first_cell_seconds, dedupe_ratio, n_cells
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def test_service_latency_and_dedupe(benchmark, quick_mode, tmp_path):
+    """Daemon round-trip latency and second-client cache service."""
+    study = _study(quick_mode)
+    first_cell_seconds, dedupe_ratio, n_cells = benchmark.pedantic(
+        _serve_and_measure, args=(study, tmp_path / "cache"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["submit_to_first_cell_seconds"] = round(
+        first_cell_seconds, 4
+    )
+    benchmark.extra_info["warm_dedupe_ratio"] = dedupe_ratio
+    update_bench_json(
+        "service",
+        "quick" if quick_mode else "full",
+        {"cells": n_cells, "trials_per_cell": study.trials},
+        {
+            "submit_to_first_cell_seconds": first_cell_seconds,
+            "warm_dedupe_ratio": dedupe_ratio,
+        },
+    )

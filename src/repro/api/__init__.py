@@ -31,6 +31,13 @@ Quickstart::
 
 from repro.api.algorithms import register_builtin_algorithms
 from repro.api.cache import CACHE_FORMAT_VERSION, ResultCache, default_cache
+from repro.api.store import (
+    STORE_KINDS,
+    DirectoryStore,
+    SQLiteStore,
+    StoreDefect,
+    make_store,
+)
 from repro.api.registry import (
     CRITERIA,
     FEATURE_TAGS,
@@ -91,6 +98,7 @@ __all__ = [
     "CellFailure",
     "CellResult",
     "CellScheduler",
+    "DirectoryStore",
     "ExecutionPolicy",
     "FEATURE_TAGS",
     "METRICS",
@@ -98,7 +106,10 @@ __all__ = [
     "ResultCache",
     "ResultTable",
     "RunReport",
+    "SQLiteStore",
+    "STORE_KINDS",
     "STUDIES",
+    "StoreDefect",
     "Scenario",
     "Study",
     "StudyResult",
@@ -114,6 +125,7 @@ __all__ = [
     "default_workers",
     "expr",
     "grid",
+    "make_store",
     "nests_spec",
     "ref",
     "register_builtin_algorithms",

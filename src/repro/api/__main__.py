@@ -231,6 +231,8 @@ def sweep_main(argv: list[str]) -> int:
             cache = None
         elif args.cache_dir is not None:
             cache = args.cache_dir
+        if args.json:
+            return _sweep_json_stream(args, study, cache)
         result = run_study(
             study,
             backend=args.backend,
@@ -244,31 +246,6 @@ def sweep_main(argv: list[str]) -> int:
 
     quarantined = result.quarantined
     degraded = result.degraded
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "study": study.to_dict(),
-                    "table": result.table.to_dict(),
-                    "cells": len(result.cells),
-                    "cache_hits": result.cache_hits,
-                    "cache_misses": result.cache_misses,
-                    "simulated_trials": result.simulated_trials,
-                    "quarantined": [
-                        {
-                            "cell": c.cell.index,
-                            "kind": c.failure.kind,
-                            "message": c.failure.message,
-                            "attempts": c.failure.attempts,
-                        }
-                        for c in quarantined
-                    ],
-                    "degraded": [c.cell.index for c in degraded],
-                },
-                indent=2,
-            )
-        )
-        return 0
     if args.csv:
         sys.stdout.write(result.table.to_csv())
         return 0
@@ -292,6 +269,56 @@ def sweep_main(argv: list[str]) -> int:
             f"{failure.message} (after {failure.attempts} attempt(s))"
         )
     sys.stdout.write(result.table.to_csv())
+    return 0
+
+
+def _sweep_json_stream(args: argparse.Namespace, study, cache) -> int:
+    """``sweep --json``: NDJSON — one line per completed cell, then a summary.
+
+    Cells stream the moment they finish (a supervisor tailing the run sees
+    progress instead of one buffered blob), each line the shared
+    :func:`~repro.api.scheduler.cell_event` record.  The final line keeps
+    the historical summary object (``study`` / ``table`` / counters)
+    byte-compatible in *keys* with the old single-object output.
+    """
+    from repro.api.scheduler import CellScheduler, cell_event, fold_study_result
+
+    with CellScheduler(
+        study,
+        backend=args.backend,
+        workers=args.workers,
+        cache=cache,
+        policy=_build_policy(args),
+    ) as scheduler:
+        results = []
+        for cell_result in scheduler.outcomes():
+            results.append(cell_result)
+            print(json.dumps(cell_event(cell_result)), flush=True)
+        result = fold_study_result(
+            study, results, cached=scheduler.cache is not None
+        )
+    print(
+        json.dumps(
+            {
+                "study": study.to_dict(),
+                "table": result.table.to_dict(),
+                "cells": len(result.cells),
+                "cache_hits": result.cache_hits,
+                "cache_misses": result.cache_misses,
+                "simulated_trials": result.simulated_trials,
+                "quarantined": [
+                    {
+                        "cell": c.cell.index,
+                        "kind": c.failure.kind,
+                        "message": c.failure.message,
+                        "attempts": c.failure.attempts,
+                    }
+                    for c in result.quarantined
+                ],
+                "degraded": [c.cell.index for c in result.degraded],
+            }
+        )
+    )
     return 0
 
 

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk cache for sweep cells.
+"""Content-addressed cache for sweep cells, over a pluggable entry store.
 
 Every sweep cell — one scenario family, ``trials`` seeded trials, a metric
 set, a resolved backend — is a pure function of its declaration, so its
@@ -11,13 +11,23 @@ resumes from the cells that already finished.
 Entries store the cell's :class:`~repro.sim.run.TrialStats` plus the
 evaluated metric columns (never the raw reports — histories would dwarf
 the results).  The payload is stored alongside and verified on load, so a
-truncated or corrupted file is treated as a miss and recomputed, never
+truncated or corrupted entry is treated as a miss and recomputed, never
 trusted.  ``CACHE_FORMAT_VERSION`` is part of every key: changing the
 entry schema invalidates old entries instead of misreading them.
+
+Persistence is delegated to a :class:`~repro.api.store.CellStore`
+(``store=``): :class:`~repro.api.store.DirectoryStore` — one JSON file
+per entry, the classic layout and the default — or
+:class:`~repro.api.store.SQLiteStore` — sharded SQLite databases with
+WAL, an LRU clock, and byte-budget eviction, built for the long-running
+study service.  The cache semantics (verification, accounting) are
+identical over either.
 
 The default location is ``$REPRO_CACHE_DIR`` when set; otherwise caching
 is off unless a cache (or path) is passed explicitly — test suites and
 one-off scripts shouldn't silently grow a cache directory.
+``$REPRO_CACHE_STORE=sqlite`` switches the environment default to the
+sharded SQLite store.
 """
 
 from __future__ import annotations
@@ -25,12 +35,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Mapping
 
 import numpy as np
 
+from repro.api.store import (
+    CellStore,
+    DirectoryStore,
+    StoreDefect,
+    make_store,
+)
 from repro.sim.run import TrialStats
 
 #: Bump when the entry schema or key payload layout changes; old entries
@@ -39,6 +54,42 @@ CACHE_FORMAT_VERSION = 1
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable selecting the default store kind (see
+#: :data:`repro.api.store.STORE_KINDS`).
+CACHE_STORE_ENV = "REPRO_CACHE_STORE"
+
+#: Most defect records retained by :attr:`ResultCache.defects` — a
+#: long-lived daemon must observe corruption without the log becoming an
+#: unbounded memory leak.  Older records drop off; the total count
+#: survives in :meth:`ResultCache.stats`.
+DEFECT_LOG_LIMIT = 256
+
+
+class DefectLog(list):
+    """A list with a retention cap: append drops the oldest beyond it.
+
+    Still a real ``list`` (equality against plain lists, slicing, the
+    whole surface) so existing callers and tests are untouched; only the
+    growth is bounded.  ``dropped`` counts the records aged out.
+    """
+
+    def __init__(self, maxlen: int = DEFECT_LOG_LIMIT) -> None:
+        super().__init__()
+        self.maxlen = maxlen
+        self.dropped = 0
+
+    def append(self, item: Any) -> None:
+        super().append(item)
+        excess = len(self) - self.maxlen
+        if excess > 0:
+            del self[:excess]
+            self.dropped += excess
+
+    @property
+    def total(self) -> int:
+        """Defects ever recorded, including aged-out ones."""
+        return len(self) + self.dropped
 
 
 def stats_to_dict(stats: TrialStats) -> dict[str, Any]:
@@ -72,27 +123,46 @@ def content_key(payload: Mapping[str, Any]) -> str:
 
 
 class ResultCache:
-    """A directory of per-cell JSON entries addressed by payload hash."""
+    """Per-cell entries addressed by payload hash, over a pluggable store."""
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
+    def __init__(
+        self,
+        root: "str | Path | None" = None,
+        *,
+        store: CellStore | None = None,
+    ) -> None:
+        if store is None:
+            if root is None:
+                raise ValueError("ResultCache needs a root path or a store")
+            store = DirectoryStore(root)
+        self.store_backend = store
+        #: The on-disk location when the store has one (directory layouts
+        #: keep the historical ``cache.root`` attribute working).
+        self.root = Path(root) if root is not None else getattr(store, "root", None)
         self.hits = 0
         self.misses = 0
-        #: (key, reason) pairs for entries that *existed* but were
+        #: (key, reason) records for entries that *existed* but were
         #: unreadable — corruption observability (a plain missing file is
         #: a cold miss, not a defect).  Every defect is also a miss.
-        self.defects: list[tuple[str, str]] = []
+        #: Bounded (:data:`DEFECT_LOG_LIMIT`): long-lived daemons keep the
+        #: most recent records, :meth:`stats` keeps the total count.
+        self.defects: DefectLog = DefectLog()
 
     def _path(self, key: str) -> Path:
-        # Two-level fan-out keeps directories small on big studies.
-        return self.root / key[:2] / f"{key}.json"
+        """Entry path for directory-backed caches (back-compat surface)."""
+        if isinstance(self.store_backend, DirectoryStore):
+            return self.store_backend.path(key)
+        raise TypeError(
+            f"{type(self.store_backend).__name__} does not store one file "
+            "per entry"
+        )
 
     def load(
         self, payload: Mapping[str, Any]
     ) -> tuple[TrialStats, dict[str, Any]] | None:
         """The cached (stats, metrics) for a payload, or ``None`` on a miss.
 
-        Any defect — missing file, truncated/unparseable JSON, garbage
+        Any defect — missing entry, truncated/unparseable JSON, garbage
         bytes, schema mismatch, or a payload that doesn't round-trip to
         the same content (hash collision paranoia) — counts as a miss;
         the caller recomputes and overwrites.  Defects in entries that
@@ -100,15 +170,14 @@ class ResultCache:
         corruption is observable, not silently healed.
         """
         key = content_key(payload)
-        path = self._path(key)
         try:
-            text = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
+            text = self.store_backend.get(key)
+        except StoreDefect as error:
             self.misses += 1
+            self.defects.append((key, str(error)))
             return None
-        except (OSError, UnicodeDecodeError) as error:
+        if text is None:
             self.misses += 1
-            self.defects.append((key, f"unreadable: {error}"))
             return None
         try:
             entry = json.loads(text)
@@ -132,11 +201,9 @@ class ResultCache:
         payload: Mapping[str, Any],
         stats: TrialStats,
         metrics: Mapping[str, Any],
-    ) -> Path:
-        """Persist one cell result atomically (write temp file, rename)."""
+    ) -> str:
+        """Persist one cell result atomically; returns its content key."""
         key = content_key(payload)
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "version": CACHE_FORMAT_VERSION,
             "payload": payload,
@@ -145,40 +212,53 @@ class ResultCache:
         }
         # No sort_keys here: the *metrics* dict's insertion order is the
         # result-table column order, and must survive a warm read.
-        text = json.dumps(entry)
-        fd, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        self.store_backend.put(key, json.dumps(entry))
+        return key
+
+    def stats(self) -> dict[str, Any]:
+        """Accounting counters plus the store's own (the ``/stats`` payload).
+
+        ``hits``/``misses``/``defects`` are per-cache-instance; the store
+        keys (``entries``/``bytes``/``evictions``/...) describe the shared
+        on-disk state.
+        """
+        data: dict[str, Any] = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "defects": self.defects.total,
+            "defects_logged": len(self.defects),
+        }
+        data.update(self.store_backend.stats())
+        return data
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.store_backend)
 
 
 def default_cache() -> ResultCache | None:
-    """The cache named by ``$REPRO_CACHE_DIR``, or ``None`` (caching off)."""
+    """The cache named by ``$REPRO_CACHE_DIR``, or ``None`` (caching off).
+
+    ``$REPRO_CACHE_STORE`` picks the store layout (``directory`` default,
+    ``sqlite`` for the sharded daemon store).
+    """
     root = os.environ.get(CACHE_DIR_ENV)
-    return ResultCache(root) if root else None
+    if not root:
+        return None
+    kind = os.environ.get(CACHE_STORE_ENV, "directory")
+    return ResultCache(root, store=make_store(kind, root))
 
 
 def resolve_cache(cache: "ResultCache | str | Path | None") -> ResultCache | None:
-    """Normalize a ``cache=`` argument: 'auto' -> env default, path -> cache."""
+    """Normalize a ``cache=`` argument: 'auto' -> env default, path -> cache.
+
+    Any object with ``load``/``store`` passes through untouched, so cache
+    *wrappers* (the service's in-flight deduplicating cache) ride the same
+    parameter.
+    """
     if cache is None or cache is False:
         return None
     if cache == "auto":
         return default_cache()
-    if isinstance(cache, ResultCache):
+    if hasattr(cache, "load") and hasattr(cache, "store"):
         return cache
     return ResultCache(cache)

@@ -231,26 +231,8 @@ class CellScheduler:
 
     def run(self) -> StudyResult:
         """Execute every cell and fold the outcomes into a StudyResult."""
-        results: list[CellResult] = []
-        hits = misses = simulated = 0
-        for result in self.outcomes():
-            results.append(result)
-            simulated += result.simulated
-            if self.cache is not None and result.failure is None:
-                if result.cached:
-                    hits += 1
-                else:
-                    misses += 1
-        table = ResultTable.from_rows(
-            [_result_row(result) for result in results]
-        )
-        return StudyResult(
-            study=self.study,
-            cells=tuple(results),
-            table=table,
-            cache_hits=hits,
-            cache_misses=misses,
-            simulated_trials=simulated,
+        return fold_study_result(
+            self.study, list(self.outcomes()), cached=self.cache is not None
         )
 
     def _run_cell(self, cell: "Cell") -> CellResult:
@@ -333,28 +315,37 @@ class CellScheduler:
                 return CellResult(
                     cell, stats, metric_values, cached=True, degraded=degraded
                 )
-        scenarios = cell.scenario.trials(cell.trials, start=cell.trial_start)
-        reports = run_batch(
-            scenarios,
-            workers=self.workers,
-            backend=cell.backend,
-            batch_chunk=self.batch_chunk,
-            pool=self._pool(),
-            transport=self.transport,
-            policy=self.policy,
-            chaos_scope=f"cell{cell.index}",
-        )
-        if degraded:
-            from dataclasses import replace as _replace
+        try:
+            scenarios = cell.scenario.trials(cell.trials, start=cell.trial_start)
+            reports = run_batch(
+                scenarios,
+                workers=self.workers,
+                backend=cell.backend,
+                batch_chunk=self.batch_chunk,
+                pool=self._pool(),
+                transport=self.transport,
+                policy=self.policy,
+                chaos_scope=f"cell{cell.index}",
+            )
+            if degraded:
+                from dataclasses import replace as _replace
 
-            reports = [
-                _replace(r, extras={**r.extras, "degraded": list(degraded)})
-                for r in reports
-            ]
-        stats = aggregate(reports)
-        metric_values = evaluate_metrics(self.study.metrics, reports, stats)
-        if self.cache is not None:
-            self.cache.store(payload, stats, metric_values)
+                reports = [
+                    _replace(r, extras={**r.extras, "degraded": list(degraded)})
+                    for r in reports
+                ]
+            stats = aggregate(reports)
+            metric_values = evaluate_metrics(self.study.metrics, reports, stats)
+            if self.cache is not None:
+                self.cache.store(payload, stats, metric_values)
+        except BaseException:
+            # A deduplicating cache (repro.service) hands out an in-flight
+            # claim on the miss above; a failed compute must release it or
+            # concurrent requesters of the same cell would wait forever.
+            release = getattr(self.cache, "release", None)
+            if release is not None:
+                release(payload)
+            raise
         return CellResult(
             cell,
             stats,
@@ -363,6 +354,62 @@ class CellScheduler:
             degraded=degraded,
             simulated=len(reports),
         )
+
+
+def fold_study_result(
+    study: Study, results: "list[CellResult]", cached: bool
+) -> StudyResult:
+    """Fold per-cell outcomes into a :class:`StudyResult`.
+
+    The one fold shared by every frontend — :meth:`CellScheduler.run`,
+    the streaming ``sweep --json`` CLI, and the study service — so a
+    study's table is bit-identical however its cells were delivered.
+    ``cached`` says whether a cache served the run (hit/miss counters are
+    only meaningful then).
+    """
+    hits = misses = simulated = 0
+    for result in results:
+        simulated += result.simulated
+        if cached and result.failure is None:
+            if result.cached:
+                hits += 1
+            else:
+                misses += 1
+    table = ResultTable.from_rows([_result_row(result) for result in results])
+    return StudyResult(
+        study=study,
+        cells=tuple(results),
+        table=table,
+        cache_hits=hits,
+        cache_misses=misses,
+        simulated_trials=simulated,
+    )
+
+
+def cell_event(result: CellResult) -> dict:
+    """One completed cell as a JSON-safe event record.
+
+    The NDJSON line format shared by ``python -m repro.api sweep --json``
+    and the service's ``GET /jobs/<id>/cells`` stream: the cell's table
+    row plus execution provenance (cached / degraded / quarantined,
+    trials actually simulated).
+    """
+    event: dict = {
+        "cell": result.cell.index,
+        "row": _result_row(result),
+        # The metrics dict separately from the merged row: a remote client
+        # rebuilds CellResults from events and re-folds, and the fold needs
+        # metrics (in insertion order) distinct from the cell's bindings.
+        "metrics": dict(result.metrics),
+        "cached": result.cached,
+        "simulated": result.simulated,
+    }
+    if result.degraded:
+        event["degraded"] = list(result.degraded)
+    if result.failure is not None:
+        event["status"] = "quarantined"
+        event["error"] = f"{result.failure.kind}: {result.failure.message}"
+    return event
 
 
 def _result_row(result: CellResult) -> dict:

@@ -1,0 +1,352 @@
+"""Cell-entry stores: the persistence seam under :class:`ResultCache`.
+
+The cache's *semantics* — content addressing, payload verification,
+hit/miss/defect accounting — live in :mod:`repro.api.cache`; this module
+owns only the byte storage behind it, as a small seam so a long-running
+service can swap the on-disk layout without touching cache logic:
+
+- :class:`DirectoryStore` — the classic layout: one JSON file per entry
+  under a two-level fan-out directory, atomic rename writes.  Zero setup,
+  trivially inspectable, no eviction.
+- :class:`SQLiteStore` — a *sharded* SQLite layout for long-lived daemons:
+  entries hash-partitioned across ``shards`` database files (WAL mode, so
+  concurrent readers never block the single writer per shard), an LRU
+  clock per entry, and optional least-recently-used eviction against a
+  byte budget.  Corrupted shard files are quarantined (renamed aside) and
+  rebuilt rather than poisoning every later request.
+
+Both stores speak the same three-method protocol (:meth:`get` /
+:meth:`put` / :meth:`stats`) over ``(key, text)`` pairs, where ``key`` is
+the cache's hex content address and ``text`` the serialized entry.  A
+missing key returns ``None`` (a cold miss); an entry that *exists but
+cannot be read* raises :class:`StoreDefect` so the cache can record the
+corruption instead of silently healing it.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Protocol
+
+
+class StoreDefect(Exception):
+    """An entry existed but could not be read (corruption, I/O failure)."""
+
+
+class CellStore(Protocol):  # pragma: no cover - typing surface
+    """The storage protocol behind :class:`~repro.api.cache.ResultCache`."""
+
+    def get(self, key: str) -> str | None:
+        """The stored text for ``key``, ``None`` if absent; :class:`StoreDefect`
+        if the entry exists but is unreadable."""
+
+    def put(self, key: str, text: str) -> None:
+        """Persist ``text`` under ``key`` atomically (last writer wins)."""
+
+    def stats(self) -> dict[str, Any]:
+        """Counters describing the store (entries, bytes, evictions, ...)."""
+
+    def __len__(self) -> int: ...
+
+
+class DirectoryStore:
+    """One JSON file per entry under a two-level fan-out directory.
+
+    This is the original :class:`~repro.api.cache.ResultCache` layout,
+    extracted verbatim: ``<root>/<key[:2]>/<key>.json``, written via
+    temp-file + :func:`os.replace` so concurrent writers race atomically
+    and readers never observe a torn entry.
+    """
+
+    kind = "directory"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small on big studies.
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> str | None:
+        try:
+            return self.path(key).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except (OSError, UnicodeDecodeError) as error:
+            raise StoreDefect(f"unreadable: {error}") from error
+
+    def put(self, key: str, text: str) -> None:
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def _files(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return iter(())
+        return self.root.glob("*/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._files())
+
+    def stats(self) -> dict[str, Any]:
+        entries = 0
+        nbytes = 0
+        for path in self._files():
+            entries += 1
+            try:
+                nbytes += path.stat().st_size
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+        return {
+            "kind": self.kind,
+            "entries": entries,
+            "bytes": nbytes,
+            "evictions": 0,
+        }
+
+
+#: Default shard count for :class:`SQLiteStore` — enough that concurrent
+#: writers (one SQLite writer per shard file) rarely collide at service
+#: load, few enough that a stat walk stays cheap.
+DEFAULT_SHARDS = 4
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cells (
+    key    TEXT PRIMARY KEY,
+    value  TEXT NOT NULL,
+    nbytes INTEGER NOT NULL,
+    seq    INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS cells_seq ON cells (seq);
+"""
+
+
+class SQLiteStore:
+    """Sharded SQLite entry storage with LRU eviction by byte budget.
+
+    Entries are partitioned by content-address prefix across ``shards``
+    database files (``cells-00.sqlite`` ...), each in WAL mode so readers
+    proceed while a writer commits, and cross-process access serializes on
+    SQLite's own file locks (``busy_timeout`` bounds the wait).  Every
+    read and write stamps the entry with a per-shard monotone ``seq`` —
+    the LRU clock.  When ``max_bytes`` is set, each shard evicts its
+    least-recently-used entries whenever its share (``max_bytes /
+    shards``) overflows, so one hot shard cannot starve the others.
+
+    A shard whose file turns out not to be a database (torn copy, bit
+    rot) is *quarantined*: renamed to ``<shard>.corrupt-<n>`` and rebuilt
+    empty, the failed read surfacing as a :class:`StoreDefect` (one
+    recompute) instead of an error on every later request.
+
+    Connections are opened per call: cheap at cell granularity, and the
+    store object stays safely shareable across threads and forked
+    workers (an open ``sqlite3`` connection is neither).
+    """
+
+    kind = "sqlite"
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        shards: int = DEFAULT_SHARDS,
+        max_bytes: int | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.root = Path(root)
+        self.shards = shards
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        self.quarantined_shards = 0
+
+    # -- shard plumbing ------------------------------------------------------
+
+    def shard_path(self, key: str) -> Path:
+        return self.root / f"cells-{self._shard_index(key):02d}.sqlite"
+
+    def _shard_index(self, key: str) -> int:
+        try:
+            return int(key[:8], 16) % self.shards
+        except ValueError:
+            # Non-hex keys (unit tests, future key schemes) still shard.
+            return hash(key) % self.shards
+
+    def _shard_paths(self) -> list[Path]:
+        return [
+            self.root / f"cells-{index:02d}.sqlite"
+            for index in range(self.shards)
+        ]
+
+    def _connect(self, path: Path) -> sqlite3.Connection:
+        self.root.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(path, timeout=10.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.executescript(_SCHEMA)
+        return conn
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt shard file aside so the next write rebuilds it."""
+        self.quarantined_shards += 1
+        for suffix in ("-wal", "-shm"):
+            try:
+                os.unlink(f"{path}{suffix}")
+            except OSError:
+                pass
+        target = path.with_name(f"{path.name}.corrupt-{self.quarantined_shards}")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - raced quarantine
+            pass
+
+    # -- the protocol --------------------------------------------------------
+
+    def get(self, key: str) -> str | None:
+        path = self.shard_path(key)
+        if not path.exists():
+            return None
+        conn = None
+        try:
+            conn = self._connect(path)
+            with conn:
+                row = conn.execute(
+                    "SELECT value FROM cells WHERE key = ?", (key,)
+                ).fetchone()
+                if row is None:
+                    return None
+                # Touch the LRU clock so hot entries outlive eviction.
+                conn.execute(
+                    "UPDATE cells SET seq ="
+                    " (SELECT COALESCE(MAX(seq), 0) + 1 FROM cells)"
+                    " WHERE key = ?",
+                    (key,),
+                )
+                return row[0]
+        except sqlite3.DatabaseError as error:
+            self._quarantine(path)
+            raise StoreDefect(f"corrupt shard {path.name}: {error}") from error
+        finally:
+            _close_quietly(conn)
+
+    def put(self, key: str, text: str) -> None:
+        path = self.shard_path(key)
+        try:
+            self._put_once(path, key, text)
+        except sqlite3.DatabaseError:
+            # A corrupt shard must not make results unstorable: quarantine
+            # it and write into a fresh one.
+            self._quarantine(path)
+            self._put_once(path, key, text)
+
+    def _put_once(self, path: Path, key: str, text: str) -> None:
+        conn = self._connect(path)
+        try:
+            with conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO cells (key, value, nbytes, seq)"
+                    " VALUES (?, ?, ?,"
+                    " (SELECT COALESCE(MAX(seq), 0) + 1 FROM cells))",
+                    (key, text, len(text.encode("utf-8"))),
+                )
+                if self.max_bytes is not None:
+                    self._evict(conn, key)
+        finally:
+            conn.close()
+
+    def _evict(self, conn: sqlite3.Connection, keep_key: str) -> None:
+        """Drop LRU entries until this shard fits its byte share."""
+        budget = max(1, self.max_bytes // self.shards)
+        while True:
+            (total,) = conn.execute(
+                "SELECT COALESCE(SUM(nbytes), 0) FROM cells"
+            ).fetchone()
+            if total <= budget:
+                return
+            victim = conn.execute(
+                "SELECT key FROM cells WHERE key != ? ORDER BY seq LIMIT 1",
+                (keep_key,),
+            ).fetchone()
+            if victim is None:
+                # Only the just-written entry remains; an over-budget
+                # single entry still has to live somewhere.
+                return
+            conn.execute("DELETE FROM cells WHERE key = ?", (victim[0],))
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return self.stats()["entries"]
+
+    def stats(self) -> dict[str, Any]:
+        entries = 0
+        nbytes = 0
+        for path in self._shard_paths():
+            if not path.exists():
+                continue
+            conn = None
+            try:
+                conn = self._connect(path)
+                count, total = conn.execute(
+                    "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM cells"
+                ).fetchone()
+                entries += count
+                nbytes += total
+            except sqlite3.DatabaseError:
+                continue  # counted as zero until quarantined by a get/put
+            finally:
+                _close_quietly(conn)
+        return {
+            "kind": self.kind,
+            "shards": self.shards,
+            "entries": entries,
+            "bytes": nbytes,
+            "max_bytes": self.max_bytes,
+            "evictions": self.evictions,
+            "quarantined_shards": self.quarantined_shards,
+        }
+
+
+def _close_quietly(conn: sqlite3.Connection | None) -> None:
+    if conn is not None:
+        try:
+            conn.close()
+        except sqlite3.Error:  # pragma: no cover - close of a dead handle
+            pass
+
+
+#: Store kinds selectable by name (CLI ``--store``, service config).
+STORE_KINDS = ("directory", "sqlite")
+
+
+def make_store(
+    kind: str,
+    root: str | Path,
+    *,
+    shards: int = DEFAULT_SHARDS,
+    max_bytes: int | None = None,
+) -> "DirectoryStore | SQLiteStore":
+    """Build a store by kind name (the CLI/service configuration path)."""
+    if kind == "directory":
+        return DirectoryStore(root)
+    if kind == "sqlite":
+        return SQLiteStore(root, shards=shards, max_bytes=max_bytes)
+    raise ValueError(
+        f"unknown store kind {kind!r}; known: {', '.join(STORE_KINDS)}"
+    )

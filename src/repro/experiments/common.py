@@ -13,6 +13,7 @@ the tables never depend on the machine.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 import numpy as np
@@ -29,7 +30,17 @@ __all__ = [
 
 
 def execute_study(study: Study) -> StudyResult:
-    """Run one experiment study with the environment's workers and cache."""
+    """Run one experiment study with the environment's workers and cache.
+
+    When ``$REPRO_SERVICE_URL`` is set the study is submitted to that
+    study-service daemon instead of running in-process — a fleet of
+    experiment scripts then shares one warm worker pool and result cache.
+    Either path yields a bit-identical result table.
+    """
+    from repro.service.client import SERVICE_URL_ENV, ServiceClient
+
+    if os.environ.get(SERVICE_URL_ENV):
+        return ServiceClient().run_study(study)
     return run_study(study, workers=default_workers(), cache=default_cache())
 
 

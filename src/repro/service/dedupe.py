@@ -1,0 +1,142 @@
+"""In-flight cell deduplication: the same cell computes once, everyone waits.
+
+The content-addressed cache already dedupes *completed* cells across
+studies; this wrapper closes the window while a cell is still computing.
+When two concurrent jobs contain the same cell (same content key), the
+first :meth:`load` miss *claims* the key; later misses for the same key
+block on the claim instead of recomputing, then re-read the cache — by
+then the owner has stored the entry, so the waiter gets a bit-identical
+hit for free.
+
+The wrapper speaks the same ``load``/``store`` surface as
+:class:`~repro.api.cache.ResultCache` and rides through
+:func:`~repro.api.cache.resolve_cache` untouched, so a
+:class:`~repro.api.scheduler.CellScheduler` uses it as a drop-in
+``cache=``.  The scheduler calls :meth:`release` if a claimed cell fails
+before storing (quarantine, crash), so waiters wake up and re-race for
+the claim rather than deadlocking — exactly-once *on success*, at-least-
+once under failure.
+
+Claims are in-process (``threading.Event``).  Cross-process dedupe still
+happens for completed cells through the shared store; only the in-flight
+window needs shared memory, and the daemon is the single process that
+multiplexes studies.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.api.cache import ResultCache, content_key
+from repro.sim.run import TrialStats
+
+
+class DedupingCache:
+    """Wrap a :class:`ResultCache` with an in-flight claim registry."""
+
+    def __init__(self, inner: ResultCache, *, poll_seconds: float = 1.0) -> None:
+        self.inner = inner
+        #: How long a waiter sleeps per wakeup check.  Waiters also wake
+        #: immediately on the claim's release; the poll is a backstop
+        #: against a claim released without notification (process kill).
+        self.poll_seconds = poll_seconds
+        self._lock = threading.Lock()
+        self._claims: dict[str, threading.Event] = {}
+        #: Cells served by waiting out another requester's computation
+        #: instead of recomputing — the in-flight dedupe win counter.
+        self.dedupe_waits = 0
+
+    # -- accounting passthrough (the scheduler reads these) ------------------
+
+    @property
+    def hits(self) -> int:
+        return self.inner.hits
+
+    @property
+    def misses(self) -> int:
+        return self.inner.misses
+
+    @property
+    def defects(self):
+        return self.inner.defects
+
+    @property
+    def root(self):
+        return self.inner.root
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    # -- the cache surface ----------------------------------------------------
+
+    def load(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[TrialStats, dict[str, Any]] | None:
+        """A cached entry, possibly after waiting out an in-flight compute.
+
+        Returns ``None`` only when this caller now *owns* the claim for
+        the key and must compute and :meth:`store` (or :meth:`release`)
+        it.
+        """
+        key = content_key(payload)
+        waited = False
+        while True:
+            entry = self.inner.load(payload)
+            if entry is not None:
+                if waited:
+                    self.dedupe_waits += 1
+                    # The waiter never missed in spirit: it was served by
+                    # the in-flight computation.  The inner cache counted
+                    # its pre-wait probe as a miss; leave that — the pair
+                    # (miss then hit) is honest about the two probes.
+                return entry
+            with self._lock:
+                event = self._claims.get(key)
+                if event is None:
+                    self._claims[key] = threading.Event()
+                    return None
+            waited = True
+            event.wait(self.poll_seconds)
+
+    def store(
+        self,
+        payload: Mapping[str, Any],
+        stats: TrialStats,
+        metrics: Mapping[str, Any],
+    ) -> str:
+        """Persist through the inner cache, then wake the key's waiters."""
+        try:
+            return self.inner.store(payload, stats, metrics)
+        finally:
+            self._release(content_key(payload))
+
+    def release(self, payload: Mapping[str, Any]) -> None:
+        """Give up a claim without storing (the computation failed).
+
+        Waiters wake, re-probe the cache (still a miss), and re-race for
+        the claim — one of them becomes the new owner and retries the
+        computation under its own execution policy.
+        """
+        self._release(content_key(payload))
+
+    def _release(self, key: str) -> None:
+        with self._lock:
+            event = self._claims.pop(key, None)
+        if event is not None:
+            event.set()
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Cells currently claimed and computing."""
+        with self._lock:
+            return len(self._claims)
+
+    def stats(self) -> dict[str, Any]:
+        """Inner cache/store stats plus the in-flight dedupe counters."""
+        data = self.inner.stats()
+        data["inflight"] = self.inflight
+        data["dedupe_waits"] = self.dedupe_waits
+        return data

@@ -1,0 +1,220 @@
+"""Jobs and the priority queue between the HTTP frontend and the executors.
+
+A :class:`Job` is one submitted study riding through the daemon: it holds
+the study, its queue priority, a state machine
+(``queued -> running -> done | quarantined | failed``), per-cell progress
+counters, and the ordered list of completed-cell events that the NDJSON
+streaming endpoint replays (``GET /jobs/<id>/cells?since=<n>`` is "give me
+events [n:]", so a client can reconnect and resume).
+
+:class:`JobQueue` is the async hand-off: HTTP threads :meth:`submit`,
+executor threads :meth:`pop`.  Higher ``priority`` values run first; ties
+run in submission order.  All waiting is condition-variable based — no
+polling between the frontend and the executors.
+
+Timestamps use :func:`time.monotonic` (the service reports *ages and
+durations*, never wall-clock datetimes — and the repo's determinism lint
+bans ambient wall-clock reads).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any
+
+from repro.api.sweep import Study, StudyResult
+
+#: Every state a job can report.
+JOB_STATES = ("queued", "running", "done", "quarantined", "failed")
+
+#: States a job never leaves.  ``done`` = every cell clean;
+#: ``quarantined`` = the study completed but >= 1 cell exhausted its
+#: recovery ladder (its table holds structured failure rows);
+#: ``failed`` = the run aborted (configuration error, fail-fast policy).
+TERMINAL_STATES = ("done", "quarantined", "failed")
+
+
+class Job:
+    """One submitted study and everything observable about its progress."""
+
+    def __init__(
+        self,
+        job_id: str,
+        study: Study,
+        priority: int = 0,
+        seq: int = 0,
+        cells_total: int | None = None,
+    ) -> None:
+        self.id = job_id
+        self.study = study
+        self.priority = priority
+        self.seq = seq
+        self.state = "queued"
+        self.error: str | None = None
+        self.cells_total = cells_total
+        #: Completed-cell events in completion order (the NDJSON stream).
+        self.events: list[dict[str, Any]] = []
+        self.result: StudyResult | None = None
+        self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._cond = threading.Condition()
+
+    # -- state transitions (executor side) ----------------------------------
+
+    def mark_running(self) -> None:
+        with self._cond:
+            self.state = "running"
+            self.started_at = time.monotonic()
+            self._cond.notify_all()
+
+    def add_event(self, event: dict[str, Any]) -> None:
+        """Record one completed cell and wake streaming readers."""
+        with self._cond:
+            self.events.append(event)
+            self._cond.notify_all()
+
+    def finish(
+        self,
+        state: str,
+        result: StudyResult | None = None,
+        error: str | None = None,
+    ) -> None:
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal state: {state!r}")
+        with self._cond:
+            self.state = state
+            self.result = result
+            self.error = error
+            self.finished_at = time.monotonic()
+            self._cond.notify_all()
+
+    # -- observation (HTTP side) --------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait_events(
+        self, since: int, timeout: float | None = None
+    ) -> tuple[list[dict[str, Any]], bool]:
+        """Events ``[since:]``, blocking until there are any or the job ends.
+
+        Returns ``(new_events, terminal)``; an empty list with
+        ``terminal=False`` means the timeout elapsed first (callers loop).
+        """
+        with self._cond:
+            if not self.events[since:] and not self.terminal:
+                self._cond.wait(timeout)
+            return list(self.events[since:]), self.terminal
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; True iff it is."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self.terminal:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return self.terminal
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``GET /jobs/<id>`` status payload."""
+        with self._cond:
+            events = list(self.events)
+            now = time.monotonic()
+            data: dict[str, Any] = {
+                "job": self.id,
+                "state": self.state,
+                "study": self.study.name,
+                "priority": self.priority,
+                "cells_total": self.cells_total,
+                "cells_done": len(events),
+                "cells_cached": sum(1 for e in events if e.get("cached")),
+                "cells_quarantined": sum(
+                    1 for e in events if e.get("status") == "quarantined"
+                ),
+                "cells_degraded": sum(1 for e in events if e.get("degraded")),
+                "trials_simulated": sum(e.get("simulated", 0) for e in events),
+                "age_seconds": round(now - self.submitted_at, 3),
+            }
+            if self.started_at is not None:
+                end = self.finished_at if self.finished_at is not None else now
+                data["run_seconds"] = round(end - self.started_at, 3)
+            if self.error is not None:
+                data["error"] = self.error
+            return data
+
+
+class JobQueue:
+    """A priority queue of jobs plus the index of everything ever submitted."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Job]] = []
+        self._jobs: dict[str, Job] = {}
+        self._cond = threading.Condition()
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    def submit(
+        self, study: Study, priority: int = 0, cells_total: int | None = None
+    ) -> Job:
+        """Enqueue a study; higher ``priority`` runs first, FIFO on ties."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("the job queue is shut down")
+            seq = next(self._ids)
+            job = Job(
+                f"job-{seq}",
+                study,
+                priority=priority,
+                seq=seq,
+                cells_total=cells_total,
+            )
+            self._jobs[job.id] = job
+            heapq.heappush(self._heap, (-priority, seq, job))
+            self._cond.notify()
+            return job
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """The next job to run, or ``None`` on timeout / queue shutdown."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return heapq.heappop(self._heap)[2]
+
+    def get(self, job_id: str) -> Job | None:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every known job, most recent submission first."""
+        with self._cond:
+            return sorted(
+                self._jobs.values(), key=lambda job: job.seq, reverse=True
+            )
+
+    def depth(self) -> int:
+        """Jobs submitted but not yet claimed by an executor."""
+        with self._cond:
+            return len(self._heap)
+
+    def close(self) -> None:
+        """Stop accepting work and wake every blocked :meth:`pop`."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -113,10 +113,37 @@ class TestSweepCli:
         assert main(
             ["sweep", "E13", "--quick", "--no-cache", "--workers", "1", "--json"]
         ) == 0
-        payload = json.loads(capsys.readouterr().out)
+        # NDJSON: one event line per completed cell, then the summary line.
+        lines = capsys.readouterr().out.strip().splitlines()
+        payload = json.loads(lines[-1])
         assert payload["study"]["name"] == "E13"
         assert payload["cells"] == 2
         assert payload["simulated_trials"] > 0
+        events = [json.loads(line) for line in lines[:-1]]
+        assert [event["cell"] for event in events] == [0, 1]
+        assert all(event["cached"] is False for event in events)
+        assert sum(event["simulated"] for event in events) == (
+            payload["simulated_trials"]
+        )
+
+    def test_sweep_json_stream_matches_summary_table(self, tmp_path, capsys):
+        spec = self.study_json(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", spec, "--cache-dir", cache_dir, "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        events = [json.loads(line) for line in lines[:-1]]
+        summary = json.loads(lines[-1])
+        # The streamed rows are exactly the summary table's rows.
+        table = summary["table"]
+        for index, event in enumerate(events):
+            for column, values in table.items():
+                assert event["row"].get(column) == values[index]
+        # Warm re-run: same stream, now all cache hits.
+        assert main(["sweep", spec, "--cache-dir", cache_dir, "--json"]) == 0
+        warm_lines = capsys.readouterr().out.strip().splitlines()
+        warm_events = [json.loads(line) for line in warm_lines[:-1]]
+        assert all(event["cached"] for event in warm_events)
+        assert json.loads(warm_lines[-1])["table"] == table
 
     def test_sweep_unknown_study_is_an_error(self, capsys):
         assert main(["sweep", "E99", "--no-cache"]) == 2

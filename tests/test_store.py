@@ -1,0 +1,342 @@
+"""The cell-store seam: directory and sharded-SQLite layouts under the cache."""
+
+import json
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.api import (
+    DirectoryStore,
+    ResultCache,
+    SQLiteStore,
+    Study,
+    Sweep,
+    grid,
+    make_store,
+    nests_spec,
+    run_study,
+)
+from repro.api.cache import DEFECT_LOG_LIMIT, DefectLog, content_key
+from repro.api.store import STORE_KINDS, StoreDefect
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def study(trials: int = 3, ns=(16, 32, 64)) -> Study:
+    return Study(
+        name="store-study",
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "nests": nests_spec("all_good", k=2),
+                "seed": 3,
+                "max_rounds": 10_000,
+            },
+            axes=(grid("n", ns),),
+        ),
+        trials=trials,
+        metrics=("n_trials", "success_rate", "median_rounds"),
+    )
+
+
+class TestDirectoryStore:
+    def test_round_trip_and_missing(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, "hello")
+        assert store.get(KEY_A) == "hello"
+        store.put(KEY_A, "replaced")
+        assert store.get(KEY_A) == "replaced"
+        assert len(store) == 1
+
+    def test_unreadable_entry_is_a_defect(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        # An entry path that exists but cannot be read as a file.
+        store.path(KEY_A).parent.mkdir(parents=True)
+        store.path(KEY_A).mkdir()
+        with pytest.raises(StoreDefect):
+            store.get(KEY_A)
+
+    def test_stats(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        store.put(KEY_A, "xyz")
+        store.put(KEY_B, "pqrs")
+        stats = store.stats()
+        assert stats["kind"] == "directory"
+        assert stats["entries"] == 2
+        assert stats["bytes"] == 7
+        assert stats["evictions"] == 0
+
+
+class TestSQLiteStore:
+    def test_round_trip_and_missing(self, tmp_path):
+        store = SQLiteStore(tmp_path, shards=2)
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, "hello")
+        store.put(KEY_B, "world")
+        assert store.get(KEY_A) == "hello"
+        assert store.get(KEY_B) == "world"
+        store.put(KEY_A, "replaced")
+        assert store.get(KEY_A) == "replaced"
+        assert len(store) == 2
+
+    def test_persists_across_instances(self, tmp_path):
+        SQLiteStore(tmp_path, shards=2).put(KEY_A, "durable")
+        assert SQLiteStore(tmp_path, shards=2).get(KEY_A) == "durable"
+
+    def test_keys_partition_across_shards(self, tmp_path):
+        store = SQLiteStore(tmp_path, shards=4)
+        keys = [content_key({"cell": index}) for index in range(64)]
+        for key in keys:
+            store.put(key, "v")
+        used = {path.name for path in tmp_path.glob("cells-*.sqlite")}
+        assert len(used) == 4  # 64 hashed keys certainly hit all 4 shards
+        assert len(store) == 64
+        # Each key lives in exactly the shard its prefix names.
+        for key in keys:
+            assert store.shard_path(key).exists()
+
+    def test_lru_eviction_spares_recently_read(self, tmp_path):
+        store = SQLiteStore(tmp_path, shards=1, max_bytes=250)
+        store.put(KEY_A, "a" * 100)
+        store.put(KEY_B, "b" * 100)
+        store.get(KEY_A)  # touch: A is now more recent than B
+        store.put(KEY_C, "c" * 100)  # 300 bytes > 250: evict LRU (B)
+        assert store.get(KEY_B) is None
+        assert store.get(KEY_A) == "a" * 100
+        assert store.get(KEY_C) == "c" * 100
+        assert store.evictions == 1
+        assert store.stats()["bytes"] <= 250
+
+    def test_single_oversized_entry_survives(self, tmp_path):
+        store = SQLiteStore(tmp_path, shards=1, max_bytes=10)
+        store.put(KEY_A, "x" * 100)  # over budget, but never self-evicts
+        assert store.get(KEY_A) == "x" * 100
+
+    def test_corrupt_shard_quarantines_then_recovers(self, tmp_path):
+        store = SQLiteStore(tmp_path, shards=1)
+        store.put(KEY_A, "good")
+        shard = store.shard_path(KEY_A)
+        shard.write_bytes(b"this is not a sqlite database at all........")
+        with pytest.raises(StoreDefect):
+            store.get(KEY_A)
+        # The bad file moved aside; the store works again immediately.
+        assert store.quarantined_shards == 1
+        assert list(tmp_path.glob("*.corrupt-*"))
+        assert store.get(KEY_A) is None  # cold miss now, not an error
+        store.put(KEY_A, "recomputed")
+        assert store.get(KEY_A) == "recomputed"
+
+    def test_corrupt_shard_put_recovers_without_get(self, tmp_path):
+        store = SQLiteStore(tmp_path, shards=1)
+        store.shard_path(KEY_A).parent.mkdir(parents=True, exist_ok=True)
+        store.shard_path(KEY_A).write_bytes(b"garbage" * 10)
+        store.put(KEY_A, "fresh")  # quarantine + rewrite, no exception
+        assert store.get(KEY_A) == "fresh"
+        assert store.quarantined_shards == 1
+
+    def test_stats(self, tmp_path):
+        store = SQLiteStore(tmp_path, shards=2, max_bytes=1_000_000)
+        store.put(KEY_A, "12345")
+        stats = store.stats()
+        assert stats["kind"] == "sqlite"
+        assert stats["shards"] == 2
+        assert stats["entries"] == 1
+        assert stats["bytes"] == 5
+        assert stats["max_bytes"] == 1_000_000
+        assert stats["evictions"] == 0
+        assert stats["quarantined_shards"] == 0
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SQLiteStore(tmp_path, shards=0)
+        with pytest.raises(ValueError):
+            SQLiteStore(tmp_path, max_bytes=0)
+
+
+class TestMakeStore:
+    def test_kinds(self, tmp_path):
+        assert isinstance(make_store("directory", tmp_path), DirectoryStore)
+        sqlite_store = make_store("sqlite", tmp_path, shards=2, max_bytes=100)
+        assert isinstance(sqlite_store, SQLiteStore)
+        assert sqlite_store.shards == 2
+        assert sqlite_store.max_bytes == 100
+
+    def test_unknown_kind(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store kind"):
+            make_store("redis", tmp_path)
+        assert STORE_KINDS == ("directory", "sqlite")
+
+
+class TestDefectLog:
+    def test_caps_and_counts_dropped(self):
+        log = DefectLog(maxlen=3)
+        for index in range(5):
+            log.append(("key", f"defect {index}"))
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert log.total == 5
+        assert log[0] == ("key", "defect 2")  # oldest aged out first
+
+    def test_still_equals_plain_lists(self):
+        log = DefectLog()
+        assert log == []
+        log.append("x")
+        assert log == ["x"]
+        assert DEFECT_LOG_LIMIT >= 16  # sane floor for daemon observability
+
+
+class TestCacheOverSQLiteStore:
+    """The PR 7 corruption matrix, replayed over the SQLite store."""
+
+    def cache(self, tmp_path, **kwargs) -> ResultCache:
+        return ResultCache(
+            tmp_path, store=SQLiteStore(tmp_path, shards=2, **kwargs)
+        )
+
+    def test_cold_then_warm_identical(self, tmp_path):
+        cache = self.cache(tmp_path)
+        cold = run_study(study(), cache=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 3)
+        warm = run_study(study(), cache=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (3, 0)
+        assert warm.simulated_trials == 0
+        assert warm.table.equals(cold.table)
+        assert cache.defects == []
+
+    def test_matches_directory_store_bit_for_bit(self, tmp_path):
+        over_sqlite = run_study(
+            study(), cache=self.cache(tmp_path / "sqlite")
+        )
+        over_directory = run_study(
+            study(), cache=ResultCache(tmp_path / "dir")
+        )
+        assert over_sqlite.table.equals(over_directory.table)
+
+    def test_corrupt_shard_recomputes_and_records_defect(self, tmp_path):
+        cache = self.cache(tmp_path)
+        cold = run_study(study(), cache=cache)
+        for shard in tmp_path.glob("cells-*.sqlite"):
+            shard.write_bytes(b"rotten bits, definitely not sqlite")
+        healed = run_study(study(), cache=cache)
+        assert healed.cache_hits == 0
+        assert healed.cache_misses == 3
+        assert healed.table.equals(cold.table)
+        assert len(cache.defects) >= 1  # one StoreDefect per corrupt shard hit
+        # ... and the rebuilt shards serve the rerun warm.
+        warm = run_study(study(), cache=cache)
+        assert warm.cache_hits == 3
+
+    def test_tampered_entry_value_is_a_miss_with_defect(self, tmp_path):
+        import sqlite3
+
+        cache = self.cache(tmp_path)
+        run_study(study(), cache=cache)
+        for shard in tmp_path.glob("cells-*.sqlite"):
+            conn = sqlite3.connect(shard)
+            with conn:
+                conn.execute("UPDATE cells SET value = '{\"version\": 999}'")
+            conn.close()
+        healed = run_study(study(), cache=cache)
+        assert healed.cache_misses == 3
+        assert len(cache.defects) == 3
+        assert cache.stats()["defects"] == 3
+
+    def test_eviction_keeps_results_correct(self, tmp_path):
+        # A budget too small for the whole study: every run stays correct,
+        # it just recomputes what was evicted.
+        cache = ResultCache(
+            tmp_path, store=SQLiteStore(tmp_path, shards=1, max_bytes=600)
+        )
+        cold = run_study(study(), cache=cache)
+        again = run_study(study(), cache=cache)
+        assert again.table.equals(cold.table)
+        assert cache.store_backend.evictions > 0
+
+    def test_stats_merges_cache_and_store_counters(self, tmp_path):
+        cache = self.cache(tmp_path)
+        run_study(study(), cache=cache)
+        stats = cache.stats()
+        assert stats["kind"] == "sqlite"
+        assert stats["hits"] == 0
+        assert stats["misses"] == 3
+        assert stats["defects"] == 0
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+
+
+class TestSharedStoreConcurrency:
+    """Two schedulers over one store: no corruption, bit-equal tables."""
+
+    def test_two_threads_share_one_sqlite_store(self, tmp_path):
+        store = SQLiteStore(tmp_path, shards=2)
+        reference = run_study(study(), cache=None)
+        results = {}
+        errors = []
+
+        def run_one(name):
+            try:
+                cache = ResultCache(tmp_path, store=store)
+                results[name] = run_study(study(), cache=cache)
+            except BaseException as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run_one, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results["t0"].table.equals(reference.table)
+        assert results["t1"].table.equals(reference.table)
+        assert len(store) == 3
+        assert store.stats()["quarantined_shards"] == 0
+
+    def test_two_processes_share_one_sqlite_store(self, tmp_path):
+        script = """
+import json, sys
+from repro.api import (
+    ResultCache, SQLiteStore, Study, Sweep, grid, nests_spec, run_study,
+)
+study = Study(
+    name="store-study",
+    sweep=Sweep(
+        base={"algorithm": "simple", "nests": nests_spec("all_good", k=2),
+              "seed": 3, "max_rounds": 10_000},
+        axes=(grid("n", (16, 32, 64)),),
+    ),
+    trials=3,
+    metrics=("n_trials", "success_rate", "median_rounds"),
+)
+root = sys.argv[1]
+cache = ResultCache(root, store=SQLiteStore(root, shards=2))
+result = run_study(study, cache=cache)
+print(json.dumps(result.table.to_dict()))
+"""
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        outputs = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=180)
+            assert proc.returncode == 0, err
+            outputs.append(json.loads(out.strip().splitlines()[-1]))
+        assert outputs[0] == outputs[1]
+        reference = run_study(study(), cache=None)
+        assert outputs[0] == reference.table.to_dict()
+        # The store holds exactly the study's cells, uncorrupted.
+        store = SQLiteStore(tmp_path, shards=2)
+        assert len(store) == 3
+        assert store.stats()["quarantined_shards"] == 0

@@ -84,6 +84,7 @@ def check_record(path: Path, tolerance: float) -> list[str]:
             continue
         machine_bound = (
             key.endswith("_per_sec")
+            or key.endswith("_seconds")
             or "_bytes" in key
             or key in machine_dependent
         )
@@ -94,9 +95,14 @@ def check_record(path: Path, tolerance: float) -> list[str]:
             )
             continue
         new_value = fresh_metrics[key]
-        # Memory and overhead-ratio metrics regress *upward*; everything
-        # else is throughput.
-        lower_is_better = "_bytes" in key or key.endswith("_overhead")
+        # Memory, overhead-ratio, and latency metrics regress *upward*;
+        # everything else is throughput.
+        lower_is_better = (
+            "_bytes" in key
+            or key.endswith("_overhead")
+            or key.endswith("_seconds")
+            or "_latency" in key
+        )
         if lower_is_better:
             bound = base_value * (1.0 + tolerance)
             ok = new_value <= bound

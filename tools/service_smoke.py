@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the study service: real daemon, two clients, dedupe.
+
+What CI's ``service-smoke`` job actually proves:
+
+1. ``python -m repro.service serve`` boots as a real subprocess (ephemeral
+   port, sharded SQLite store) and answers ``/healthz``;
+2. two clients submit the *same* quick study concurrently; both jobs reach
+   ``done`` and return bit-identical tables;
+3. the pair simulated each cell exactly once — the second requester was
+   served by the cache / in-flight dedupe (combined ``simulated_trials``
+   equals one cold run's, and the warm side's ``cache_hits`` covers its
+   cells);
+4. ``POST /shutdown`` stops the daemon cleanly (exit code 0).
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def main() -> int:
+    sys.path.insert(0, SRC)
+    from repro.api import Study, Sweep, grid, nests_spec, run_study
+    from repro.service.client import ServiceClient
+
+    study = Study(
+        name="smoke",
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "nests": nests_spec("all_good", k=2),
+                "seed": 2015,
+                "max_rounds": 20_000,
+            },
+            axes=(grid("n", (32, 64)),),
+        ),
+        trials=4,
+        metrics=("n_trials", "success_rate", "median_rounds"),
+    )
+
+    cache_dir = tempfile.mkdtemp(prefix="service-smoke-cache-")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "serve",
+            "--port", "0", "--workers", "1", "--executors", "2",
+            "--cache-dir", cache_dir, "--store", "sqlite",
+        ],
+        env={**os.environ, "PYTHONPATH": SRC},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    try:
+        line = daemon.stdout.readline()
+        match = re.search(r"listening on (http://\S+)", line)
+        if not match:
+            print(f"FAIL: daemon did not announce a URL (got {line!r})")
+            return 1
+        url = match.group(1)
+        print(f"daemon up at {url}")
+        client = ServiceClient(url)
+        deadline = time.monotonic() + 10
+        while not client.healthy():
+            if time.monotonic() > deadline:
+                print("FAIL: /healthz never answered")
+                return 1
+            time.sleep(0.1)
+
+        # Two concurrent clients, same study.
+        results = {}
+        def submit_and_fetch(name: str) -> None:
+            results[name] = ServiceClient(url).run_study(study, timeout=120)
+
+        threads = [
+            threading.Thread(target=submit_and_fetch, args=(f"client-{i}",))
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(180)
+        if any(thread.is_alive() for thread in threads):
+            print("FAIL: a client never completed")
+            return 1
+
+        local = run_study(study, cache=None)
+        a, b = results["client-0"], results["client-1"]
+        if not (a.table.equals(local.table) and b.table.equals(local.table)):
+            print("FAIL: daemon tables differ from the local run")
+            return 1
+        print("tables bit-identical to the local run")
+
+        combined = a.simulated_trials + b.simulated_trials
+        expected = local.simulated_trials
+        if combined != expected:
+            print(
+                f"FAIL: {combined} trials simulated across both clients, "
+                f"expected exactly one run's {expected} (dedupe broken)"
+            )
+            return 1
+        warm_hits = a.cache_hits + b.cache_hits
+        n_cells = len(local.cells)
+        if warm_hits < n_cells:
+            print(
+                f"FAIL: only {warm_hits} warm-served cells across both "
+                f"clients, expected >= {n_cells}"
+            )
+            return 1
+        print(
+            f"dedupe held: {combined} trials simulated once, "
+            f"{warm_hits} cells served warm"
+        )
+
+        stats = client.stats()
+        print(f"store: {stats['cache']['kind']}, entries={stats['cache']['entries']}")
+        client.shutdown()
+        code = daemon.wait(timeout=30)
+        if code != 0:
+            print(f"FAIL: daemon exited {code}")
+            return 1
+        print("clean shutdown; service smoke passed")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
