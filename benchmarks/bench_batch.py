@@ -26,6 +26,7 @@ import time
 from bench_json import update_bench_json
 
 from repro.api import Scenario, run_batch
+from repro.fast.backends import availability, use_backend
 from repro.model.nests import NestConfig
 
 N = 4096
@@ -52,6 +53,14 @@ def _config(quick_mode: bool) -> dict:
     return {"n": N, "k": K, "trials": TRIALS, "chunk_trials": CHUNK_TRIALS}
 
 
+#: Kernel backends that get their own unperturbed-batch throughput row.
+#: The unperturbed path only routes its greedy pair resolver through the
+#: backend seam (the round loop itself is the two-sub-round numpy fast
+#: path), so these rows ledger the resolver's cost, not a full-kernel
+#: swap.  Toolchain-dependent rows are conditional: skip-not-fail.
+BACKEND_ROWS = ("numba", "cext", "numpy")
+
+
 def _record(
     quick_mode: bool, machine_dependent: list[str] | None = None, **metrics: float
 ) -> None:
@@ -61,6 +70,11 @@ def _record(
         _config(quick_mode),
         metrics,
         machine_dependent=machine_dependent,
+        conditional=[
+            f"batch_trials_per_sec_{backend}"
+            for backend in BACKEND_ROWS
+            if backend != "numpy"
+        ],
     )
 
 
@@ -120,6 +134,36 @@ def test_batch_vs_v1_speedup(benchmark, quick_mode):
         v1_serial_trials_per_sec=v1_rate,
         batch_trials_per_sec=batch_rate,
         batch_speedup_vs_v1=batch_rate / v1_rate,
+    )
+
+
+def test_batch_throughput_per_backend(benchmark, quick_mode):
+    """One unperturbed-batch row per kernel backend (the resolver seam)."""
+    scenarios = _scenario(2015).trials(TRIALS)
+    run_batch(_scenario(7).replace(n=256).trials(4))  # warm the caches
+    rates: dict[str, float] = {}
+
+    def measure():
+        for backend in BACKEND_ROWS:
+            if availability(backend) is not None:
+                continue
+            with use_backend(backend) as actual:
+                assert actual == backend, f"{backend} degraded to {actual}"
+                reports, elapsed = _timed(scenarios, repeats=2, workers=1)
+            assert all(r.converged for r in reports)
+            rates[backend] = TRIALS / elapsed
+        return rates
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert "numpy" in rates  # the reference backend can never be skipped
+    for backend, rate in rates.items():
+        benchmark.extra_info[f"trials_per_sec_{backend}"] = round(rate, 3)
+    _record(
+        quick_mode,
+        **{
+            f"batch_trials_per_sec_{backend}": rate
+            for backend, rate in rates.items()
+        },
     )
 
 

@@ -56,6 +56,7 @@ def update_bench_json(
     config: dict[str, Any],
     metrics: dict[str, float],
     machine_dependent: list[str] | None = None,
+    conditional: list[str] | None = None,
 ) -> Path:
     """Merge ``metrics`` into ``BENCH_<name>.json`` (read-modify-write).
 
@@ -83,6 +84,9 @@ def update_bench_json(
     sensitive = sorted(
         set(data.get("machine_dependent", [])) | set(machine_dependent or [])
     )
+    optional = sorted(
+        set(data.get("conditional", [])) | set(conditional or [])
+    )
     payload = {
         "benchmark": name,
         "profile": profile,
@@ -96,5 +100,10 @@ def update_bench_json(
         # checker compares them only on a matching machine fingerprint,
         # like the absolute *_per_sec metrics.
         payload["machine_dependent"] = sensitive
+    if optional:
+        # Metrics only some hosts can produce (e.g. the numba backend
+        # row): the regression checker tolerates their absence from a
+        # fresh run instead of treating a lost row as a lost capability.
+        payload["conditional"] = optional
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path

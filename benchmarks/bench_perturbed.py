@@ -28,6 +28,7 @@ import time
 from bench_json import update_bench_json
 
 from repro.api import Scenario, run_batch
+from repro.fast.backends import availability, use_backend
 from repro.model.nests import NestConfig
 from repro.sim.asynchrony import DelayModel
 from repro.sim.faults import FaultPlan
@@ -80,6 +81,13 @@ def _delay_scenario(seed: int) -> Scenario:
     )
 
 
+#: Backends that get their own delay-workload throughput row.  ``numba``
+#: and ``cext`` need host toolchains, so their rows are *conditional*:
+#: recorded where the backend exists, tolerated as absent elsewhere
+#: (skip-not-fail, both here and in the regression checker).
+BACKEND_ROWS = ("numba", "cext", "numpy")
+
+
 def _record(quick_mode: bool, **metrics: float) -> None:
     update_bench_json(
         "perturbed",
@@ -94,6 +102,11 @@ def _record(quick_mode: bool, **metrics: float) -> None:
         machine_dependent=[
             "perturbed_batch_speedup_vs_agent",
             "fault_peak_bytes_per_trial",
+        ],
+        conditional=[
+            f"delay_batch_trials_per_sec_{backend}"
+            for backend in BACKEND_ROWS
+            if backend != "numpy"  # numpy always exists, its row must too
         ],
     )
 
@@ -166,6 +179,44 @@ def test_delay_batch_throughput(benchmark, quick_mode):
     _record(quick_mode, delay_batch_trials_per_sec=rate)
 
 
+def test_delay_batch_throughput_per_backend(benchmark, quick_mode):
+    """One delay-workload row per kernel backend — the seam's speed ledger.
+
+    The default row above measures whatever ``auto`` resolves to; these
+    rows pin each backend explicitly so the record shows what the seam
+    is worth (and the strict gate can hold the compiled backend to the
+    PR-9 2x acceptance bar while holding the numpy fallback to the PR-5
+    bar).  Backends the host cannot build are skipped, not failed: their
+    rows are declared ``conditional`` in the record.
+    """
+    scenarios = _delay_scenario(2028).trials(BATCH_TRIALS)
+    run_batch(_delay_scenario(7).replace(n=256).trials(4))  # warm the caches
+    rates: dict[str, float] = {}
+
+    def measure():
+        for backend in BACKEND_ROWS:
+            if availability(backend) is not None:
+                continue
+            with use_backend(backend) as actual:
+                assert actual == backend, f"{backend} degraded to {actual}"
+                reports, elapsed = _timed(scenarios, "fast", repeats=2)
+            assert all(r.converged for r in reports)
+            rates[backend] = BATCH_TRIALS / elapsed
+        return rates
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert "numpy" in rates  # the reference backend can never be skipped
+    for backend, rate in rates.items():
+        benchmark.extra_info[f"trials_per_sec_{backend}"] = round(rate, 3)
+    _record(
+        quick_mode,
+        **{
+            f"delay_batch_trials_per_sec_{backend}": rate
+            for backend, rate in rates.items()
+        },
+    )
+
+
 def test_fault_peak_memory(quick_mode):
     """Peak traced bytes per trial of one fault-workload batch.
 
@@ -198,6 +249,11 @@ def test_fault_peak_memory(quick_mode):
 #: committed record.
 PR4_FAULT_TRIALS_PER_SEC = 32.663
 PR4_DELAY_TRIALS_PER_SEC = 12.005
+
+#: The PR-5 committed delay-workload record (numpy realization, the
+#: number in BENCH_perturbed.json at the PR-8 merge) — the baseline of
+#: the PR-9 backend seam's >=2x compiled-kernel acceptance gate.
+PR5_DELAY_TRIALS_PER_SEC = 29.788
 
 
 def test_record_speedup(quick_mode):
@@ -236,4 +292,20 @@ def test_record_speedup(quick_mode):
         assert delay >= 2.0 * PR4_DELAY_TRIALS_PER_SEC, (
             f"delay batch throughput {delay:.1f} trials/sec fell below 2x "
             f"the PR-4 record ({PR4_DELAY_TRIALS_PER_SEC})"
+        )
+    # The PR-9 backend-seam gates, one per recorded backend row: the
+    # compiled realizations must double the PR-5 numpy record, while the
+    # numpy fallback itself must not rot below its own PR-5 gate.
+    for backend in ("numba", "cext"):
+        compiled = metrics.get(f"delay_batch_trials_per_sec_{backend}")
+        if compiled is not None:
+            assert compiled >= 2.0 * PR5_DELAY_TRIALS_PER_SEC, (
+                f"{backend} delay throughput {compiled:.1f} trials/sec fell "
+                f"below 2x the PR-5 record ({PR5_DELAY_TRIALS_PER_SEC})"
+            )
+    numpy_row = metrics.get("delay_batch_trials_per_sec_numpy")
+    if numpy_row is not None:
+        assert numpy_row >= 2.0 * PR4_DELAY_TRIALS_PER_SEC, (
+            f"numpy delay throughput {numpy_row:.1f} trials/sec fell below "
+            f"2x the PR-4 record ({PR4_DELAY_TRIALS_PER_SEC})"
         )

@@ -43,6 +43,7 @@ from repro.api.registry import (
     criterion_factory,
     criterion_feature,
     scenario_features,
+    scenario_kernel_backend,
     scenario_matcher,
 )
 from repro.api.report import RunReport
@@ -95,13 +96,18 @@ def _sources(scenarios: Sequence[Scenario]) -> list[RandomSource]:
     return [scenario.source() for scenario in scenarios]
 
 
-def _fast_extras(matcher: str) -> dict:
+def _fast_extras(matcher: str, kernel_backend: str | None = None) -> dict:
     """Engine detail recorded on every fast-path report.
 
     Both the single-trial path and the batch path attach exactly this, so
-    their reports compare equal field-for-field.
+    their reports compare equal field-for-field.  Only an *explicit*
+    ``kernel_backend`` pin appears (it is scenario identity); an
+    environment-selected backend is digest-transparent and unrecorded.
     """
-    return {"matcher": matcher}
+    extras = {"matcher": matcher}
+    if kernel_backend is not None:
+        extras["kernel_backend"] = kernel_backend
+    return extras
 
 
 #: Feature tags the simple-family kernels (simple/adaptive/uniform) honor
@@ -128,6 +134,12 @@ _SIMPLE_V1_FEATURES = frozenset(
 
 def _simple_structure(scenario: Scenario) -> bool:
     """v1-matcher requests drop back to the pre-perturbation feature set."""
+    # Validate the backend pin as eagerly as the matcher param: a bad pin
+    # (unknown name, or pin+v1) must raise even when the run would fall
+    # back to the agent engine, where the pin would otherwise be silently
+    # ignored — a pinned scenario that never touches the batch kernels is
+    # a configuration error, not a no-op.
+    scenario_kernel_backend(scenario)
     if scenario_matcher(scenario) == "v1":
         return scenario_features(scenario) <= _SIMPLE_V1_FEATURES
     return True
@@ -146,8 +158,11 @@ def _kernel_pair(single_kernel, batch_kernel, kernel_kwargs):
     def fast(scenario: Scenario, source: RandomSource) -> RunReport:
         kwargs = kernel_kwargs(scenario)
         matcher = scenario_matcher(scenario)
+        pin = kwargs.get("kernel_backend")
         if matcher == "v1":
             kwargs = dict(kwargs)
+            # Always None here: scenario_kernel_backend rejects pin+v1.
+            kwargs.pop("kernel_backend", None)
             if kwargs.pop("criterion", None) not in (None, "good"):
                 raise ConfigurationError(
                     f"the sequential v1 kernel for {scenario.algorithm!r} "
@@ -178,19 +193,22 @@ def _kernel_pair(single_kernel, batch_kernel, kernel_kwargs):
                 record_history=scenario.record_history,
                 **kwargs,
             )[0]
-        return RunReport.from_fast(scenario, result, extras=_fast_extras(matcher))
+        return RunReport.from_fast(
+            scenario, result, extras=_fast_extras(matcher, pin)
+        )
 
     def batch(scenarios: Sequence[Scenario]) -> list[RunReport]:
         base = scenarios[0]
+        kwargs = kernel_kwargs(base)
         results = batch_kernel(
             base.n,
             base.nests,
             _sources(scenarios),
             max_rounds=base.max_rounds,
             record_history=base.record_history,
-            **kernel_kwargs(base),
+            **kwargs,
         )
-        extras = _fast_extras("v2")
+        extras = _fast_extras("v2", kwargs.get("kernel_backend"))
         return [
             RunReport.from_fast(scenario, result, extras=extras)
             for scenario, result in zip(scenarios, results)
@@ -203,7 +221,7 @@ def _kernel_pair(single_kernel, batch_kernel, kernel_kwargs):
 
 
 def _simple_agent(scenario: Scenario):
-    params = _params(scenario, matcher=None)
+    params = _params(scenario, matcher=None, kernel_backend=None)
     del params
     return simple_factory(good_threshold=scenario.nests.good_threshold), None
 
@@ -215,11 +233,12 @@ def _perturbation_kwargs(scenario: Scenario) -> dict:
         "fault_plan": scenario.fault_plan,
         "delay_model": scenario.delay_model,
         "criterion": scenario.criterion,
+        "kernel_backend": scenario_kernel_backend(scenario),
     }
 
 
 def _simple_kwargs(scenario: Scenario) -> dict:
-    _params(scenario, matcher=None)
+    _params(scenario, matcher=None, kernel_backend=None)
     return _perturbation_kwargs(scenario)
 
 
@@ -229,7 +248,9 @@ _simple_fast, _simple_batch = _kernel_pair(
 
 
 def _adaptive_schedule(scenario: Scenario):
-    params = _params(scenario, k_initial=None, half_life=None, matcher=None)
+    params = _params(
+        scenario, k_initial=None, half_life=None, matcher=None, kernel_backend=None
+    )
     k_initial = float(
         params["k_initial"] if params["k_initial"] is not None else scenario.nests.k
     )
@@ -445,7 +466,9 @@ def _quorum_structure(scenario: Scenario) -> bool:
 
 
 def _uniform_agent(scenario: Scenario):
-    params = _params(scenario, recruit_probability=0.5, matcher=None)
+    params = _params(
+        scenario, recruit_probability=0.5, matcher=None, kernel_backend=None
+    )
     factory = uniform_factory(
         recruit_probability=float(params["recruit_probability"]),
         good_threshold=scenario.nests.good_threshold,
@@ -454,7 +477,9 @@ def _uniform_agent(scenario: Scenario):
 
 
 def _uniform_kwargs(scenario: Scenario) -> dict:
-    params = _params(scenario, recruit_probability=0.5, matcher=None)
+    params = _params(
+        scenario, recruit_probability=0.5, matcher=None, kernel_backend=None
+    )
     return {
         "recruit_probability": float(params["recruit_probability"]),
         **_perturbation_kwargs(scenario),
@@ -592,7 +617,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         fast_supports=_simple_structure,
         fast_features=SIMPLE_FAST_FEATURES,
         batch_kernel=_simple_batch,
-        params=("matcher",),
+        params=("kernel_backend", "matcher"),
     )
     registry.register(
         "optimal",
@@ -630,7 +655,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         fast_supports=_simple_structure,
         fast_features=SIMPLE_FAST_FEATURES,
         batch_kernel=_uniform_batch,
-        params=("matcher", "recruit_probability"),
+        params=("kernel_backend", "matcher", "recruit_probability"),
     )
     registry.register(
         "rumor",
@@ -654,7 +679,7 @@ def register_builtin_algorithms(registry=REGISTRY) -> None:
         fast_supports=_simple_structure,
         fast_features=SIMPLE_FAST_FEATURES,
         batch_kernel=_adaptive_batch,
-        params=("half_life", "k_initial", "matcher"),
+        params=("half_life", "k_initial", "kernel_backend", "matcher"),
     )
     registry.register(
         "power_feedback",

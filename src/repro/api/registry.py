@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.extensions.estimation import EncounterNoise
+from repro.fast.backends import BACKEND_NAMES
 from repro.sim.convergence import (
     CommittedToSingleGoodNest,
     ConvergenceCriterion,
@@ -171,6 +172,34 @@ def scenario_matcher(scenario: "Scenario") -> str:
             f"unknown matcher {matcher!r}; known: {', '.join(MATCHER_NAMES)}"
         )
     return matcher
+
+
+def scenario_kernel_backend(scenario: "Scenario") -> str | None:
+    """The kernel-backend pin a scenario requests (validated), or ``None``.
+
+    Every backend realizes the v2 batched kernels bit-for-bit, so an
+    environment-selected backend (``$REPRO_FAST_BACKEND`` or
+    :func:`repro.fast.backends.use_backend`) is digest-transparent and
+    never recorded.  An explicit ``params={"kernel_backend": ...}`` pin
+    *is* part of the scenario identity — the runner records it in report
+    extras.  Pins only name a realization of the v2 batched kernels; the
+    sequential v1 schedule has no backend seam, so a pin combined with
+    ``matcher="v1"`` is a configuration error rather than a silent ignore.
+    """
+    pin = scenario.params.get("kernel_backend")
+    if pin is None:
+        return None
+    if pin not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown kernel backend {pin!r}; known: {', '.join(BACKEND_NAMES)}"
+        )
+    if scenario_matcher(scenario) == "v1":
+        raise ConfigurationError(
+            "kernel_backend pins select a realization of the v2 batched "
+            "kernels; the sequential v1 matcher schedule has no backend "
+            "seam — drop the pin or use matcher='v2'"
+        )
+    return pin
 
 
 @dataclass(frozen=True)

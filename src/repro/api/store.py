@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Any, Iterator, Protocol
 
@@ -151,7 +152,11 @@ class SQLiteStore:
     A shard whose file turns out not to be a database (torn copy, bit
     rot) is *quarantined*: renamed to ``<shard>.corrupt-<n>`` and rebuilt
     empty, the failed read surfacing as a :class:`StoreDefect` (one
-    recompute) instead of an error on every later request.
+    recompute) instead of an error on every later request.  Lock
+    contention is **not** corruption: ``sqlite3.OperationalError``
+    ("database is locked" after the busy timeout) is retried and never
+    quarantines a healthy shard — the retry counts show up in
+    :meth:`stats`.
 
     Connections are opened per call: cheap at cell granularity, and the
     store object stays safely shareable across threads and forked
@@ -166,16 +171,36 @@ class SQLiteStore:
         *,
         shards: int = DEFAULT_SHARDS,
         max_bytes: int | None = None,
+        busy_timeout: float = 10.0,
+        retries: int = 3,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if busy_timeout < 0:
+            raise ValueError(f"busy_timeout must be >= 0, got {busy_timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.root = Path(root)
         self.shards = shards
         self.max_bytes = max_bytes
+        #: Seconds SQLite's busy handler waits for a lock before an
+        #: attempt fails (both the ``connect`` timeout and the
+        #: ``busy_timeout`` PRAGMA on every connection).
+        self.busy_timeout = busy_timeout
+        #: Extra attempts after a busy failure before giving up.  Each
+        #: attempt already waits out ``busy_timeout``, so retries are
+        #: time-spaced without an explicit sleep.
+        self.retries = retries
         self.evictions = 0
         self.quarantined_shards = 0
+        #: Operations re-attempted after a lock-contention failure.
+        self.busy_retries = 0
+        #: Operations that stayed locked through every retry.
+        self.busy_failures = 0
+        #: Best-effort LRU touches skipped because the shard was busy.
+        self.touch_skips = 0
 
     # -- shard plumbing ------------------------------------------------------
 
@@ -186,8 +211,12 @@ class SQLiteStore:
         try:
             return int(key[:8], 16) % self.shards
         except ValueError:
-            # Non-hex keys (unit tests, future key schemes) still shard.
-            return hash(key) % self.shards
+            # Non-hex keys (unit tests, future key schemes) still shard —
+            # through a *stable* digest, never the builtin ``hash``: that
+            # one is salted per process (PYTHONHASHSEED), so the same key
+            # would land in different shards in different processes and
+            # silently break shared-store mode.
+            return zlib.crc32(key.encode("utf-8")) % self.shards
 
     def _shard_paths(self) -> list[Path]:
         return [
@@ -197,10 +226,19 @@ class SQLiteStore:
 
     def _connect(self, path: Path) -> sqlite3.Connection:
         self.root.mkdir(parents=True, exist_ok=True)
-        conn = sqlite3.connect(path, timeout=10.0)
-        conn.execute("PRAGMA journal_mode=WAL")
-        conn.execute("PRAGMA synchronous=NORMAL")
-        conn.executescript(_SCHEMA)
+        conn = sqlite3.connect(path, timeout=self.busy_timeout)
+        try:
+            # The explicit PRAGMA covers statements issued after connect
+            # (the driver timeout only arms the initial busy handler).
+            conn.execute(
+                f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}"
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+        except BaseException:
+            _close_quietly(conn)
+            raise
         return conn
 
     def _quarantine(self, path: Path) -> None:
@@ -223,38 +261,76 @@ class SQLiteStore:
         path = self.shard_path(key)
         if not path.exists():
             return None
-        conn = None
-        try:
-            conn = self._connect(path)
-            with conn:
+        busy: sqlite3.OperationalError | None = None
+        for attempt in range(self.retries + 1):
+            conn = None
+            try:
+                conn = self._connect(path)
                 row = conn.execute(
                     "SELECT value FROM cells WHERE key = ?", (key,)
                 ).fetchone()
                 if row is None:
                     return None
-                # Touch the LRU clock so hot entries outlive eviction.
+                self._touch(conn, key)
+                return row[0]
+            except sqlite3.OperationalError as error:
+                # Lock contention ("database is locked" after the busy
+                # timeout), not corruption: the shard is healthy, retry.
+                busy = error
+                if attempt < self.retries:
+                    self.busy_retries += 1
+            except sqlite3.DatabaseError as error:
+                self._quarantine(path)
+                raise StoreDefect(
+                    f"corrupt shard {path.name}: {error}"
+                ) from error
+            finally:
+                _close_quietly(conn)
+        self.busy_failures += 1
+        raise StoreDefect(
+            f"shard {path.name} locked through {self.retries + 1} attempts"
+            f" of {self.busy_timeout}s each: {busy}"
+        ) from busy
+
+    def _touch(self, conn: sqlite3.Connection, key: str) -> None:
+        """Stamp the LRU clock so hot entries outlive eviction.
+
+        Best-effort, in its own short write transaction: a contended
+        touch must never fail (or serialize) the read it rides on, so a
+        busy shard just skips the stamp.
+        """
+        try:
+            with conn:
                 conn.execute(
                     "UPDATE cells SET seq ="
                     " (SELECT COALESCE(MAX(seq), 0) + 1 FROM cells)"
                     " WHERE key = ?",
                     (key,),
                 )
-                return row[0]
-        except sqlite3.DatabaseError as error:
-            self._quarantine(path)
-            raise StoreDefect(f"corrupt shard {path.name}: {error}") from error
-        finally:
-            _close_quietly(conn)
+        except sqlite3.OperationalError:
+            self.touch_skips += 1
 
     def put(self, key: str, text: str) -> None:
         path = self.shard_path(key)
-        try:
-            self._put_once(path, key, text)
-        except sqlite3.DatabaseError:
-            # A corrupt shard must not make results unstorable: quarantine
-            # it and write into a fresh one.
-            self._quarantine(path)
-            self._put_once(path, key, text)
+        busy: sqlite3.OperationalError | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                self._put_once(path, key, text)
+                return
+            except sqlite3.OperationalError as error:
+                # Busy shard: healthy data, never quarantine — retry.
+                busy = error
+                if attempt < self.retries:
+                    self.busy_retries += 1
+            except sqlite3.DatabaseError:
+                # A corrupt shard must not make results unstorable:
+                # quarantine it and write into a fresh one.
+                self._quarantine(path)
+                self._put_once(path, key, text)
+                return
+        self.busy_failures += 1
+        assert busy is not None
+        raise busy
 
     def _put_once(self, path: Path, key: str, text: str) -> None:
         conn = self._connect(path)
@@ -320,6 +396,9 @@ class SQLiteStore:
             "max_bytes": self.max_bytes,
             "evictions": self.evictions,
             "quarantined_shards": self.quarantined_shards,
+            "busy_retries": self.busy_retries,
+            "busy_failures": self.busy_failures,
+            "touch_skips": self.touch_skips,
         }
 
 
@@ -341,12 +420,20 @@ def make_store(
     *,
     shards: int = DEFAULT_SHARDS,
     max_bytes: int | None = None,
+    busy_timeout: float = 10.0,
+    retries: int = 3,
 ) -> "DirectoryStore | SQLiteStore":
     """Build a store by kind name (the CLI/service configuration path)."""
     if kind == "directory":
         return DirectoryStore(root)
     if kind == "sqlite":
-        return SQLiteStore(root, shards=shards, max_bytes=max_bytes)
+        return SQLiteStore(
+            root,
+            shards=shards,
+            max_bytes=max_bytes,
+            busy_timeout=busy_timeout,
+            retries=retries,
+        )
     raise ValueError(
         f"unknown store kind {kind!r}; known: {', '.join(STORE_KINDS)}"
     )

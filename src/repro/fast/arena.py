@@ -27,12 +27,22 @@ import numpy as np
 
 
 class Arena:
-    """Named buffer pool: grow-only rows, exact trailing shape and dtype."""
+    """Named buffer pool: grow-only rows, exact trailing shape and dtype.
 
-    def __init__(self) -> None:
-        self._buffers: dict[str, np.ndarray] = {}
+    The pool is generic over the array namespace: pass any module
+    implementing the Python array API's ``empty(shape, dtype=...)`` (and
+    whose arrays carry ``dtype``/``shape``) as ``xp`` and every buffer is
+    allocated there — ``Arena(cupy)`` pools device memory with the exact
+    same naming discipline.  The default is numpy, and the aliasing
+    sanitizer (:meth:`check_aliasing`) is numpy-only because the array
+    API standard has no ``shares_memory``.
+    """
 
-    def buf(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    def __init__(self, xp=np) -> None:
+        self.xp = xp
+        self._buffers: dict[str, object] = {}
+
+    def buf(self, name: str, shape: tuple[int, ...], dtype):
         """An uninitialized view of ``shape``, recycled when compatible.
 
         The backing allocation is reused whenever the dtype and trailing
@@ -46,14 +56,18 @@ class Arena:
             or buffer.shape[1:] != shape[1:]
             or buffer.shape[0] < shape[0]
         ):
-            buffer = np.empty(shape, dtype=dtype)
+            buffer = self.xp.empty(shape, dtype=dtype)
             self._buffers[name] = buffer
         return buffer[: shape[0]]
 
-    def full(self, name: str, shape: tuple[int, ...], dtype, fill) -> np.ndarray:
+    def full(self, name: str, shape: tuple[int, ...], dtype, fill):
         """Like :meth:`buf` but filled with ``fill`` (the ``np.full`` shape)."""
         view = self.buf(name, shape, dtype)
-        view.fill(fill)
+        # ndarray.fill is a memset fast path but not array-API standard.
+        if hasattr(view, "fill"):
+            view.fill(fill)
+        else:
+            view[...] = fill
         return view
 
     def clear(self) -> None:
@@ -67,7 +81,11 @@ class Arena:
         rule above); overlap means a :meth:`buf` bookkeeping bug.  Called
         by the ``REPRO_SANITIZE=1`` runtime sanitizer
         (:mod:`repro.lintkit.sanitize`) after every kernel invocation.
+        Numpy-only: non-numpy namespaces have no ``shares_memory``, so
+        the check degrades to a no-op rather than guessing at aliasing.
         """
+        if self.xp is not np:
+            return
         buffers = list(self._buffers.items())
         for i, (name_a, buf_a) in enumerate(buffers):
             for name_b, buf_b in buffers[i + 1 :]:
@@ -78,8 +96,15 @@ class Arena:
                     )
 
     def nbytes(self) -> int:
-        """Total bytes currently retained."""
-        return sum(buffer.nbytes for buffer in self._buffers.values())
+        """Total bytes currently retained (``size * itemsize`` fallback
+        for array namespaces whose arrays lack ``nbytes``)."""
+        total = 0
+        for buffer in self._buffers.values():
+            nbytes = getattr(buffer, "nbytes", None)
+            if nbytes is None:
+                nbytes = buffer.size * buffer.dtype.itemsize
+            total += nbytes
+        return total
 
 
 _SHARED = threading.local()

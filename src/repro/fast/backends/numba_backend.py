@@ -1,0 +1,54 @@
+"""The numba backend: JIT-compiled versions of the ``looped`` kernels.
+
+Numba is strictly optional — this container class of hosts often lacks
+it, so availability is probed with ``find_spec`` (no import cost when
+absent) and the chain degrades to ``cext`` / ``numpy``.  When present,
+the scalar kernels in :mod:`repro.fast.backends.looped` are compiled
+unchanged with ``@njit(nogil=True)`` and numba's default
+``fastmath=False`` — no reassociation, no FMA contraction — which is
+what keeps the doubles rounding exactly like the numpy ufuncs (see the
+bit-identity notes in ``looped.py``).
+
+Compilation is lazy (first use pays the JIT warm-up) and the namespace
+is cached for the life of the process.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from types import SimpleNamespace
+
+from repro.fast.backends import looped
+
+#: Lazy product: (namespace, None) or (None, human-readable reason).
+_STATE: tuple[SimpleNamespace | None, str | None] | None = None
+
+
+def _load() -> tuple[SimpleNamespace | None, str | None]:
+    if importlib.util.find_spec("numba") is None:
+        return None, "numba is not installed"
+    try:
+        from numba import njit
+    except ImportError as exc:  # pragma: no cover - broken install
+        return None, f"numba failed to import: {exc}"
+    jit = njit(nogil=True)
+    ns = SimpleNamespace(
+        **{name: jit(getattr(looped, name)) for name in looped.KERNEL_NAMES}
+    )
+    return ns, None
+
+
+def availability() -> str | None:
+    """``None`` when usable, else the human-readable reason it is not."""
+    global _STATE
+    if _STATE is None:
+        _STATE = _load()
+    return _STATE[1]
+
+
+def kernels() -> SimpleNamespace:
+    """The jitted kernel namespace (compiles lazily on first call)."""
+    reason = availability()
+    if reason is not None:
+        raise RuntimeError(f"numba backend unavailable: {reason}")
+    return _STATE[0]  # type: ignore[index,return-value]

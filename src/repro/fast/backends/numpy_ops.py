@@ -1,0 +1,204 @@
+"""The reference numpy backend for the perturbed round loop.
+
+This is the PR-5 arena round loop, verbatim, factored behind the ops
+interface the driver (:func:`repro.fast.batch._simulate_simple_perturbed`)
+calls.  It is the realization every other backend must reproduce
+bit-for-bit (``tests/test_golden_digests.py`` pins it), and the fallback
+when a compiled backend is unavailable.
+
+One structural note: the compiled backends fuse the end-of-round phase
+advance (``phase_assess``/``latched``) into their ``decide_move`` element
+loop — nothing between ``decide_move`` and the next round reads those
+planes, so the fusion is invisible.  The numpy path keeps the advance as
+its own pass (:meth:`NumpyOps.advance`) because the plane-wise ops want
+the pre-advance masks alive; compiled backends implement ``advance`` as a
+no-op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fast.batch_matcher import match_positions_sparse, resolve_pairs_numpy
+
+
+class NumpyOps:
+    """Vectorized plane-at-a-time kernels over the shared arena state."""
+
+    name = "numpy"
+
+    def decide_move(self, st) -> bool:
+        """Latch pending actions, resolve stalls, and move every ant.
+
+        Returns whether any ant executes its assessment trip this round
+        (the ``exec_go.any()`` the observation gate reads).
+        """
+        # -- recruitment probabilities (the DelayedAnt decide step) ---------
+        if not st.prob_static:
+            if st.recruit_probability is not None:
+                st.prob.fill(float(st.recruit_probability))
+            else:
+                np.divide(st.count, st.n, out=st.prob)
+            if st.quality_weighted:
+                np.take(st.qualities, st.nest, out=st.qmul, mode="clip")
+                st.prob *= st.qmul
+        np.logical_not(st.phase_assess, out=st.is_rec)
+        np.logical_and(st.is_rec, st.healthy, out=st.latch)
+        np.greater(st.latch, st.latched, out=st.latch)  # latch & ~latched
+        if st.rate_mult:
+            # Advance each latching ant's own schedule index (pre-increment,
+            # as AdaptiveSimpleAnt.decide does) and boost per ant.  The
+            # driver pre-extends mult_arr past the post-increment maximum.
+            np.add(st.ant_phase, st.latch, out=st.ant_phase, casting="unsafe")
+            np.take(st.mult_arr, st.ant_phase, out=st.qmul, mode="clip")
+            st.prob *= st.qmul
+        if st.quality_weighted or st.rate_mult:
+            np.clip(st.prob, 0.0, 1.0, out=st.prob)
+        np.less(st.coins, st.prob, out=st.want)
+        st.want &= st.active
+        # pending = where(latch, want, pending), as three bool passes.
+        np.greater(st.pending_bit, st.latch, out=st.pending_bit)
+        st.want &= st.latch
+        st.pending_bit |= st.want
+        np.logical_or(st.latched, st.healthy, out=st.latched)
+
+        # -- stall resolution -------------------------------------------------
+        if st.delayed:
+            np.less(st.stalls, st.delay_prob, out=st.stall)
+            np.greater(st.healthy, st.stall, out=st.execb)  # healthy & ~stall
+            execute = st.execb
+        else:
+            execute = st.healthy
+        st.execute = execute
+
+        np.logical_and(st.is_rec, execute, out=st.exec_rec)
+        np.logical_and(execute, st.phase_assess, out=st.exec_go)
+        if st.has_byz:
+            if st.byz_seeking:
+                np.equal(st.byz_target, 0, out=st.scr1)
+                st.scr1 &= st.byz_mask
+                if st.delayed:
+                    np.greater(st.scr1, st.stall, out=st.scr1)
+                st.byz_searching = st.scr1
+            np.not_equal(st.byz_target, 0, out=st.scr2)
+            st.scr2 &= st.byz_mask
+            if st.delayed:
+                np.greater(st.scr2, st.stall, out=st.scr2)
+            st.byz_recruiting = st.scr2
+
+        # -- movement --------------------------------------------------------
+        # position = 0 where going home, nest where going to the nest,
+        # held elsewhere — written as multiply/add blends (the sets are
+        # disjoint by construction: exec masks exclude zombies and
+        # Byzantine rows).  Masked integer writes are ~20x slower here.
+        gohome = st.exec_rec
+        gonest = st.exec_go
+        if st.has_byz or st.enforcing_zombies:
+            # Zombies freeze in place; nothing below ever moves them, so
+            # the enforcement is only needed while crashes still land.
+            np.logical_or(
+                st.exec_rec,
+                st.byz_recruiting if st.has_byz else False,
+                out=st.latch,
+            )
+            gohome = st.latch
+            if st.enforcing_zombies and st.crash_at_home:
+                gohome |= st.zombie
+            if st.enforcing_zombies and not st.crash_at_home:
+                np.logical_or(
+                    st.exec_go,
+                    st.zombie,
+                    out=st.scr1 if not st.has_byz else st.eqb,
+                )
+                gonest = st.scr1 if not st.has_byz else st.eqb
+        np.logical_not(gohome, out=st.notb)
+        st.position *= st.notb
+        np.multiply(st.nest, gonest, out=st.postmp)
+        np.logical_not(gonest, out=st.notb)
+        st.position *= st.notb
+        st.position += st.postmp
+        return bool(st.exec_go.any())
+
+    def participants(self, st) -> None:
+        """Home-nest participant and recruiter-attempt masks."""
+        np.equal(st.position, 0, out=st.part)
+        np.logical_and(st.exec_rec, st.pending_bit, out=st.att)
+        if st.has_byz:
+            st.att |= st.byz_recruiting
+
+    def match(self, st, mat_rngs):
+        """Algorithm 1 over the participant masks, as sparse pairs."""
+        # The resolver is pinned to the numpy implementation so a batch
+        # pinned to kernel_backend="numpy" stays numpy end to end even when
+        # the process default (REPRO_FAST_BACKEND) is a compiled backend.
+        return match_positions_sparse(
+            st.part, st.att, mat_rngs, resolve=resolve_pairs_numpy
+        )
+
+    def apply_pairs(self, st, rows_sel, src_ant, dst_ant) -> None:
+        """Recruited, executing ants adopt the recruiter's advertised nest.
+
+        Pair order is backend-dependent; destinations are unique, so
+        these scatters are order-independent.
+        """
+        if st.has_byz:
+            src_is_byz = st.byz_mask[rows_sel, src_ant]
+            new_vals = np.where(
+                src_is_byz,
+                st.byz_target[rows_sel, src_ant],
+                st.nest[rows_sel, src_ant],
+            )
+        else:
+            new_vals = st.nest[rows_sel, src_ant]
+        got_sel = st.exec_rec[rows_sel, dst_ant]
+        rows_got = rows_sel[got_sel]
+        dst_got = dst_ant[got_sel]
+        new_got = new_vals[got_sel]
+        moved = new_got != st.nest[rows_got, dst_got]
+        st.nest[rows_got, dst_got] = new_got
+        st.active[rows_got[moved], dst_got[moved]] = True
+
+    def observe(self, st) -> None:
+        """Census of every position plus each ant's own-nest gather."""
+        m = st.nest.shape[0]
+        k1 = st.k + 1
+        np.add(st.position, st.offsets32[:m], out=st.ibuf)
+        counts_flat = np.bincount(st.ibuf.ravel(), minlength=m * k1)
+        st.counts2d = counts_flat.reshape(m, k1)
+        np.add(st.nest, st.offsets32[:m], out=st.ibuf)
+        # Indices are in range by construction; "clip" skips the (slow)
+        # bounds check.
+        np.take(counts_flat, st.ibuf, out=st.gath, mode="clip")
+
+    def blend(self, st, observed) -> None:
+        """count = where(exec_go, observed, count), blended in place."""
+        np.multiply(observed, st.exec_go, out=st.itmp)
+        np.logical_not(st.exec_go, out=st.notb)
+        st.count *= st.notb
+        st.count += st.itmp
+
+    def advance(self, st) -> None:
+        """Phase flip: recruiters head to assessment, assessors back home."""
+        np.logical_or(st.phase_assess, st.exec_rec, out=st.phase_assess)
+        np.greater(st.phase_assess, st.exec_go, out=st.phase_assess)
+        np.greater(st.latched, st.execute, out=st.latched)  # & ~execute
+
+    def converged(self, st) -> np.ndarray:
+        """Rows whose criterion holds at the end of the current round."""
+        m = st.nest.shape[0]
+        if st.healthy_only:
+            ref = st.nest[st.row_idx[:m], st.h_first]
+            np.equal(st.nest, ref[:, None], out=st.eqb)
+            np.logical_or(st.eqb, st.unhealthy, out=st.eqb)
+            same = np.logical_and.reduce(st.eqb, axis=1)
+            return st.h_nonempty & same & st.good[ref]
+        if st.has_byz:
+            np.copyto(st.cbuf, st.nest)
+            np.copyto(st.cbuf, st.byz_target, where=st.byz_mask)
+            committed = st.cbuf
+        else:
+            committed = st.nest
+        ref = committed[:, 0]
+        np.equal(committed, ref[:, None], out=st.eqb)
+        same = np.logical_and.reduce(st.eqb, axis=1)
+        return same & (ref > 0) & st.good[ref]

@@ -1,0 +1,109 @@
+"""The perturbed-kernel state bundle shared by every backend.
+
+:func:`repro.fast.batch._simulate_simple_perturbed` is a *driver* over a
+small ops interface (``decide_move`` / ``participants`` / ``match`` /
+``observe`` / ``blend`` / ``advance`` / ``converged``); the state those
+ops read and write — per-ant planes, per-round scratch, and the scalar
+round configuration — travels as one :class:`PerturbedState` so a backend
+sees exactly the arrays the numpy path owns, views and all.
+
+Contract notes (what keeps every backend bit-identical):
+
+- **All RNG stays with the driver.**  Coins, stalls, matcher choices,
+  Byzantine search landings and noise are drawn from each trial's own
+  streams in trajectory order by numpy code; backends only consume the
+  pre-drawn planes.  A backend therefore cannot perturb the draw schedule.
+- **Planes are C-contiguous row prefixes.**  Every ``(m, n)`` plane is a
+  leading-row slice of a larger arena buffer; compaction rebinds the
+  attributes to shorter prefixes of the same storage.  Compiled backends
+  may take raw pointers per call, never across calls.
+- **Scalar config is fixed for the batch** (``n``, ``k``, feature flags);
+  the two per-round mutables are ``byz_seeking`` (Byzantine ants still
+  searching) and ``enforcing_zombies`` (crashes can still land), which the
+  driver refreshes before each ``decide_move``.
+"""
+
+from __future__ import annotations
+
+
+class PerturbedState:
+    """Plain attribute bundle — see the module docstring for the contract."""
+
+    __slots__ = (
+        # -- rebind generation ---------------------------------------------
+        "epoch",  # bumped by the driver whenever planes rebind (compaction)
+        # -- scalar config -------------------------------------------------
+        "n",
+        "k",
+        "qualities",  # float64 (k+1,); qualities[0] == 0.0 (the home nest)
+        "good",  # bool (k+1,); good[nest_id]
+        "quality_weighted",
+        "rate_mult",  # rate_multiplier is not None
+        "mult_arr",  # float64 (len(mult_list),), rebound as it extends
+        "recruit_probability",  # float | None (None => count/n feedback)
+        "prob_static",  # prob plane pre-filled once (uniform baseline)
+        "delayed",
+        "delay_prob",
+        "has_byz",
+        "crash_at_home",
+        "healthy_only",  # criterion == "good_healthy"
+        # -- per-round mutables (driver-refreshed) ---------------------------
+        "byz_seeking",
+        "enforcing_zombies",
+        # -- per-ant state planes (m, n) -------------------------------------
+        "nest",  # int32
+        "position",  # int32; 0 == home
+        "count",  # int64 latest observed own-nest population
+        "active",
+        "phase_assess",  # bool; True == next executed action is the assess trip
+        "pending_bit",  # bool; latched recruit coin awaiting execution
+        "latched",  # bool; decision latched, not yet executed
+        "zombie",  # bool; crashed-and-frozen
+        "healthy",
+        "unhealthy",
+        "byz_mask",  # bool | None; None without Byzantine faults
+        "byz_target",  # int32 | None; 0 == still searching
+        "ant_phase",  # int32 | None; per-ant rate-schedule index
+        # -- per-round scratch planes (m, n) ---------------------------------
+        "coins",  # float64; driver-drawn each round
+        "prob",
+        "is_rec",
+        "latch",
+        "want",
+        "exec_rec",
+        "exec_go",
+        "part",
+        "att",
+        "scr1",
+        "scr2",
+        "eqb",
+        "notb",
+        "ibuf",  # int32
+        "gath",  # int64
+        "itmp",  # int64
+        "postmp",  # int32
+        "stalls",  # float64 | None; driver-drawn each round when delayed
+        "stall",  # bool | None
+        "execb",  # bool | None
+        "fresh",  # int64 | None (noise-perturbed readings)
+        "qmul",  # float64 | None
+        "cbuf",  # int32 | None (Byzantine commitment scratch)
+        # -- products and aliases the ops maintain ----------------------------
+        "execute",  # alias of execb or healthy after decide_move (numpy path)
+        "byz_searching",  # alias of scr1 after decide_move when has_byz
+        "byz_recruiting",  # alias of scr2 after decide_move when has_byz
+        "counts2d",  # (m, k+1) int64 census; rebound by observe/refresh
+        "offsets32",  # (n_trials, 1) int32 flat-bin row offsets (full size)
+        "row_idx",  # (n_trials,) int64 (full size)
+        "h_first",  # (m,) int64 | None: first healthy ant per row
+        "h_nonempty",  # (m,) bool | None
+    )
+
+    def __init__(self) -> None:
+        # Attributes are assigned by the driver during batch setup; slots
+        # exist to turn a typo in a backend into an AttributeError.
+        self.epoch = 0
+        self.byz_seeking = False
+        self.enforcing_zombies = False
+        self.h_first = None
+        self.h_nonempty = None

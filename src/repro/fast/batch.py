@@ -46,10 +46,15 @@ from repro.exceptions import ConfigurationError
 from repro.extensions.estimation import EncounterNoise
 from repro.fast import profiling
 from repro.fast.arena import compact_rows, shared_arena
+from repro.fast.backends import (
+    PerturbedState,
+    pair_resolver,
+    perturbed_ops,
+    resolve_backend,
+)
 from repro.fast.batch_matcher import (
     match_pairs_batch,
     match_positions_batch,
-    match_positions_sparse,
 )
 from repro.fast.results import FastRunResult
 from repro.lintkit.sanitize import sanitized
@@ -276,6 +281,7 @@ def simulate_simple_batch(
     fault_plan: FaultPlan | None = None,
     delay_model: DelayModel | None = None,
     criterion: str | None = None,
+    kernel_backend: str | None = None,
 ) -> list[FastRunResult]:
     """Batched Algorithm 3 (plus the E9/E10 variants and the E8 ablation).
 
@@ -294,7 +300,9 @@ def simulate_simple_batch(
     action phase exactly as the agent-engine wrappers do; unperturbed
     batches keep the two-sub-rounds-per-iteration fast path bit-for-bit.
     ``criterion`` selects the convergence notion (``None``/"good" or the
-    fault experiments' "good_healthy").
+    fault experiments' "good_healthy").  ``kernel_backend`` pins the
+    kernel realization (see :mod:`repro.fast.backends`); every backend
+    is bit-identical, so this only affects speed.
     """
     _check_batch(n, sources)
     if criterion not in (None, "good", "good_healthy"):
@@ -319,7 +327,9 @@ def simulate_simple_batch(
             fault_plan=fault_plan if faulted else None,
             delay_model=delay_model if delayed else None,
             criterion=criterion,
+            kernel_backend=kernel_backend,
         )
+    resolve = pair_resolver(resolve_backend(kernel_backend)[0])
     prof = profiling.active()
     if prof is not None:
         prof.batches += 1
@@ -432,7 +442,7 @@ def simulate_simple_batch(
         wants &= active
         if prof is not None:
             t0 = prof.tick("move", t0)
-        sel_src, sel_dst = match_pairs_batch(wants, mat_rngs)
+        sel_src, sel_dst = match_pairs_batch(wants, mat_rngs, resolve=resolve)
         if prof is not None:
             t0 = prof.tick("match", t0)
 
@@ -560,6 +570,7 @@ def _simulate_simple_perturbed(
     fault_plan: FaultPlan | None,
     delay_model: DelayModel | None,
     criterion: str | None,
+    kernel_backend: str | None = None,
 ) -> list[FastRunResult]:
     """Algorithm 3 with crash/Byzantine rows and per-ant stalls, vectorized.
 
@@ -600,10 +611,23 @@ def _simulate_simple_perturbed(
     consumes the sparse pair form and scatter-updates exactly the
     recruited ants.  None of this touches a draw: the stream schedule is
     the PR-4 one, golden-digest-pinned.
+
+    Backend structure (PR 9): this function is the *driver* — setup, RNG
+    fills, the Byzantine search draws, the post-match scatter, convergence
+    bookkeeping and report construction — over the per-round ops interface
+    (``decide_move`` / ``participants`` / ``match`` / ``observe`` /
+    ``blend`` / ``advance`` / ``converged``) of
+    :mod:`repro.fast.backends`.  ``kernel_backend`` pins the realization
+    (``numpy``, ``numba``, ``cext``, ``python``); every backend consumes
+    the same driver-drawn planes and reproduces the numpy realization
+    bit-for-bit (the golden-digest suite runs the perturbed cases across
+    backends), so selection is a pure performance knob.
     """
     prof = profiling.active()
     if prof is not None:
         prof.batches += 1
+    backend_name, _ = resolve_backend(kernel_backend)
+    ops = perturbed_ops(backend_name)
     n_trials = len(sources)
     env_rngs = [s.environment for s in sources]
     mat_rngs = [s.matcher for s in sources]
@@ -638,27 +662,47 @@ def _simulate_simple_perturbed(
     live = np.arange(n_trials)
     arena = shared_arena()
     shape = (n_trials, n)
-    row_idx = np.arange(n_trials)
-    offsets32 = (np.arange(n_trials, dtype=np.int32) * (k + 1))[:, None]
+
+    # The state bundle the backend ops read and write (see
+    # repro.fast.backends.state for the contract).  Scalar config first.
+    st = PerturbedState()
+    st.n = n
+    st.k = k
+    st.qualities = qualities
+    st.good = good
+    st.quality_weighted = quality_weighted
+    st.rate_mult = rate_multiplier is not None
+    st.recruit_probability = recruit_probability
+    st.delayed = delayed
+    st.delay_prob = delay_prob
+    st.has_byz = has_byz
+    st.crash_at_home = crash_at_home
+    st.healthy_only = healthy_only
+    st.byz_seeking = has_byz
+    st.byz_mask = byz_mask
+    st.row_idx = np.arange(n_trials)
+    st.offsets32 = (np.arange(n_trials, dtype=np.int32) * (k + 1))[:, None]
 
     # Per-ant state (arena-recycled, dtype-tightened, compacted in place).
-    nest = _draw_initial_nests(arena.buf("p.nest", shape, np.int32), env_rngs, k)
-    position = arena.buf("p.pos", shape, np.int32)
-    np.copyto(position, nest)
-    count = arena.buf("p.count", shape, np.int64)
-    active = arena.buf("p.active", shape, np.bool_)
+    st.nest = _draw_initial_nests(
+        arena.buf("p.nest", shape, np.int32), env_rngs, k
+    )
+    st.position = arena.buf("p.pos", shape, np.int32)
+    np.copyto(st.position, st.nest)
+    st.count = arena.buf("p.count", shape, np.int64)
+    st.active = arena.buf("p.active", shape, np.bool_)
     # The SimpleAnt phase is binary, so it lives as a bool plane (True =
     # next action is the assessment trip) and advances with logical ops —
     # masked integer writes are ~20x slower than bool passes at this shape.
-    phase_assess = arena.buf("p.phase", shape, np.bool_)
-    phase_assess.fill(False)
-    pending_bit = arena.buf("p.pend", shape, np.bool_)
-    pending_bit.fill(False)
-    latched = arena.buf("p.latch", shape, np.bool_)
-    latched.fill(False)
-    zombie = arena.buf("p.zombie", shape, np.bool_)
-    healthy = arena.buf("p.healthy", shape, np.bool_)
-    unhealthy = arena.buf("p.unhealthy", shape, np.bool_)
+    st.phase_assess = arena.buf("p.phase", shape, np.bool_)
+    st.phase_assess.fill(False)
+    st.pending_bit = arena.buf("p.pend", shape, np.bool_)
+    st.pending_bit.fill(False)
+    st.latched = arena.buf("p.latch", shape, np.bool_)
+    st.latched.fill(False)
+    st.zombie = arena.buf("p.zombie", shape, np.bool_)
+    st.healthy = arena.buf("p.healthy", shape, np.bool_)
+    st.unhealthy = arena.buf("p.unhealthy", shape, np.bool_)
     # Crash rounds fit int32 (the sentinel saturates to int32 max).
     crash_round = arena.buf("p.crash_round", shape, np.int32)
     np.minimum(
@@ -674,52 +718,55 @@ def _simulate_simple_perturbed(
         # schedule lags the global round — indexing the multiplier by the
         # global round would decay the boost too fast for delayed ants (a
         # measurable law change).
-        ant_phase = arena.buf("p.antphase", shape, np.int32)
-        ant_phase.fill(0)
+        st.ant_phase = arena.buf("p.antphase", shape, np.int32)
+        st.ant_phase.fill(0)
         mult_list: list[float] = [1.0]  # mult_list[p] = rate_multiplier(p)
-        mult_arr = np.asarray(mult_list)
+        st.mult_arr = np.asarray(mult_list)
     else:
-        ant_phase = None
+        st.ant_phase = None
+        st.mult_arr = None
     if has_byz:
-        byz_target = arena.buf("p.byzt", shape, np.int32)
-        byz_target.fill(0)
+        st.byz_target = arena.buf("p.byzt", shape, np.int32)
+        st.byz_target.fill(0)
         byz_searches = arena.buf("p.byzs", shape, np.int32)
         byz_searches.fill(0)
     else:
-        byz_target = byz_searches = None
+        st.byz_target = byz_searches = None
 
     # Per-round scratch (arena names shared across kernels where shapes
     # coincide; every buffer below is fully overwritten before it is read).
-    coins = arena.buf("coins", shape, np.float64)
-    prob = arena.buf("prob", shape, np.float64)
-    is_rec = arena.buf("b.isrec", shape, np.bool_)
-    latch = arena.buf("b.latch", shape, np.bool_)
-    want = arena.buf("b.want", shape, np.bool_)
-    exec_rec = arena.buf("b.execrec", shape, np.bool_)
-    exec_go = arena.buf("b.execgo", shape, np.bool_)
-    part = arena.buf("b.part", shape, np.bool_)
-    att = arena.buf("b.att", shape, np.bool_)
-    scr1 = arena.buf("b.scr1", shape, np.bool_)
-    scr2 = arena.buf("b.scr2", shape, np.bool_)
-    eqb = arena.buf("b.eq", shape, np.bool_)
-    notb = arena.buf("b.not", shape, np.bool_)
-    ibuf = arena.buf("p.ibuf", shape, np.int32)
-    gath = arena.buf("p.gath", shape, np.int64)
-    itmp = arena.buf("p.itmp", shape, np.int64)
-    postmp = arena.buf("p.postmp", shape, np.int32)
+    st.coins = arena.buf("coins", shape, np.float64)
+    st.prob = arena.buf("prob", shape, np.float64)
+    st.is_rec = arena.buf("b.isrec", shape, np.bool_)
+    st.latch = arena.buf("b.latch", shape, np.bool_)
+    st.want = arena.buf("b.want", shape, np.bool_)
+    st.exec_rec = arena.buf("b.execrec", shape, np.bool_)
+    st.exec_go = arena.buf("b.execgo", shape, np.bool_)
+    st.part = arena.buf("b.part", shape, np.bool_)
+    st.att = arena.buf("b.att", shape, np.bool_)
+    st.scr1 = arena.buf("b.scr1", shape, np.bool_)
+    st.scr2 = arena.buf("b.scr2", shape, np.bool_)
+    st.eqb = arena.buf("b.eq", shape, np.bool_)
+    st.notb = arena.buf("b.not", shape, np.bool_)
+    st.ibuf = arena.buf("p.ibuf", shape, np.int32)
+    st.gath = arena.buf("p.gath", shape, np.int64)
+    st.itmp = arena.buf("p.itmp", shape, np.int64)
+    st.postmp = arena.buf("p.postmp", shape, np.int32)
     if delayed:
-        stalls = arena.buf("stalls", shape, np.float64)
-        stall = arena.buf("b.stall", shape, np.bool_)
-        execb = arena.buf("b.exec", shape, np.bool_)
+        st.stalls = arena.buf("stalls", shape, np.float64)
+        st.stall = arena.buf("b.stall", shape, np.bool_)
+        st.execb = arena.buf("b.exec", shape, np.bool_)
     else:
-        stalls = stall = execb = None
-    fresh = arena.buf("p.fresh", shape, np.int64) if perturb.active else None
-    qmul = (
+        st.stalls = st.stall = st.execb = None
+    st.fresh = (
+        arena.buf("p.fresh", shape, np.int64) if perturb.active else None
+    )
+    st.qmul = (
         arena.buf("qmul", shape, np.float64)
         if quality_weighted or rate_multiplier is not None
         else None
     )
-    cbuf = (
+    st.cbuf = (
         arena.buf("p.comm", shape, np.int32)
         if has_byz and not healthy_only
         else None
@@ -727,38 +774,38 @@ def _simulate_simple_perturbed(
 
     # Round 1: everyone searches — the healthy commit (through flipped
     # quality readings, if any), Byzantine seekers take their first sample.
-    np.add(position, offsets32, out=ibuf)
-    counts2d = np.bincount(
-        ibuf.ravel(), minlength=n_trials * (k + 1)
+    np.add(st.position, st.offsets32, out=st.ibuf)
+    st.counts2d = np.bincount(
+        st.ibuf.ravel(), minlength=n_trials * (k + 1)
     ).reshape(n_trials, k + 1)
-    perceived = qualities[nest]
+    perceived = qualities[st.nest]
     flips = perturb.flip_rows()
     if flips is not None:
         perceived = np.where(flips, 1.0 - perceived, perceived)
-    np.add(nest, offsets32, out=ibuf)
-    np.take(counts2d.ravel(), ibuf, out=gath, mode="clip")
-    perturb(gath, out=count)
-    np.greater(perceived, accept_threshold, out=active)
+    np.add(st.nest, st.offsets32, out=st.ibuf)
+    np.take(st.counts2d.ravel(), st.ibuf, out=st.gath, mode="clip")
+    perturb(st.gath, out=st.count)
+    np.greater(perceived, accept_threshold, out=st.active)
     if has_byz:
-        np.logical_not(byz_mask, out=scr1)
-        active &= scr1
-        byz_searches[byz_mask] = 1
+        np.logical_not(st.byz_mask, out=st.scr1)
+        st.active &= st.scr1
+        byz_searches[st.byz_mask] = 1
         bad = perceived <= GOOD_THRESHOLD
-        grab = byz_mask & (bad if seek_bad else np.ones_like(bad))
-        byz_target[grab] = nest[grab]
+        grab = st.byz_mask & (bad if seek_bad else np.ones_like(bad))
+        st.byz_target[grab] = st.nest[grab]
     rounds = 1
     counts_stale = False
     if record_history:
         for row, gid in enumerate(live):
-            histories[gid].append(counts2d[row].copy())
+            histories[gid].append(st.counts2d[row].copy())
 
     def refresh_counts() -> None:
         """Recompute the census after observer-free rounds skipped it."""
-        nonlocal counts2d, counts_stale
+        nonlocal counts_stale
         rows_now = len(live)
-        np.add(position, offsets32[:rows_now], out=ibuf)
-        counts2d = np.bincount(
-            ibuf.ravel(), minlength=rows_now * (k + 1)
+        np.add(st.position, st.offsets32[:rows_now], out=st.ibuf)
+        st.counts2d = np.bincount(
+            st.ibuf.ravel(), minlength=rows_now * (k + 1)
         ).reshape(rows_now, k + 1)
         counts_stale = False
 
@@ -768,11 +815,11 @@ def _simulate_simple_perturbed(
             return
         if counts_stale:
             refresh_counts()
-        sub_byz = byz_mask[row_sel]
+        sub_byz = st.byz_mask[row_sel]
         zombie_end = crash_mask[row_sel] & (crash_round[row_sel] <= rounds)
-        sub_nest = nest[row_sel]
+        sub_nest = st.nest[row_sel]
         committed = (
-            np.where(sub_byz, byz_target[row_sel], sub_nest)
+            np.where(sub_byz, st.byz_target[row_sel], sub_nest)
             if has_byz
             else sub_nest
         )
@@ -787,7 +834,7 @@ def _simulate_simple_perturbed(
             np.where(has_healthy[:, None], eq | ~healthy_end, eq), axis=1
         )
         chosen_arr = np.where(unanimous & (ref > 0), ref, 0)
-        counts_rows = counts2d[row_sel].copy()
+        counts_rows = st.counts2d[row_sel].copy()
         for j, row in enumerate(row_sel):
             gid = live[row]
             chosen = int(chosen_arr[j])
@@ -802,84 +849,57 @@ def _simulate_simple_perturbed(
                 ),
             )
 
-    # Static per-row convergence ingredients under "good_healthy": the
-    # healthy set only changes while crashes land (and on compaction).
-    h_nonempty = h_first = None
-
     def refresh_healthy_stats() -> None:
-        nonlocal h_nonempty, h_first
+        # Static per-row convergence ingredients under "good_healthy": the
+        # healthy set only changes while crashes land (and on compaction).
         if healthy_only:
-            h_nonempty = healthy.any(axis=1)
-            h_first = np.argmax(healthy, axis=1)
-
-    def converged_rows() -> np.ndarray:
-        """Rows whose criterion holds at the end of the current round."""
-        m = len(live)
-        if healthy_only:
-            ref = nest[row_idx[:m], h_first]
-            np.equal(nest, ref[:, None], out=eqb)
-            np.logical_or(eqb, unhealthy, out=eqb)  # ~consider | same-nest
-            same = np.logical_and.reduce(eqb, axis=1)
-            return h_nonempty & same & good[ref]
-        if has_byz:
-            np.copyto(cbuf, nest)
-            np.copyto(cbuf, byz_target, where=byz_mask)
-            committed = cbuf
-        else:
-            committed = nest
-        ref = committed[:, 0]
-        np.equal(committed, ref[:, None], out=eqb)
-        same = np.logical_and.reduce(eqb, axis=1)
-        return same & (ref > 0) & good[ref]
+            st.h_nonempty = st.healthy.any(axis=1)
+            st.h_first = np.argmax(st.healthy, axis=1)
 
     def compress(keep: np.ndarray) -> None:
-        nonlocal nest, position, count, active, phase_assess, pending_bit
-        nonlocal latched, zombie, healthy, unhealthy, crash_mask, crash_round
-        nonlocal byz_mask, byz_target, byz_searches, ant_phase, live, counts2d
+        nonlocal crash_mask, crash_round, byz_searches, live
         nonlocal env_rngs, mat_rngs, col_rngs, delay_rngs
-        nonlocal coins, prob, is_rec, latch, want, exec_rec, exec_go, part
-        nonlocal att, scr1, scr2, eqb, notb, ibuf, gath, itmp, postmp
-        nonlocal stalls, stall, execb, fresh, qmul, cbuf
+        st.epoch += 1  # planes rebind below: backends drop cached views
         keep_idx = np.flatnonzero(keep)
         (
-            nest,
-            position,
-            count,
-            active,
-            phase_assess,
-            pending_bit,
-            latched,
-            zombie,
-            healthy,
-            unhealthy,
+            st.nest,
+            st.position,
+            st.count,
+            st.active,
+            st.phase_assess,
+            st.pending_bit,
+            st.latched,
+            st.zombie,
+            st.healthy,
+            st.unhealthy,
             crash_mask,
             crash_round,
-            byz_mask,
+            st.byz_mask,
             live,
-            counts2d,
+            st.counts2d,
         ) = compact_rows(
             keep_idx,
-            nest,
-            position,
-            count,
-            active,
-            phase_assess,
-            pending_bit,
-            latched,
-            zombie,
-            healthy,
-            unhealthy,
+            st.nest,
+            st.position,
+            st.count,
+            st.active,
+            st.phase_assess,
+            st.pending_bit,
+            st.latched,
+            st.zombie,
+            st.healthy,
+            st.unhealthy,
             crash_mask,
             crash_round,
-            byz_mask,
+            st.byz_mask,
             live,
-            counts2d,
+            st.counts2d,
         )
-        if ant_phase is not None:
-            (ant_phase,) = compact_rows(keep_idx, ant_phase)
+        if st.ant_phase is not None:
+            (st.ant_phase,) = compact_rows(keep_idx, st.ant_phase)
         if has_byz:
-            byz_target, byz_searches = compact_rows(
-                keep_idx, byz_target, byz_searches
+            st.byz_target, byz_searches = compact_rows(
+                keep_idx, st.byz_target, byz_searches
             )
         env_rngs, mat_rngs, col_rngs = _filter_lists(
             keep, env_rngs, mat_rngs, col_rngs
@@ -888,171 +908,107 @@ def _simulate_simple_perturbed(
             (delay_rngs,) = _filter_lists(keep, delay_rngs)
         perturb.filter(keep)
         m = len(keep_idx)
-        coins, prob, is_rec, latch, want, exec_rec, exec_go = (
-            coins[:m],
-            prob[:m],
-            is_rec[:m],
-            latch[:m],
-            want[:m],
-            exec_rec[:m],
-            exec_go[:m],
-        )
-        part, att, scr1, scr2, eqb, notb, ibuf, gath, itmp, postmp = (
-            part[:m],
-            att[:m],
-            scr1[:m],
-            scr2[:m],
-            eqb[:m],
-            notb[:m],
-            ibuf[:m],
-            gath[:m],
-            itmp[:m],
-            postmp[:m],
-        )
+        st.coins = st.coins[:m]
+        st.prob = st.prob[:m]
+        st.is_rec = st.is_rec[:m]
+        st.latch = st.latch[:m]
+        st.want = st.want[:m]
+        st.exec_rec = st.exec_rec[:m]
+        st.exec_go = st.exec_go[:m]
+        st.part = st.part[:m]
+        st.att = st.att[:m]
+        st.scr1 = st.scr1[:m]
+        st.scr2 = st.scr2[:m]
+        st.eqb = st.eqb[:m]
+        st.notb = st.notb[:m]
+        st.ibuf = st.ibuf[:m]
+        st.gath = st.gath[:m]
+        st.itmp = st.itmp[:m]
+        st.postmp = st.postmp[:m]
         if delayed:
-            stalls, stall, execb = stalls[:m], stall[:m], execb[:m]
-        if fresh is not None:
-            fresh = fresh[:m]
-        if qmul is not None:
-            qmul = qmul[:m]
-        if cbuf is not None:
-            cbuf = cbuf[:m]
+            st.stalls = st.stalls[:m]
+            st.stall = st.stall[:m]
+            st.execb = st.execb[:m]
+        if st.fresh is not None:
+            st.fresh = st.fresh[:m]
+        if st.qmul is not None:
+            st.qmul = st.qmul[:m]
+        if st.cbuf is not None:
+            st.cbuf = st.cbuf[:m]
         refresh_healthy_stats()
 
     # The uniform baseline's constant rate never changes: fill once.
-    prob_static = (
+    st.prob_static = (
         recruit_probability is not None
         and not quality_weighted
         and rate_multiplier is None
     )
     if recruit_probability is not None:
-        prob.fill(float(recruit_probability))
+        st.prob.fill(float(recruit_probability))
 
     # Pre-loop convergence check at round 1.
     if has_crash:
-        np.less_equal(crash_round, 1, out=zombie)
-        zombie &= crash_mask
+        np.less_equal(crash_round, 1, out=st.zombie)
+        st.zombie &= crash_mask
     else:
-        zombie.fill(False)
-    np.logical_or(byz_mask, zombie, out=unhealthy)
-    np.logical_not(unhealthy, out=healthy)
+        st.zombie.fill(False)
+    np.logical_or(st.byz_mask, st.zombie, out=st.unhealthy)
+    np.logical_not(st.unhealthy, out=st.healthy)
     refresh_healthy_stats()
-    done = converged_rows()
+    done = ops.converged(st)
     if done.any():
         finalize_rows(np.flatnonzero(done), 1)
         compress(~done)
 
-    byz_seeking = has_byz
-
+    fill_pairs: list = []
+    fill_epoch = -1
     while live.size and rounds < max_rounds:
         r = rounds + 1
-        m = len(live)
         if prof is not None:
             prof.rounds += 1
             t0 = perf_counter()
-        if has_crash and r <= max_crash_round:
-            np.less_equal(crash_round, r, out=zombie)
-            zombie &= crash_mask
-            np.logical_or(byz_mask, zombie, out=unhealthy)
-            np.logical_not(unhealthy, out=healthy)
+        st.enforcing_zombies = has_crash and r <= max_crash_round
+        if st.enforcing_zombies:
+            np.less_equal(crash_round, r, out=st.zombie)
+            st.zombie &= crash_mask
+            np.logical_or(st.byz_mask, st.zombie, out=st.unhealthy)
+            np.logical_not(st.unhealthy, out=st.healthy)
             refresh_healthy_stats()
 
-        # -- latch pending actions (the DelayedAnt decide step) -------------
-        _fill_rows(coins, col_rngs)
+        # -- driver-drawn planes for this round ------------------------------
+        # The colony and delay streams are independent generators, so
+        # filling both up front leaves each per-trial sequence intact.
+        # The (generator, row-view) pairing is cached per epoch: the rows
+        # are prefix views of stable storage and the rng lists only
+        # change on compaction.
+        if fill_epoch != st.epoch:
+            fill_pairs = list(zip(col_rngs, st.coins))
+            if delayed:
+                fill_pairs += list(zip(delay_rngs, st.stalls))
+            fill_epoch = st.epoch
+        for fill_rng, fill_row in fill_pairs:
+            fill_rng.random(out=fill_row)
         if prof is not None:
             t0 = prof.tick("draw", t0)
-        if not prob_static:
-            if recruit_probability is not None:
-                prob.fill(float(recruit_probability))
-            else:
-                np.divide(count, n, out=prob)
-            if quality_weighted:
-                np.take(qualities, nest, out=qmul, mode="clip")
-                prob *= qmul
-        np.logical_not(phase_assess, out=is_rec)
-        np.logical_and(is_rec, healthy, out=latch)
-        np.greater(latch, latched, out=latch)  # latch & ~latched (bools)
         if rate_multiplier is not None:
-            # Advance each latching ant's own schedule index (pre-increment,
-            # as AdaptiveSimpleAnt.decide does) and boost per ant.
-            np.add(ant_phase, latch, out=ant_phase, casting="unsafe")
-            top = int(ant_phase.max(initial=0))
+            # Pre-extend the rate schedule past this round's post-latch
+            # maximum (each latching ant advances by at most one) so every
+            # backend indexes a complete table; entries are a pure function
+            # of the index, so a one-ahead extension is invisible.
+            top = int(st.ant_phase.max(initial=0)) + 1
             if top >= len(mult_list):
                 while len(mult_list) <= top:
                     mult_list.append(float(rate_multiplier(len(mult_list))))
-                mult_arr = np.asarray(mult_list)
-            np.take(mult_arr, ant_phase, out=qmul, mode="clip")
-            prob *= qmul
-        if quality_weighted or rate_multiplier is not None:
-            np.clip(prob, 0.0, 1.0, out=prob)
-        np.less(coins, prob, out=want)
-        want &= active
-        # pending = where(latch, want, pending), as three bool passes.
-        np.greater(pending_bit, latch, out=pending_bit)  # pending & ~latch
-        want &= latch
-        pending_bit |= want
-        np.logical_or(latched, healthy, out=latched)
+                st.mult_arr = np.asarray(mult_list)
+
+        # -- latch / stalls / exec masks / movement (the backend pass) -------
+        exec_go_any = ops.decide_move(st)
         if prof is not None:
             t0 = prof.tick("move", t0)
-
-        # -- stall draws -----------------------------------------------------
-        if delayed:
-            _fill_rows(stalls, delay_rngs)
-            if prof is not None:
-                t0 = prof.tick("draw", t0)
-            np.less(stalls, delay_prob, out=stall)
-            np.greater(healthy, stall, out=execb)  # healthy & ~stall
-            execute = execb
-        else:
-            execute = healthy
-
-        np.logical_and(is_rec, execute, out=exec_rec)
-        np.logical_and(execute, phase_assess, out=exec_go)
-        if has_byz:
-            if byz_seeking:
-                np.equal(byz_target, 0, out=scr1)
-                scr1 &= byz_mask
-                if delayed:
-                    np.greater(scr1, stall, out=scr1)
-                byz_searching = scr1
-            np.not_equal(byz_target, 0, out=scr2)
-            scr2 &= byz_mask
-            if delayed:
-                np.greater(scr2, stall, out=scr2)
-            byz_recruiting = scr2
-
-        # -- movement --------------------------------------------------------
-        # position = 0 where going home, nest where going to the nest,
-        # held elsewhere — written as multiply/add blends (the sets are
-        # disjoint by construction: exec masks exclude zombies and
-        # Byzantine rows).  Masked integer writes are ~20x slower here.
-        gohome = exec_rec
-        gonest = exec_go
-        enforcing_zombies = has_crash and r <= max_crash_round
-        if has_byz or enforcing_zombies:
-            # Zombies freeze in place; nothing below ever moves them, so
-            # the enforcement is only needed while crashes still land.
-            np.logical_or(
-                exec_rec, byz_recruiting if has_byz else False, out=latch
-            )
-            gohome = latch
-            if enforcing_zombies and crash_at_home:
-                gohome |= zombie
-            if enforcing_zombies and not crash_at_home:
-                np.logical_or(exec_go, zombie, out=scr1 if not has_byz else eqb)
-                gonest = scr1 if not has_byz else eqb
-        np.logical_not(gohome, out=notb)
-        position *= notb
-        np.multiply(nest, gonest, out=postmp)
-        np.logical_not(gonest, out=notb)
-        position *= notb
-        position += postmp
-        if prof is not None:
-            t0 = prof.tick("move", t0)
-        if has_byz and byz_seeking:
-            n_byz_search = np.count_nonzero(byz_searching, axis=1)
+        if has_byz and st.byz_seeking:
+            n_byz_search = np.count_nonzero(st.byz_searching, axis=1)
             if n_byz_search.any():
-                rows_b, ants_b = np.nonzero(byz_searching)
+                rows_b, ants_b = np.nonzero(st.byz_searching)
                 # The Byzantine search path gathers a variable number of
                 # draws per trial per round; the concatenated result has no
                 # fixed shape an arena plane could own, and the path is
@@ -1064,7 +1020,7 @@ def _simulate_simple_perturbed(
                         if c
                     ]
                 )
-                position[rows_b, ants_b] = landing
+                st.position[rows_b, ants_b] = landing
                 perceived_b = qualities[landing]
                 if perturb.flip_prob > 0.0:
                     flip_parts = [
@@ -1085,42 +1041,24 @@ def _simulate_simple_perturbed(
                     if seek_bad
                     else np.ones_like(give_up)  # reprolint: disable=K201 -- variable-size sparse gather
                 )
-                byz_target[rows_b[take], ants_b[take]] = landing[take]
-                byz_seeking = bool(
-                    np.count_nonzero(byz_mask & (byz_target == 0))
+                st.byz_target[rows_b[take], ants_b[take]] = landing[take]
+                st.byz_seeking = bool(
+                    np.count_nonzero(st.byz_mask & (st.byz_target == 0))
                 )
             if prof is not None:
                 t0 = prof.tick("draw", t0)
 
         # -- Algorithm 1 matching over the home nest -------------------------
-        np.equal(position, 0, out=part)
-        np.logical_and(exec_rec, pending_bit, out=att)
-        if has_byz:
-            att |= byz_recruiting
+        ops.participants(st)
         if prof is not None:
             t0 = prof.tick("move", t0)
-        rows_sel, src_ant, dst_ant = match_positions_sparse(part, att, mat_rngs)
+        rows_sel, src_ant, dst_ant = ops.match(st, mat_rngs)
         if prof is not None:
             t0 = prof.tick("match", t0)
 
         # Only recruited, executing ants can change state: they adopt the
         # recruiter's advertised nest and wake if actually moved.
-        if has_byz:
-            src_is_byz = byz_mask[rows_sel, src_ant]
-            new_vals = np.where(
-                src_is_byz,
-                byz_target[rows_sel, src_ant],
-                nest[rows_sel, src_ant],
-            )
-        else:
-            new_vals = nest[rows_sel, src_ant]
-        got_sel = exec_rec[rows_sel, dst_ant]
-        rows_got = rows_sel[got_sel]
-        dst_got = dst_ant[got_sel]
-        new_got = new_vals[got_sel]
-        moved = new_got != nest[rows_got, dst_got]
-        nest[rows_got, dst_got] = new_got
-        active[rows_got[moved], dst_got[moved]] = True
+        ops.apply_pairs(st, rows_sel, src_ant, dst_ant)
         if prof is not None:
             t0 = prof.tick("move", t0)
 
@@ -1129,46 +1067,33 @@ def _simulate_simple_perturbed(
         # ants (or the noise stream, which draws from it every round, or a
         # recorded history).  Rounds with no observer skip it; finalize
         # recomputes a fresh census when one is pending (``counts_stale``).
-        observing = (
-            perturb.active or record_history or bool(exec_go.any())
-        )
+        observing = perturb.active or record_history or exec_go_any
         if observing:
-            np.add(position, offsets32[:m], out=ibuf)
-            counts_flat = np.bincount(ibuf.ravel(), minlength=m * (k + 1))
-            counts2d = counts_flat.reshape(m, k + 1)
+            ops.observe(st)
             counts_stale = False
-            np.add(nest, offsets32[:m], out=ibuf)
-            # Indices are in range by construction; "clip" skips the
-            # (slow) bounds check.
-            np.take(counts_flat, ibuf, out=gath, mode="clip")
         else:
             counts_stale = True
         if prof is not None:
             t0 = prof.tick("bookkeep", t0)
         if observing:
             if perturb.active:
-                perturb(gath, out=fresh)
+                perturb(st.gath, out=st.fresh)
                 if prof is not None:
                     t0 = prof.tick("draw", t0)
-                observed = fresh
+                observed = st.fresh
             else:
-                observed = gath
-            # count = where(exec_go, observed, count), blended in place.
-            np.multiply(observed, exec_go, out=itmp)
-            np.logical_not(exec_go, out=notb)
-            count *= notb
-            count += itmp
-        # phase: recruiters head to assessment, assessors back to recruit.
-        np.logical_or(phase_assess, exec_rec, out=phase_assess)
-        np.greater(phase_assess, exec_go, out=phase_assess)
-        np.greater(latched, execute, out=latched)  # latched & ~execute
+                observed = st.gath
+            ops.blend(st, observed)
+        # phase: recruiters head to assessment, assessors back to recruit
+        # (fused into decide_move by the compiled backends).
+        ops.advance(st)
 
         rounds += 1
         if record_history:
             for row, gid in enumerate(live):
-                histories[gid].append(counts2d[row].copy())  # reprolint: disable=K201 -- history rows own their storage
+                histories[gid].append(st.counts2d[row].copy())  # reprolint: disable=K201 -- history rows own their storage
 
-        done = converged_rows()
+        done = ops.converged(st)
         if prof is not None:
             t0 = prof.tick("bookkeep", t0)
         if done.any():
@@ -1222,6 +1147,7 @@ def simulate_optimal_batch(
         return result
 
     k = nests.k
+    arena = shared_arena()
     qualities = np.concatenate([[0.0], nests.quality_array()])
     good = qualities > nests.good_threshold
 
@@ -1284,7 +1210,7 @@ def simulate_optimal_batch(
         active_m = status == _ACTIVE
         passive_m = status == _PASSIVE
         final_m = status == _FINAL
-        conv_round = np.full(len(live), -1, dtype=np.int64)
+        conv_round = arena.full("ob.conv_round", (len(live),), np.int64, -1)
 
         # ---- B1: actives + finals recruit(1, nest); passives go(nest).
         parts1 = active_m | final_m
@@ -1406,6 +1332,7 @@ def simulate_spread_batch(
     if k < 2:
         raise ConfigurationError("the lower-bound setting requires k >= 2")
     n_trials = len(sources)
+    arena = shared_arena()
     env_rngs = [s.environment for s in sources]
     mat_rngs = [s.matcher for s in sources]
     col_rngs = [s.colony for s in sources]
@@ -1445,28 +1372,44 @@ def simulate_spread_batch(
             keep, env_rngs, mat_rngs, col_rngs
         )
 
+    # Per-round scratch, hoisted (kernel discipline: no allocation and no
+    # plane rebinding inside the round loop).  Both planes shadow
+    # ``informed``: when rows compact they shrink by row-slicing, so the
+    # WAIT mask's all-False fill survives for the whole call.  The found
+    # scratch is sized for the worst case (every ant searching).
+    searching = arena.full("sp.searching", informed.shape, np.bool_, False)
+    coins = arena.buf("sp.coins", informed.shape, np.float64)
+    found_scratch = arena.buf("sp.found", (informed.size,), np.bool_)
+
     while live.size and rounds < max_rounds:
         if prof is not None:
             prof.rounds += 1
             t0 = perf_counter()
         if policy is IgnorantPolicy.WAIT:
-            searching = np.zeros_like(informed)
+            pass  # ``searching`` keeps its hoisted all-False fill
         elif policy is IgnorantPolicy.SEARCH:
-            searching = ~informed
+            np.logical_not(informed, out=searching)
         else:  # MIXED: each ignorant ant flips a fair coin.
-            coins = np.stack([rng.random(n) for rng in col_rngs])
-            searching = (~informed) & (coins < 0.5)
+            for coin_rng, coin_row in zip(col_rngs, coins):
+                coin_rng.random(out=coin_row)
+            np.logical_not(informed, out=searching)
+            searching &= coins < 0.5
 
         # Searchers may stumble on w directly.
         n_searching = np.count_nonzero(searching, axis=1)
         if n_searching.any():
             rows_s, ants_s = np.nonzero(searching)
-            found_parts = [
-                rng.integers(1, k + 1, size=int(c)) == 1
-                for rng, c in zip(env_rngs, n_searching)
-                if c
-            ]
-            found = np.concatenate(found_parts)
+            found = found_scratch[: int(n_searching.sum())]
+            offset = 0
+            for rng, c in zip(env_rngs, n_searching):
+                if c:
+                    stop = offset + int(c)
+                    np.equal(
+                        rng.integers(1, k + 1, size=int(c)),
+                        1,
+                        out=found[offset:stop],
+                    )
+                    offset = stop
             informed[rows_s[found], ants_s[found]] = True
         if prof is not None:
             t0 = prof.tick("draw", t0)
@@ -1496,6 +1439,8 @@ def simulate_spread_batch(
             env_rngs, mat_rngs, col_rngs = _filter_lists(
                 keep, env_rngs, mat_rngs, col_rngs
             )
+            searching = searching[: len(live)]
+            coins = coins[: len(live)]
 
     finalize_rows(np.arange(len(live)), None)
     return out  # type: ignore[return-value]

@@ -57,9 +57,22 @@ _INT32_KEY_LIMIT = 1 << 22
 
 
 def resolve_greedy_matching(
-    src_key: np.ndarray, dst_key: np.ndarray, n_keys: int
+    src_key: np.ndarray,
+    dst_key: np.ndarray,
+    n_keys: int,
+    *,
+    resolve=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Greedy maximal matching over a batch of attempt edges.
+
+    Dispatching wrapper: ``resolve`` is a
+    ``(src_key, dst_key, n_keys) -> (sel_src, sel_dst)`` implementation —
+    :func:`resolve_pairs_numpy` or a compiled backend's sequential scan
+    (:func:`repro.fast.backends.pair_resolver`).  When ``None``, the
+    process default backend's resolver is used.  Every implementation
+    returns the same pair *set* (the greedy matching is unique given the
+    scan order); pair order may differ, and every caller scatters with
+    unique destinations, so results are identical.
 
     Parameters
     ----------
@@ -75,6 +88,25 @@ def resolve_greedy_matching(
     (sel_src, sel_dst):
         Endpoint keys of the selected pairs, in no particular order.  A
         self-pair appears as ``sel_src[i] == sel_dst[i]``.
+    """
+    if len(src_key) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if resolve is None:
+        # Imported lazily: backends imports this module for the numpy ops.
+        from repro.fast.backends import default_pair_resolver
+
+        resolve = default_pair_resolver()
+    return resolve(src_key, dst_key, n_keys)
+
+
+def resolve_pairs_numpy(
+    src_key: np.ndarray, dst_key: np.ndarray, n_keys: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The numpy greedy-matching resolver (parallel local-minimum rounds).
+
+    Implementation behind :func:`resolve_greedy_matching`; see it for the
+    edge-key contract.
 
     Notes
     -----
@@ -156,10 +188,16 @@ def draw_choices_per_trial(
     the stream is identical at any batch size.  Trials with no attempts
     skip the call entirely.
     """
-    m_arr = np.broadcast_to(np.asarray(m_participants), (len(rngs),))
+    # Plain-int iteration (tolist) keeps the per-round loop off the
+    # numpy-scalar slow path; the generator calls are unchanged.
+    n_list = n_attempts.tolist()
+    if isinstance(m_participants, np.ndarray):
+        m_list = m_participants.tolist()
+    else:
+        m_list = [int(m_participants)] * len(rngs)
     parts = [
-        rng.integers(0, int(m), size=int(a))
-        for rng, a, m in zip(rngs, n_attempts, m_arr)
+        rng.integers(0, m, size=a)
+        for rng, a, m in zip(rngs, n_list, m_list)
         if a
     ]
     if not parts:
@@ -172,6 +210,8 @@ def draw_choices_per_trial(
 def match_pairs_batch(
     wants: np.ndarray,
     rngs: Sequence[np.random.Generator],
+    *,
+    resolve=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Leanest batched Algorithm 1 when *every* slot participates.
 
@@ -196,13 +236,15 @@ def match_pairs_batch(
     n_attempts = np.diff(boundaries)
     choices = draw_choices_per_trial(rngs, n_attempts, n)
     dst_key = src_key - (src_key % n) + choices
-    return resolve_greedy_matching(src_key, dst_key, n_trials * n)
+    return resolve_greedy_matching(src_key, dst_key, n_trials * n, resolve=resolve)
 
 
 def match_slots_batch(
     wants: np.ndarray,
     targets: np.ndarray,
     rngs: Sequence[np.random.Generator],
+    *,
+    resolve=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Full-detail batched Algorithm 1 over complete slot spaces.
 
@@ -212,7 +254,7 @@ def match_slots_batch(
     The equivalence tests run this against the sequential v2 reference.
     """
     n_trials, n = wants.shape
-    sel_src, sel_dst = match_pairs_batch(wants, rngs)
+    sel_src, sel_dst = match_pairs_batch(wants, rngs, resolve=resolve)
 
     recruiter_of = np.full((n_trials, n), -1, dtype=np.int64)
     recruiter_of.ravel()[sel_dst] = sel_src % n
@@ -228,6 +270,8 @@ def match_positions_sparse(
     participants: np.ndarray,
     attempting: np.ndarray,
     rngs: Sequence[np.random.Generator],
+    *,
+    resolve=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Batched Algorithm 1 over participant subsets, as sparse pairs.
 
@@ -280,7 +324,9 @@ def match_positions_sparse(
     att_row_key = att_rows * n
     src_key = att_row_key + (att_idx - boundaries.take(att_rows, mode="clip"))
     dst_key = att_row_key + choices
-    sel_src, sel_dst = resolve_greedy_matching(src_key, dst_key, n_trials * n)
+    sel_src, sel_dst = resolve_greedy_matching(
+        src_key, dst_key, n_trials * n, resolve=resolve
+    )
 
     # Map selected slot keys back to ant coordinates through flat_idx.
     rows_sel = sel_src // n
@@ -296,6 +342,8 @@ def match_positions_batch(
     attempting: np.ndarray,
     targets: np.ndarray,
     rngs: Sequence[np.random.Generator],
+    *,
+    resolve=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Dense-output wrapper over :func:`match_positions_sparse`.
 
@@ -306,7 +354,7 @@ def match_positions_batch(
     """
     n_trials, n = participants.shape
     rows_sel, src_ant, dst_ant = match_positions_sparse(
-        participants, attempting, rngs
+        participants, attempting, rngs, resolve=resolve
     )
     results = np.array(targets, dtype=np.int64, copy=True)
     results[rows_sel, dst_ant] = results[rows_sel, src_ant]

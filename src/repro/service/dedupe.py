@@ -85,7 +85,12 @@ class DedupingCache:
             entry = self.inner.load(payload)
             if entry is not None:
                 if waited:
-                    self.dedupe_waits += 1
+                    # Increment under the claim lock: ``+=`` on an
+                    # attribute is read-modify-write, and N executor
+                    # threads racing it unlocked lose wins, so /stats
+                    # would under-report in-flight dedupe.
+                    with self._lock:
+                        self.dedupe_waits += 1
                     # The waiter never missed in spirit: it was served by
                     # the in-flight computation.  The inner cache counted
                     # its pre-wait probe as a miss; leave that — the pair

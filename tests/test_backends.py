@@ -1,0 +1,321 @@
+"""The kernel-backend seam: selection, degradation, parity, and honesty.
+
+Three contracts from ``repro.fast.backends``:
+
+1. **Selection** — the ``kernel_backend`` scenario param beats the
+   :func:`use_backend` override beats ``$REPRO_FAST_BACKEND`` beats
+   ``auto``; unavailable explicit choices degrade down a fixed chain and
+   the degradation is *reported*, never silent.
+2. **Parity** — every backend realizes the perturbed batch kernels
+   bit-for-bit: the committed golden digests must reproduce under each
+   backend the host can run, which is why environment selection is
+   digest-transparent.
+3. **Honesty** — only an explicit scenario pin is part of scenario
+   identity (recorded in report extras); pins are validated against the
+   registry (unknown names, pin+v1, algorithms without the seam all
+   raise ``ConfigurationError``).
+
+Plus the arena's array-API genericity (the ``xp`` namespace seam that
+makes the buffer pool cupy-ready without cupy present).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.api import Scenario, run, run_batch
+from repro.exceptions import ConfigurationError
+from repro.fast import backends
+from repro.fast.arena import Arena
+from repro.fast.backends import (
+    BACKEND_NAMES,
+    availability,
+    default_backend_name,
+    resolve_backend,
+    use_backend,
+)
+from repro.model.nests import NestConfig
+from tests.helpers.golden import digest_reports, golden_cases, load_golden
+
+CASES = golden_cases()
+GOLDEN = load_golden()
+
+#: Concrete (non-``auto``) backends this host can actually run.
+CONCRETE = tuple(
+    name
+    for name in ("numba", "cext", "numpy", "python")
+    if availability(name) is None
+)
+
+#: Golden cases that route through the perturbed driver — the seam's
+#: dispatch surface (faults, delays, the composite, the rate schedule).
+_PERTURBED_CASES = (
+    "simple_byzantine",
+    "simple_delay",
+    "simple_composite",
+    "adaptive_delay",
+    "uniform_crash",
+)
+
+#: The interpreted specification is orders of magnitude slower, so it
+#: proves parity on the two feature-richest cases only.
+_PYTHON_CASES = ("simple_byzantine", "simple_composite")
+
+
+# -- selection and degradation ------------------------------------------------
+
+
+def test_numpy_and_python_always_available():
+    assert availability("numpy") is None
+    assert availability("python") is None
+
+
+def test_availability_unknown_name_raises():
+    with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+        availability("fortran")
+
+
+def test_resolve_unknown_name_raises():
+    with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+        resolve_backend("fortran")
+
+
+def test_resolve_auto_is_available_and_not_degraded():
+    actual, degraded_from = resolve_backend("auto")
+    assert availability(actual) is None
+    assert degraded_from is None
+
+
+def test_resolve_python_is_exactly_itself():
+    assert resolve_backend("python") == ("python", None)
+
+
+def test_degradation_is_reported(monkeypatch):
+    """With compiled backends gone, explicit requests degrade loudly."""
+
+    def only_numpy(name):
+        if name in ("numpy", "python"):
+            return None
+        if name in BACKEND_NAMES:
+            return f"{name} disabled for this test"
+        raise ConfigurationError(f"unknown kernel backend {name!r}")
+
+    monkeypatch.setattr(backends, "availability", only_numpy)
+    assert backends.resolve_backend("numba") == ("numpy", "numba")
+    assert backends.resolve_backend("cext") == ("numpy", "cext")
+    # auto lands on the same fallback but is never "degraded".
+    assert backends.resolve_backend("auto") == ("numpy", None)
+
+
+def test_use_backend_yields_resolved_and_restores():
+    before = default_backend_name()
+    with use_backend("python") as actual:
+        assert actual == "python"
+        assert default_backend_name() == "python"
+    assert default_backend_name() == before
+
+
+def test_use_backend_validates_eagerly():
+    with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+        with use_backend("fortran"):
+            pass  # pragma: no cover - never entered
+
+
+def test_env_var_is_the_process_default(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST_BACKEND", "numpy")
+    assert default_backend_name() == "numpy"
+    assert resolve_backend(None) == ("numpy", None)
+    # ...but a use_backend override wins over the environment.
+    with use_backend("python"):
+        assert resolve_backend(None)[0] == "python"
+
+
+def test_env_var_typo_fails_loudly(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST_BACKEND", "cetx")
+    with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+        resolve_backend(None)
+
+
+# -- cross-backend parity against the committed goldens -----------------------
+
+
+@pytest.mark.parametrize("backend", CONCRETE)
+@pytest.mark.parametrize("name", _PERTURBED_CASES)
+def test_perturbed_goldens_reproduce_under_every_backend(backend, name):
+    if backend == "python" and name not in _PYTHON_CASES:
+        pytest.skip("interpreted backend proves parity on the rich cases")
+    with use_backend(backend) as actual:
+        assert actual == backend  # CONCRETE entries never degrade
+        reports = run_batch(CASES[name], workers=1)
+    assert digest_reports(reports) == GOLDEN[name], (
+        f"backend {backend!r} does not reproduce golden case {name!r} "
+        "bit-for-bit"
+    )
+
+
+# -- scenario pins: identity, recording, validation ---------------------------
+
+_NESTS = NestConfig.binary(4, {1})
+
+
+def _pin_scenario(**params) -> Scenario:
+    return Scenario(
+        algorithm="simple",
+        n=64,
+        nests=_NESTS,
+        seed=11,
+        max_rounds=2_000,
+        params=params,
+    )
+
+
+def test_explicit_pin_recorded_in_extras():
+    report = run(_pin_scenario(kernel_backend="numpy"))
+    assert report.extras["kernel_backend"] == "numpy"
+
+
+def test_environment_selection_is_not_recorded():
+    with use_backend("numpy"):
+        report = run(_pin_scenario())
+    assert "kernel_backend" not in report.extras
+
+
+@pytest.mark.parametrize("backend", CONCRETE)
+def test_pinned_backends_agree_bit_for_bit(backend):
+    reference = run(_pin_scenario(kernel_backend="numpy"))
+    pinned = run(_pin_scenario(kernel_backend=backend))
+    assert pinned.converged == reference.converged
+    assert pinned.converged_round == reference.converged_round
+    assert pinned.rounds_executed == reference.rounds_executed
+    assert pinned.chosen_nest == reference.chosen_nest
+    assert np.array_equal(pinned.final_counts, reference.final_counts)
+
+
+def test_unknown_pin_rejected():
+    with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+        run(_pin_scenario(kernel_backend="cuda"))
+
+
+def test_pin_plus_v1_matcher_rejected():
+    with pytest.raises(ConfigurationError, match="v1 matcher"):
+        run(_pin_scenario(kernel_backend="numpy", matcher="v1"))
+
+
+@pytest.mark.parametrize(
+    "params, match",
+    [
+        ({"kernel_backend": "cuda", "matcher": "v1"}, "unknown kernel backend"),
+        ({"kernel_backend": "numpy", "matcher": "v1"}, "v1 matcher"),
+    ],
+)
+def test_bad_pin_rejected_even_on_agent_fallback(params, match):
+    """Validation is as eager as the matcher param's: a bad pin raises even
+    when the scenario's structure would route to the agent engine (where
+    the pin would otherwise be silently ignored)."""
+    from repro import DelayModel
+
+    scenario = Scenario(
+        algorithm="simple",
+        n=64,
+        nests=_NESTS,
+        seed=11,
+        max_rounds=2_000,
+        # v1 + delay is not a fast-path structure -> agent fallback.
+        delay_model=DelayModel(0.5),
+        params=params,
+    )
+    with pytest.raises(ConfigurationError, match=match):
+        run(scenario)
+
+
+def test_pin_rejected_by_algorithms_without_the_seam():
+    scenario = Scenario(
+        algorithm="optimal",
+        n=64,
+        nests=_NESTS,
+        seed=11,
+        max_rounds=2_000,
+        params={"kernel_backend": "numpy"},
+    )
+    with pytest.raises(ConfigurationError, match="does not accept params"):
+        run(scenario)
+
+
+# -- the arena's array-API namespace seam -------------------------------------
+
+
+class _ApiArray:
+    """Minimal array-API-shaped wrapper: no ``fill``, no ``nbytes``."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        self._data = data
+
+    @property
+    def dtype(self):
+        return self._data.dtype
+
+    @property
+    def shape(self):
+        return self._data.shape
+
+    @property
+    def size(self):
+        return self._data.size
+
+    def __getitem__(self, index):
+        return _ApiArray(self._data[index])
+
+    def __setitem__(self, index, value):
+        self._data[index] = value
+
+
+_FAKE_XP = SimpleNamespace(
+    empty=lambda shape, dtype=None: _ApiArray(np.empty(shape, dtype=dtype))
+)
+
+
+def test_arena_generic_namespace_allocates_and_recycles():
+    arena = Arena(xp=_FAKE_XP)
+    assert arena.xp is _FAKE_XP
+    view = arena.buf("plane", (4, 3), np.float64)
+    assert isinstance(view, _ApiArray)
+    assert view.shape == (4, 3)
+    backing = arena._buffers["plane"]
+    # Shrinking rows recycles the same backing allocation.
+    arena.buf("plane", (2, 3), np.float64)
+    assert arena._buffers["plane"] is backing
+    # Growing rows replaces it.
+    arena.buf("plane", (8, 3), np.float64)
+    assert arena._buffers["plane"] is not backing
+
+
+def test_arena_full_works_without_ndarray_fill():
+    arena = Arena(xp=_FAKE_XP)
+    view = arena.full("mask", (3,), np.int64, 7)
+    assert view._data.tolist() == [7, 7, 7]
+
+
+def test_arena_aliasing_check_is_numpy_gated():
+    arena = Arena(xp=_FAKE_XP)
+    arena.buf("a", (4,), np.int64)
+    arena.buf("b", (4,), np.int64)
+    # No shares_memory outside numpy: degrade to a no-op, never a guess.
+    arena.check_aliasing()
+
+
+def test_arena_nbytes_falls_back_to_size_times_itemsize():
+    arena = Arena(xp=_FAKE_XP)
+    arena.buf("a", (5,), np.int64)
+    assert arena.nbytes() == 5 * 8
+
+
+def test_arena_default_is_numpy_and_checks_aliasing():
+    arena = Arena()
+    assert arena.xp is np
+    first = arena.buf("a", (4,), np.int64)
+    arena._buffers["b"] = first  # simulate a bookkeeping bug
+    with pytest.raises(AssertionError, match="alias"):
+        arena.check_aliasing()

@@ -214,5 +214,5 @@ def test_real_registry_declares_params_for_every_entry():
 
     with_params = {e.name for e in REGISTRY if e.param_names}
     assert {"simple", "optimal", "quorum", "tagged_recruitment"} <= with_params
-    assert REGISTRY.get("simple").param_names == ("matcher",)
+    assert REGISTRY.get("simple").param_names == ("kernel_backend", "matcher")
     assert REGISTRY.get("initial_split").param_names == ()

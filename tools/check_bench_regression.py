@@ -78,9 +78,25 @@ def check_record(path: Path, tolerance: float) -> list[str]:
     machine_dependent = set(baseline.get("machine_dependent", [])) | set(
         fresh.get("machine_dependent", [])
     )
+    # Metrics only some hosts can produce (an optional backend's bench
+    # row, say): their absence from a fresh run is expected elsewhere.
+    # Every *other* committed metric disappearing on the same machine is
+    # a lost capability — the bench stopped measuring something it used
+    # to — and must fail rather than silently narrow the baseline.
+    conditional = set(baseline.get("conditional", [])) | set(
+        fresh.get("conditional", [])
+    )
     for key, base_value in baseline.get("metrics", {}).items():
         if key not in fresh_metrics:
-            print(f"{name}: metric {key!r} missing from fresh run; skipping")
+            if key in conditional or not same_machine:
+                print(f"{name}: metric {key!r} missing from fresh run; skipping")
+                continue
+            print(f"{name}: metric {key!r} MISSING from fresh run")
+            failures.append(
+                f"{name}: committed metric {key!r} disappeared from the "
+                "fresh run on the same machine (mark it 'conditional' if "
+                "host-optional)"
+            )
             continue
         machine_bound = (
             key.endswith("_per_sec")
