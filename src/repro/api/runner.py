@@ -47,6 +47,8 @@ from repro.exceptions import (
     WorkerCrash,
     is_retryable,
 )
+from repro.fast.arena import maybe_trim
+from repro.fast.tiling import resolve_tile_width
 from repro.sim.engine import RoundHook
 from repro.sim.run import TrialStats, run_trial
 
@@ -182,14 +184,36 @@ BATCH_CHUNK_TARGET_ELEMS = 262_144
 #: clamped).
 MIN_DEFAULT_CHUNK, MAX_DEFAULT_CHUNK = 16, 512
 
+#: Hard per-plane state budget: a chunk's ``(chunk, n)`` state planes are
+#: capped at this many elements (32 MB at int32), because — unlike the
+#: per-round scratch, which tiling bounds at ``O(chunk * tile)`` — per-ant
+#: *state* is irreducibly ``chunk * n``.  At million-ant scale this is the
+#: binding term (8 trials/chunk at n = 10^6); past ``n = 2**23`` chunks
+#: become single trials rather than blowing the budget.
+MAX_STATE_ELEMS = 1 << 23
+
 
 def default_batch_chunk(n: int) -> int:
-    """The default trials-per-chunk for colonies of ``n`` ants."""
+    """The default trials-per-chunk for colonies of ``n`` ants.
+
+    Two budgets intersect (docs/PERFORMANCE.md §8): the classic
+    ``~BATCH_CHUNK_TARGET_ELEMS`` scratch budget, sized over the *tile*
+    width once ant-axis tiling kicks in (so huge-n batches no longer
+    collapse toward the ``MIN_DEFAULT_CHUNK`` floor on scratch grounds
+    alone), and the :data:`MAX_STATE_ELEMS` cap on the untileable
+    ``(chunk, n)`` state planes, which owns the large-n regime and may
+    take the chunk below ``MIN_DEFAULT_CHUNK`` — all the way to one trial
+    per chunk for gargantuan colonies.  Results never depend on the
+    choice (chunking is bit-invisible); only peak memory and overhead do.
+    """
     if n < 1:
         return DEFAULT_BATCH_CHUNK
-    return max(
-        MIN_DEFAULT_CHUNK, min(MAX_DEFAULT_CHUNK, BATCH_CHUNK_TARGET_ELEMS // n)
+    scratch_width = resolve_tile_width(n) or n
+    scratch_term = max(
+        MIN_DEFAULT_CHUNK,
+        min(MAX_DEFAULT_CHUNK, BATCH_CHUNK_TARGET_ELEMS // scratch_width),
     )
+    return max(1, min(scratch_term, MAX_STATE_ELEMS // n))
 
 
 class WorkerPool:
@@ -331,6 +355,10 @@ def _run_task_packed(
 
     chaos.maybe_inject(chaos_scope, chaos_task, attempt, task[0], "start")
     reports = _run_task(task)
+    # Long-lived pool workers honour the $REPRO_ARENA_TRIM_BYTES retention
+    # cap between tasks, so one huge-n chunk cannot pin its working set
+    # for the rest of the pool's life (no-op when the cap is unset).
+    maybe_trim()
     if task[0] != "batch":
         return reports
     packed = pack_reports(reports)

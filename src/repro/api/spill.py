@@ -1,0 +1,190 @@
+"""Out-of-core :class:`~repro.api.results.ResultTable` columns.
+
+A 10^5+-cell study's table no longer has to live in RAM: numeric columns
+spill to flat binary files and come back as read-only ``numpy.memmap``
+arrays *behind the unchanged dict-of-columns interface* — ``memmap`` is an
+``ndarray`` subclass whose scalar reads yield ordinary numpy scalars and
+whose fancy-indexed reads yield ordinary in-RAM arrays, so ``select`` /
+``group_by`` / ``equals`` / CSV / JSON export work verbatim on a spilled
+table (``tests/test_spill.py`` pins this, including bit-exact ``equals``
+against the in-RAM original).  Object columns (strings, mixed, None) have
+no memmap form; they stay in RAM via a JSON sidecar — in practice they are
+the handful of swept-binding columns, orders of magnitude smaller than the
+metric columns.
+
+The spill is a plain directory: one ``spill.json`` manifest plus one file
+per column.  That makes "resume from spill" trivial — :func:`load_spilled`
+rebuilds the table from the manifest alone, so a crashed or restarted
+consumer re-opens the study's results without re-simulating anything.
+
+:func:`maybe_spill` is the policy seam :func:`~repro.api.scheduler.
+fold_study_result` calls on every fold: inert unless ``$REPRO_SPILL_DIR``
+is set, spilling when the table exceeds the row budget
+(``$REPRO_SPILL_ROWS``, default :data:`DEFAULT_SPILL_ROWS`) or the byte
+budget (``$REPRO_SPILL_BYTES``, default unlimited).  The service's NDJSON
+cell streaming is upstream of the fold and unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.api.results import ResultTable, _column_array, _python_scalar
+from repro.exceptions import ConfigurationError
+
+#: Environment variables configuring the automatic spill policy.
+SPILL_DIR_ENV = "REPRO_SPILL_DIR"
+SPILL_ROWS_ENV = "REPRO_SPILL_ROWS"
+SPILL_BYTES_ENV = "REPRO_SPILL_BYTES"
+
+#: Default row budget once a spill directory is configured: studies at or
+#: above this many cells go out of core.
+DEFAULT_SPILL_ROWS = 100_000
+
+#: Manifest file name inside a spill directory.
+MANIFEST_NAME = "spill.json"
+
+_MANIFEST_VERSION = 1
+
+
+def _table_nbytes(table: ResultTable) -> int:
+    """In-RAM footprint estimate: numeric columns exactly, object columns
+    by slot (the pointed-to Python objects are not counted)."""
+    return sum(table.column(name).nbytes for name in table.column_names)
+
+
+def spill_table(table: ResultTable, directory: str | Path) -> Path:
+    """Write ``table`` into ``directory`` as a memmap-ready spill.
+
+    Numeric columns (``int64``/``float64``/bool) become raw little-endian
+    column files read back with ``numpy.memmap``; object columns become
+    JSON sidecars.  Returns the manifest path.  The directory is created
+    if needed and must not already hold a manifest (spills are immutable
+    once written — a second study must spill elsewhere).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_path = directory / MANIFEST_NAME
+    if manifest_path.exists():
+        raise ConfigurationError(
+            f"spill directory {directory} already holds a manifest"
+        )
+    columns = []
+    for index, name in enumerate(table.column_names):
+        array = table.column(name)
+        if array.dtype.kind == "O":
+            file_name = f"col_{index}.json"
+            payload = [_python_scalar(value) for value in array]
+            (directory / file_name).write_text(json.dumps(payload))
+            columns.append({"name": name, "kind": "object", "file": file_name})
+        else:
+            file_name = f"col_{index}.bin"
+            # Fixed on-disk byte order: a spill written on one machine
+            # must read back identically on any other.
+            np.ascontiguousarray(
+                array, dtype=array.dtype.newbyteorder("<")
+            ).tofile(directory / file_name)
+            columns.append(
+                {
+                    "name": name,
+                    "kind": "memmap",
+                    "dtype": array.dtype.str.lstrip("<>=|"),
+                    "file": file_name,
+                }
+            )
+    manifest = {
+        "version": _MANIFEST_VERSION,
+        "n_rows": table.n_rows,
+        "columns": columns,
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return manifest_path
+
+
+def load_spilled(directory: str | Path) -> ResultTable:
+    """Re-open a spill directory as a memmap-backed :class:`ResultTable`.
+
+    Numeric columns come back as read-only ``numpy.memmap`` views over the
+    column files (no data is read until touched); object columns are
+    rebuilt from their JSON sidecars through the standard dtype-inference
+    path.  The result is ``equals``-identical to the table that was
+    spilled — the resume-from-spill contract.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ConfigurationError(f"no spill manifest in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("version") != _MANIFEST_VERSION:
+        raise ConfigurationError(
+            f"unsupported spill manifest version {manifest.get('version')!r}"
+        )
+    n_rows = int(manifest["n_rows"])
+    columns: dict[str, Any] = {}
+    for spec in manifest["columns"]:
+        path = directory / spec["file"]
+        if spec["kind"] == "object":
+            columns[spec["name"]] = _column_array(json.loads(path.read_text()))
+        else:
+            columns[spec["name"]] = np.memmap(
+                path,
+                dtype=np.dtype("<" + spec["dtype"]),
+                mode="r",
+                shape=(n_rows,),
+            )
+    table = ResultTable(columns)
+    table.spill_dir = directory  # type: ignore[attr-defined]
+    return table
+
+
+def _env_int(name: str, default: int | None) -> int | None:
+    setting = os.environ.get(name, "").strip()
+    if not setting:
+        return default
+    try:
+        return int(setting)
+    except ValueError:
+        return default
+
+
+def maybe_spill(
+    table: ResultTable,
+    directory: str | Path | None = None,
+    max_rows: int | None = None,
+    max_bytes: int | None = None,
+) -> ResultTable:
+    """Spill ``table`` out of core if it exceeds the configured budget.
+
+    The automatic policy seam: with no ``directory`` argument and no
+    ``$REPRO_SPILL_DIR``, this is the identity.  Otherwise the table
+    spills into a fresh subdirectory of ``directory`` once it reaches
+    ``max_rows`` (``$REPRO_SPILL_ROWS``, default
+    :data:`DEFAULT_SPILL_ROWS`) rows or ``max_bytes``
+    (``$REPRO_SPILL_BYTES``, default unlimited) in-RAM bytes, and the
+    memmap-backed equivalent is returned (its ``spill_dir`` attribute
+    names the directory for later :func:`load_spilled` resumes).  Tables
+    under budget pass through untouched.
+    """
+    if directory is None:
+        directory = os.environ.get(SPILL_DIR_ENV, "").strip() or None
+    if directory is None:
+        return table
+    if max_rows is None:
+        max_rows = _env_int(SPILL_ROWS_ENV, DEFAULT_SPILL_ROWS)
+    if max_bytes is None:
+        max_bytes = _env_int(SPILL_BYTES_ENV, None)
+    over_rows = max_rows is not None and table.n_rows >= max_rows
+    over_bytes = max_bytes is not None and _table_nbytes(table) >= max_bytes
+    if not (over_rows or over_bytes):
+        return table
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    spill_dir = Path(tempfile.mkdtemp(prefix="study_", dir=base))
+    spill_table(table, spill_dir)
+    return load_spilled(spill_dir)

@@ -17,13 +17,33 @@ Rules of use (the kernels' discipline, not enforced machinery):
 - views are only valid until the next ``buf()`` call for the same name
   (which may reallocate on growth);
 - nothing is zeroed for you — callers fill or overwrite entirely.
+
+Buffers are grow-only *within* a workload, which is exactly right for a
+sweep's homogeneous chunks but wrong for a long-lived service worker: one
+huge-n cell would pin its peak working set forever.  :meth:`Arena.release`
+is the explicit trim hook (ROADMAP item 5) — the scheduler calls it
+between cells, workers call it after each task when ``$REPRO_ARENA_TRIM_BYTES``
+caps the retained pool — and :func:`arena_stats` surfaces current and
+high-water bytes across every arena in the process (the service ``/stats``
+memory panel).
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 
 import numpy as np
+
+#: Environment variable: retained-bytes cap applied by :func:`maybe_trim`
+#: after each worker task.  Unset or unparseable means "never trim".
+ARENA_TRIM_ENV = "REPRO_ARENA_TRIM_BYTES"
+
+#: Every Arena constructed in this process, for :func:`arena_stats`.
+#: Weak references: registering must not keep test-local arenas alive.
+_REGISTRY: "weakref.WeakSet[Arena]" = weakref.WeakSet()
+_REGISTRY_LOCK = threading.Lock()
 
 
 class Arena:
@@ -41,6 +61,20 @@ class Arena:
     def __init__(self, xp=np) -> None:
         self.xp = xp
         self._buffers: dict[str, object] = {}
+        self._total = 0
+        #: Largest retained-bytes figure this arena ever reached; survives
+        #: :meth:`release`/:meth:`clear` so the service can report the
+        #: true per-worker peak, not the post-trim residue.
+        self.high_water_bytes = 0
+        with _REGISTRY_LOCK:
+            _REGISTRY.add(self)
+
+    @staticmethod
+    def _nbytes_of(buffer) -> int:
+        nbytes = getattr(buffer, "nbytes", None)
+        if nbytes is None:
+            nbytes = buffer.size * buffer.dtype.itemsize
+        return int(nbytes)
 
     def buf(self, name: str, shape: tuple[int, ...], dtype):
         """An uninitialized view of ``shape``, recycled when compatible.
@@ -56,8 +90,13 @@ class Arena:
             or buffer.shape[1:] != shape[1:]
             or buffer.shape[0] < shape[0]
         ):
+            if buffer is not None:
+                self._total -= self._nbytes_of(buffer)
             buffer = self.xp.empty(shape, dtype=dtype)
             self._buffers[name] = buffer
+            self._total += self._nbytes_of(buffer)
+            if self._total > self.high_water_bytes:
+                self.high_water_bytes = self._total
         return buffer[: shape[0]]
 
     def full(self, name: str, shape: tuple[int, ...], dtype, fill):
@@ -73,6 +112,39 @@ class Arena:
     def clear(self) -> None:
         """Drop every buffer (used by tests and memory-sensitive callers)."""
         self._buffers.clear()
+        self._total = 0
+
+    def release(self, target_bytes: int = 0) -> int:
+        """Trim retained buffers down to (at most) ``target_bytes``.
+
+        Drops buffers largest-first until the retained total fits the
+        target — the huge-n planes that motivated the trim go first while
+        a small steady-state working set survives to keep serving its
+        sweep allocation-free.  ``target_bytes=0`` (the default) drops
+        everything.  Returns the number of bytes released.  High-water
+        accounting is untouched: the peak is the *report*, release is the
+        remedy.
+
+        Safe at any call boundary where no kernel is mid-flight — views
+        handed out earlier keep their backing arrays alive (numpy
+        refcounting), they just stop being the pooled copy.
+        """
+        if self._total <= target_bytes:
+            return 0
+        released = 0
+        by_size = sorted(
+            self._buffers.items(),
+            key=lambda item: self._nbytes_of(item[1]),
+            reverse=True,
+        )
+        for name, buffer in by_size:
+            if self._total <= target_bytes:
+                break
+            nbytes = self._nbytes_of(buffer)
+            del self._buffers[name]
+            self._total -= nbytes
+            released += nbytes
+        return released
 
     def check_aliasing(self) -> None:
         """Assert that no two named buffers share backing storage.
@@ -96,15 +168,8 @@ class Arena:
                     )
 
     def nbytes(self) -> int:
-        """Total bytes currently retained (``size * itemsize`` fallback
-        for array namespaces whose arrays lack ``nbytes``)."""
-        total = 0
-        for buffer in self._buffers.values():
-            nbytes = getattr(buffer, "nbytes", None)
-            if nbytes is None:
-                nbytes = buffer.size * buffer.dtype.itemsize
-            total += nbytes
-        return total
+        """Total bytes currently retained (maintained incrementally)."""
+        return self._total
 
 
 _SHARED = threading.local()
@@ -124,6 +189,47 @@ def shared_arena() -> Arena:
     if arena is None:
         arena = _SHARED.arena = Arena()
     return arena
+
+
+def arena_stats() -> dict:
+    """Process-wide arena memory panel: retained, high-water, pool count.
+
+    Aggregates every live :class:`Arena` (each registers itself weakly at
+    construction), so a threaded service daemon reports the sum over its
+    worker threads' pools.  Note this is the *coordinator* process only —
+    subprocess pool workers have their own arenas in their own address
+    spaces, bounded by the same per-task trim (:func:`maybe_trim`).
+    """
+    with _REGISTRY_LOCK:
+        arenas = list(_REGISTRY)
+    return {
+        "arenas": len(arenas),
+        "retained_bytes": sum(a.nbytes() for a in arenas),
+        "high_water_bytes": sum(a.high_water_bytes for a in arenas),
+    }
+
+
+def maybe_trim(arena: Arena | None = None) -> int:
+    """Apply the ``$REPRO_ARENA_TRIM_BYTES`` retention cap, if one is set.
+
+    The per-task hook for long-lived workers: after finishing a task, a
+    worker calls this to cap what its pool may carry into the next task.
+    Unset (the default) means "retain everything" — the classic sweep
+    behaviour, where back-to-back homogeneous chunks want the pool warm.
+    Returns the bytes released (0 when no cap is set or the pool fits).
+    """
+    setting = os.environ.get(ARENA_TRIM_ENV, "").strip()
+    if not setting:
+        return 0
+    try:
+        cap = int(setting)
+    except ValueError:
+        return 0
+    if cap < 0:
+        return 0
+    if arena is None:
+        arena = shared_arena()
+    return arena.release(cap)
 
 
 def compact_rows(keep_index: np.ndarray, *views: np.ndarray) -> tuple[np.ndarray, ...]:

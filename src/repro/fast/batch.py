@@ -57,6 +57,7 @@ from repro.fast.batch_matcher import (
     match_positions_batch,
 )
 from repro.fast.results import FastRunResult
+from repro.fast.tiling import resolve_tile_width, tile_spans
 from repro.lintkit.sanitize import sanitized
 from repro.fast.spread_fast import SpreadResult
 from repro.model.nests import NestConfig
@@ -212,48 +213,70 @@ class _NoisePerturber:
                 return out
             return values
         n = self.n
+        width = values.shape[1]
         arena = shared_arena()
-        noisy = arena.buf("noise.vals", values.shape, np.float64)
+        # Row-at-a-time processing: the float scratch is two (n,) rows
+        # shared by every trial, not an (L, n) plane — the perturber's
+        # contribution to peak memory is O(n), independent of the batch.
+        # Every elementwise op and every draw happens per row in the same
+        # order as the historical plane-wide form, so results (and stream
+        # consumption) are bit-identical.
+        row_buf = arena.buf("noise.row", (width,), np.float64)
+        result = np.empty(values.shape, dtype=np.int64) if out is None else out
         if self.estimator is not None:
             trials, capacity = self.estimator.trials, self.estimator.capacity
-            rate = np.minimum(1.0, values / capacity)
             for row, rng in enumerate(self.rngs):
-                noisy[row] = rng.binomial(trials, rate[row]) / trials * capacity
+                np.divide(values[row], capacity, out=row_buf)
+                np.minimum(row_buf, 1.0, out=row_buf)
+                # Generator.binomial has no out= form; the per-row draw is
+                # the estimator path's one steady-state allocation.
+                drawn = rng.binomial(trials, row_buf)
+                np.divide(drawn, trials, out=row_buf)
+                row_buf *= capacity
+                np.rint(row_buf, out=row_buf)
+                np.clip(row_buf, 0, n, out=row_buf)
+                result[row] = row_buf
         else:
             noise = self.noise
-            noisy[...] = values  # the float working copy
-            g = arena.buf("noise.g", (self.n,), np.float64)
-            for row in range(len(self.rngs)):
-                rng = self.rngs[row]
-                row_vals = noisy[row]
+            g = arena.buf("noise.g", (width,), np.float64)
+            for row, rng in enumerate(self.rngs):
+                row_buf[...] = values[row]  # the float working copy
                 if noise.relative_sigma > 0.0:
                     rng.standard_normal(out=g)
                     np.multiply(g, noise.relative_sigma, out=g)
                     g += 1.0
-                    row_vals *= g
+                    row_buf *= g
                 if noise.absolute_sigma > 0.0:
                     rng.standard_normal(out=g)
                     np.multiply(g, noise.absolute_sigma, out=g)
-                    row_vals += g
-        np.rint(noisy, out=noisy)
-        np.clip(noisy, 0, n, out=noisy)
-        if out is None:
-            return noisy.astype(np.int64)
-        # noisy is integral after rint, so the cast-on-assign truncation
-        # equals the historical astype(np.int64) exactly.
-        out[...] = noisy
-        return out
+                    row_buf += g
+                np.rint(row_buf, out=row_buf)
+                np.clip(row_buf, 0, n, out=row_buf)
+                # row_buf is integral after rint, so the cast-on-assign
+                # truncation equals the historical astype(np.int64).
+                result[row] = row_buf
+        return result
 
-    def flip_rows(self) -> np.ndarray | None:
-        """Per-ant quality-flip mask for one full ``(L, n)`` observation."""
+    def flip_tile(self, width: int) -> np.ndarray | None:
+        """Per-ant quality-flip mask for one ``width``-wide column tile.
+
+        Each trial's flip coins are consumed in global ant order: calling
+        this over consecutive tiles draws the same per-row stream as one
+        full-width :meth:`flip_rows` call (``Generator.random`` fills
+        element-wise), so tiling is invisible to the flip schedule.
+        """
         # 0.0 is an exact "flips off" sentinel set verbatim from config,
         # never produced by arithmetic.
         if self.flip_prob == 0.0:  # reprolint: disable=D104 -- exact sentinel
             return None
-        flips = np.empty((len(self.rngs), self.n), dtype=bool)
+        flips = np.empty((len(self.rngs), width), dtype=bool)
         for row, rng in enumerate(self.rngs):
-            flips[row] = rng.random(self.n) < self.flip_prob
+            flips[row] = rng.random(width) < self.flip_prob
         return flips
+
+    def flip_rows(self) -> np.ndarray | None:
+        """Per-ant quality-flip mask for one full ``(L, n)`` observation."""
+        return self.flip_tile(self.n)
 
     def flip_draws(self, row: int, size: int) -> np.ndarray:
         """Quality-flip coins for ``size`` observations of one trial."""
@@ -349,6 +372,15 @@ def simulate_simple_batch(
     live = np.arange(n_trials)
     arena = shared_arena()
     shape = (n_trials, n)
+    # Ant-axis tiling (ROADMAP item 5, docs/PERFORMANCE.md §8): the
+    # elementwise per-round work runs in ``t_width``-wide column tiles, so
+    # the float64 scratch is (trials, tile) instead of (trials, n).  When
+    # untiled, ``t_width == n`` and the single span reproduces the classic
+    # full-plane pass verbatim.  Tiling never touches a draw schedule —
+    # every stream is consumed in global ant order — so it is bit-invisible
+    # (the golden-digest tile matrix pins this).
+    tile = resolve_tile_width(n)
+    t_width = n if tile is None else tile
     # State (arena-recycled, compacted in place; every value < n+1 so the
     # working dtype is int32 — outputs go back to int64 at finalize).
     nest = _draw_initial_nests(arena.buf("s.nest", shape, np.int32), env_rngs, k)
@@ -356,10 +388,14 @@ def simulate_simple_batch(
     active = arena.buf("s.active", shape, np.bool_)
     flat_ids = arena.buf("s.flat", shape, np.int32)
     # Per-round scratch, shared across kernels through the arena.
-    coins = arena.buf("coins", shape, np.float64)
-    prob = arena.buf("prob", shape, np.float64)
+    coins = arena.buf("coins", (n_trials, t_width), np.float64)
+    prob = arena.buf("prob", (n_trials, t_width), np.float64)
     wants = arena.buf("b.wants", shape, np.bool_)
-    qmul = arena.buf("qmul", shape, np.float64) if quality_weighted else None
+    qmul = (
+        arena.buf("qmul", (n_trials, t_width), np.float64)
+        if quality_weighted
+        else None
+    )
 
     offsets32 = (np.arange(n_trials, dtype=np.int32) * (k + 1))[:, None]
 
@@ -372,12 +408,18 @@ def simulate_simple_batch(
     ).astype(np.int32)
     counts = countsf.reshape(n_trials, k + 1)
     np.take(countsf, flat_ids, out=count, mode="clip")
-    perceived = qualities[nest]
-    flips = perturb.flip_rows()
-    if flips is not None:
-        perceived = np.where(flips, 1.0 - perceived, perceived)
+    # Perceived qualities tile by tile: each trial's flip coins are drawn
+    # in global ant order (all tiles, then the count perturbation), the
+    # exact stream order of the historical full-width pass.
+    perc = arena.buf("b.perc", (n_trials, t_width), np.float64)
+    for lo, hi in tile_spans(n, t_width):
+        pw = perc[:, : hi - lo]
+        np.take(qualities, nest[:, lo:hi], out=pw, mode="clip")
+        flips = perturb.flip_tile(hi - lo)
+        if flips is not None:
+            pw = np.where(flips, 1.0 - pw, pw)
+        np.greater(pw, accept_threshold, out=active[:, lo:hi])
     perturb(count, out=count)
-    np.greater(perceived, accept_threshold, out=active)
     rounds = 1
     if record_history:
         for row, gid in enumerate(live):
@@ -420,29 +462,41 @@ def simulate_simple_batch(
         if prof is not None:
             prof.rounds += 2
             t0 = perf_counter()
-        # Recruitment round (everyone at home): decide the per-ant rates.
-        if not prob_static:
-            if recruit_probability is not None:
-                prob.fill(float(recruit_probability))
-            else:
-                np.divide(count, n, out=prob)  # already in [0, 1]
-            if quality_weighted:
-                np.take(qualities, nest, out=qmul, mode="clip")
-                prob *= qmul
-            if rate_multiplier is not None:
-                prob *= rate_multiplier(phase)
-            if quality_weighted or rate_multiplier is not None:
-                np.clip(prob, 0.0, 1.0, out=prob)
-        if prof is not None:
-            t0 = prof.tick("move", t0)
-        _fill_rows(coins, col_rngs)
+        # Recruitment round (everyone at home): decide the per-ant rates,
+        # draw the coins, and resolve who wants to recruit — one column
+        # tile at a time.  Each trial's colony stream is consumed in
+        # global ant order across the tiles (Generator.random fills
+        # element-wise), so the draw schedule is identical to the classic
+        # full-plane pass; untiled, the single span IS that pass.  The
+        # rate multiplier is evaluated once per round (it may be stateful),
+        # never once per tile.
+        mult = rate_multiplier(phase) if rate_multiplier is not None else None
+        for lo, hi in tile_spans(n, t_width):
+            w = hi - lo
+            cw = coins[:, :w]
+            pw = prob[:, :w]
+            if not prob_static:
+                if recruit_probability is not None:
+                    pw.fill(float(recruit_probability))
+                else:
+                    np.divide(count[:, lo:hi], n, out=pw)  # already in [0, 1]
+                if quality_weighted:
+                    qw = qmul[:, :w]
+                    np.take(qualities, nest[:, lo:hi], out=qw, mode="clip")
+                    pw *= qw
+                if mult is not None:
+                    pw *= mult
+                if quality_weighted or mult is not None:
+                    np.clip(pw, 0.0, 1.0, out=pw)
+            for row, rng in enumerate(col_rngs):
+                rng.random(out=cw[row])
+            np.less(cw, pw, out=wants[:, lo:hi])
+            wants[:, lo:hi] &= active[:, lo:hi]
         if prof is not None:
             t0 = prof.tick("draw", t0)
-        np.less(coins, prob, out=wants)
-        wants &= active
-        if prof is not None:
-            t0 = prof.tick("move", t0)
-        sel_src, sel_dst = match_pairs_batch(wants, mat_rngs, resolve=resolve)
+        sel_src, sel_dst = match_pairs_batch(
+            wants, mat_rngs, resolve=resolve, segmented=tile is not None
+        )
         if prof is not None:
             t0 = prof.tick("match", t0)
 

@@ -207,11 +207,50 @@ def draw_choices_per_trial(
     return np.concatenate(parts)
 
 
+def _resolve_segmented(
+    src_key: np.ndarray,
+    dst_key: np.ndarray,
+    boundaries: np.ndarray,
+    n: int,
+    resolve,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-trial greedy matching over an ``n``-sized key space.
+
+    Trials occupy disjoint key ranges and the greedy matching of a fixed
+    priority order decomposes over connected components, so resolving each
+    trial's edge segment alone (keys rebased to ``0..n``) returns exactly
+    the pair set of one batched resolution over ``n_trials * n`` keys —
+    just with the ``matcher.q`` scratch at ``O(n)`` instead of
+    ``O(n_trials * n)``, the whole point at million-ant scale.  Pair
+    *order* differs from the batched form, which every caller is
+    documented to ignore (unique-destination scatters).
+    """
+    sel_src_parts: list[np.ndarray] = []
+    sel_dst_parts: list[np.ndarray] = []
+    for b in range(len(boundaries) - 1):
+        lo, hi = boundaries[b], boundaries[b + 1]
+        if lo == hi:
+            continue
+        base = b * n
+        seg_src, seg_dst = resolve_greedy_matching(
+            src_key[lo:hi] - base, dst_key[lo:hi] - base, n, resolve=resolve
+        )
+        # The resolver hands keys back in its working dtype (int32 for any
+        # realistic n); re-offsetting must not wrap, so widen first.
+        sel_src_parts.append(seg_src.astype(np.int64) + base)
+        sel_dst_parts.append(seg_dst.astype(np.int64) + base)
+    if not sel_src_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(sel_src_parts), np.concatenate(sel_dst_parts)
+
+
 def match_pairs_batch(
     wants: np.ndarray,
     rngs: Sequence[np.random.Generator],
     *,
     resolve=None,
+    segmented: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Leanest batched Algorithm 1 when *every* slot participates.
 
@@ -227,6 +266,11 @@ def match_pairs_batch(
         ``(B, n)`` bool; slot called ``recruit(1, ·)`` this round.
     rngs:
         One matcher generator per trial row.
+    segmented:
+        Resolve each trial's edges separately over an ``n``-key space
+        (same pair set, ``O(n)`` scratch) — the tiled kernels' memory
+        mode.  Draws are identical either way: choices are always drawn
+        per trial, before any resolution.
     """
     n_trials, n = wants.shape
     src_key = np.flatnonzero(wants.ravel())
@@ -236,6 +280,8 @@ def match_pairs_batch(
     n_attempts = np.diff(boundaries)
     choices = draw_choices_per_trial(rngs, n_attempts, n)
     dst_key = src_key - (src_key % n) + choices
+    if segmented:
+        return _resolve_segmented(src_key, dst_key, boundaries, n, resolve)
     return resolve_greedy_matching(src_key, dst_key, n_trials * n, resolve=resolve)
 
 

@@ -113,18 +113,25 @@ def simulate_simple(
 
     converged_round: int | None = None
     phase = 0
+    # Hoisted round-loop storage: the recruit probabilities are rewritten
+    # in place every recruitment round, and the recruitment-round history
+    # row is the constant [n, 0, ..., 0] (everyone at home), so a single
+    # shared row serves every append — vstack copies at the end.
+    probability = np.empty(n, dtype=np.float64)
+    home_row = np.zeros(k + 1, dtype=np.int64)
+    home_row[0] = n
     while rounds_executed + 2 <= max_rounds and converged_round is None:
         phase += 1
         # Recruitment round (everyone at home).
         if recruit_probability is not None:
-            probability = np.full(n, float(recruit_probability))
+            probability.fill(float(recruit_probability))
         else:
-            probability = count / n
+            np.divide(count, n, out=probability)
         if quality_weighted:
-            probability = probability * qualities[nest]
+            probability *= qualities[nest]
         if rate_multiplier is not None:
-            probability = probability * rate_multiplier(phase)
-        probability = np.clip(probability, 0.0, 1.0)
+            probability *= rate_multiplier(phase)
+        np.clip(probability, 0.0, 1.0, out=probability)
         wants = active & (colony_rng.random(n) < probability)
         results, recruiter_of, _ = match_arrays(wants, nest, matcher_rng)
 
@@ -137,18 +144,20 @@ def simulate_simple(
         active = active | woke
         rounds_executed += 1
         if record_history:
-            home = np.array([n], dtype=np.int64)
-            history.append(np.concatenate([home, np.zeros(k, dtype=np.int64)]))
+            history.append(home_row)
         unanimous = nest[0] if np.all(nest == nest[0]) else None
         if unanimous is not None and good[unanimous]:
             converged_round = rounds_executed
 
-        # Assessment round (everyone at its nest).
+        # Assessment round (everyone at its nest).  ``counts_of`` binds a
+        # fresh bincount result each round and nothing writes into it, so
+        # the gather needs no defensive cast-copy and the history row
+        # already owns its storage.
         counts = counts_of(nest)
-        count = perturb(counts[nest].astype(np.int64))
+        count = perturb(np.asarray(counts[nest], dtype=np.int64))
         rounds_executed += 1
         if record_history:
-            history.append(counts.copy())
+            history.append(counts)
 
     final_counts = counts_of(nest)
     chosen = int(nest[0]) if np.all(nest == nest[0]) else None

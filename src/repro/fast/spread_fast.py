@@ -67,13 +67,19 @@ def simulate_spread(
     rounds_executed = 1
     done_round = 1 if informed.all() else None
 
+    # Hoisted round-loop storage: WAIT's all-False search mask is loop-
+    # invariant (nothing below writes into ``searching``), the other
+    # policies overwrite the mask in place, and the matcher targets use a
+    # sliced prefix of one full-size buffer.
+    searching = np.zeros(n, dtype=bool)
+    targets_buf = np.zeros(n, dtype=np.int64)
     while done_round is None and rounds_executed < max_rounds:
-        if policy is IgnorantPolicy.WAIT:
-            searching = np.zeros(n, dtype=bool)
-        elif policy is IgnorantPolicy.SEARCH:
-            searching = ~informed
-        else:  # MIXED: each ignorant ant flips a fair coin.
-            searching = (~informed) & (colony_rng.random(n) < 0.5)
+        if policy is IgnorantPolicy.SEARCH:
+            np.logical_not(informed, out=searching)
+        elif policy is IgnorantPolicy.MIXED:
+            # Each ignorant ant flips a fair coin.
+            np.less(colony_rng.random(n), 0.5, out=searching)
+            searching &= ~informed
 
         # Searchers may stumble on w directly.
         n_searching = int(searching.sum())
@@ -88,7 +94,8 @@ def simulate_spread(
             # Targets: informed push w (= 1); ignorant ants' inputs are
             # irrelevant (any known nest); use 0 as a sentinel that can
             # never equal w.
-            targets = np.where(active, 1, 0).astype(np.int64)
+            targets = targets_buf[: len(home_ids)]
+            np.copyto(targets, active)
             results, recruiter_of, _ = match_arrays(active, targets, matcher_rng)
             recruited_to_w = (recruiter_of != -1) & (results == 1)
             informed[home_ids[recruited_to_w]] = True

@@ -35,6 +35,7 @@ from repro.api.scheduler import (
     fold_study_result,
 )
 from repro.api.sweep import Study, expand_study
+from repro.fast.arena import arena_stats
 from repro.service.dedupe import DedupingCache
 from repro.service.jobs import Job, JobQueue
 
@@ -150,7 +151,7 @@ class StudyService:
     # -- observability ---------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """The ``GET /stats`` payload: service, queue, and cache counters."""
+        """The ``GET /stats`` payload: service, queue, cache, and memory."""
         by_state: dict[str, int] = {}
         for job in self.queue.jobs():
             by_state[job.state] = by_state.get(job.state, 0) + 1
@@ -161,6 +162,11 @@ class StudyService:
             "queue_depth": self.queue.depth(),
             "jobs": by_state,
             "cache": None if self.cache is None else self.cache.stats(),
+            # Kernel-arena memory across this process's executor threads:
+            # retained now vs. the high-water mark (ROADMAP item 5 — a
+            # huge-n cell's footprint must be visible, and trimmable via
+            # $REPRO_ARENA_TRIM_BYTES, not silently permanent).
+            "arena": arena_stats(),
         }
 
     # -- lifecycle -------------------------------------------------------------

@@ -19,6 +19,11 @@ def pytest_configure(config: pytest.Config) -> None:
         "filterwarnings",
         "ignore:importing simulate_:DeprecationWarning",
     )
+    config.addinivalue_line(
+        "markers",
+        "slow: large-n scale smokes, skipped unless REPRO_RUN_SLOW=1 "
+        "(the CI scale-smoke job opts in)",
+    )
 
 from repro.model.environment import Environment
 from repro.model.nests import NestConfig

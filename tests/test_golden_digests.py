@@ -53,3 +53,34 @@ def test_digest_invariant_under_chunking(name):
 def test_digest_invariant_under_workers(name):
     reports = run_batch(CASES[name], workers=2, batch_chunk=2)
     assert digest_reports(reports) == GOLDEN[name]
+
+
+#: The ant-axis tile matrix (golden cases run at n = 128): an exact
+#: divisor, non-divisors below n (the remainder-span path), and widths at
+#: and above n (which resolve to the untiled fast path — the resolver
+#: contract).  Every width must reproduce the digests bit-for-bit:
+#: REPRO_TILE_ANTS is a pure performance knob (docs/PERFORMANCE.md §8).
+_TILE_WIDTHS = ("none", "64", "48", "100", "127", "128", "135", "1000")
+
+#: Kernel variants whose draw schedules the tiled loop restructures
+#: (clean, composite noise, constant-rate, rate-schedule, flip+gauss)
+#: plus one perturbed-path case proving the knob is inert there.
+_TILE_CASES = (
+    "simple_clean",
+    "simple_composite",
+    "uniform_clean",
+    "adaptive_clean",
+    "simple_gauss_flip_noise",
+    "simple_delay",
+)
+
+
+@pytest.mark.parametrize("width", _TILE_WIDTHS)
+@pytest.mark.parametrize("name", _TILE_CASES)
+def test_digest_invariant_under_tiling(name, width, monkeypatch):
+    monkeypatch.setenv("REPRO_TILE_ANTS", width)
+    reports = run_batch(CASES[name], workers=1)
+    assert digest_reports(reports) == GOLDEN[name], (
+        f"case {name!r} diverges from its golden digest at tile width "
+        f"{width} — tiling must be bit-invisible"
+    )

@@ -210,7 +210,11 @@ class TestBatchChunkPolicy:
         assert default_batch_chunk(4096) == 64
         assert default_batch_chunk(1024) == 256
         assert default_batch_chunk(2) == 512  # clamped high
-        assert default_batch_chunk(10**9) == 16  # clamped low
+        # Past the auto-tile threshold the scratch term is computed over
+        # the tile width and the 2^23-element state cap takes over (the
+        # full breakpoint table lives in tests/test_tiling.py).
+        assert default_batch_chunk(10**6) == 8
+        assert default_batch_chunk(10**9) == 1  # state-capped low
 
     def test_chunking_invisible_to_results(self):
         scenario = Scenario(

@@ -1,0 +1,224 @@
+"""Out-of-core ResultTable spill: round-trips, budgets, study wiring.
+
+The contract under test (docs/PERFORMANCE.md §8): a spilled table is the
+*same table* — ``equals``-identical bit for bit, same ``select`` /
+``group_by`` / CSV / JSON behaviour — just memmap-backed; a spill
+directory alone suffices to resume (no re-simulation); and the automatic
+policy in :func:`~repro.api.scheduler.fold_study_result` is inert unless
+``$REPRO_SPILL_DIR`` opts in.  Plus the tiling acceptance cross-check:
+tiled and untiled study runs fold to ``equals``-identical tables, cold
+and warm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ResultCache,
+    Scenario,
+    Study,
+    Sweep,
+    grid,
+    nests_spec,
+    run_study,
+)
+from repro.api.results import ResultTable
+from repro.api.spill import (
+    DEFAULT_SPILL_ROWS,
+    load_spilled,
+    maybe_spill,
+    spill_table,
+)
+from repro.exceptions import ConfigurationError
+
+
+def sample_table() -> ResultTable:
+    return ResultTable(
+        {
+            "n": [4096, 65536, 4096, 65536],
+            "metric": [1.5, float("nan"), 2.0, 3.25],
+            "algorithm": ["simple", "simple", "optimal", None],
+            "flag": [True, False, True, True],
+        }
+    )
+
+
+class TestSpillRoundTrip:
+    def test_equals_both_directions(self, tmp_path):
+        table = sample_table()
+        spill_table(table, tmp_path)
+        loaded = load_spilled(tmp_path)
+        assert table.equals(loaded)
+        assert loaded.equals(table)
+
+    def test_numeric_columns_are_memmaps(self, tmp_path):
+        spill_table(sample_table(), tmp_path)
+        loaded = load_spilled(tmp_path)
+        assert isinstance(loaded.column("n"), np.memmap)
+        assert isinstance(loaded.column("metric"), np.memmap)
+        assert loaded.column("algorithm").dtype.kind == "O"
+
+    def test_dtypes_preserved(self, tmp_path):
+        table = sample_table()
+        spill_table(table, tmp_path)
+        loaded = load_spilled(tmp_path)
+        for name in table.column_names:
+            assert table.column(name).dtype.kind == loaded.column(name).dtype.kind
+
+    def test_relational_ops_unchanged(self, tmp_path):
+        table = sample_table()
+        spill_table(table, tmp_path)
+        loaded = load_spilled(tmp_path)
+        assert loaded.select(n=4096).n_rows == 2
+        assert [key for key, _ in loaded.group_by("algorithm")] == [
+            key for key, _ in table.group_by("algorithm")
+        ]
+        sub = loaded.select(n=65536, algorithm="simple")
+        assert np.isnan(sub.column("metric")[0])
+
+    def test_exports_unchanged(self, tmp_path):
+        table = sample_table()
+        spill_table(table, tmp_path)
+        loaded = load_spilled(tmp_path)
+        assert table.to_csv() == loaded.to_csv()
+        assert table.to_json() == loaded.to_json()
+
+    def test_resume_from_spill(self, tmp_path):
+        """The manifest alone rebuilds the table — twice, identically."""
+        table = sample_table()
+        spill_table(table, tmp_path)
+        first = load_spilled(tmp_path)
+        second = load_spilled(tmp_path)
+        assert first.equals(second)
+        assert second.spill_dir == tmp_path
+
+    def test_spill_refuses_overwrite(self, tmp_path):
+        spill_table(sample_table(), tmp_path)
+        with pytest.raises(ConfigurationError):
+            spill_table(sample_table(), tmp_path)
+
+    def test_load_requires_manifest(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_spilled(tmp_path)
+
+
+class TestMaybeSpill:
+    def test_identity_without_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPILL_DIR", raising=False)
+        table = sample_table()
+        assert maybe_spill(table) is table
+
+    def test_under_budget_passthrough(self, tmp_path):
+        table = sample_table()
+        assert maybe_spill(table, directory=tmp_path, max_rows=100) is table
+
+    def test_row_budget_spills(self, tmp_path):
+        table = sample_table()
+        spilled = maybe_spill(table, directory=tmp_path, max_rows=2)
+        assert spilled is not table
+        assert isinstance(spilled.column("n"), np.memmap)
+        assert spilled.equals(table)
+        # The spill directory is recorded for later resumes.
+        assert load_spilled(spilled.spill_dir).equals(table)
+
+    def test_byte_budget_spills(self, tmp_path):
+        table = sample_table()
+        spilled = maybe_spill(
+            table, directory=tmp_path, max_rows=10**9, max_bytes=1
+        )
+        assert isinstance(spilled.column("n"), np.memmap)
+
+    def test_env_configuration(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SPILL_ROWS", "2")
+        table = sample_table()
+        spilled = maybe_spill(table)
+        assert isinstance(spilled.column("n"), np.memmap)
+
+    def test_default_row_budget(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_SPILL_ROWS", raising=False)
+        # 4 rows is far under DEFAULT_SPILL_ROWS: no spill.
+        table = sample_table()
+        assert maybe_spill(table) is table
+        assert DEFAULT_SPILL_ROWS == 100_000
+
+
+def tiny_study(name: str = "spill-study") -> Study:
+    return Study(
+        name=name,
+        sweep=Sweep(
+            base={
+                "algorithm": "simple",
+                "nests": nests_spec("all_good", k=2),
+                "seed": 11,
+                "max_rounds": 10_000,
+            },
+            axes=(grid("n", (16, 32, 64)),),
+        ),
+        trials=3,
+        metrics=("n_trials", "success_rate", "median_rounds"),
+    )
+
+
+class TestStudyWiring:
+    def test_fold_spills_when_configured(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path / "spills"))
+        monkeypatch.setenv("REPRO_SPILL_ROWS", "1")
+        result = run_study(tiny_study())
+        assert isinstance(result.table.column("n"), np.memmap)
+        # The spilled study table equals an unspilled rerun's, bit for bit.
+        monkeypatch.delenv("REPRO_SPILL_DIR")
+        monkeypatch.delenv("REPRO_SPILL_ROWS")
+        plain = run_study(tiny_study())
+        assert result.table.equals(plain.table)
+        assert load_spilled(result.table.spill_dir).equals(plain.table)
+
+    def test_fold_inert_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPILL_DIR", raising=False)
+        result = run_study(tiny_study())
+        assert not isinstance(result.table.column("n"), np.memmap)
+
+    def test_spilled_warm_cache_run_identical(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_study(tiny_study(), cache=cache)
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path / "spills"))
+        monkeypatch.setenv("REPRO_SPILL_ROWS", "1")
+        warm = run_study(tiny_study(), cache=cache)
+        assert warm.cache_hits == 3 and warm.simulated_trials == 0
+        assert isinstance(warm.table.column("n"), np.memmap)
+        assert warm.table.equals(cold.table)
+
+
+class TestTiledVsUntiledTables:
+    """The tiling acceptance cross-check at the study level: tiled and
+    untiled runs fold to ``equals``-identical tables, cold and warm —
+    whether or not either side also spilled."""
+
+    def test_cold_tables_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TILE_ANTS", "none")
+        untiled = run_study(tiny_study())
+        monkeypatch.setenv("REPRO_TILE_ANTS", "7")  # non-divisor of 16/32/64
+        tiled = run_study(tiny_study())
+        assert untiled.table.equals(tiled.table)
+
+    def test_warm_tables_identical(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        monkeypatch.setenv("REPRO_TILE_ANTS", "none")
+        cold = run_study(tiny_study(), cache=cache)
+        monkeypatch.setenv("REPRO_TILE_ANTS", "7")
+        warm = run_study(tiny_study(), cache=cache)
+        assert warm.cache_hits == 3 and warm.simulated_trials == 0
+        assert cold.table.equals(warm.table)
+
+    def test_tiled_spilled_table_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TILE_ANTS", "none")
+        untiled = run_study(tiny_study())
+        monkeypatch.setenv("REPRO_TILE_ANTS", "7")
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path / "spills"))
+        monkeypatch.setenv("REPRO_SPILL_ROWS", "1")
+        tiled_spilled = run_study(tiny_study())
+        assert isinstance(tiled_spilled.table.column("n"), np.memmap)
+        assert untiled.table.equals(tiled_spilled.table)
